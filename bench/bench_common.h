@@ -1,0 +1,40 @@
+// Shared plumbing for the experiment harnesses: topology selection, env
+// knobs, and uniform output.  Every harness prints the rows/series of one
+// table or figure of the paper; see DESIGN.md §4 for the index.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "topo/topology.h"
+#include "util/env.h"
+#include "util/table.h"
+
+namespace nwlb::bench {
+
+/// Topologies for this run: all eight by default, the four smallest under
+/// NWLB_FAST=1, or a single one named by NWLB_TOPO.
+inline std::vector<topo::Topology> selected_topologies() {
+  if (const char* name = std::getenv("NWLB_TOPO"); name != nullptr && *name != '\0') {
+    std::vector<topo::Topology> out;
+    out.push_back(topo::topology_by_name(name));
+    return out;
+  }
+  if (util::env_flag("NWLB_FAST")) return topo::small_topologies();
+  return topo::all_topologies();
+}
+
+inline void print_header(const std::string& title, const std::string& setup) {
+  std::cout << "=== " << title << " ===\n";
+  if (!setup.empty()) std::cout << setup << "\n";
+  std::cout << "\n";
+}
+
+inline void print_table(const util::Table& table) {
+  table.print(std::cout);
+  if (util::env_flag("NWLB_CSV")) std::cout << "CSV:\n" << table.to_csv() << "\n";
+}
+
+}  // namespace nwlb::bench

@@ -1,0 +1,48 @@
+// §8.2 "Increasing the data center capacity" (described in the paper's
+// text; the figure was omitted there): maximum compute load as the DC
+// capacity factor alpha grows, at two MaxLinkLoad settings.
+//
+// Expected shape: diminishing returns with the knee around alpha = 8-10,
+// and the knee arriving earlier when the link budget is tighter (with
+// MaxLinkLoad = 0.1 there is little replication headroom, so extra DC
+// capacity stops helping sooner).
+#include "bench_common.h"
+
+#include "core/replication_lp.h"
+#include "core/scenario.h"
+#include "traffic/matrix.h"
+
+using namespace nwlb;
+
+int main() {
+  const std::vector<double> alphas{1, 2, 4, 6, 8, 10, 14, 20};
+  bench::print_header("DC capacity sweep: max compute load vs alpha",
+                      "alpha = DC capacity / single-NIDS capacity");
+
+  std::vector<std::string> header{"Topology", "MLL"};
+  for (double a : alphas) header.push_back("a=" + util::format_double(a, 0));
+  util::Table table(header);
+
+  for (const auto& topology : bench::selected_topologies()) {
+    const auto tm = traffic::gravity_matrix(
+        topology.graph, traffic::paper_total_sessions(topology.graph.num_nodes()));
+    for (double mll : {0.1, 0.4}) {
+      auto& row = table.row().cell(topology.name).cell(mll, 1);
+      lp::Basis warm;
+      for (double alpha : alphas) {
+        core::ScenarioConfig config;
+        config.max_link_load = mll;
+        config.dc_factor = alpha;
+        const core::Scenario scenario(topology, tm, config);
+        const core::ProblemInput input =
+            scenario.problem(core::Architecture::kPathReplicate);
+        const core::Assignment a =
+            core::ReplicationLp(input).solve({}, warm.empty() ? nullptr : &warm);
+        warm = a.lp.basis;
+        row.cell(a.load_cost, 3);
+      }
+    }
+  }
+  bench::print_table(table);
+  return 0;
+}

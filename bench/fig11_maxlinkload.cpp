@@ -1,0 +1,41 @@
+// Figure 11: maximum compute load vs MaxLinkLoad, datacenter capacity 10x.
+//
+// Expected shape: load falls as the allowed link load grows, with
+// diminishing returns beyond MaxLinkLoad ~ 0.4 on most topologies.
+#include "bench_common.h"
+
+#include "core/replication_lp.h"
+#include "core/scenario.h"
+#include "traffic/matrix.h"
+
+using namespace nwlb;
+
+int main() {
+  const std::vector<double> mll_values{0.05, 0.1, 0.2, 0.3, 0.4, 0.6, 0.8, 1.0};
+  bench::print_header("Figure 11: max compute load vs MaxLinkLoad",
+                      "DC=10x at most-observed PoP");
+
+  std::vector<std::string> header{"Topology"};
+  for (double mll : mll_values) header.push_back("MLL=" + util::format_double(mll, 2));
+  util::Table table(header);
+
+  for (const auto& topology : bench::selected_topologies()) {
+    const auto tm = traffic::gravity_matrix(
+        topology.graph, traffic::paper_total_sessions(topology.graph.num_nodes()));
+    auto& row = table.row().cell(topology.name);
+    lp::Basis warm;  // Same model shape across the sweep: reuse the basis.
+    for (double mll : mll_values) {
+      core::ScenarioConfig config;
+      config.max_link_load = mll;
+      const core::Scenario scenario(topology, tm, config);
+      const core::ProblemInput input = scenario.problem(core::Architecture::kPathReplicate);
+      const core::ReplicationLp formulation(input);
+      const core::Assignment a =
+          formulation.solve({}, warm.empty() ? nullptr : &warm);
+      warm = a.lp.basis;
+      row.cell(a.load_cost, 3);
+    }
+  }
+  bench::print_table(table);
+  return 0;
+}

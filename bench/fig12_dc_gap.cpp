@@ -1,0 +1,49 @@
+// Figure 12: DCLoad - MaxNIDSLoad for four (MaxLinkLoad, DC-capacity)
+// configurations.
+//
+// Expected shape: strongly negative (under-utilized DC) at MLL=0.1/DC=10x;
+// near zero (DC as stressed as the rest) at MLL=0.4 or DC=2x.
+#include "bench_common.h"
+
+#include "core/replication_lp.h"
+#include "core/scenario.h"
+#include "traffic/matrix.h"
+
+using namespace nwlb;
+
+int main() {
+  struct Config {
+    double mll;
+    double dc;
+  };
+  const Config configs[] = {{0.1, 2.0}, {0.1, 10.0}, {0.4, 2.0}, {0.4, 10.0}};
+
+  bench::print_header("Figure 12: DCLoad - MaxNIDSLoad",
+                      "negative => the datacenter is under-utilized");
+
+  std::vector<std::string> header{"Topology"};
+  for (const auto& c : configs)
+    header.push_back("MLL=" + util::format_double(c.mll, 1) + ",DC=" +
+                     util::format_double(c.dc, 0) + "x");
+  util::Table table(header);
+
+  for (const auto& topology : bench::selected_topologies()) {
+    const auto tm = traffic::gravity_matrix(
+        topology.graph, traffic::paper_total_sessions(topology.graph.num_nodes()));
+    auto& row = table.row().cell(topology.name);
+    lp::Basis warm;
+    for (const auto& c : configs) {
+      core::ScenarioConfig sc;
+      sc.max_link_load = c.mll;
+      sc.dc_factor = c.dc;
+      const core::Scenario scenario(topology, tm, sc);
+      const core::ProblemInput input = scenario.problem(core::Architecture::kPathReplicate);
+      const core::Assignment a =
+          core::ReplicationLp(input).solve({}, warm.empty() ? nullptr : &warm);
+      warm = a.lp.basis;
+      row.cell(a.datacenter_load(input) - a.max_pop_load(input), 3);
+    }
+  }
+  bench::print_table(table);
+  return 0;
+}

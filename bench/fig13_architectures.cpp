@@ -1,0 +1,45 @@
+// Figure 13: maximum compute load of the four NIDS architectures across
+// topologies (DC=10x, MaxLinkLoad=0.4).
+//
+// Expected shape: Ingress = 1 by construction; Path,NoReplicate well below
+// 1; Path,Replicate best overall (up to ~10x below Ingress, up to ~3x below
+// Path,NoReplicate); Path,Augmented in between.
+#include "bench_common.h"
+
+#include "core/scenario.h"
+#include "traffic/matrix.h"
+
+using namespace nwlb;
+
+int main() {
+  const core::Architecture archs[] = {
+      core::Architecture::kIngress,
+      core::Architecture::kPathNoReplicate,
+      core::Architecture::kPathAugmented,
+      core::Architecture::kPathReplicate,
+  };
+
+  bench::print_header("Figure 13: max compute load per architecture",
+                      "DC=10x at most-observed PoP, MaxLinkLoad=0.4");
+
+  std::vector<std::string> header{"Topology"};
+  for (auto a : archs) header.emplace_back(core::to_string(a));
+  header.emplace_back("Ingress/Replicate");
+  util::Table table(header);
+
+  for (const auto& topology : bench::selected_topologies()) {
+    const auto tm = traffic::gravity_matrix(
+        topology.graph, traffic::paper_total_sessions(topology.graph.num_nodes()));
+    const core::Scenario scenario(topology, tm);
+    auto& row = table.row().cell(topology.name);
+    double replicate_cost = 1.0;
+    for (auto arch : archs) {
+      const double cost = scenario.solve(arch).load_cost;
+      if (arch == core::Architecture::kPathReplicate) replicate_cost = cost;
+      row.cell(cost, 3);
+    }
+    row.cell(1.0 / replicate_cost, 2);
+  }
+  bench::print_table(table);
+  return 0;
+}

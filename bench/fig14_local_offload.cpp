@@ -1,0 +1,35 @@
+// Figure 14: local replication — pure on-path distribution vs mirror sets
+// of 1-hop and 2-hop neighbours (no datacenter), MaxLinkLoad=0.4.
+//
+// Expected shape: 1-hop offload cuts the maximum load substantially (up to
+// ~5x on the larger topologies); 2-hop adds little beyond 1-hop.
+#include "bench_common.h"
+
+#include "core/scenario.h"
+#include "traffic/matrix.h"
+
+using namespace nwlb;
+
+int main() {
+  bench::print_header("Figure 14: local one- and two-hop replication",
+                      "MaxLinkLoad=0.4, no datacenter");
+
+  util::Table table({"Topology", "Path,NoReplicate", "One-hop", "Two-hop",
+                     "Path/One-hop"});
+  for (const auto& topology : bench::selected_topologies()) {
+    const auto tm = traffic::gravity_matrix(
+        topology.graph, traffic::paper_total_sessions(topology.graph.num_nodes()));
+    const core::Scenario scenario(topology, tm);
+    const double path = scenario.solve(core::Architecture::kPathNoReplicate).load_cost;
+    const double onehop = scenario.solve(core::Architecture::kLocalOffload1).load_cost;
+    const double twohop = scenario.solve(core::Architecture::kLocalOffload2).load_cost;
+    table.row()
+        .cell(topology.name)
+        .cell(path, 3)
+        .cell(onehop, 3)
+        .cell(twohop, 3)
+        .cell(path / onehop, 2);
+  }
+  bench::print_table(table);
+  return 0;
+}

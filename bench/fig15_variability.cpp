@@ -1,0 +1,73 @@
+// Figure 15: robustness under traffic variability — box-and-whiskers of the
+// maximum compute load across NWLB_RUNS sampled traffic matrices (paper:
+// 100) for four architectures.  Capacities stay provisioned for the *mean*
+// matrix; each sampled matrix is re-optimized (warm-started), mirroring the
+// controller's periodic re-optimization.
+//
+// Expected shape: Ingress and Path,NoReplicate show high medians and
+// worst cases beyond 1 (overload); the replication-enabled architectures
+// (DC Only, DC + One-hop) stay far lower with tight spread.
+#include "bench_common.h"
+
+#include "core/replication_lp.h"
+#include "core/scenario.h"
+#include "traffic/matrix.h"
+#include "traffic/variability.h"
+#include "util/stats.h"
+
+using namespace nwlb;
+
+int main() {
+  const int runs = util::env_int("NWLB_RUNS", 12);
+  bench::print_header(
+      "Figure 15: max compute load under traffic variability",
+      "runs=" + std::to_string(runs) +
+          " sampled TMs (paper: 100; set NWLB_RUNS), DC=10x, MaxLinkLoad=0.4; "
+          "cells are min/q25/median/q75/max");
+
+  const core::Architecture archs[] = {
+      core::Architecture::kIngress,
+      core::Architecture::kPathNoReplicate,
+      core::Architecture::kPathReplicate,  // "DC Only" in the paper.
+      core::Architecture::kDcPlusOneHop,
+  };
+  const char* labels[] = {"Ingress", "Path,NoRepl", "DC Only", "DC+One-hop"};
+
+  const traffic::VariabilityModel model(traffic::abilene_like_factor_cdf());
+
+  util::Table table({"Topology", "Architecture", "min", "q25", "median", "q75", "max"});
+  for (const auto& topology : bench::selected_topologies()) {
+    const auto mean_tm = traffic::gravity_matrix(
+        topology.graph, traffic::paper_total_sessions(topology.graph.num_nodes()));
+    core::Scenario scenario(topology, mean_tm);
+    const auto samples = model.sample_many(mean_tm, runs, /*seed=*/515);
+
+    for (std::size_t k = 0; k < std::size(archs); ++k) {
+      std::vector<double> costs;
+      lp::Basis warm;
+      for (const auto& tm : samples) {
+        scenario.set_traffic(tm);
+        if (archs[k] == core::Architecture::kIngress) {
+          costs.push_back(scenario.solve(archs[k]).load_cost);
+          continue;
+        }
+        const core::ProblemInput input = scenario.problem(archs[k]);
+        const core::Assignment a =
+            core::ReplicationLp(input).solve({}, warm.empty() ? nullptr : &warm);
+        warm = a.lp.basis;
+        costs.push_back(a.load_cost);
+      }
+      const util::BoxStats box = util::box_stats(costs);
+      table.row()
+          .cell(topology.name)
+          .cell(labels[k])
+          .cell(box.min, 3)
+          .cell(box.q25, 3)
+          .cell(box.median, 3)
+          .cell(box.q75, 3)
+          .cell(box.max, 3);
+    }
+  }
+  bench::print_table(table);
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Figures 16 + 17: routing asymmetry — median detection miss rate (Fig. 16)
+// and median maximum compute load (Fig. 17) vs the expected overlap factor
+// theta, for Ingress / Path (on-path only) / DC-0.4 (replication with
+// MaxLinkLoad=0.4).
+//
+// Expected shape (Fig. 16): Ingress misses heavily at every overlap; Path
+// misses at low overlap and improves as routes align; DC-0.4 stays near
+// zero.  (Fig. 17): Ingress load is *low* because it ignores most traffic;
+// the DC curve rises then falls as the link-load cap stops binding.
+#include "bench_common.h"
+
+#include "core/scenario.h"
+#include "core/split_lp.h"
+#include "topo/overlap.h"
+#include "traffic/matrix.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+using namespace nwlb;
+
+int main() {
+  const int configs_per_theta = util::env_int("NWLB_CONFIGS", 12);
+  const char* topo_name = std::getenv("NWLB_TOPO");
+  const auto topology =
+      topo::topology_by_name(topo_name != nullptr && *topo_name ? topo_name : "Internet2");
+
+  bench::print_header(
+      "Figures 16+17: miss rate and max load vs expected overlap",
+      topology.name + ", " + std::to_string(configs_per_theta) +
+          " random configurations per theta (paper: 50; set NWLB_CONFIGS), medians");
+
+  const auto tm = traffic::gravity_matrix(
+      topology.graph, traffic::paper_total_sessions(topology.graph.num_nodes()));
+  const core::Scenario scenario(topology, tm);
+  const topo::AsymmetricRouteGenerator generator(scenario.routing());
+
+  struct Mode {
+    const char* label;
+    core::SplitMode mode;
+    bool with_dc;
+  };
+  const Mode modes[] = {
+      {"Ingress", core::SplitMode::kIngressOnly, false},
+      {"Path", core::SplitMode::kOnPathOnly, false},
+      {"DC-0.4", core::SplitMode::kWithDatacenter, true},
+  };
+
+  util::Table miss_table({"theta", "Ingress", "Path", "DC-0.4"});
+  util::Table load_table({"theta", "Ingress", "Path", "DC-0.4"});
+
+  for (double theta : {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}) {
+    std::vector<std::vector<double>> miss(3), load(3);
+    for (int trial = 0; trial < configs_per_theta; ++trial) {
+      // One random asymmetric routing configuration, shared by all modes.
+      core::ProblemInput dc_input = scenario.problem(core::Architecture::kPathReplicate);
+      nwlb::util::Rng rng(nwlb::util::derive_seed(1617,
+          static_cast<std::uint64_t>(theta * 100) * 1000 + static_cast<std::uint64_t>(trial)));
+      traffic::apply_asymmetry(dc_input.classes, generator, theta, rng);
+
+      core::ProblemInput path_input = dc_input;
+      path_input.datacenter.attach_pop = -1;
+      path_input.capacities = nids::NodeCapacities(topology.graph.num_nodes(),
+                                                   scenario.base_capacity());
+      path_input.mirror_sets.assign(
+          static_cast<std::size_t>(topology.graph.num_nodes()), {});
+
+      for (std::size_t m = 0; m < std::size(modes); ++m) {
+        core::SplitOptions opts;
+        opts.mode = modes[m].mode;
+        const core::ProblemInput& input = modes[m].with_dc ? dc_input : path_input;
+        const core::Assignment a = core::SplitTrafficLp(input, opts).solve();
+        miss[m].push_back(a.miss_rate);
+        load[m].push_back(a.load_cost);
+      }
+    }
+    auto& miss_row = miss_table.row().cell(theta, 1);
+    auto& load_row = load_table.row().cell(theta, 1);
+    for (std::size_t m = 0; m < std::size(modes); ++m) {
+      miss_row.cell(util::median(miss[m]), 3);
+      load_row.cell(util::median(load[m]), 3);
+    }
+  }
+  std::cout << "Figure 16: median detection miss rate\n";
+  bench::print_table(miss_table);
+  std::cout << "Figure 17: median maximum compute load\n";
+  bench::print_table(load_table);
+  return 0;
+}

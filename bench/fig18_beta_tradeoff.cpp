@@ -1,0 +1,61 @@
+// Figure 18: aggregation — the compute/communication tradeoff traced by
+// sweeping beta, normalized per topology by the maximum observed LoadCost
+// and CommCost over the sweep.
+//
+// Expected shape: a frontier per topology; for most topologies some beta
+// lands near the origin (both normalized costs below ~0.4).
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/aggregation_lp.h"
+#include "core/scenario.h"
+#include "traffic/matrix.h"
+
+using namespace nwlb;
+
+int main() {
+  bench::print_header("Figure 18: LoadCost vs CommCost sweeping beta",
+                      "normalized per topology by the sweep maxima");
+
+  // Log sweep over beta (normalized comm units; see AggregationLp).
+  std::vector<double> betas;
+  for (double b = 1.0 / 64.0; b <= 64.0 + 1e-9; b *= 2.0) betas.push_back(b);
+  betas.insert(betas.begin(), 0.0);
+
+  util::Table table({"Topology", "beta", "LoadCost", "CommCost(byte-hops)",
+                     "norm.load", "norm.comm"});
+  for (const auto& topology : bench::selected_topologies()) {
+    const auto tm = traffic::gravity_matrix(
+        topology.graph, traffic::paper_total_sessions(topology.graph.num_nodes()));
+    const core::Scenario scenario(topology, tm);
+    const core::ProblemInput input =
+        scenario.problem(core::Architecture::kPathNoReplicate);
+
+    std::vector<double> loads, comms;
+    lp::Basis warm;
+    for (double beta : betas) {
+      core::AggregationOptions opts;
+      opts.beta = beta;
+      const core::Assignment a =
+          core::AggregationLp(input, opts).solve({}, warm.empty() ? nullptr : &warm);
+      warm = a.lp.basis;
+      loads.push_back(a.load_cost);
+      comms.push_back(a.comm_cost);
+    }
+    const double max_load = *std::max_element(loads.begin(), loads.end());
+    const double max_comm = *std::max_element(comms.begin(), comms.end());
+    for (std::size_t i = 0; i < betas.size(); ++i) {
+      table.row()
+          .cell(topology.name)
+          .cell(betas[i], 4)
+          .cell(loads[i], 3)
+          .cell(comms[i], 0)
+          .cell(max_load > 0 ? loads[i] / max_load : 0.0, 3)
+          .cell(max_comm > 0 ? comms[i] / max_comm : 0.0, 3);
+    }
+  }
+  bench::print_table(table);
+  return 0;
+}

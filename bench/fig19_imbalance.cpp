@@ -1,0 +1,85 @@
+// Figure 19: load-imbalance (max/average compute load) with and without
+// aggregation.  "Without" pins Scan detection at each class's ingress (the
+// topological constraint aggregation removes); "with" uses the beta whose
+// sweep point lies closest to the origin of Fig. 18's normalized tradeoff.
+//
+// Expected shape: aggregation cuts the imbalance substantially (up to
+// ~2.7x in the paper).
+#include "bench_common.h"
+
+#include <cmath>
+
+#include "core/aggregation_lp.h"
+#include "core/scenario.h"
+#include "traffic/matrix.h"
+#include "util/stats.h"
+
+using namespace nwlb;
+
+namespace {
+
+std::vector<double> cpu_loads(const core::Assignment& a) {
+  std::vector<double> out;
+  for (const auto& load : a.node_load) out.push_back(load[0]);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Figure 19: max/average compute load, +/- aggregation",
+                      "beta chosen per topology as the Fig. 18 point closest to origin");
+
+  std::vector<double> betas;
+  for (double b = 1.0 / 64.0; b <= 64.0 + 1e-9; b *= 2.0) betas.push_back(b);
+  betas.insert(betas.begin(), 0.0);
+
+  util::Table table({"Topology", "NoAggregation", "WithAggregation", "Improvement",
+                     "beta*"});
+  for (const auto& topology : bench::selected_topologies()) {
+    const auto tm = traffic::gravity_matrix(
+        topology.graph, traffic::paper_total_sessions(topology.graph.num_nodes()));
+    const core::Scenario scenario(topology, tm);
+    const core::ProblemInput input =
+        scenario.problem(core::Architecture::kPathNoReplicate);
+
+    // Sweep beta; normalize; pick the point closest to the origin.
+    std::vector<core::Assignment> sweep;
+    lp::Basis warm;
+    for (double beta : betas) {
+      core::AggregationOptions opts;
+      opts.beta = beta;
+      sweep.push_back(
+          core::AggregationLp(input, opts).solve({}, warm.empty() ? nullptr : &warm));
+      warm = sweep.back().lp.basis;
+    }
+    double max_load = 0.0, max_comm = 0.0;
+    for (const auto& a : sweep) {
+      max_load = std::max(max_load, a.load_cost);
+      max_comm = std::max(max_comm, a.comm_cost);
+    }
+    std::size_t best = 0;
+    double best_dist = 1e300;
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+      const double nl = max_load > 0 ? sweep[i].load_cost / max_load : 0.0;
+      const double nc = max_comm > 0 ? sweep[i].comm_cost / max_comm : 0.0;
+      const double dist = std::hypot(nl, nc);
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = i;
+      }
+    }
+
+    const core::Assignment ingress = core::ingress_assignment(input);
+    const double before = util::max_over_mean(cpu_loads(ingress));
+    const double after = util::max_over_mean(cpu_loads(sweep[best]));
+    table.row()
+        .cell(topology.name)
+        .cell(before, 2)
+        .cell(after, 2)
+        .cell(before / after, 2)
+        .cell(betas[best], 4);
+  }
+  bench::print_table(table);
+  return 0;
+}

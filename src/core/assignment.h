@@ -1,0 +1,60 @@
+// The result of an optimization: per-class processing and offload
+// fractions, plus derived network-wide metrics.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "lp/solution.h"
+#include "nids/packet.h"
+#include "nids/resources.h"
+
+namespace nwlb::core {
+
+struct ProblemInput;
+
+/// One offload decision: `from` replicates `fraction` of the class (in the
+/// given direction) to processing node `to`.
+struct Offload {
+  int from = -1;
+  int to = -1;
+  double fraction = 0.0;
+  nids::Direction direction = nids::Direction::kForward;  // kForward covers
+                                                          // both when symmetric.
+};
+
+struct ProcessShare {
+  int node = -1;
+  double fraction = 0.0;
+};
+
+struct Assignment {
+  // Per class (indexed like ProblemInput::classes):
+  std::vector<std::vector<ProcessShare>> process;
+  std::vector<std::vector<Offload>> offloads;
+  std::vector<double> coverage;  // cov_c in [0,1]; 1 under full coverage.
+
+  // Derived network state:
+  std::vector<std::array<double, nids::kNumResources>> node_load;  // Per node.
+  std::vector<double> link_utilization;  // Background + replication, per link.
+
+  double load_cost = 0.0;   // max_{r,j} Load_j^r.
+  double miss_rate = 0.0;   // Session-weighted uncovered fraction (§5).
+  double comm_cost = 0.0;   // Byte-hops (aggregation formulations only).
+  double dc_access_utilization = 0.0;  // DC uplink load; 0 when uncapped.
+
+  lp::Solution lp;  // Raw solver stats (status, iterations, time, basis).
+
+  /// Max load over non-datacenter nodes only (Fig. 12's MaxNIDSLoad).
+  double max_pop_load(const ProblemInput& input) const;
+
+  /// Load of the datacenter node; 0 when there is none.
+  double datacenter_load(const ProblemInput& input) const;
+};
+
+/// Recomputes node loads, link utilizations, load_cost and miss_rate of an
+/// assignment from its fractions (used both by the LP decoders and by
+/// direct constructions such as the Ingress architecture).
+void refresh_metrics(const ProblemInput& input, Assignment& assignment);
+
+}  // namespace nwlb::core

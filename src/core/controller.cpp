@@ -1,0 +1,51 @@
+#include "core/controller.h"
+
+#include "core/replication_lp.h"
+
+namespace nwlb::core {
+
+Controller::Controller(const topo::Topology& topology,
+                       const traffic::TrafficMatrix& initial_tm,
+                       ControllerOptions options)
+    : scenario_(topology, initial_tm, options.scenario), options_(options) {}
+
+Controller::Controller(const topo::Topology& topology,
+                       const traffic::TrafficMatrix& initial_tm,
+                       Architecture architecture, ScenarioConfig config)
+    : Controller(topology, initial_tm,
+                 ControllerOptions{architecture, config, false, {}}) {}
+
+EpochResult Controller::epoch(const traffic::TrafficMatrix& tm) {
+  scenario_.set_traffic(tm);
+  EpochResult result;
+  const ProblemInput input = scenario_.problem(options_.architecture);
+  if (options_.architecture == Architecture::kIngress) {
+    result.assignment = ingress_assignment(input);
+  } else {
+    const ReplicationLp formulation(input);
+    const lp::Basis* warm = warm_basis_ ? &*warm_basis_ : nullptr;
+    result.warm_started = warm != nullptr;
+    result.assignment = formulation.solve({}, warm);
+    warm_basis_ = result.assignment.lp.basis;
+  }
+  result.configs = build_shim_configs(input, result.assignment);
+  result.solve_seconds = result.assignment.lp.solve_seconds;
+  result.iterations =
+      result.assignment.lp.iterations + result.assignment.lp.phase1_iterations;
+
+  if (options_.enable_scan_aggregation) {
+    // The aggregatable analysis runs on the on-path problem (no offloads).
+    const ProblemInput scan_input = scenario_.problem(Architecture::kPathNoReplicate);
+    const AggregationLp scan_lp(scan_input, options_.aggregation);
+    const lp::Basis* warm = scan_warm_basis_ ? &*scan_warm_basis_ : nullptr;
+    Assignment scan = scan_lp.solve({}, warm);
+    scan_warm_basis_ = scan.lp.basis;
+    result.solve_seconds += scan.lp.solve_seconds;
+    result.iterations += scan.lp.iterations + scan.lp.phase1_iterations;
+    result.scan = std::move(scan);
+  }
+  ++epochs_;
+  return result;
+}
+
+}  // namespace nwlb::core

@@ -1,0 +1,67 @@
+// The network-wide management module (§3, Fig. 6).
+//
+// The controller owns the long-lived state (topology, routing, provisioned
+// capacities, datacenter placement), receives periodic traffic-matrix
+// feeds, re-runs the optimizations — session-level replication and,
+// optionally, the aggregatable Scan split — and emits per-node shim
+// configurations plus the scan reporting schema.  Successive epochs
+// warm-start each LP from its previous basis (the model shape is identical
+// across epochs, only coefficients move), which keeps re-optimization well
+// inside the paper's "every 5 minutes" budget.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/aggregation_lp.h"
+#include "core/mapper.h"
+#include "core/scenario.h"
+
+namespace nwlb::core {
+
+struct ControllerOptions {
+  Architecture architecture = Architecture::kPathReplicate;
+  ScenarioConfig scenario;
+
+  /// When set, each epoch also re-optimizes the Scan aggregation split
+  /// (§6) and reports its assignment alongside the session-level one.
+  bool enable_scan_aggregation = false;
+  AggregationOptions aggregation;
+};
+
+struct EpochResult {
+  Assignment assignment;                 // Session-level (replication) plan.
+  std::vector<shim::ShimConfig> configs; // One per PoP.
+  std::optional<Assignment> scan;        // Scan split, when enabled.
+  double solve_seconds = 0.0;            // Both LPs combined.
+  int iterations = 0;
+  bool warm_started = false;
+};
+
+class Controller {
+ public:
+  /// `topology` must outlive the controller.  `initial_tm` fixes capacity
+  /// provisioning and DC placement for the deployment's lifetime.
+  Controller(const topo::Topology& topology, const traffic::TrafficMatrix& initial_tm,
+             ControllerOptions options);
+
+  /// Convenience constructor with default scenario knobs.
+  Controller(const topo::Topology& topology, const traffic::TrafficMatrix& initial_tm,
+             Architecture architecture = Architecture::kPathReplicate,
+             ScenarioConfig config = {});
+
+  /// One optimization epoch against fresh traffic data.
+  EpochResult epoch(const traffic::TrafficMatrix& tm);
+
+  const Scenario& scenario() const { return scenario_; }
+  int epochs_run() const { return epochs_; }
+
+ private:
+  Scenario scenario_;
+  ControllerOptions options_;
+  std::optional<lp::Basis> warm_basis_;
+  std::optional<lp::Basis> scan_warm_basis_;
+  int epochs_ = 0;
+};
+
+}  // namespace nwlb::core

@@ -1,0 +1,84 @@
+#include "core/mapper.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <tuple>
+
+namespace nwlb::core {
+namespace {
+
+struct Slice {
+  int responsible_pop;  // The PoP whose shim owns this range.
+  double fraction;
+  shim::Action action;
+};
+
+// Converts an ordered list of fractional slices into integer hash ranges
+// and installs each slice into its owner's table.
+void install_direction(std::vector<shim::ShimConfig>& configs, int class_id,
+                       nids::Direction direction, const std::vector<Slice>& slices) {
+  // Per-PoP tables; ranges arrive in ascending order by construction.
+  std::map<int, shim::RangeTable> tables;
+  double cumulative = 0.0;
+  std::uint64_t begin = 0;
+  for (const Slice& s : slices) {
+    cumulative += s.fraction;
+    const auto end = static_cast<std::uint64_t>(
+        std::llround(std::min(cumulative, 1.0) * static_cast<double>(shim::kHashSpace)));
+    if (end > begin)
+      tables[s.responsible_pop].add(shim::HashRange{begin, end, s.action});
+    begin = end;
+  }
+  for (auto& [pop, table] : tables)
+    configs[static_cast<std::size_t>(pop)].set_table(class_id, direction, std::move(table));
+}
+
+}  // namespace
+
+std::vector<shim::ShimConfig> build_shim_configs(const ProblemInput& input,
+                                                 const Assignment& assignment) {
+  const int num_pops = input.num_pops();
+  std::vector<shim::ShimConfig> configs;
+  configs.reserve(static_cast<std::size_t>(num_pops));
+  for (int j = 0; j < num_pops; ++j) configs.emplace_back();
+
+  for (std::size_t c = 0; c < input.classes.size(); ++c) {
+    // p-shares first, ascending node order (the §7.1 loop); identical in
+    // both directions so the ranges coincide.
+    std::vector<ProcessShare> shares = assignment.process[c];
+    std::sort(shares.begin(), shares.end(),
+              [](const ProcessShare& a, const ProcessShare& b) { return a.node < b.node; });
+
+    for (const nids::Direction dir : {nids::Direction::kForward, nids::Direction::kReverse}) {
+      std::vector<Slice> slices;
+      for (const ProcessShare& share : shares)
+        slices.push_back(Slice{share.node, share.fraction, shim::Action::process()});
+      std::vector<Offload> offs;
+      for (const Offload& o : assignment.offloads[c])
+        if (o.direction == dir) offs.push_back(o);
+      std::sort(offs.begin(), offs.end(), [](const Offload& a, const Offload& b) {
+        return std::tie(a.from, a.to) < std::tie(b.from, b.to);
+      });
+      for (const Offload& o : offs)
+        slices.push_back(Slice{o.from, o.fraction, shim::Action::replicate(o.to)});
+      install_direction(configs, static_cast<int>(c), dir, slices);
+    }
+  }
+  return configs;
+}
+
+std::pair<double, double> mapped_fractions(const std::vector<shim::ShimConfig>& configs,
+                                           int class_id, nids::Direction direction) {
+  double process = 0.0;
+  double replicate = 0.0;
+  for (const auto& config : configs) {
+    const shim::RangeTable* table = config.table(class_id, direction);
+    if (table == nullptr) continue;
+    process += table->fraction_of(shim::Action::Kind::kProcess);
+    replicate += table->fraction_of(shim::Action::Kind::kReplicate);
+  }
+  return {process, replicate};
+}
+
+}  // namespace nwlb::core

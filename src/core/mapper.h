@@ -1,0 +1,33 @@
+// LP solution -> shim configurations (§7.1).
+//
+// For each class, the decision fractions are laid out as consecutive,
+// non-overlapping hash ranges over [0, 2^32): first the p_{c,j} shares in
+// ascending node order, then the offload fractions.  Both directions'
+// layouts start with the same p-shares at hash 0, so under split routing
+// the session set covered in both directions is exactly
+// min(cov_fwd, cov_rev) — the quantity the LP optimizes.  Hash space left
+// unassigned (coverage < 1) is implicitly ignored, which *is* the
+// detection miss.
+#pragma once
+
+#include <vector>
+
+#include "core/assignment.h"
+#include "core/problem.h"
+#include "shim/config.h"
+
+namespace nwlb::core {
+
+/// Builds one ShimConfig per *PoP* (index 0..num_pops-1).  The datacenter
+/// needs no config: it processes whatever arrives on its tunnels.
+std::vector<shim::ShimConfig> build_shim_configs(const ProblemInput& input,
+                                                 const Assignment& assignment);
+
+/// Validation helper: the fraction of hash space class `c` maps to each
+/// action across all per-PoP configs in the given direction, as
+/// (process_total, replicate_total).  Used by tests to show the ranges
+/// reproduce the LP fractions exactly.
+std::pair<double, double> mapped_fractions(const std::vector<shim::ShimConfig>& configs,
+                                           int class_id, nids::Direction direction);
+
+}  // namespace nwlb::core

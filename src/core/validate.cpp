@@ -1,0 +1,100 @@
+#include "core/validate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace nwlb::core {
+namespace {
+
+std::string where(std::size_t class_index) {
+  return "class " + std::to_string(class_index) + ": ";
+}
+
+}  // namespace
+
+std::vector<std::string> validate_assignment(const ProblemInput& input,
+                                             const Assignment& assignment,
+                                             const ValidationOptions& options) {
+  std::vector<std::string> violations;
+  const double tol = options.tolerance;
+  auto report = [&](std::string message) { violations.push_back(std::move(message)); };
+
+  if (assignment.process.size() != input.classes.size() ||
+      assignment.offloads.size() != input.classes.size()) {
+    report("assignment arrays do not match the class count");
+    return violations;
+  }
+
+  for (std::size_t c = 0; c < input.classes.size(); ++c) {
+    const auto& cls = input.classes[c];
+    const auto common = cls.common_nodes();
+    const auto fwd = cls.fwd_nodes();
+    const auto rev = cls.rev_nodes();
+
+    double fwd_total = 0.0, rev_total = 0.0;
+    for (const ProcessShare& share : assignment.process[c]) {
+      if (share.fraction < -tol || share.fraction > 1.0 + tol)
+        report(where(c) + "process fraction out of [0,1]");
+      if (!std::binary_search(common.begin(), common.end(), share.node))
+        report(where(c) + "processing at node " + std::to_string(share.node) +
+               " which is not on the common path");
+      fwd_total += share.fraction;
+      rev_total += share.fraction;
+    }
+    for (const Offload& off : assignment.offloads[c]) {
+      if (off.fraction < -tol || off.fraction > 1.0 + tol)
+        report(where(c) + "offload fraction out of [0,1]");
+      const auto& source_path = off.direction == nids::Direction::kForward ? fwd : rev;
+      if (!std::binary_search(source_path.begin(), source_path.end(), off.from))
+        report(where(c) + "offload from node " + std::to_string(off.from) +
+               " which is not on the direction's path");
+      const bool is_dc = input.has_datacenter() && off.to == input.datacenter_id();
+      const bool in_mirrors =
+          !input.mirror_sets.empty() && off.from >= 0 &&
+          off.from < static_cast<int>(input.mirror_sets.size()) &&
+          std::find(input.mirror_sets[static_cast<std::size_t>(off.from)].begin(),
+                    input.mirror_sets[static_cast<std::size_t>(off.from)].end(),
+                    off.to) != input.mirror_sets[static_cast<std::size_t>(off.from)].end();
+      if (!is_dc && !in_mirrors)
+        report(where(c) + "offload target " + std::to_string(off.to) +
+               " is not in node " + std::to_string(off.from) + "'s mirror set");
+      (off.direction == nids::Direction::kForward ? fwd_total : rev_total) +=
+          off.fraction;
+    }
+    if (fwd_total > 1.0 + tol || rev_total > 1.0 + tol)
+      report(where(c) + "directional responsibility exceeds 1");
+    if (options.require_full_coverage &&
+        (fwd_total < 1.0 - tol || rev_total < 1.0 - tol))
+      report(where(c) + "coverage below 1 (" + std::to_string(fwd_total) + "/" +
+             std::to_string(rev_total) + ")");
+  }
+
+  // Link caps: recompute and compare against max(MaxLinkLoad, background).
+  Assignment fresh = assignment;
+  refresh_metrics(input, fresh);
+  for (std::size_t l = 0; l < fresh.link_utilization.size(); ++l) {
+    const double bg_util = input.background_bytes[l] / input.link_capacity[l];
+    const double cap = std::max(input.max_link_load, bg_util);
+    if (fresh.link_utilization[l] > cap + tol) {
+      std::ostringstream os;
+      os << "link " << l << " utilization " << fresh.link_utilization[l]
+         << " exceeds cap " << cap;
+      report(os.str());
+    }
+  }
+  if (input.dc_access_capacity > 0.0 &&
+      fresh.dc_access_utilization > input.max_link_load + tol) {
+    std::ostringstream os;
+    os << "DC access link utilization " << fresh.dc_access_utilization
+       << " exceeds MaxLinkLoad " << input.max_link_load;
+    report(os.str());
+  }
+  if (std::abs(fresh.load_cost - assignment.load_cost) > 1e2 * tol)
+    report("stored load_cost disagrees with recomputation");
+  if (std::abs(fresh.miss_rate - assignment.miss_rate) > 1e2 * tol)
+    report("stored miss_rate disagrees with recomputation");
+  return violations;
+}
+
+}  // namespace nwlb::core

@@ -1,0 +1,28 @@
+// Assignment validation: every structural invariant an assignment must
+// satisfy before it is compiled into shim configurations.  Used by tests,
+// by the controller in debug builds, and as an operator-facing lint.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/assignment.h"
+#include "core/problem.h"
+
+namespace nwlb::core {
+
+struct ValidationOptions {
+  double tolerance = 1e-6;
+  bool require_full_coverage = false;  // True for the §4 replication LP.
+};
+
+/// Returns human-readable violation descriptions; empty means valid.
+/// Checks: fraction ranges, processing restricted to common-path nodes,
+/// offload sources on the relevant direction's path, offload targets in
+/// the source's mirror set (or the DC), link-load caps, and agreement of
+/// the stored metrics with a fresh recomputation.
+std::vector<std::string> validate_assignment(const ProblemInput& input,
+                                             const Assignment& assignment,
+                                             const ValidationOptions& options = {});
+
+}  // namespace nwlb::core

@@ -1,0 +1,248 @@
+#include "lp/presolve.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "lp/revised_simplex.h"
+
+namespace nwlb::lp {
+namespace {
+
+constexpr double kFeasTol = 1e-9;
+
+struct WorkingProblem {
+  std::vector<double> lower, upper, cost;
+  std::vector<Sense> sense;
+  std::vector<double> rhs;
+  std::vector<std::map<int, double>> rows;  // Row -> {var: coef}.
+  std::vector<int> col_count;               // Nonzeros per variable.
+  std::vector<bool> var_alive, row_alive;
+  std::vector<double> fixed_value;
+  double offset = 0.0;
+};
+
+// Substitutes variable j at `value` everywhere and retires it.
+void fix_variable(WorkingProblem& w, int j, double value) {
+  w.fixed_value[static_cast<std::size_t>(j)] = value;
+  w.var_alive[static_cast<std::size_t>(j)] = false;
+  w.offset += w.cost[static_cast<std::size_t>(j)] * value;
+  for (std::size_t r = 0; r < w.rows.size(); ++r) {
+    if (!w.row_alive[r]) continue;
+    const auto it = w.rows[r].find(j);
+    if (it == w.rows[r].end()) continue;
+    w.rhs[r] -= it->second * value;
+    w.rows[r].erase(it);
+  }
+  w.col_count[static_cast<std::size_t>(j)] = 0;
+}
+
+// Intersects variable j's bounds with [lo, hi]; returns false on conflict.
+bool tighten(WorkingProblem& w, int j, double lo, double hi) {
+  auto& l = w.lower[static_cast<std::size_t>(j)];
+  auto& u = w.upper[static_cast<std::size_t>(j)];
+  l = std::max(l, lo);
+  u = std::min(u, hi);
+  return l <= u + kFeasTol;
+}
+
+}  // namespace
+
+std::vector<double> Presolved::restore(const std::vector<double>& reduced_x) const {
+  std::vector<double> out(var_map.size(), 0.0);
+  for (std::size_t j = 0; j < var_map.size(); ++j) {
+    if (var_map[j] >= 0) {
+      out[j] = reduced_x.at(static_cast<std::size_t>(var_map[j]));
+    } else {
+      out[j] = fixed_value[j];
+    }
+  }
+  return out;
+}
+
+int Presolved::vars_removed() const {
+  return static_cast<int>(std::count(var_map.begin(), var_map.end(), -1));
+}
+
+int Presolved::rows_removed() const {
+  return static_cast<int>(std::count(row_map.begin(), row_map.end(), -1));
+}
+
+Presolved presolve(const Model& input) {
+  Model normalized = input;
+  normalized.normalize();
+
+  WorkingProblem w;
+  const int n = normalized.num_variables();
+  const int m = normalized.num_rows();
+  w.lower.resize(static_cast<std::size_t>(n));
+  w.upper.resize(static_cast<std::size_t>(n));
+  w.cost.resize(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    w.lower[static_cast<std::size_t>(j)] = normalized.lower(VarId{j});
+    w.upper[static_cast<std::size_t>(j)] = normalized.upper(VarId{j});
+    w.cost[static_cast<std::size_t>(j)] = normalized.cost(VarId{j});
+  }
+  w.sense.resize(static_cast<std::size_t>(m));
+  w.rhs.resize(static_cast<std::size_t>(m));
+  w.rows.resize(static_cast<std::size_t>(m));
+  w.col_count.assign(static_cast<std::size_t>(n), 0);
+  for (int r = 0; r < m; ++r) {
+    w.sense[static_cast<std::size_t>(r)] = normalized.sense(RowId{r});
+    w.rhs[static_cast<std::size_t>(r)] = normalized.rhs(RowId{r});
+    for (const Entry& e : normalized.row_entries(RowId{r})) {
+      w.rows[static_cast<std::size_t>(r)][e.var] = e.coef;
+      ++w.col_count[static_cast<std::size_t>(e.var)];
+    }
+  }
+  w.var_alive.assign(static_cast<std::size_t>(n), true);
+  w.row_alive.assign(static_cast<std::size_t>(m), true);
+  w.fixed_value.assign(static_cast<std::size_t>(n), 0.0);
+
+  Presolved result;
+  auto conclude = [&](PresolveStatus status) {
+    result.status = status;
+    return result;
+  };
+
+  bool changed = true;
+  int guard = 2 * (n + m) + 8;
+  while (changed && guard-- > 0) {
+    changed = false;
+
+    // Fixed variables.
+    for (int j = 0; j < n; ++j) {
+      if (!w.var_alive[static_cast<std::size_t>(j)]) continue;
+      const double lo = w.lower[static_cast<std::size_t>(j)];
+      const double hi = w.upper[static_cast<std::size_t>(j)];
+      if (lo > hi + kFeasTol) return conclude(PresolveStatus::kInfeasible);
+      if (std::isfinite(lo) && std::abs(hi - lo) <= kFeasTol) {
+        fix_variable(w, j, lo);
+        changed = true;
+      }
+    }
+
+    // Row passes: empty rows and singleton rows.
+    for (int r = 0; r < m; ++r) {
+      if (!w.row_alive[static_cast<std::size_t>(r)]) continue;
+      auto& row = w.rows[static_cast<std::size_t>(r)];
+      const double rhs = w.rhs[static_cast<std::size_t>(r)];
+      const Sense sense = w.sense[static_cast<std::size_t>(r)];
+      if (row.empty()) {
+        const bool ok = sense == Sense::kLessEqual   ? rhs >= -kFeasTol
+                        : sense == Sense::kGreaterEqual ? rhs <= kFeasTol
+                                                        : std::abs(rhs) <= kFeasTol;
+        if (!ok) return conclude(PresolveStatus::kInfeasible);
+        w.row_alive[static_cast<std::size_t>(r)] = false;
+        changed = true;
+        continue;
+      }
+      if (row.size() == 1) {
+        const auto [j, coef] = *row.begin();
+        // coef * x (sense) rhs  =>  bound on x.
+        const double bound = rhs / coef;
+        bool ok = true;
+        if (sense == Sense::kEqual) {
+          ok = tighten(w, j, bound, bound);
+        } else {
+          const bool upper_bound =
+              (sense == Sense::kLessEqual) == (coef > 0.0);
+          ok = upper_bound ? tighten(w, j, -kInf, bound) : tighten(w, j, bound, kInf);
+        }
+        if (!ok) return conclude(PresolveStatus::kInfeasible);
+        w.row_alive[static_cast<std::size_t>(r)] = false;
+        --w.col_count[static_cast<std::size_t>(j)];
+        changed = true;
+        continue;
+      }
+    }
+
+    // Recount columns (cheap at these sizes, and simple is robust).
+    std::fill(w.col_count.begin(), w.col_count.end(), 0);
+    for (int r = 0; r < m; ++r) {
+      if (!w.row_alive[static_cast<std::size_t>(r)]) continue;
+      for (const auto& [j, coef] : w.rows[static_cast<std::size_t>(r)])
+        ++w.col_count[static_cast<std::size_t>(j)];
+    }
+
+    // Empty columns: pin at the cost-optimal bound.
+    for (int j = 0; j < n; ++j) {
+      if (!w.var_alive[static_cast<std::size_t>(j)]) continue;
+      if (w.col_count[static_cast<std::size_t>(j)] != 0) continue;
+      const double cost = w.cost[static_cast<std::size_t>(j)];
+      const double lo = w.lower[static_cast<std::size_t>(j)];
+      const double hi = w.upper[static_cast<std::size_t>(j)];
+      double value = 0.0;
+      if (cost > 0.0) {
+        if (!std::isfinite(lo)) return conclude(PresolveStatus::kUnbounded);
+        value = lo;
+      } else if (cost < 0.0) {
+        if (!std::isfinite(hi)) return conclude(PresolveStatus::kUnbounded);
+        value = hi;
+      } else {
+        value = std::isfinite(lo) ? lo : (std::isfinite(hi) ? hi : 0.0);
+      }
+      fix_variable(w, j, value);
+      changed = true;
+    }
+  }
+
+  // Rebuild the reduced model.
+  result.var_map.assign(static_cast<std::size_t>(n), -1);
+  result.fixed_value = w.fixed_value;
+  result.row_map.assign(static_cast<std::size_t>(m), -1);
+  result.objective_offset = w.offset;
+  for (int j = 0; j < n; ++j) {
+    if (!w.var_alive[static_cast<std::size_t>(j)]) continue;
+    const VarId v = result.model.add_variable(w.lower[static_cast<std::size_t>(j)],
+                                              w.upper[static_cast<std::size_t>(j)],
+                                              w.cost[static_cast<std::size_t>(j)],
+                                              input.var_name(VarId{j}));
+    result.var_map[static_cast<std::size_t>(j)] = v.value;
+  }
+  for (int r = 0; r < m; ++r) {
+    if (!w.row_alive[static_cast<std::size_t>(r)]) continue;
+    const RowId row = result.model.add_row(w.sense[static_cast<std::size_t>(r)],
+                                           w.rhs[static_cast<std::size_t>(r)],
+                                           input.row_name(RowId{r}));
+    result.row_map[static_cast<std::size_t>(r)] = row.value;
+    for (const auto& [j, coef] : w.rows[static_cast<std::size_t>(r)])
+      result.model.add_coefficient(row, VarId{result.var_map[static_cast<std::size_t>(j)]},
+                                   coef);
+  }
+  return result;
+}
+
+Solution solve_with_presolve(const Model& model, const Options& options) {
+  const Presolved reduced = presolve(model);
+  Solution sol;
+  if (reduced.status == PresolveStatus::kInfeasible) {
+    sol.status = Status::kInfeasible;
+    return sol;
+  }
+  if (reduced.status == PresolveStatus::kUnbounded) {
+    sol.status = Status::kUnbounded;
+    return sol;
+  }
+  if (reduced.model.num_variables() == 0) {
+    // Fully solved by presolve.
+    sol.status = Status::kOptimal;
+    sol.x = reduced.restore({});
+    sol.objective = model.objective_value(sol.x);
+    return sol;
+  }
+  Solution inner = solve_revised(reduced.model, options);
+  if (inner.status != Status::kOptimal) {
+    sol.status = inner.status;
+    return sol;
+  }
+  sol = inner;
+  sol.x = reduced.restore(inner.x);
+  sol.objective = model.objective_value(sol.x);
+  sol.duals.clear();   // Dual postsolve is not implemented.
+  sol.basis = Basis{};  // The basis refers to the reduced space.
+  return sol;
+}
+
+}  // namespace nwlb::lp

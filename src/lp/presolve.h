@@ -1,0 +1,46 @@
+// LP presolve: cheap, always-safe reductions applied before the simplex.
+//
+// Implemented rules, iterated to a fixpoint:
+//   * fixed variables (lower == upper) are substituted out,
+//   * singleton rows become variable-bound tightenings,
+//   * empty rows are checked and dropped,
+//   * empty columns are pinned at their cost-optimal bound.
+// Presolve can conclude infeasibility or unboundedness outright.  The
+// primal solution of the reduced model is restored to original variable
+// space with restore() (postsolve is primal-only; duals of the reduced
+// model are not mapped back).
+#pragma once
+
+#include <vector>
+
+#include "lp/model.h"
+#include "lp/solution.h"
+
+namespace nwlb::lp {
+
+enum class PresolveStatus { kReduced, kInfeasible, kUnbounded };
+
+struct Presolved {
+  PresolveStatus status = PresolveStatus::kReduced;
+  Model model;              // The reduced problem (valid when kReduced).
+  double objective_offset = 0.0;
+
+  std::vector<int> var_map;          // original var -> reduced index, or -1.
+  std::vector<double> fixed_value;   // value of vars with var_map == -1.
+  std::vector<int> row_map;          // original row -> reduced row, or -1.
+
+  /// Maps a reduced-model point back to original variable space.
+  std::vector<double> restore(const std::vector<double>& reduced_x) const;
+
+  int vars_removed() const;
+  int rows_removed() const;
+};
+
+/// Runs presolve on a (normalized copy of the) model.
+Presolved presolve(const Model& model);
+
+/// Convenience: presolve, solve the reduction with the revised simplex,
+/// postsolve.  Status is taken from presolve when it is conclusive.
+Solution solve_with_presolve(const Model& model, const Options& options = {});
+
+}  // namespace nwlb::lp

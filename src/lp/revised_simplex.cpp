@@ -1,0 +1,496 @@
+#include "lp/revised_simplex.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "lp/basis.h"
+
+namespace nwlb::lp {
+namespace {
+
+enum class VStat : unsigned char { kBasic, kAtLower, kAtUpper, kFree };
+
+constexpr double kTiny = 1e-12;
+
+class Simplex {
+ public:
+  Simplex(const Model& model, const Options& opt) : model_(model), opt_(opt) {}
+
+  Solution solve(const Basis* warm) {
+    const auto t0 = std::chrono::steady_clock::now();
+    build();
+    Solution sol;
+    if (!install_basis(warm)) {
+      // Incompatible warm start: fall back to the logical basis.
+      install_basis(nullptr);
+    }
+    if (!refactorize()) {
+      sol.status = Status::kNumericalFailure;
+      return finish(sol, t0);
+    }
+
+    // Phase 1: drive basic infeasibilities to zero.
+    Status status = Status::kOptimal;
+    if (infeasibility() > opt_.feasibility_tol) {
+      status = loop(/*phase1=*/true, sol);
+      if (status == Status::kOptimal && infeasibility() > 1e2 * opt_.feasibility_tol) {
+        sol.status = Status::kInfeasible;
+        return finish(sol, t0);
+      }
+      if (status != Status::kOptimal) {
+        sol.status = status == Status::kUnbounded ? Status::kNumericalFailure : status;
+        return finish(sol, t0);
+      }
+    }
+
+    // Phase 2: optimize the true objective.
+    status = loop(/*phase1=*/false, sol);
+    sol.status = status;
+    if (status == Status::kOptimal) extract(sol);
+    return finish(sol, t0);
+  }
+
+ private:
+  // ---- Setup ----------------------------------------------------------
+  void build() {
+    Model normalized = model_;
+    normalized.normalize();
+    const int n = normalized.num_variables();
+    const int m = normalized.num_rows();
+    num_cols_ = n + m;
+
+    matrix_.num_rows = m;
+    matrix_.num_structural = n;
+    // Column counts then CSC fill from the row-wise model.
+    std::vector<int> counts(static_cast<std::size_t>(n), 0);
+    for (int r = 0; r < m; ++r)
+      for (const Entry& e : normalized.row_entries(RowId{r}))
+        ++counts[static_cast<std::size_t>(e.var)];
+    matrix_.col_ptr.assign(static_cast<std::size_t>(n) + 1, 0);
+    for (int j = 0; j < n; ++j)
+      matrix_.col_ptr[static_cast<std::size_t>(j) + 1] =
+          matrix_.col_ptr[static_cast<std::size_t>(j)] + counts[static_cast<std::size_t>(j)];
+    matrix_.row_idx.assign(static_cast<std::size_t>(matrix_.col_ptr.back()), 0);
+    matrix_.value.assign(static_cast<std::size_t>(matrix_.col_ptr.back()), 0.0);
+    std::vector<int> cursor(matrix_.col_ptr.begin(), matrix_.col_ptr.end() - 1);
+    for (int r = 0; r < m; ++r) {
+      for (const Entry& e : normalized.row_entries(RowId{r})) {
+        const int p = cursor[static_cast<std::size_t>(e.var)]++;
+        matrix_.row_idx[static_cast<std::size_t>(p)] = r;
+        matrix_.value[static_cast<std::size_t>(p)] = e.coef;
+      }
+    }
+
+    lb_.assign(static_cast<std::size_t>(num_cols_), 0.0);
+    ub_.assign(static_cast<std::size_t>(num_cols_), 0.0);
+    cost_.assign(static_cast<std::size_t>(num_cols_), 0.0);
+    for (int j = 0; j < n; ++j) {
+      lb_[static_cast<std::size_t>(j)] = normalized.lower(VarId{j});
+      ub_[static_cast<std::size_t>(j)] = normalized.upper(VarId{j});
+      cost_[static_cast<std::size_t>(j)] = normalized.cost(VarId{j});
+    }
+    rhs_.assign(static_cast<std::size_t>(m), 0.0);
+    for (int r = 0; r < m; ++r) {
+      rhs_[static_cast<std::size_t>(r)] = normalized.rhs(RowId{r});
+      const std::size_t logical = static_cast<std::size_t>(n + r);
+      switch (normalized.sense(RowId{r})) {
+        case Sense::kLessEqual:
+          lb_[logical] = 0.0;
+          ub_[logical] = kInf;
+          break;
+        case Sense::kGreaterEqual:
+          lb_[logical] = -kInf;
+          ub_[logical] = 0.0;
+          break;
+        case Sense::kEqual:
+          lb_[logical] = 0.0;
+          ub_[logical] = 0.0;
+          break;
+      }
+    }
+    x_.assign(static_cast<std::size_t>(num_cols_), 0.0);
+    stat_.assign(static_cast<std::size_t>(num_cols_), VStat::kAtLower);
+    work_.assign(static_cast<std::size_t>(matrix_.num_rows), 0.0);
+  }
+
+  // Places every column at a nonbasic resting point or into the basis.
+  bool install_basis(const Basis* warm) {
+    const int m = matrix_.num_rows;
+    const int n = matrix_.num_structural;
+    basic_.assign(static_cast<std::size_t>(m), -1);
+    if (warm != nullptr && static_cast<int>(warm->basic.size()) == m &&
+        static_cast<int>(warm->nonbasic_state.size()) == num_cols_) {
+      std::vector<bool> seen(static_cast<std::size_t>(num_cols_), false);
+      for (int i = 0; i < m; ++i) {
+        const int col = warm->basic[static_cast<std::size_t>(i)];
+        if (col < 0 || col >= num_cols_ || seen[static_cast<std::size_t>(col)]) return false;
+        seen[static_cast<std::size_t>(col)] = true;
+        basic_[static_cast<std::size_t>(i)] = col;
+      }
+      for (int j = 0; j < num_cols_; ++j) {
+        if (seen[static_cast<std::size_t>(j)]) {
+          stat_[static_cast<std::size_t>(j)] = VStat::kBasic;
+          continue;
+        }
+        set_nonbasic(j, warm->nonbasic_state[static_cast<std::size_t>(j)]);
+      }
+      return true;
+    }
+    for (int i = 0; i < m; ++i) {
+      basic_[static_cast<std::size_t>(i)] = n + i;
+      stat_[static_cast<std::size_t>(n + i)] = VStat::kBasic;
+    }
+    for (int j = 0; j < n; ++j) set_nonbasic(j, NonbasicState::kAtLower);
+    return true;
+  }
+
+  void set_nonbasic(int col, NonbasicState hint) {
+    const std::size_t j = static_cast<std::size_t>(col);
+    const bool lower_finite = std::isfinite(lb_[j]);
+    const bool upper_finite = std::isfinite(ub_[j]);
+    if (hint == NonbasicState::kAtUpper && upper_finite) {
+      stat_[j] = VStat::kAtUpper;
+      x_[j] = ub_[j];
+    } else if (lower_finite) {
+      stat_[j] = VStat::kAtLower;
+      x_[j] = lb_[j];
+    } else if (upper_finite) {
+      stat_[j] = VStat::kAtUpper;
+      x_[j] = ub_[j];
+    } else {
+      stat_[j] = VStat::kFree;
+      x_[j] = 0.0;
+    }
+  }
+
+  // Factorizes the current basis and recomputes basic values.  Returns
+  // false only on unrecoverable failure.
+  bool refactorize() {
+    auto result = factor_.factorize(matrix_, basic_, opt_.pivot_tol);
+    if (!result.ok) return false;
+    for (std::size_t k = 0; k < result.defective_positions.size(); ++k) {
+      // The factorization replaced a defective column by a logical; mirror
+      // that repair in the basis bookkeeping.
+      const int pos = result.defective_positions[k];
+      const int displaced = basic_[static_cast<std::size_t>(pos)];
+      const int logical = matrix_.num_structural + result.unpivoted_rows[k];
+      set_nonbasic(displaced, NonbasicState::kAtLower);
+      basic_[static_cast<std::size_t>(pos)] = logical;
+      stat_[static_cast<std::size_t>(logical)] = VStat::kBasic;
+    }
+    ++refactor_count_;
+    recompute_basic_values();
+    return true;
+  }
+
+  void recompute_basic_values() {
+    const int m = matrix_.num_rows;
+    std::fill(work_.begin(), work_.end(), 0.0);
+    for (int i = 0; i < m; ++i) work_[static_cast<std::size_t>(i)] = rhs_[static_cast<std::size_t>(i)];
+    for (int j = 0; j < num_cols_; ++j) {
+      if (stat_[static_cast<std::size_t>(j)] == VStat::kBasic) continue;
+      const double v = x_[static_cast<std::size_t>(j)];
+      if (v != 0.0) matrix_.scatter(j, -v, work_);
+    }
+    factor_.ftran(work_);
+    for (int i = 0; i < m; ++i)
+      x_[static_cast<std::size_t>(basic_[static_cast<std::size_t>(i)])] =
+          work_[static_cast<std::size_t>(i)];
+  }
+
+  double infeasibility() const {
+    double total = 0.0;
+    for (int col : basic_) {
+      const std::size_t j = static_cast<std::size_t>(col);
+      if (x_[j] < lb_[j]) total += lb_[j] - x_[j];
+      if (x_[j] > ub_[j]) total += x_[j] - ub_[j];
+    }
+    return total;
+  }
+
+  // ---- Main iteration loop ---------------------------------------------
+  Status loop(bool phase1, Solution& sol) {
+    const int m = matrix_.num_rows;
+    std::vector<double> y(static_cast<std::size_t>(m));
+    std::vector<double> w(static_cast<std::size_t>(m));
+    int& iter_counter = phase1 ? sol.phase1_iterations : sol.iterations;
+    int stall = 0;
+    bool bland = false;
+
+    for (;;) {
+      if (sol.iterations + sol.phase1_iterations >= opt_.max_iterations)
+        return Status::kIterationLimit;
+      if (phase1 && infeasibility() <= opt_.feasibility_tol) return Status::kOptimal;
+
+      // Duals for the current (possibly composite) basic cost vector.
+      for (int i = 0; i < m; ++i)
+        y[static_cast<std::size_t>(i)] = basic_cost(i, phase1);
+      factor_.btran(y);
+
+      const auto [entering, d_enter] = price(y, phase1, bland);
+      if (entering < 0) return Status::kOptimal;
+      const int sigma = direction_of(entering, d_enter);
+
+      // FTRAN the entering column.
+      std::fill(w.begin(), w.end(), 0.0);
+      matrix_.scatter(entering, 1.0, w);
+      factor_.ftran(w);
+
+      const RatioResult rr = ratio_test(entering, sigma, w, phase1, bland);
+      if (!rr.bounded) {
+        return phase1 ? Status::kNumericalFailure : Status::kUnbounded;
+      }
+      apply_step(entering, sigma, rr, w);
+      ++iter_counter;
+
+      if (rr.step < kTiny) {
+        if (++stall > opt_.stall_limit) bland = true;
+      } else {
+        stall = 0;
+      }
+
+      if (rr.leaving_pos >= 0) {
+        if (!factor_.update(rr.leaving_pos, w, opt_.pivot_tol) ||
+            factor_.num_updates() >= opt_.refactor_interval) {
+          if (!refactorize()) return Status::kNumericalFailure;
+        }
+      }
+      sol.refactorizations = refactor_count_;
+    }
+  }
+
+  double basic_cost(int pos, bool phase1) const {
+    const std::size_t j = static_cast<std::size_t>(basic_[static_cast<std::size_t>(pos)]);
+    if (!phase1) return cost_[j];
+    if (x_[j] > ub_[j] + opt_.feasibility_tol) return 1.0;
+    if (x_[j] < lb_[j] - opt_.feasibility_tol) return -1.0;
+    return 0.0;
+  }
+
+  // Partial pricing with a rotating cursor; in Bland mode a full scan
+  // returning the smallest-index eligible column.
+  std::pair<int, double> price(const std::vector<double>& y, bool phase1, bool bland) {
+    int best = -1;
+    double best_score = 0.0;
+    double best_d = 0.0;
+    int inspected = 0;
+    const int start = bland ? 0 : cursor_;
+    for (int k = 0; k < num_cols_; ++k) {
+      const int j = (start + k) % num_cols_;
+      const VStat s = stat_[static_cast<std::size_t>(j)];
+      if (s == VStat::kBasic) continue;
+      const double cj = phase1 ? 0.0 : cost_[static_cast<std::size_t>(j)];
+      const double d = cj - matrix_.dot(j, y);
+      bool eligible = false;
+      if (s == VStat::kAtLower) {
+        eligible = d < -opt_.optimality_tol;
+      } else if (s == VStat::kAtUpper) {
+        eligible = d > opt_.optimality_tol;
+      } else {  // kFree
+        eligible = std::abs(d) > opt_.optimality_tol;
+      }
+      if (!eligible) continue;
+      if (bland) {
+        // Bland's rule: smallest index overall; the scan from 0 guarantees it.
+        cursor_ = (j + 1) % num_cols_;
+        return {j, d};
+      }
+      const double score = std::abs(d);
+      if (score > best_score) {
+        best_score = score;
+        best = j;
+        best_d = d;
+      }
+      if (++inspected >= opt_.pricing_block && best >= 0) break;
+    }
+    if (best >= 0) cursor_ = (best + 1) % num_cols_;
+    return {best, best_d};
+  }
+
+  static int direction_of(int, double d) { return d < 0.0 ? +1 : -1; }
+
+  struct RatioResult {
+    bool bounded = false;
+    double step = 0.0;
+    int leaving_pos = -1;  // -1 => entering variable bound flip.
+    bool leaving_at_upper = false;
+  };
+
+  RatioResult ratio_test(int entering, int sigma, const std::vector<double>& w,
+                         bool phase1, bool bland) {
+    RatioResult rr;
+    const std::size_t je = static_cast<std::size_t>(entering);
+    double best = kInf;
+    // Entering variable's own range bounds the step (bound flip).
+    if (std::isfinite(lb_[je]) && std::isfinite(ub_[je])) best = ub_[je] - lb_[je];
+    int leaving = -1;
+    bool at_upper = false;
+    double best_pivot = 0.0;
+
+    const int m = matrix_.num_rows;
+    for (int i = 0; i < m; ++i) {
+      const double wi = w[static_cast<std::size_t>(i)];
+      if (std::abs(wi) <= opt_.pivot_tol) continue;
+      const double delta = -static_cast<double>(sigma) * wi;  // d x_B[i] / d step
+      const std::size_t j = static_cast<std::size_t>(basic_[static_cast<std::size_t>(i)]);
+      const double xb = x_[j];
+      const double lo = lb_[j];
+      const double hi = ub_[j];
+
+      double ratio = kInf;
+      bool hits_upper = false;
+      const bool below = phase1 && xb < lo - opt_.feasibility_tol;
+      const bool above = phase1 && xb > hi + opt_.feasibility_tol;
+      if (below) {
+        if (delta > 0.0) {
+          ratio = (lo - xb) / delta;  // Rises to its violated lower bound.
+          hits_upper = false;
+        }
+      } else if (above) {
+        if (delta < 0.0) {
+          ratio = (xb - hi) / (-delta);  // Falls to its violated upper bound.
+          hits_upper = true;
+        }
+      } else if (delta < 0.0) {
+        if (std::isfinite(lo)) {
+          ratio = (xb - lo) / (-delta);
+          hits_upper = false;
+        }
+      } else {
+        if (std::isfinite(hi)) {
+          ratio = (hi - xb) / delta;
+          hits_upper = true;
+        }
+      }
+      if (!std::isfinite(ratio)) continue;
+      if (ratio < 0.0) ratio = 0.0;  // Degeneracy within tolerance.
+
+      // Strictly better step wins; near-ties are broken for stability (the
+      // largest pivot magnitude) or, in Bland mode, by variable index.
+      bool take = false;
+      if (ratio < best - 1e-10) {
+        take = true;
+      } else if (ratio < best + 1e-10) {
+        if (leaving < 0) {
+          take = true;  // Prefer a pivot over a pure bound flip at equal step.
+        } else if (bland) {
+          take = basic_[static_cast<std::size_t>(i)] <
+                 basic_[static_cast<std::size_t>(leaving)];
+        } else {
+          take = std::abs(wi) > best_pivot;
+        }
+      }
+      if (take) {
+        best = std::min(best, ratio);
+        leaving = i;
+        at_upper = hits_upper;
+        best_pivot = std::abs(wi);
+      }
+    }
+
+    if (!std::isfinite(best)) return rr;  // Unbounded direction.
+    rr.bounded = true;
+    rr.step = best;
+    rr.leaving_pos = leaving;  // May be -1: pure bound flip of the entering var.
+    rr.leaving_at_upper = at_upper;
+    return rr;
+  }
+
+  void apply_step(int entering, int sigma, const RatioResult& rr,
+                  const std::vector<double>& w) {
+    const std::size_t je = static_cast<std::size_t>(entering);
+    const int m = matrix_.num_rows;
+    if (rr.step != 0.0) {
+      for (int i = 0; i < m; ++i) {
+        const double wi = w[static_cast<std::size_t>(i)];
+        if (wi == 0.0) continue;
+        const std::size_t j = static_cast<std::size_t>(basic_[static_cast<std::size_t>(i)]);
+        x_[j] -= static_cast<double>(sigma) * rr.step * wi;
+      }
+    }
+    const double new_value = x_[je] + static_cast<double>(sigma) * rr.step;
+
+    if (rr.leaving_pos < 0) {
+      // Bound flip: the entering variable traverses its whole range.
+      x_[je] = new_value;
+      stat_[je] = (sigma > 0) ? VStat::kAtUpper : VStat::kAtLower;
+      // Snap exactly onto the bound to avoid drift.
+      x_[je] = (stat_[je] == VStat::kAtUpper) ? ub_[je] : lb_[je];
+      return;
+    }
+
+    const std::size_t lv =
+        static_cast<std::size_t>(basic_[static_cast<std::size_t>(rr.leaving_pos)]);
+    x_[lv] = rr.leaving_at_upper ? ub_[lv] : lb_[lv];
+    stat_[lv] = rr.leaving_at_upper ? VStat::kAtUpper : VStat::kAtLower;
+    basic_[static_cast<std::size_t>(rr.leaving_pos)] = entering;
+    stat_[je] = VStat::kBasic;
+    x_[je] = new_value;
+  }
+
+  // ---- Extraction -------------------------------------------------------
+  void extract(Solution& sol) {
+    const int n = matrix_.num_structural;
+    const int m = matrix_.num_rows;
+    sol.x.assign(static_cast<std::size_t>(n), 0.0);
+    for (int j = 0; j < n; ++j) sol.x[static_cast<std::size_t>(j)] = x_[static_cast<std::size_t>(j)];
+    sol.objective = model_.objective_value(sol.x);
+    if (opt_.compute_duals) {
+      std::vector<double> y(static_cast<std::size_t>(m));
+      for (int i = 0; i < m; ++i) y[static_cast<std::size_t>(i)] = basic_cost(i, false);
+      factor_.btran(y);
+      sol.duals = std::move(y);
+    }
+    sol.basis.basic = basic_;
+    sol.basis.nonbasic_state.assign(static_cast<std::size_t>(num_cols_),
+                                    NonbasicState::kAtLower);
+    for (int j = 0; j < num_cols_; ++j) {
+      switch (stat_[static_cast<std::size_t>(j)]) {
+        case VStat::kAtUpper:
+          sol.basis.nonbasic_state[static_cast<std::size_t>(j)] = NonbasicState::kAtUpper;
+          break;
+        case VStat::kFree:
+          sol.basis.nonbasic_state[static_cast<std::size_t>(j)] = NonbasicState::kFree;
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  Solution finish(Solution sol, std::chrono::steady_clock::time_point t0) const {
+    sol.solve_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    return sol;
+  }
+
+  const Model& model_;
+  Options opt_;
+  AugmentedMatrix matrix_;
+  std::vector<double> lb_, ub_, cost_, rhs_, x_;
+  std::vector<VStat> stat_;
+  std::vector<int> basic_;
+  std::vector<double> work_;
+  BasisFactor factor_;
+  int num_cols_ = 0;
+  int cursor_ = 0;
+  int refactor_count_ = 0;
+};
+
+}  // namespace
+
+Solution solve_revised(const Model& model, const Options& options, const Basis* warm) {
+  Simplex simplex(model, options);
+  Solution sol = simplex.solve(warm);
+  if (sol.status == Status::kOptimal) {
+    // Post-solve sanity: a correct optimal point must satisfy the model.
+    const double viol = model.max_violation(sol.x);
+    if (viol > 1e-5) sol.status = Status::kNumericalFailure;
+  }
+  return sol;
+}
+
+}  // namespace nwlb::lp

@@ -1,0 +1,110 @@
+#include "lp/scaling.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nwlb::lp {
+
+std::vector<double> ScaledModel::restore_primal(const std::vector<double>& scaled_x) const {
+  if (scaled_x.size() != col_scale.size())
+    throw std::invalid_argument("restore_primal: dimension mismatch");
+  std::vector<double> out(scaled_x.size());
+  for (std::size_t j = 0; j < out.size(); ++j) out[j] = scaled_x[j] * col_scale[j];
+  return out;
+}
+
+std::vector<double> ScaledModel::restore_duals(const std::vector<double>& scaled_y) const {
+  if (scaled_y.size() != row_scale.size())
+    throw std::invalid_argument("restore_duals: dimension mismatch");
+  std::vector<double> out(scaled_y.size());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = scaled_y[i] * row_scale[i];
+  return out;
+}
+
+ScaledModel scale_model(const Model& input, int passes) {
+  if (passes < 0) throw std::invalid_argument("scale_model: negative passes");
+  Model normalized = input;
+  normalized.normalize();
+  const int n = normalized.num_variables();
+  const int m = normalized.num_rows();
+
+  std::vector<double> row_scale(static_cast<std::size_t>(m), 1.0);
+  std::vector<double> col_scale(static_cast<std::size_t>(n), 1.0);
+
+  for (int pass = 0; pass < passes; ++pass) {
+    // Row pass: geometric mean of |a_ij * col_scale_j| per row.
+    for (int r = 0; r < m; ++r) {
+      const auto& entries = normalized.row_entries(RowId{r});
+      if (entries.empty()) continue;
+      double log_sum = 0.0;
+      for (const Entry& e : entries)
+        log_sum += std::log(std::abs(e.coef) * col_scale[static_cast<std::size_t>(e.var)] *
+                            row_scale[static_cast<std::size_t>(r)]);
+      const double mean = std::exp(log_sum / static_cast<double>(entries.size()));
+      if (mean > 0.0 && std::isfinite(mean))
+        row_scale[static_cast<std::size_t>(r)] /= mean;
+    }
+    // Column pass.
+    std::vector<double> col_log(static_cast<std::size_t>(n), 0.0);
+    std::vector<int> col_cnt(static_cast<std::size_t>(n), 0);
+    for (int r = 0; r < m; ++r) {
+      for (const Entry& e : normalized.row_entries(RowId{r})) {
+        col_log[static_cast<std::size_t>(e.var)] +=
+            std::log(std::abs(e.coef) * col_scale[static_cast<std::size_t>(e.var)] *
+                     row_scale[static_cast<std::size_t>(r)]);
+        ++col_cnt[static_cast<std::size_t>(e.var)];
+      }
+    }
+    for (int j = 0; j < n; ++j) {
+      if (col_cnt[static_cast<std::size_t>(j)] == 0) continue;
+      const double mean = std::exp(col_log[static_cast<std::size_t>(j)] /
+                                   static_cast<double>(col_cnt[static_cast<std::size_t>(j)]));
+      if (mean > 0.0 && std::isfinite(mean)) col_scale[static_cast<std::size_t>(j)] /= mean;
+    }
+  }
+
+  // Build the scaled model: substitute x_j = col_scale_j * x'_j and multiply
+  // row i by row_scale_i.
+  ScaledModel out;
+  out.row_scale = row_scale;
+  out.col_scale = col_scale;
+  for (int j = 0; j < n; ++j) {
+    const double s = col_scale[static_cast<std::size_t>(j)];
+    const double lo = normalized.lower(VarId{j});
+    const double hi = normalized.upper(VarId{j});
+    out.model.add_variable(std::isfinite(lo) ? lo / s : lo,
+                           std::isfinite(hi) ? hi / s : hi,
+                           normalized.cost(VarId{j}) * s, normalized.var_name(VarId{j}));
+  }
+  for (int r = 0; r < m; ++r) {
+    const double s = row_scale[static_cast<std::size_t>(r)];
+    const RowId row = out.model.add_row(normalized.sense(RowId{r}),
+                                        normalized.rhs(RowId{r}) * s,
+                                        normalized.row_name(RowId{r}));
+    for (const Entry& e : normalized.row_entries(RowId{r}))
+      out.model.add_coefficient(row, VarId{e.var},
+                                e.coef * s * col_scale[static_cast<std::size_t>(e.var)]);
+  }
+  return out;
+}
+
+double coefficient_spread(const Model& model) {
+  double lo = 0.0, hi = 0.0;
+  bool any = false;
+  for (int r = 0; r < model.num_rows(); ++r) {
+    for (const Entry& e : model.row_entries(RowId{r})) {
+      const double a = std::abs(e.coef);
+      if (a == 0.0) continue;
+      if (!any) {
+        lo = hi = a;
+        any = true;
+      } else {
+        lo = std::min(lo, a);
+        hi = std::max(hi, a);
+      }
+    }
+  }
+  return any ? hi / lo : 1.0;
+}
+
+}  // namespace nwlb::lp

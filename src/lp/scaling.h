@@ -1,0 +1,36 @@
+// Geometric-mean equilibration scaling.
+//
+// Badly scaled LPs (coefficients spanning many orders of magnitude, as
+// traffic-volume formulations naturally produce) slow the simplex down and
+// hurt pivot quality.  scale_model() alternates row and column passes that
+// divide each by the geometric mean of its absolute nonzeros, yielding an
+// equivalent model whose solution maps back by simple per-variable and
+// per-row factors.
+#pragma once
+
+#include <vector>
+
+#include "lp/model.h"
+
+namespace nwlb::lp {
+
+struct ScaledModel {
+  Model model;                     // The scaled, equivalent problem.
+  std::vector<double> row_scale;   // Row i was multiplied by row_scale[i].
+  std::vector<double> col_scale;   // x_original[j] = col_scale[j] * x_scaled[j].
+
+  /// Maps a scaled-model primal point back to original variable space.
+  std::vector<double> restore_primal(const std::vector<double>& scaled_x) const;
+
+  /// Maps scaled-model row duals back to original rows.
+  std::vector<double> restore_duals(const std::vector<double>& scaled_y) const;
+};
+
+/// `passes` alternating row/column sweeps (2-4 is typical).
+ScaledModel scale_model(const Model& model, int passes = 3);
+
+/// Max |coefficient| ratio (conditioning proxy): max|a| / min|a| over all
+/// nonzeros; 1 for an empty or single-magnitude matrix.
+double coefficient_spread(const Model& model);
+
+}  // namespace nwlb::lp

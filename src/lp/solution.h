@@ -1,0 +1,65 @@
+// Solver result types shared by the dense oracle and the revised simplex.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lp/model.h"
+
+namespace nwlb::lp {
+
+enum class Status {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+  kNumericalFailure,
+};
+
+std::string to_string(Status s);
+
+/// Where a nonbasic variable rests; used for warm starts.
+enum class NonbasicState : unsigned char { kAtLower, kAtUpper, kFree };
+
+/// A simplex basis snapshot: enough to warm-start a structurally identical
+/// model (same variable and row counts).  `basic` holds, for each of the m
+/// basis slots, the index of the variable occupying it in the *augmented*
+/// column space (structural variables first, then one logical per row).
+struct Basis {
+  std::vector<int> basic;
+  std::vector<NonbasicState> nonbasic_state;  // Size = n + m; basics ignored.
+
+  bool empty() const { return basic.empty(); }
+};
+
+struct Solution {
+  Status status = Status::kNumericalFailure;
+  double objective = 0.0;
+  std::vector<double> x;      // Structural variable values (size n).
+  std::vector<double> duals;  // Row duals y (size m); sign: y for a'x<=b is <=0
+                              // under our min convention's internal form; see
+                              // revised_simplex.cpp for the exact convention.
+  int iterations = 0;
+  int phase1_iterations = 0;
+  int refactorizations = 0;
+  double solve_seconds = 0.0;
+  Basis basis;  // Final basis, reusable as a warm start.
+
+  bool optimal() const { return status == Status::kOptimal; }
+
+  double value(VarId v) const { return x.at(static_cast<std::size_t>(v.value)); }
+};
+
+/// Solver tuning knobs. Defaults are sensible for the nwlb formulations.
+struct Options {
+  double feasibility_tol = 1e-7;   // Bound/row violation tolerance.
+  double optimality_tol = 1e-7;    // Reduced-cost tolerance.
+  double pivot_tol = 1e-9;         // Minimum acceptable pivot magnitude.
+  int max_iterations = 2'000'000;  // Across both phases.
+  int refactor_interval = 96;      // Basis updates between refactorizations.
+  int pricing_block = 4096;        // Partial-pricing window (columns).
+  int stall_limit = 2000;          // Degenerate steps before Bland's rule.
+  bool compute_duals = true;
+};
+
+}  // namespace nwlb::lp

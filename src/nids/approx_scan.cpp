@@ -1,0 +1,53 @@
+#include "nids/approx_scan.h"
+
+#include <cmath>
+
+namespace nwlb::nids {
+
+ApproxScanDetector::ApproxScanDetector(int precision) : precision_(precision) {
+  // Validation happens in the first HyperLogLog construction.
+  HyperLogLog probe(precision);
+  (void)probe;
+}
+
+void ApproxScanDetector::observe(std::uint32_t src_ip, std::uint32_t dst_ip) {
+  auto it = sketches_.find(src_ip);
+  if (it == sketches_.end())
+    it = sketches_.emplace(src_ip, HyperLogLog(precision_)).first;
+  it->second.add(dst_ip);
+}
+
+std::vector<ScanRecord> ApproxScanDetector::report() const {
+  std::vector<ScanRecord> out;
+  out.reserve(sketches_.size());
+  for (const auto& [src, sketch] : sketches_)
+    out.push_back(ScanRecord{
+        src, static_cast<std::uint32_t>(std::llround(sketch.estimate()))});
+  return out;  // std::map iteration is already source-sorted.
+}
+
+std::vector<ScanRecord> ApproxScanDetector::alerts(std::uint32_t k) const {
+  std::vector<ScanRecord> out;
+  for (const ScanRecord& r : report())
+    if (r.distinct_destinations > k) out.push_back(r);
+  return out;
+}
+
+void ApproxScanDetector::merge(const ApproxScanDetector& other) {
+  for (const auto& [src, sketch] : other.sketches_) {
+    auto it = sketches_.find(src);
+    if (it == sketches_.end()) {
+      sketches_.emplace(src, sketch);
+    } else {
+      it->second.merge(sketch);
+    }
+  }
+}
+
+std::size_t ApproxScanDetector::memory_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [src, sketch] : sketches_) total += sketch.memory_bytes();
+  return total;
+}
+
+}  // namespace nwlb::nids

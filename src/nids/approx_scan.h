@@ -1,0 +1,51 @@
+// Sketch-based scan detection.
+//
+// Replaces the exact per-source destination sets of ScanDetector with
+// HyperLogLog sketches: memory per source drops from O(destinations) to a
+// fixed 2^p bytes, at a few percent counting error.  Because sketches
+// merge by register-max (a true set union), intermediate *sketch* reports
+// can be combined at an aggregation point without the double-counting
+// problem that rules out count-based flow-level splits (Fig. 8) — any
+// split granularity becomes aggregation-safe at sketch-report cost.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "nids/hll.h"
+#include "nids/scan.h"
+
+namespace nwlb::nids {
+
+class ApproxScanDetector {
+ public:
+  /// `precision` as in HyperLogLog: 2^p bytes per tracked source.
+  explicit ApproxScanDetector(int precision = 10);
+
+  void observe(std::uint32_t src_ip, std::uint32_t dst_ip);
+
+  /// Estimated per-source distinct-destination counts (rounded), sorted by
+  /// source — drop-in compatible with ScanDetector::report().
+  std::vector<ScanRecord> report() const;
+
+  std::vector<ScanRecord> alerts(std::uint32_t k) const;
+
+  /// Union-merge of another detector's sketches (register-max); sources
+  /// present in either side are present in the result.
+  void merge(const ApproxScanDetector& other);
+
+  std::size_t num_sources() const { return sketches_.size(); }
+
+  /// Total sketch memory in bytes (the Memory-resource footprint this
+  /// detector trades against ScanDetector's unbounded sets).
+  std::size_t memory_bytes() const;
+
+  void clear() { sketches_.clear(); }
+
+ private:
+  int precision_;
+  std::map<std::uint32_t, HyperLogLog> sketches_;
+};
+
+}  // namespace nwlb::nids

@@ -1,0 +1,32 @@
+#include "nids/flood.h"
+
+#include <algorithm>
+
+namespace nwlb::nids {
+
+void FloodDetector::observe(std::uint32_t src_ip, std::uint32_t dst_ip) {
+  table_[dst_ip].insert(src_ip);
+  ++work_units_;
+}
+
+std::vector<FloodRecord> FloodDetector::report() const {
+  std::vector<FloodRecord> out;
+  out.reserve(table_.size());
+  for (const auto& [dst, srcs] : table_)
+    out.push_back(FloodRecord{dst, static_cast<std::uint32_t>(srcs.size())});
+  std::sort(out.begin(), out.end(), [](const FloodRecord& a, const FloodRecord& b) {
+    return a.destination < b.destination;
+  });
+  return out;
+}
+
+std::vector<FloodRecord> FloodDetector::alerts(std::uint32_t k) const {
+  std::vector<FloodRecord> out;
+  for (const FloodRecord& r : report())
+    if (r.distinct_sources > k) out.push_back(r);
+  return out;
+}
+
+void FloodDetector::clear() { table_.clear(); }
+
+}  // namespace nwlb::nids

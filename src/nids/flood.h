@@ -1,0 +1,46 @@
+// Flood / DoS detection: count distinct *sources* contacting each
+// destination; flag destinations above a threshold.
+//
+// This is the paper's second aggregatable analysis family (§6 mentions
+// "DoS or flood detection"): the mirror image of scan detection, split at
+// *destination* granularity, with intermediate per-destination counts that
+// add up across paths exactly like the source-level scan split.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "nids/packet.h"
+
+namespace nwlb::nids {
+
+struct FloodRecord {
+  std::uint32_t destination = 0;
+  std::uint32_t distinct_sources = 0;
+
+  friend bool operator==(const FloodRecord&, const FloodRecord&) = default;
+};
+
+class FloodDetector {
+ public:
+  void observe(std::uint32_t src_ip, std::uint32_t dst_ip);
+  void observe(const FiveTuple& tuple) { observe(tuple.src_ip, tuple.dst_ip); }
+
+  /// Per-destination distinct-source counts, sorted by destination.
+  std::vector<FloodRecord> report() const;
+
+  /// Destinations contacted by strictly more than `k` distinct sources.
+  std::vector<FloodRecord> alerts(std::uint32_t k) const;
+
+  std::size_t num_destinations() const { return table_.size(); }
+  std::uint64_t work_units() const { return work_units_; }
+  void clear();
+
+ private:
+  std::unordered_map<std::uint32_t, std::unordered_set<std::uint32_t>> table_;
+  std::uint64_t work_units_ = 0;
+};
+
+}  // namespace nwlb::nids

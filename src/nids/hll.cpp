@@ -1,0 +1,71 @@
+#include "nids/hll.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace nwlb::nids {
+namespace {
+
+// 64-bit avalanche mixer (splitmix64 finalizer).
+std::uint64_t mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double alpha_for(std::size_t m) {
+  // Standard bias-correction constants (Flajolet et al.).
+  if (m == 16) return 0.673;
+  if (m == 32) return 0.697;
+  if (m == 64) return 0.709;
+  return 0.7213 / (1.0 + 1.079 / static_cast<double>(m));
+}
+
+}  // namespace
+
+HyperLogLog::HyperLogLog(int precision) : precision_(precision) {
+  if (precision < 4 || precision > 16)
+    throw std::invalid_argument("HyperLogLog: precision must be in [4,16]");
+  registers_.assign(static_cast<std::size_t>(1) << precision, 0);
+}
+
+void HyperLogLog::add(std::uint64_t value) {
+  const std::uint64_t h = mix(value);
+  const std::size_t index = static_cast<std::size_t>(h >> (64 - precision_));
+  const std::uint64_t rest = h << precision_;
+  // Rank = position of the leftmost 1-bit in the remaining bits (1-based).
+  const int rank =
+      rest == 0 ? (64 - precision_ + 1) : std::countl_zero(rest) + 1;
+  if (static_cast<std::uint8_t>(rank) > registers_[index])
+    registers_[index] = static_cast<std::uint8_t>(rank);
+}
+
+double HyperLogLog::estimate() const {
+  const auto m = static_cast<double>(registers_.size());
+  double inverse_sum = 0.0;
+  int zeros = 0;
+  for (std::uint8_t reg : registers_) {
+    inverse_sum += std::ldexp(1.0, -static_cast<int>(reg));
+    if (reg == 0) ++zeros;
+  }
+  double estimate = alpha_for(registers_.size()) * m * m / inverse_sum;
+  // Small-range correction: linear counting while registers are sparse.
+  if (estimate <= 2.5 * m && zeros > 0)
+    estimate = m * std::log(m / static_cast<double>(zeros));
+  return estimate;
+}
+
+void HyperLogLog::merge(const HyperLogLog& other) {
+  if (other.precision_ != precision_)
+    throw std::invalid_argument("HyperLogLog::merge: precision mismatch");
+  for (std::size_t i = 0; i < registers_.size(); ++i)
+    registers_[i] = std::max(registers_[i], other.registers_[i]);
+}
+
+void HyperLogLog::clear() {
+  std::fill(registers_.begin(), registers_.end(), 0);
+}
+
+}  // namespace nwlb::nids

@@ -1,0 +1,43 @@
+// HyperLogLog approximate distinct counting.
+//
+// Exact scan detection keeps one hash set per source (nids/scan.h), whose
+// memory footprint is what the paper's Memory resource (F_c^mem) models.
+// HyperLogLog bounds that footprint to 2^precision bytes per source at a
+// small, tunable relative error — the classic production trade-off for
+// counting distinct destinations at high source counts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace nwlb::nids {
+
+class HyperLogLog {
+ public:
+  /// `precision` p in [4, 16]: 2^p one-byte registers, standard error
+  /// ~ 1.04 / sqrt(2^p) (p = 10 -> ~3.3%).
+  explicit HyperLogLog(int precision = 10);
+
+  /// Adds an element by value (hashed internally, 64-bit avalanche).
+  void add(std::uint64_t value);
+
+  /// Current cardinality estimate (with the small-range linear-counting
+  /// correction).
+  double estimate() const;
+
+  /// Merges another sketch of the same precision (register-wise max);
+  /// merge-then-estimate equals estimating the union — the property that
+  /// lets aggregation points combine per-node sketches losslessly.
+  void merge(const HyperLogLog& other);
+
+  int precision() const { return precision_; }
+  std::size_t memory_bytes() const { return registers_.size(); }
+
+  void clear();
+
+ private:
+  int precision_;
+  std::vector<std::uint8_t> registers_;
+};
+
+}  // namespace nwlb::nids

@@ -1,0 +1,51 @@
+// Packet and session primitives shared by the shim and the NIDS engines.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nwlb::nids {
+
+/// IP 5-tuple.  Addresses and ports are stored in host order; the protocol
+/// is the IP protocol number (6 = TCP, 17 = UDP).
+struct FiveTuple {
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t protocol = 6;
+
+  friend bool operator==(const FiveTuple&, const FiveTuple&) = default;
+
+  /// The same tuple with source and destination swapped (the reverse
+  /// direction of the session).
+  FiveTuple reversed() const {
+    return FiveTuple{dst_ip, src_ip, dst_port, src_port, protocol};
+  }
+
+  /// Canonical form: the endpoint with the smaller (ip, port) pair is
+  /// always placed first, so both directions of a session canonicalize to
+  /// the same tuple (§7.2's bidirectional pinning trick).
+  FiveTuple canonical() const {
+    const bool swap = (src_ip > dst_ip) || (src_ip == dst_ip && src_port > dst_port);
+    return swap ? reversed() : *this;
+  }
+
+  bool is_canonical() const { return canonical() == *this; }
+};
+
+enum class Direction : unsigned char { kForward, kReverse };
+
+/// A simulated packet: enough header to drive the shim's decision and a
+/// payload for the signature engine.
+struct Packet {
+  FiveTuple tuple;              // As seen on the wire (direction-specific).
+  Direction direction = Direction::kForward;
+  std::uint64_t session_id = 0; // Generator-assigned, for ground truth only.
+  std::string payload;
+
+  std::size_t wire_bytes() const { return payload.size() + 40; }  // + headers.
+};
+
+}  // namespace nwlb::nids

@@ -1,0 +1,61 @@
+// Resource model: the paper's F_c^r (per-session footprints) and Cap_j^r
+// (per-node capacities), over a small set of resource kinds.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace nwlb::nids {
+
+enum class Resource : int { kCpu = 0, kMemory = 1 };
+inline constexpr int kNumResources = 2;
+
+inline int resource_index(Resource r) { return static_cast<int>(r); }
+
+/// Per-session resource footprint of one analysis on one traffic class
+/// (F_c^r), in abstract units matching NodeCapacities.
+struct Footprint {
+  std::array<double, kNumResources> per_session{1.0, 0.0};
+
+  double on(Resource r) const { return per_session[static_cast<std::size_t>(resource_index(r))]; }
+  void set(Resource r, double value) {
+    if (value < 0.0) throw std::invalid_argument("Footprint: negative value");
+    per_session[static_cast<std::size_t>(resource_index(r))] = value;
+  }
+};
+
+/// Cap_j^r for every node in a topology; the datacenter, when present, is
+/// an extra node appended by the formulation.
+class NodeCapacities {
+ public:
+  NodeCapacities(int num_nodes, double cpu, double memory = 0.0) {
+    if (num_nodes <= 0) throw std::invalid_argument("NodeCapacities: empty");
+    if (cpu <= 0.0) throw std::invalid_argument("NodeCapacities: non-positive cpu");
+    caps_.assign(static_cast<std::size_t>(num_nodes), {cpu, memory <= 0.0 ? cpu : memory});
+  }
+
+  int num_nodes() const { return static_cast<int>(caps_.size()); }
+
+  double of(int node, Resource r) const {
+    return caps_.at(static_cast<std::size_t>(node))[static_cast<std::size_t>(resource_index(r))];
+  }
+
+  void set(int node, Resource r, double cap) {
+    if (cap <= 0.0) throw std::invalid_argument("NodeCapacities::set: non-positive");
+    caps_.at(static_cast<std::size_t>(node))[static_cast<std::size_t>(resource_index(r))] = cap;
+  }
+
+  /// Scales one node's capacities by `factor` on every resource (used for
+  /// the alpha-times-bigger datacenter node).
+  void scale_node(int node, double factor) {
+    if (factor <= 0.0) throw std::invalid_argument("NodeCapacities::scale_node");
+    for (auto& c : caps_.at(static_cast<std::size_t>(node))) c *= factor;
+  }
+
+ private:
+  std::vector<std::array<double, kNumResources>> caps_;
+};
+
+}  // namespace nwlb::nids

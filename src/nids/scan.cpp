@@ -1,0 +1,31 @@
+#include "nids/scan.h"
+
+#include <algorithm>
+
+namespace nwlb::nids {
+
+void ScanDetector::observe(std::uint32_t src_ip, std::uint32_t dst_ip) {
+  table_[src_ip].insert(dst_ip);
+  ++work_units_;
+}
+
+std::vector<ScanRecord> ScanDetector::report() const {
+  std::vector<ScanRecord> out;
+  out.reserve(table_.size());
+  for (const auto& [src, dsts] : table_)
+    out.push_back(ScanRecord{src, static_cast<std::uint32_t>(dsts.size())});
+  std::sort(out.begin(), out.end(),
+            [](const ScanRecord& a, const ScanRecord& b) { return a.source < b.source; });
+  return out;
+}
+
+std::vector<ScanRecord> ScanDetector::alerts(std::uint32_t k) const {
+  std::vector<ScanRecord> out;
+  for (const ScanRecord& r : report())
+    if (r.distinct_destinations > k) out.push_back(r);
+  return out;
+}
+
+void ScanDetector::clear() { table_.clear(); }
+
+}  // namespace nwlb::nids

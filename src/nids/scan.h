@@ -1,0 +1,58 @@
+// Scan detection: count distinct destination IPs contacted by each source
+// within a measurement epoch; flag sources above a threshold k.
+//
+// This is the paper's canonical *aggregatable* analysis (§2.2, §6): it is
+// topologically constrained without aggregation (only the ingress sees all
+// of a host's traffic) but splits cleanly per-source, with intermediate
+// per-source counts that an aggregation point adds up.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "nids/packet.h"
+
+namespace nwlb::nids {
+
+struct ScanRecord {
+  std::uint32_t source = 0;
+  std::uint32_t distinct_destinations = 0;
+
+  friend bool operator==(const ScanRecord&, const ScanRecord&) = default;
+};
+
+class ScanDetector {
+ public:
+  /// Observes one connection attempt source -> destination.  Repeated
+  /// pairs do not inflate the count (exact distinct counting).
+  void observe(std::uint32_t src_ip, std::uint32_t dst_ip);
+
+  /// Convenience: observes the forward direction of a packet's tuple.
+  void observe(const FiveTuple& tuple) { observe(tuple.src_ip, tuple.dst_ip); }
+
+  /// Per-source distinct-destination counts, sorted by source for
+  /// deterministic reports.  This is the intermediate report of §6
+  /// (source-level split: one row per source).
+  std::vector<ScanRecord> report() const;
+
+  /// Sources whose count strictly exceeds `k` (the paper applies the real
+  /// threshold only at the aggregator; individual nodes report with k=0,
+  /// i.e. report() itself).
+  std::vector<ScanRecord> alerts(std::uint32_t k) const;
+
+  std::size_t num_sources() const { return table_.size(); }
+
+  /// Work units: one per observe() call (set insertion cost proxy).
+  std::uint64_t work_units() const { return work_units_; }
+  void reset_work_units() { work_units_ = 0; }
+
+  void clear();
+
+ private:
+  std::unordered_map<std::uint32_t, std::unordered_set<std::uint32_t>> table_;
+  std::uint64_t work_units_ = 0;
+};
+
+}  // namespace nwlb::nids

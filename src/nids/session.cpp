@@ -1,0 +1,38 @@
+#include "nids/session.h"
+
+#include <algorithm>
+
+namespace nwlb::nids {
+
+void SessionTracker::observe(std::uint64_t session_id, Direction direction) {
+  state_[session_id] |= direction == Direction::kForward ? 0x1 : 0x2;
+  ++work_units_;
+}
+
+std::size_t SessionTracker::covered_sessions() const {
+  std::size_t count = 0;
+  for (const auto& [id, bits] : state_)
+    if (bits == 0x3) ++count;
+  return count;
+}
+
+std::size_t SessionTracker::half_open_sessions() const {
+  return state_.size() - covered_sessions();
+}
+
+bool SessionTracker::is_covered(std::uint64_t session_id) const {
+  const auto it = state_.find(session_id);
+  return it != state_.end() && it->second == 0x3;
+}
+
+std::vector<std::uint64_t> SessionTracker::covered_ids() const {
+  std::vector<std::uint64_t> out;
+  for (const auto& [id, bits] : state_)
+    if (bits == 0x3) out.push_back(id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void SessionTracker::clear() { state_.clear(); }
+
+}  // namespace nwlb::nids

@@ -1,0 +1,47 @@
+// Stateful session tracking.
+//
+// Models the stateful NIDS analyses of §2.2/§5 that must observe *both*
+// directions of a session to produce a result (e.g., matching a response to
+// its request).  A session whose two directions never meet at this tracker
+// is a detection miss — exactly the quantity Fig. 16 reports when routes
+// are asymmetric and replication is disabled.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "nids/packet.h"
+
+namespace nwlb::nids {
+
+class SessionTracker {
+ public:
+  /// Observes one direction of a session.
+  void observe(std::uint64_t session_id, Direction direction);
+
+  /// Sessions with both directions observed (analyzable statefully).
+  std::size_t covered_sessions() const;
+
+  /// Sessions where only one direction was seen (stateful analysis
+  /// impossible at this vantage point).
+  std::size_t half_open_sessions() const;
+
+  std::size_t total_sessions() const { return state_.size(); }
+
+  bool is_covered(std::uint64_t session_id) const;
+
+  /// Session ids with both directions, sorted (for merge/equivalence tests).
+  std::vector<std::uint64_t> covered_ids() const;
+
+  std::uint64_t work_units() const { return work_units_; }
+  void reset_work_units() { work_units_ = 0; }
+  void clear();
+
+ private:
+  // Bit 0: forward seen, bit 1: reverse seen.
+  std::unordered_map<std::uint64_t, unsigned char> state_;
+  std::uint64_t work_units_ = 0;
+};
+
+}  // namespace nwlb::nids

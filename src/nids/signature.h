@@ -1,0 +1,60 @@
+// Multi-pattern payload signature engine (Aho–Corasick).
+//
+// This is the Signature analysis of the paper's running example: a
+// per-session, self-contained detection that can run at any node observing
+// the session.  The engine counts automaton transitions as its work-unit
+// proxy, which is what the Fig. 10 emulation measures per node.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nwlb::nids {
+
+struct SignatureMatch {
+  int pattern_id = -1;
+  std::size_t end_offset = 0;  // Offset one past the match's last byte.
+};
+
+class SignatureEngine {
+ public:
+  /// Builds the Aho–Corasick automaton over the given patterns.  Patterns
+  /// must be non-empty; ids are their indices in this vector.
+  explicit SignatureEngine(std::vector<std::string> patterns);
+
+  /// Scans a payload; returns every match (all patterns, all positions).
+  std::vector<SignatureMatch> scan(std::string_view payload) const;
+
+  /// Scans and only counts matches (cheaper than materializing them).
+  std::size_t count_matches(std::string_view payload) const;
+
+  int num_patterns() const { return static_cast<int>(patterns_.size()); }
+  const std::string& pattern(int id) const { return patterns_.at(static_cast<std::size_t>(id)); }
+
+  /// Work units consumed since construction (one unit per byte examined);
+  /// the simulator reads and resets this between accounting intervals.
+  std::uint64_t work_units() const { return work_units_; }
+  void reset_work_units() { work_units_ = 0; }
+
+  /// A default rule corpus of malicious-payload strings for the examples
+  /// and the trace-driven emulation.
+  static std::vector<std::string> default_rules();
+
+ private:
+  int step(int state, unsigned char byte) const;
+
+  struct Node {
+    std::array<int, 256> next;  // Dense goto function (byte-indexed).
+    int fail = 0;
+    std::vector<int> output;    // Pattern ids ending at this node.
+  };
+
+  std::vector<std::string> patterns_;
+  std::vector<Node> nodes_;
+  mutable std::uint64_t work_units_ = 0;
+};
+
+}  // namespace nwlb::nids

@@ -1,0 +1,118 @@
+#include "shim/aggregation.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace nwlb::shim {
+namespace {
+
+void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+}
+
+std::uint32_t get_u32(const std::vector<std::byte>& in, std::size_t offset) {
+  if (offset + 4 > in.size()) throw std::invalid_argument("report decode: truncated");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(std::to_integer<unsigned>(in[offset + static_cast<std::size_t>(i)]))
+         << (8 * i);
+  return v;
+}
+
+constexpr std::uint32_t kSourceMagic = 0x4e574c31;  // "NWL1"
+constexpr std::uint32_t kFlowMagic = 0x4e574c32;    // "NWL2"
+
+}  // namespace
+
+std::vector<std::byte> SourceReport::encode() const {
+  std::vector<std::byte> out;
+  out.reserve(wire_bytes());
+  put_u32(out, kSourceMagic);
+  put_u32(out, static_cast<std::uint32_t>(origin_node));
+  put_u32(out, static_cast<std::uint32_t>(rows.size()));
+  for (const auto& r : rows) {
+    put_u32(out, r.source);
+    put_u32(out, r.distinct_destinations);
+  }
+  return out;
+}
+
+SourceReport SourceReport::decode(const std::vector<std::byte>& wire) {
+  if (get_u32(wire, 0) != kSourceMagic)
+    throw std::invalid_argument("SourceReport::decode: bad magic");
+  SourceReport report;
+  report.origin_node = static_cast<int>(get_u32(wire, 4));
+  const std::uint32_t count = get_u32(wire, 8);
+  report.rows.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::size_t base = 12 + 8 * static_cast<std::size_t>(i);
+    report.rows.push_back(nids::ScanRecord{get_u32(wire, base), get_u32(wire, base + 4)});
+  }
+  return report;
+}
+
+std::vector<std::byte> FlowReport::encode() const {
+  std::vector<std::byte> out;
+  out.reserve(wire_bytes());
+  put_u32(out, kFlowMagic);
+  put_u32(out, static_cast<std::uint32_t>(origin_node));
+  put_u32(out, static_cast<std::uint32_t>(pairs.size()));
+  for (const auto& [src, dst] : pairs) {
+    put_u32(out, src);
+    put_u32(out, dst);
+  }
+  return out;
+}
+
+FlowReport FlowReport::decode(const std::vector<std::byte>& wire) {
+  if (get_u32(wire, 0) != kFlowMagic)
+    throw std::invalid_argument("FlowReport::decode: bad magic");
+  FlowReport report;
+  report.origin_node = static_cast<int>(get_u32(wire, 4));
+  const std::uint32_t count = get_u32(wire, 8);
+  report.pairs.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::size_t base = 12 + 8 * static_cast<std::size_t>(i);
+    report.pairs.emplace_back(get_u32(wire, base), get_u32(wire, base + 4));
+  }
+  return report;
+}
+
+void Aggregator::add(const SourceReport& report) {
+  for (const auto& row : report.rows) counted_[row.source] += row.distinct_destinations;
+  ++reports_;
+  bytes_ += report.wire_bytes();
+}
+
+void Aggregator::add(const FlowReport& report) {
+  for (const auto& [src, dst] : report.pairs) exact_[src].insert(dst);
+  ++reports_;
+  bytes_ += report.wire_bytes();
+}
+
+std::vector<nids::ScanRecord> Aggregator::totals() const {
+  std::map<std::uint32_t, std::uint64_t> merged = counted_;
+  for (const auto& [src, dsts] : exact_) merged[src] += dsts.size();
+  std::vector<nids::ScanRecord> out;
+  out.reserve(merged.size());
+  for (const auto& [src, count] : merged)
+    out.push_back(nids::ScanRecord{src, static_cast<std::uint32_t>(count)});
+  return out;
+}
+
+std::vector<nids::ScanRecord> Aggregator::alerts(std::uint32_t k) const {
+  std::vector<nids::ScanRecord> out;
+  for (const auto& rec : totals())
+    if (rec.distinct_destinations > k) out.push_back(rec);
+  return out;
+}
+
+void Aggregator::clear() {
+  counted_.clear();
+  exact_.clear();
+  reports_ = 0;
+  bytes_ = 0;
+}
+
+}  // namespace nwlb::shim

@@ -1,0 +1,77 @@
+// Aggregation transport and aggregator (§6, §7.3).
+//
+// NIDS nodes running a slice of an aggregatable analysis periodically emit
+// intermediate reports; an aggregation point combines them and applies the
+// real detection threshold.  Source-level reports (one {source, count} row
+// per source) add up correctly when each source-destination pair follows a
+// single path; flow-level reports must carry full {source, destination}
+// tuples and be combined by set union, at a higher communication cost —
+// both strategies from Fig. 8 are implemented so their costs can be
+// compared (see examples/scan_aggregation.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "nids/scan.h"
+
+namespace nwlb::shim {
+
+/// Source-level intermediate report: per-source distinct-destination counts.
+struct SourceReport {
+  int origin_node = -1;
+  std::vector<nids::ScanRecord> rows;
+
+  /// Serialized size in bytes (what traverses the network): 8 bytes/row +
+  /// a 12-byte header.  This is the Rec_c of the aggregation LP.
+  std::size_t wire_bytes() const { return 12 + 8 * rows.size(); }
+
+  std::vector<std::byte> encode() const;
+  static SourceReport decode(const std::vector<std::byte>& wire);
+};
+
+/// Flow-level intermediate report: full (source, destination) pairs.
+struct FlowReport {
+  int origin_node = -1;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+
+  std::size_t wire_bytes() const { return 12 + 8 * pairs.size(); }
+
+  std::vector<std::byte> encode() const;
+  static FlowReport decode(const std::vector<std::byte>& wire);
+};
+
+/// The aggregation point.  Individual NIDS nodes report with threshold 0;
+/// only the aggregator applies the real threshold k (§7.3), preserving the
+/// semantics of a centralized scan detector.
+class Aggregator {
+ public:
+  /// Adds counts (valid when each src-dst pair follows one fixed path, so
+  /// no destination is double counted across reports).
+  void add(const SourceReport& report);
+
+  /// Unions exact pairs (always valid; costs more on the wire).
+  void add(const FlowReport& report);
+
+  /// Combined per-source totals, sorted by source.
+  std::vector<nids::ScanRecord> totals() const;
+
+  /// Sources exceeding the threshold k.
+  std::vector<nids::ScanRecord> alerts(std::uint32_t k) const;
+
+  std::size_t reports_received() const { return reports_; }
+  std::size_t bytes_received() const { return bytes_; }
+
+  void clear();
+
+ private:
+  std::map<std::uint32_t, std::uint64_t> counted_;           // From SourceReports.
+  std::map<std::uint32_t, std::set<std::uint32_t>> exact_;   // From FlowReports.
+  std::size_t reports_ = 0;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace nwlb::shim

@@ -1,0 +1,61 @@
+#include "shim/config.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nwlb::shim {
+
+void RangeTable::add(HashRange range) {
+  if (range.end > kHashSpace || range.begin >= range.end)
+    throw std::invalid_argument("RangeTable::add: malformed range");
+  if (!ranges_.empty() && range.begin < ranges_.back().end)
+    throw std::invalid_argument("RangeTable::add: ranges must be ascending");
+  ranges_.push_back(range);
+}
+
+Action RangeTable::lookup(std::uint32_t hash) const {
+  // Binary search over the sorted ranges.
+  const auto it = std::upper_bound(
+      ranges_.begin(), ranges_.end(), static_cast<std::uint64_t>(hash),
+      [](std::uint64_t h, const HashRange& r) { return h < r.begin; });
+  if (it == ranges_.begin()) return Action::ignore();
+  const HashRange& candidate = *(it - 1);
+  return candidate.contains(hash) ? candidate.action : Action::ignore();
+}
+
+double RangeTable::fraction_of(Action::Kind kind) const {
+  double total = 0.0;
+  for (const HashRange& r : ranges_)
+    if (r.action.kind == kind) total += r.fraction();
+  return total;
+}
+
+double RangeTable::fraction_replicated_to(int mirror) const {
+  double total = 0.0;
+  for (const HashRange& r : ranges_)
+    if (r.action.kind == Action::Kind::kReplicate && r.action.mirror == mirror)
+      total += r.fraction();
+  return total;
+}
+
+void ShimConfig::set_table(int class_id, nids::Direction direction, RangeTable table) {
+  tables_[key(class_id, direction)] = std::move(table);
+}
+
+void ShimConfig::set_table(int class_id, RangeTable table) {
+  tables_[key(class_id, nids::Direction::kForward)] = table;
+  tables_[key(class_id, nids::Direction::kReverse)] = std::move(table);
+}
+
+const RangeTable* ShimConfig::table(int class_id, nids::Direction direction) const {
+  const auto it = tables_.find(key(class_id, direction));
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+Action ShimConfig::lookup(int class_id, nids::Direction direction,
+                          std::uint32_t hash) const {
+  const RangeTable* t = table(class_id, direction);
+  return t == nullptr ? Action::ignore() : t->lookup(hash);
+}
+
+}  // namespace nwlb::shim

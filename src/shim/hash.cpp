@@ -1,0 +1,83 @@
+#include "shim/hash.h"
+
+#include <cstring>
+
+namespace nwlb::shim {
+namespace {
+
+constexpr std::uint32_t rot(std::uint32_t x, int k) {
+  return (x << k) | (x >> (32 - k));
+}
+
+void mix(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c) {
+  a -= c;  a ^= rot(c, 4);  c += b;
+  b -= a;  b ^= rot(a, 6);  a += c;
+  c -= b;  c ^= rot(b, 8);  b += a;
+  a -= c;  a ^= rot(c, 16); c += b;
+  b -= a;  b ^= rot(a, 19); a += c;
+  c -= b;  c ^= rot(b, 4);  b += a;
+}
+
+void final_mix(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c) {
+  c ^= b; c -= rot(b, 14);
+  a ^= c; a -= rot(c, 11);
+  b ^= a; b -= rot(a, 25);
+  c ^= b; c -= rot(b, 16);
+  a ^= c; a -= rot(c, 4);
+  b ^= a; b -= rot(a, 14);
+  c ^= b; c -= rot(b, 24);
+}
+
+std::uint32_t read_u32(const unsigned char* p, std::size_t available) {
+  // Zero-padded little-endian read of up to 4 bytes.
+  std::uint32_t v = 0;
+  for (std::size_t i = 0; i < 4 && i < available; ++i)
+    v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+std::uint32_t lookup3(const void* data, std::size_t length, std::uint32_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t a = 0xdeadbeef + static_cast<std::uint32_t>(length) + seed;
+  std::uint32_t b = a;
+  std::uint32_t c = a;
+
+  std::size_t remaining = length;
+  while (remaining > 12) {
+    a += read_u32(p, remaining);
+    b += read_u32(p + 4, remaining - 4);
+    c += read_u32(p + 8, remaining - 8);
+    mix(a, b, c);
+    p += 12;
+    remaining -= 12;
+  }
+  if (remaining == 0) return c;
+  a += read_u32(p, remaining);
+  if (remaining > 4) b += read_u32(p + 4, remaining - 4);
+  if (remaining > 8) c += read_u32(p + 8, remaining - 8);
+  final_mix(a, b, c);
+  return c;
+}
+
+std::uint32_t lookup3(std::span<const std::byte> data, std::uint32_t seed) {
+  return lookup3(data.data(), data.size(), seed);
+}
+
+std::uint32_t hash_tuple(const nids::FiveTuple& tuple, std::uint32_t seed) {
+  const nids::FiveTuple canon = tuple.canonical();
+  unsigned char buf[13];
+  std::memcpy(buf, &canon.src_ip, 4);
+  std::memcpy(buf + 4, &canon.dst_ip, 4);
+  std::memcpy(buf + 8, &canon.src_port, 2);
+  std::memcpy(buf + 10, &canon.dst_port, 2);
+  buf[12] = canon.protocol;
+  return lookup3(buf, sizeof buf, seed);
+}
+
+std::uint32_t hash_source(std::uint32_t src_ip, std::uint32_t seed) {
+  return lookup3(&src_ip, sizeof src_ip, seed);
+}
+
+}  // namespace nwlb::shim

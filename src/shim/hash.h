@@ -1,0 +1,30 @@
+// Bob Jenkins' lookup3 hash ("Bob hash", the paper's §7.2 choice) and the
+// 5-tuple hashing helpers built on it.
+//
+// The shim must map both directions of a session to the same hash value so
+// that processing/replication decisions are bidirectionally consistent;
+// hash_tuple() therefore hashes the *canonical* form of the tuple.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "nids/packet.h"
+
+namespace nwlb::shim {
+
+/// lookup3 hashlittle() over an arbitrary byte string.
+std::uint32_t lookup3(std::span<const std::byte> data, std::uint32_t seed = 0);
+
+std::uint32_t lookup3(const void* data, std::size_t length, std::uint32_t seed = 0);
+
+/// Hash of a session: canonicalizes the tuple first, so a packet and its
+/// reverse-direction twin always hash identically.
+std::uint32_t hash_tuple(const nids::FiveTuple& tuple, std::uint32_t seed = 0);
+
+/// Hash of a source address alone (per-source task splitting for
+/// aggregatable analyses such as Scan detection, §7.2).
+std::uint32_t hash_source(std::uint32_t src_ip, std::uint32_t seed = 0);
+
+}  // namespace nwlb::shim

@@ -1,0 +1,28 @@
+#include "shim/shim.h"
+
+namespace nwlb::shim {
+
+Decision Shim::decide(int class_id, const nids::FiveTuple& tuple,
+                      nids::Direction direction) const {
+  ++packets_seen_;
+  const std::uint32_t h = hash_tuple(tuple, hash_seed_);
+  return Decision{config_.lookup(class_id, direction, h), h};
+}
+
+Decision Shim::decide_by_source(int class_id, std::uint32_t src_ip) const {
+  ++packets_seen_;
+  const std::uint32_t h = hash_source(src_ip, hash_seed_);
+  return Decision{config_.lookup(class_id, nids::Direction::kForward, h), h};
+}
+
+void Shim::count_replicated(int mirror, std::uint64_t bytes) {
+  replicated_[mirror] += bytes;
+}
+
+std::uint64_t Shim::total_replicated_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [mirror, bytes] : replicated_) total += bytes;
+  return total;
+}
+
+}  // namespace nwlb::shim

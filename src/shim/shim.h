@@ -1,0 +1,65 @@
+// The shim layer itself (§7.2).
+//
+// One Shim instance runs in front of each NIDS node.  Per packet it hashes
+// the canonical 5-tuple, looks up the assigned range for the packet's
+// class, and either hands the packet to the local NIDS, forwards it over a
+// persistent tunnel to a mirror node, or drops it (another node is
+// responsible).  The implementation mirrors the paper's 255-line Click
+// element; tunnels are modeled as byte counters the simulator drains.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "nids/packet.h"
+#include "shim/config.h"
+#include "shim/hash.h"
+
+namespace nwlb::shim {
+
+/// Outcome of a shim decision for one packet.
+struct Decision {
+  Action action;
+  std::uint32_t hash = 0;
+};
+
+class Shim {
+ public:
+  explicit Shim(int node_id, std::uint32_t hash_seed = 0)
+      : node_id_(node_id), hash_seed_(hash_seed) {}
+
+  int node_id() const { return node_id_; }
+
+  void install(ShimConfig config) { config_ = std::move(config); }
+  const ShimConfig& config() const { return config_; }
+
+  /// Session-granularity decision (signature-style analyses).  The hash is
+  /// over the canonical tuple, so both directions of a session map to the
+  /// same hash; the direction selects which responsibility table applies.
+  Decision decide(int class_id, const nids::FiveTuple& tuple,
+                  nids::Direction direction = nids::Direction::kForward) const;
+
+  /// Source-granularity decision (aggregatable analyses, e.g. Scan).
+  Decision decide_by_source(int class_id, std::uint32_t src_ip) const;
+
+  /// Records that `bytes` were replicated to `mirror` (tunnel accounting).
+  void count_replicated(int mirror, std::uint64_t bytes);
+
+  /// Bytes pushed into the tunnel toward each mirror node.
+  const std::unordered_map<int, std::uint64_t>& replicated_bytes() const {
+    return replicated_;
+  }
+  std::uint64_t total_replicated_bytes() const;
+
+  std::uint64_t packets_seen() const { return packets_seen_; }
+
+ private:
+  int node_id_;
+  std::uint32_t hash_seed_;
+  ShimConfig config_;
+  std::unordered_map<int, std::uint64_t> replicated_;
+  mutable std::uint64_t packets_seen_ = 0;
+};
+
+}  // namespace nwlb::shim

@@ -1,0 +1,93 @@
+#include "shim/tunnel.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace nwlb::shim {
+namespace {
+
+template <typename T>
+void put(std::vector<std::byte>& out, T value) {
+  for (std::size_t i = 0; i < sizeof(T); ++i)
+    out.push_back(static_cast<std::byte>((static_cast<std::uint64_t>(value) >> (8 * i)) & 0xff));
+}
+
+template <typename T>
+T get(std::span<const std::byte> in, std::size_t& offset) {
+  if (offset + sizeof(T) > in.size())
+    throw std::invalid_argument("tunnel frame truncated");
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i)
+    v |= static_cast<std::uint64_t>(std::to_integer<unsigned>(in[offset + i])) << (8 * i);
+  offset += sizeof(T);
+  return static_cast<T>(v);
+}
+
+}  // namespace
+
+TunnelSender::TunnelSender(int local_node, int remote_node)
+    : local_(local_node), remote_(remote_node) {
+  if (local_node < 0 || remote_node < 0 || local_node == remote_node)
+    throw std::invalid_argument("TunnelSender: bad endpoints");
+}
+
+std::vector<std::byte> TunnelSender::encapsulate(const nids::Packet& packet) {
+  std::vector<std::byte> out;
+  out.reserve(TunnelHeader::kWireSize + 14 + 9 + packet.payload.size());
+  put<std::uint32_t>(out, TunnelHeader::kMagic);
+  put<std::uint16_t>(out, TunnelHeader::kVersion);
+  put<std::uint16_t>(out, 0);  // Flags, reserved.
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(local_));
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(remote_));
+  put<std::uint64_t>(out, next_sequence_++);
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(packet.payload.size()));
+  // Inner packet: 5-tuple, direction, session id, payload.
+  put<std::uint32_t>(out, packet.tuple.src_ip);
+  put<std::uint32_t>(out, packet.tuple.dst_ip);
+  put<std::uint16_t>(out, packet.tuple.src_port);
+  put<std::uint16_t>(out, packet.tuple.dst_port);
+  put<std::uint8_t>(out, packet.tuple.protocol);
+  put<std::uint8_t>(out, packet.direction == nids::Direction::kReverse ? 1 : 0);
+  put<std::uint64_t>(out, packet.session_id);
+  for (char c : packet.payload) out.push_back(static_cast<std::byte>(c));
+  bytes_ += out.size();
+  return out;
+}
+
+nids::Packet TunnelReceiver::decapsulate(std::span<const std::byte> frame) {
+  std::size_t offset = 0;
+  if (get<std::uint32_t>(frame, offset) != TunnelHeader::kMagic)
+    throw std::invalid_argument("tunnel frame: bad magic");
+  if (get<std::uint16_t>(frame, offset) != TunnelHeader::kVersion)
+    throw std::invalid_argument("tunnel frame: unsupported version");
+  (void)get<std::uint16_t>(frame, offset);  // Flags.
+  const auto src_node = get<std::uint32_t>(frame, offset);
+  const auto dst_node = get<std::uint32_t>(frame, offset);
+  if (dst_node != static_cast<std::uint32_t>(local_))
+    throw std::invalid_argument("tunnel frame: not addressed to this node");
+  const auto sequence = get<std::uint64_t>(frame, offset);
+  const auto payload_bytes = get<std::uint32_t>(frame, offset);
+
+  nids::Packet packet;
+  packet.tuple.src_ip = get<std::uint32_t>(frame, offset);
+  packet.tuple.dst_ip = get<std::uint32_t>(frame, offset);
+  packet.tuple.src_port = get<std::uint16_t>(frame, offset);
+  packet.tuple.dst_port = get<std::uint16_t>(frame, offset);
+  packet.tuple.protocol = get<std::uint8_t>(frame, offset);
+  packet.direction = get<std::uint8_t>(frame, offset) != 0 ? nids::Direction::kReverse
+                                                           : nids::Direction::kForward;
+  packet.session_id = get<std::uint64_t>(frame, offset);
+  if (offset + payload_bytes != frame.size())
+    throw std::invalid_argument("tunnel frame: length mismatch");
+  packet.payload.resize(payload_bytes);
+  for (std::size_t i = 0; i < payload_bytes; ++i)
+    packet.payload[i] = static_cast<char>(std::to_integer<unsigned>(frame[offset + i]));
+
+  auto& expected = expected_next_[src_node];
+  if (sequence > expected) lost_ += sequence - expected;
+  if (sequence >= expected) expected = sequence + 1;
+  ++received_;
+  return packet;
+}
+
+}  // namespace nwlb::shim

@@ -1,0 +1,72 @@
+// Persistent replication tunnels (§7.2).
+//
+// The shim keeps one tunnel per mirror node and encapsulates replicated
+// packets with a small framing header (magic, version, endpoints, sequence
+// number, payload length).  The receiving side decapsulates into the exact
+// packet the local NIDS would have captured on the wire, and tracks
+// sequence gaps so operators can see replication loss.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "nids/packet.h"
+
+namespace nwlb::shim {
+
+struct TunnelHeader {
+  static constexpr std::uint32_t kMagic = 0x4e57544eu;  // "NWTN"
+  static constexpr std::uint16_t kVersion = 1;
+
+  std::uint32_t src_node = 0;
+  std::uint32_t dst_node = 0;
+  std::uint64_t sequence = 0;
+  std::uint32_t payload_bytes = 0;
+
+  static constexpr std::size_t kWireSize = 4 + 2 + 2 + 4 + 4 + 8 + 4;
+};
+
+/// Sender side of a tunnel: stamps sequence numbers and counts traffic.
+class TunnelSender {
+ public:
+  TunnelSender(int local_node, int remote_node);
+
+  /// Frames one packet: header + 5-tuple + direction + session id + payload.
+  std::vector<std::byte> encapsulate(const nids::Packet& packet);
+
+  std::uint64_t packets_sent() const { return next_sequence_; }
+  std::uint64_t bytes_sent() const { return bytes_; }
+  int remote_node() const { return remote_; }
+
+ private:
+  int local_;
+  int remote_;
+  std::uint64_t next_sequence_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+/// Receiver side: decapsulates frames and tracks sequence gaps.
+class TunnelReceiver {
+ public:
+  explicit TunnelReceiver(int local_node) : local_(local_node) {}
+
+  /// Decapsulates one frame.  Throws std::invalid_argument on a malformed
+  /// frame (bad magic/version/length or a frame not addressed to us).
+  nids::Packet decapsulate(std::span<const std::byte> frame);
+
+  std::uint64_t packets_received() const { return received_; }
+  /// Frames the sequence numbers say we should have seen but did not.
+  std::uint64_t packets_lost() const { return lost_; }
+
+ private:
+  int local_;
+  std::uint64_t received_ = 0;
+  std::uint64_t lost_ = 0;
+  // Highest-seen sequence per sending node (+1), -1-free via map default 0.
+  std::unordered_map<std::uint32_t, std::uint64_t> expected_next_;
+};
+
+}  // namespace nwlb::shim

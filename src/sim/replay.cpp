@@ -1,0 +1,144 @@
+#include "sim/replay.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nwlb::sim {
+
+std::vector<double> ReplayStats::normalized_work() const {
+  std::vector<double> out(node_work);
+  const double worst = out.empty() ? 0.0 : *std::max_element(out.begin(), out.end());
+  if (worst > 0.0)
+    for (double& w : out) w /= worst;
+  return out;
+}
+
+ReplaySimulator::ReplaySimulator(const core::ProblemInput& input,
+                                 const std::vector<shim::ShimConfig>& configs,
+                                 ReplayOptions options)
+    : input_(&input),
+      options_(options),
+      loss_rng_(nwlb::util::derive_seed(options.seed, 0x105e)) {
+  if (options.replication_loss < 0.0 || options.replication_loss > 1.0)
+    throw std::invalid_argument("ReplaySimulator: loss probability out of [0,1]");
+  const int num_pops = input.num_pops();
+  if (static_cast<int>(configs.size()) != num_pops)
+    throw std::invalid_argument("ReplaySimulator: one config per PoP required");
+  shims_.reserve(static_cast<std::size_t>(num_pops));
+  for (int j = 0; j < num_pops; ++j) {
+    shims_.emplace_back(j);
+    shims_.back().install(configs[static_cast<std::size_t>(j)]);
+  }
+  nodes_.reserve(static_cast<std::size_t>(input.num_processing_nodes()));
+  receivers_.reserve(static_cast<std::size_t>(input.num_processing_nodes()));
+  for (int id = 0; id < input.num_processing_nodes(); ++id) {
+    nodes_.emplace_back(id < num_pops ? input.routing->graph().name(id) : "Datacenter");
+    receivers_.emplace_back(id);
+  }
+  link_bytes_.assign(input.link_capacity.size(), 0.0);
+}
+
+void ReplaySimulator::deliver(int processing_node, const nids::Packet& packet) {
+  matches_ += nodes_[static_cast<std::size_t>(processing_node)].process(packet);
+}
+
+void ReplaySimulator::replay_direction(const SessionSpec& session,
+                                       const TraceGenerator& generator,
+                                       nids::Direction direction, int packets) {
+  const auto& cls = input_->classes[static_cast<std::size_t>(session.class_index)];
+  const topo::Path& path =
+      direction == nids::Direction::kForward ? cls.fwd_path : cls.rev_path;
+  for (int k = 0; k < packets; ++k) {
+    const nids::Packet packet = generator.make_packet(session, k, direction);
+    ++packets_;
+    for (topo::NodeId j : path) {
+      const shim::Decision decision =
+          shims_[static_cast<std::size_t>(j)].decide(session.class_index, packet.tuple,
+                                                     direction);
+      switch (decision.action.kind) {
+        case shim::Action::Kind::kProcess:
+          deliver(j, packet);
+          break;
+        case shim::Action::Kind::kReplicate: {
+          const int mirror = decision.action.mirror;
+          // Real tunnel framing: encapsulate, traverse (with optional
+          // injected loss), decapsulate at the mirror.
+          auto [it, inserted] =
+              senders_.try_emplace({j, mirror}, shim::TunnelSender(j, mirror));
+          const std::vector<std::byte> frame = it->second.encapsulate(packet);
+          ++frames_sent_;
+          const auto bytes = static_cast<double>(frame.size());
+          shims_[static_cast<std::size_t>(j)].count_replicated(mirror, frame.size());
+          const topo::NodeId target_pop = input_->attach_pop_of(mirror);
+          if (target_pop != j)
+            for (topo::LinkId l : input_->routing->links_on_path(j, target_pop))
+              link_bytes_[static_cast<std::size_t>(l)] += bytes;
+          if (options_.replication_loss > 0.0 &&
+              loss_rng_.bernoulli(options_.replication_loss)) {
+            ++frames_dropped_;
+            break;  // Frame lost: the mirror never sees this packet.
+          }
+          deliver(mirror, receivers_[static_cast<std::size_t>(mirror)].decapsulate(frame));
+          break;
+        }
+        case shim::Action::Kind::kIgnore:
+          break;
+      }
+    }
+  }
+}
+
+void ReplaySimulator::replay(std::span<const SessionSpec> sessions,
+                             const TraceGenerator& generator) {
+  for (const SessionSpec& session : sessions) {
+    replay_direction(session, generator, nids::Direction::kForward, session.fwd_packets);
+    replay_direction(session, generator, nids::Direction::kReverse, session.rev_packets);
+    ++sessions_;
+    if (session.fwd_packets > 0 && session.rev_packets > 0)
+      bidirectional_ids_.push_back(session.id);
+  }
+}
+
+ReplayStats ReplaySimulator::stats() const {
+  ReplayStats s;
+  s.node_work.reserve(nodes_.size());
+  s.node_packets.reserve(nodes_.size());
+  for (const auto& node : nodes_) {
+    s.node_work.push_back(node.work_units());
+    s.node_packets.push_back(node.packets_processed());
+  }
+  s.link_replicated_bytes = link_bytes_;
+  s.sessions_replayed = sessions_;
+  s.packets_replayed = packets_;
+  s.signature_matches = matches_;
+  s.tunnel_frames_sent = frames_sent_;
+  s.tunnel_frames_dropped = frames_dropped_;
+  for (const auto& receiver : receivers_)
+    s.tunnel_frames_detected_lost += receiver.packets_lost();
+  for (std::uint64_t id : bidirectional_ids_) {
+    bool covered = false;
+    for (const auto& node : nodes_) {
+      if (node.session_tracker().is_covered(id)) {
+        covered = true;
+        break;
+      }
+    }
+    (covered ? s.stateful_covered : s.stateful_missed) += 1;
+  }
+  return s;
+}
+
+void ReplaySimulator::reset() {
+  for (auto& node : nodes_) node.reset_work_units();
+  // NidsNode state (scan tables, session tables) persists by design within
+  // a measurement epoch; a reset starts a new epoch.
+  std::fill(link_bytes_.begin(), link_bytes_.end(), 0.0);
+  sessions_ = 0;
+  packets_ = 0;
+  matches_ = 0;
+  frames_sent_ = 0;
+  frames_dropped_ = 0;
+  bidirectional_ids_.clear();
+}
+
+}  // namespace nwlb::sim

@@ -1,0 +1,107 @@
+#include "sim/scan_split.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "shim/config.h"
+#include "shim/hash.h"
+
+namespace nwlb::sim {
+namespace {
+
+// Per-class source-hash ranges: node -> [begin, end) in hash space,
+// following the same cumulative layout as the session mapper (§7.1).
+struct SourceRange {
+  int node;
+  std::uint64_t begin;
+  std::uint64_t end;
+};
+
+std::vector<SourceRange> class_ranges(const std::vector<core::ProcessShare>& shares) {
+  std::vector<core::ProcessShare> sorted = shares;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const core::ProcessShare& a, const core::ProcessShare& b) {
+              return a.node < b.node;
+            });
+  std::vector<SourceRange> out;
+  double cumulative = 0.0;
+  std::uint64_t begin = 0;
+  for (const auto& share : sorted) {
+    cumulative += share.fraction;
+    const auto end = static_cast<std::uint64_t>(
+        std::llround(std::min(cumulative, 1.0) * static_cast<double>(shim::kHashSpace)));
+    if (end > begin) out.push_back(SourceRange{share.node, begin, end});
+    begin = end;
+  }
+  return out;
+}
+
+}  // namespace
+
+ScanSplitResult run_scan_split(const core::ProblemInput& input,
+                               const core::Assignment& assignment,
+                               std::span<const SessionSpec> sessions,
+                               std::uint32_t threshold) {
+  ScanSplitResult result;
+  const int num_pops = input.num_pops();
+
+  // Precompute per-class ranges.
+  std::vector<std::vector<SourceRange>> ranges(input.classes.size());
+  for (std::size_t c = 0; c < input.classes.size(); ++c)
+    ranges[c] = class_ranges(assignment.process[c]);
+
+  // Distributed detectors, one slice per (node, class) actually used.
+  std::map<std::pair<int, int>, nids::ScanDetector> slices;
+  nids::ScanDetector centralized;
+
+  for (const SessionSpec& session : sessions) {
+    const std::uint32_t src = session.tuple.src_ip;
+    const std::uint32_t dst = session.tuple.dst_ip;
+    centralized.observe(src, dst);
+    const std::uint32_t h = shim::hash_source(src);
+    for (const SourceRange& r : ranges[static_cast<std::size_t>(session.class_index)]) {
+      if (h >= r.begin && h < r.end) {
+        slices[{r.node, session.class_index}].observe(src, dst);
+        break;
+      }
+    }
+  }
+
+  // Reports: every slice emits a threshold-0 source-level report to the
+  // class's aggregation point (its ingress); one Aggregator per ingress.
+  std::map<int, shim::Aggregator> aggregators;
+  result.node_observe_ops.assign(static_cast<std::size_t>(input.num_processing_nodes()),
+                                 0.0);
+  for (const auto& [key, detector] : slices) {
+    const auto [node, class_index] = key;
+    const auto& cls = input.classes[static_cast<std::size_t>(class_index)];
+    shim::SourceReport report;
+    report.origin_node = node;
+    report.rows = detector.report();
+    const int hops = input.routing->distance(node, cls.ingress);
+    result.comm_byte_hops += static_cast<double>(report.wire_bytes()) * hops;
+    result.report_bytes += report.wire_bytes();
+    ++result.reports_sent;
+    // Wire round-trip: encode on the node, decode at the aggregator.
+    aggregators[cls.ingress].add(shim::SourceReport::decode(report.encode()));
+    result.observe_operations += detector.work_units();
+    if (node < input.num_processing_nodes())
+      result.node_observe_ops[static_cast<std::size_t>(node)] +=
+          static_cast<double>(detector.work_units());
+  }
+  (void)num_pops;
+
+  // Network-wide alert set = union across per-ingress aggregators.
+  std::vector<nids::ScanRecord> distributed;
+  for (const auto& [ingress, agg] : aggregators)
+    for (const auto& alert : agg.alerts(threshold)) distributed.push_back(alert);
+  std::sort(distributed.begin(), distributed.end(),
+            [](const nids::ScanRecord& a, const nids::ScanRecord& b) {
+              return a.source < b.source;
+            });
+  result.distributed_alerts = std::move(distributed);
+  result.centralized_alerts = centralized.alerts(threshold);
+  return result;
+}
+
+}  // namespace nwlb::sim

@@ -1,0 +1,44 @@
+// End-to-end scan-detection aggregation run (§6 + §7.3).
+//
+// Executes an AggregationLp assignment against a concrete trace: every
+// on-path node runs a per-class scan-detector slice selected by the
+// source-hash split, ships source-level reports to each class's
+// aggregation point (the ingress gateway), and the aggregators apply the
+// real threshold k.  The result is compared against a single centralized
+// detector over the same trace — the semantic-equivalence guarantee the
+// paper requires of aggregation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "core/assignment.h"
+#include "core/problem.h"
+#include "nids/scan.h"
+#include "shim/aggregation.h"
+#include "sim/trace.h"
+
+namespace nwlb::sim {
+
+struct ScanSplitResult {
+  std::vector<nids::ScanRecord> distributed_alerts;  // Via aggregation.
+  std::vector<nids::ScanRecord> centralized_alerts;  // Ground truth.
+  std::size_t reports_sent = 0;
+  std::size_t report_bytes = 0;       // Total wire bytes of all reports.
+  double comm_byte_hops = 0.0;        // The CommCost actually incurred.
+  std::uint64_t observe_operations = 0;  // Total scan work, all nodes.
+  std::vector<double> node_observe_ops;  // Scan work per PoP.
+
+  bool equivalent() const { return distributed_alerts == centralized_alerts; }
+};
+
+/// Runs the split + aggregation pipeline for the given assignment (from
+/// AggregationLp; process fractions only) over forward-direction traffic.
+ScanSplitResult run_scan_split(const core::ProblemInput& input,
+                               const core::Assignment& assignment,
+                               std::span<const SessionSpec> sessions,
+                               std::uint32_t threshold);
+
+}  // namespace nwlb::sim

@@ -1,0 +1,114 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "nids/signature.h"
+
+namespace nwlb::sim {
+
+TraceGenerator::TraceGenerator(const std::vector<traffic::TrafficClass>& classes,
+                               TraceConfig config, std::uint64_t seed)
+    : classes_(&classes),
+      config_(config),
+      rng_(nwlb::util::derive_seed(seed, 0x7247)),
+      signatures_(nids::SignatureEngine::default_rules()) {
+  if (classes.empty()) throw std::invalid_argument("TraceGenerator: no classes");
+  if (config_.min_payload < 16 || config_.max_payload < config_.min_payload)
+    throw std::invalid_argument("TraceGenerator: bad payload bounds");
+  weights_.reserve(classes.size());
+  for (const auto& c : classes) weights_.push_back(c.sessions);
+}
+
+std::uint32_t TraceGenerator::pop_prefix(int pop) {
+  if (pop < 0 || pop > 255) throw std::invalid_argument("pop_prefix: pop out of range");
+  return (10u << 24) | (static_cast<std::uint32_t>(pop) << 16);
+}
+
+int TraceGenerator::pop_of_address(std::uint32_t ip) {
+  return static_cast<int>((ip >> 16) & 0xff);
+}
+
+nids::FiveTuple TraceGenerator::sample_tuple(const traffic::TrafficClass& cls) {
+  nids::FiveTuple t;
+  t.src_ip = pop_prefix(cls.ingress) | static_cast<std::uint32_t>(rng_.below(1 << 16));
+  t.dst_ip = pop_prefix(cls.egress) | static_cast<std::uint32_t>(rng_.below(1 << 16));
+  t.src_port = static_cast<std::uint16_t>(1024 + rng_.below(64000));
+  t.dst_port = static_cast<std::uint16_t>(rng_.bernoulli(0.7) ? 80 : 1 + rng_.below(1023));
+  t.protocol = rng_.bernoulli(0.9) ? 6 : 17;
+  return t;
+}
+
+std::vector<SessionSpec> TraceGenerator::generate(int count) {
+  if (count < 0) throw std::invalid_argument("TraceGenerator::generate: negative count");
+  std::vector<SessionSpec> out;
+  out.reserve(static_cast<std::size_t>(count) +
+              static_cast<std::size_t>(config_.scanners) *
+                  static_cast<std::size_t>(config_.scan_fanout));
+  for (int i = 0; i < count; ++i) {
+    const auto class_index = rng_.weighted_index(weights_);
+    const auto& cls = (*classes_)[class_index];
+    SessionSpec s;
+    s.id = next_id_++;
+    s.class_index = static_cast<int>(class_index);
+    s.tuple = sample_tuple(cls);
+    s.fwd_packets = 1 + static_cast<int>(rng_.below(
+                            static_cast<std::uint64_t>(config_.max_packets_per_direction)));
+    s.rev_packets = 1 + static_cast<int>(rng_.below(
+                            static_cast<std::uint64_t>(config_.max_packets_per_direction)));
+    s.payload_bytes = static_cast<int>(rng_.pareto(config_.min_payload,
+                                                   config_.payload_pareto_alpha,
+                                                   config_.max_payload));
+    s.malicious = rng_.bernoulli(config_.malicious_fraction);
+    out.push_back(s);
+  }
+  // Scan bursts: one source probing many distinct destinations with
+  // single-packet sessions, class chosen per scanner.
+  for (int scanner = 0; scanner < config_.scanners; ++scanner) {
+    const auto class_index = rng_.weighted_index(weights_);
+    const auto& cls = (*classes_)[class_index];
+    const std::uint32_t src =
+        pop_prefix(cls.ingress) | static_cast<std::uint32_t>(rng_.below(1 << 16));
+    for (int k = 0; k < config_.scan_fanout; ++k) {
+      SessionSpec s;
+      s.id = next_id_++;
+      s.class_index = static_cast<int>(class_index);
+      s.tuple = sample_tuple(cls);
+      s.tuple.src_ip = src;
+      // Distinct destinations: spread over the egress prefix.
+      s.tuple.dst_ip = pop_prefix(cls.egress) | static_cast<std::uint32_t>(k + 1);
+      s.fwd_packets = 1;
+      s.rev_packets = 0;  // Probes typically go unanswered.
+      s.payload_bytes = config_.min_payload;
+      s.scanner = true;
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+nids::Packet TraceGenerator::make_packet(const SessionSpec& session, int index,
+                                         nids::Direction direction) const {
+  nids::Packet packet;
+  packet.session_id = session.id;
+  packet.direction = direction;
+  packet.tuple =
+      direction == nids::Direction::kForward ? session.tuple : session.tuple.reversed();
+  // Deterministic filler derived from (id, index, direction).
+  std::uint64_t state = session.id * 1315423911u + static_cast<std::uint64_t>(index) * 2654435761u +
+                        (direction == nids::Direction::kReverse ? 0x9e37ULL : 0);
+  packet.payload.resize(static_cast<std::size_t>(session.payload_bytes));
+  for (auto& ch : packet.payload) {
+    // Printable filler keeps accidental signature collisions impossible
+    // (the corpus contains no run of lowercase base32-style filler).
+    ch = static_cast<char>('a' + (nwlb::util::splitmix64(state) % 17));
+  }
+  if (session.malicious && index == 0 && direction == nids::Direction::kForward) {
+    const auto& sig = signatures_[session.id % signatures_.size()];
+    if (sig.size() <= packet.payload.size())
+      packet.payload.replace((packet.payload.size() - sig.size()) / 2, sig.size(), sig);
+  }
+  return packet;
+}
+
+}  // namespace nwlb::sim

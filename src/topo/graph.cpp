@@ -1,0 +1,131 @@
+#include "topo/graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nwlb::topo {
+
+NodeId Graph::add_node(std::string name, double population) {
+  if (population <= 0.0)
+    throw std::invalid_argument("Graph::add_node: population must be positive");
+  names_.push_back(std::move(name));
+  populations_.push_back(population);
+  adjacency_.emplace_back();
+  return static_cast<NodeId>(names_.size()) - 1;
+}
+
+void Graph::add_edge(NodeId a, NodeId b) {
+  check_node(a);
+  check_node(b);
+  if (a == b) throw std::invalid_argument("Graph::add_edge: self-loop");
+  if (has_edge(a, b)) throw std::invalid_argument("Graph::add_edge: duplicate edge");
+  edges_.emplace_back(std::min(a, b), std::max(a, b));
+  auto insert_sorted = [](std::vector<NodeId>& v, NodeId x) {
+    v.insert(std::lower_bound(v.begin(), v.end(), x), x);
+  };
+  insert_sorted(adjacency_[static_cast<std::size_t>(a)], b);
+  insert_sorted(adjacency_[static_cast<std::size_t>(b)], a);
+}
+
+const std::string& Graph::name(NodeId n) const {
+  check_node(n);
+  return names_[static_cast<std::size_t>(n)];
+}
+
+double Graph::population(NodeId n) const {
+  check_node(n);
+  return populations_[static_cast<std::size_t>(n)];
+}
+
+void Graph::set_population(NodeId n, double population) {
+  check_node(n);
+  if (population <= 0.0)
+    throw std::invalid_argument("Graph::set_population: population must be positive");
+  populations_[static_cast<std::size_t>(n)] = population;
+}
+
+std::span<const NodeId> Graph::neighbors(NodeId n) const {
+  check_node(n);
+  return adjacency_[static_cast<std::size_t>(n)];
+}
+
+bool Graph::has_edge(NodeId a, NodeId b) const {
+  check_node(a);
+  check_node(b);
+  const auto& adj = adjacency_[static_cast<std::size_t>(a)];
+  return std::binary_search(adj.begin(), adj.end(), b);
+}
+
+LinkId Graph::link_id(NodeId a, NodeId b) const {
+  if (!has_edge(a, b)) throw std::invalid_argument("Graph::link_id: no such edge");
+  const std::pair<NodeId, NodeId> key{std::min(a, b), std::max(a, b)};
+  // Linear scan is fine at PoP scale (<= a few hundred edges); callers that
+  // need speed cache the result (see Routing::links_on_path).
+  for (std::size_t e = 0; e < edges_.size(); ++e) {
+    if (edges_[e] == key)
+      return static_cast<LinkId>(2 * e) + (a < b ? 0 : 1);
+  }
+  throw std::logic_error("Graph::link_id: edge table inconsistent");
+}
+
+std::pair<NodeId, NodeId> Graph::link_endpoints(LinkId l) const {
+  if (l < 0 || l >= num_directed_links())
+    throw std::out_of_range("Graph::link_endpoints: bad link id");
+  const auto& e = edges_[static_cast<std::size_t>(l / 2)];
+  return (l % 2 == 0) ? e : std::pair<NodeId, NodeId>{e.second, e.first};
+}
+
+bool Graph::connected() const {
+  if (num_nodes() == 0) return true;
+  std::vector<bool> seen(static_cast<std::size_t>(num_nodes()), false);
+  std::vector<NodeId> stack{0};
+  seen[0] = true;
+  int count = 1;
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    for (NodeId nb : neighbors(n)) {
+      if (!seen[static_cast<std::size_t>(nb)]) {
+        seen[static_cast<std::size_t>(nb)] = true;
+        ++count;
+        stack.push_back(nb);
+      }
+    }
+  }
+  return count == num_nodes();
+}
+
+std::vector<NodeId> Graph::neighborhood(NodeId n, int hops) const {
+  check_node(n);
+  if (hops < 0) throw std::invalid_argument("Graph::neighborhood: negative hops");
+  std::vector<int> dist(static_cast<std::size_t>(num_nodes()), -1);
+  dist[static_cast<std::size_t>(n)] = 0;
+  std::vector<NodeId> frontier{n};
+  std::vector<NodeId> result;
+  for (int h = 1; h <= hops && !frontier.empty(); ++h) {
+    std::vector<NodeId> next;
+    for (NodeId u : frontier) {
+      for (NodeId v : neighbors(u)) {
+        if (dist[static_cast<std::size_t>(v)] >= 0) continue;
+        dist[static_cast<std::size_t>(v)] = h;
+        next.push_back(v);
+        result.push_back(v);
+      }
+    }
+    frontier = std::move(next);
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+double Graph::total_population() const {
+  double total = 0.0;
+  for (double p : populations_) total += p;
+  return total;
+}
+
+void Graph::check_node(NodeId n) const {
+  if (n < 0 || n >= num_nodes()) throw std::out_of_range("Graph: bad node id");
+}
+
+}  // namespace nwlb::topo

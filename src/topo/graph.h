@@ -1,0 +1,67 @@
+// Undirected PoP-level network graph.
+//
+// Nodes are PoPs (points of presence) with a display name and a population
+// weight (used by the gravity traffic model); edges are inter-PoP links.
+// Node ids are dense ints [0, num_nodes); every directed use of an edge is
+// addressed through a *directed link id* so that link-load bookkeeping
+// (Eq. 4 of the paper) can distinguish the two directions of a physical
+// link.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace nwlb::topo {
+
+using NodeId = int;
+using LinkId = int;  // Directed link id in [0, 2 * num_edges).
+
+class Graph {
+ public:
+  /// Adds a node; returns its id (dense, starting at 0).
+  NodeId add_node(std::string name, double population = 1.0);
+
+  /// Adds an undirected edge between distinct existing nodes.  Duplicate
+  /// edges and self-loops are rejected.
+  void add_edge(NodeId a, NodeId b);
+
+  int num_nodes() const { return static_cast<int>(names_.size()); }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+  int num_directed_links() const { return 2 * num_edges(); }
+
+  const std::string& name(NodeId n) const;
+  double population(NodeId n) const;
+  void set_population(NodeId n, double population);
+
+  /// Neighbors of `n`, sorted ascending (deterministic iteration order).
+  std::span<const NodeId> neighbors(NodeId n) const;
+
+  bool has_edge(NodeId a, NodeId b) const;
+
+  /// Directed link id for hop a->b; throws if the edge does not exist.
+  LinkId link_id(NodeId a, NodeId b) const;
+
+  /// Endpoints (from, to) of a directed link id.
+  std::pair<NodeId, NodeId> link_endpoints(LinkId l) const;
+
+  /// True when every node can reach every other node.
+  bool connected() const;
+
+  /// Nodes within `hops` hops of `n` (excluding `n` itself), sorted.
+  std::vector<NodeId> neighborhood(NodeId n, int hops) const;
+
+  double total_population() const;
+
+ private:
+  void check_node(NodeId n) const;
+
+  std::vector<std::string> names_;
+  std::vector<double> populations_;
+  std::vector<std::vector<NodeId>> adjacency_;     // Sorted per node.
+  std::vector<std::pair<NodeId, NodeId>> edges_;   // (min, max) per edge.
+};
+
+}  // namespace nwlb::topo

@@ -1,0 +1,98 @@
+#include "topo/io.h"
+
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace nwlb::topo {
+
+void write_topology(const Topology& topology, std::ostream& out) {
+  out << "topology " << topology.name << "\n";
+  for (NodeId v = 0; v < topology.graph.num_nodes(); ++v)
+    out << "node " << topology.graph.name(v) << " " << topology.graph.population(v)
+        << "\n";
+  for (NodeId v = 0; v < topology.graph.num_nodes(); ++v)
+    for (NodeId u : topology.graph.neighbors(v))
+      if (v < u) out << "edge " << topology.graph.name(v) << " "
+                     << topology.graph.name(u) << "\n";
+}
+
+std::string to_topology_string(const Topology& topology) {
+  std::ostringstream os;
+  write_topology(topology, os);
+  return os.str();
+}
+
+Topology read_topology(std::istream& in) {
+  Topology topology;
+  std::map<std::string, NodeId> nodes;
+  bool named = false;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream is(line);
+    std::string directive;
+    if (!(is >> directive)) continue;
+    const auto fail = [&](const std::string& what) {
+      throw std::invalid_argument("topology line " + std::to_string(line_number) + ": " +
+                                  what);
+    };
+    if (directive == "topology") {
+      if (!(is >> topology.name)) fail("missing topology name");
+      named = true;
+    } else if (directive == "node") {
+      std::string name;
+      double population = 0.0;
+      if (!(is >> name >> population)) fail("node needs '<name> <population>'");
+      if (nodes.count(name) != 0) fail("duplicate node '" + name + "'");
+      nodes.emplace(name, topology.graph.add_node(name, population));
+    } else if (directive == "edge") {
+      std::string a, b;
+      if (!(is >> a >> b)) fail("edge needs two node names");
+      const auto ia = nodes.find(a);
+      const auto ib = nodes.find(b);
+      if (ia == nodes.end()) fail("unknown node '" + a + "'");
+      if (ib == nodes.end()) fail("unknown node '" + b + "'");
+      topology.graph.add_edge(ia->second, ib->second);
+    } else {
+      fail("unknown directive '" + directive + "'");
+    }
+  }
+  if (!named) throw std::invalid_argument("topology: missing 'topology <name>' line");
+  return topology;
+}
+
+Topology read_topology_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_topology(is);
+}
+
+void write_dot(const Topology& topology, std::ostream& out) {
+  out << "graph \"" << topology.name << "\" {\n";
+  out << "  node [shape=circle];\n";
+  double max_pop = 1.0;
+  for (NodeId v = 0; v < topology.graph.num_nodes(); ++v)
+    max_pop = std::max(max_pop, topology.graph.population(v));
+  for (NodeId v = 0; v < topology.graph.num_nodes(); ++v) {
+    const double size = 0.4 + 0.8 * std::sqrt(topology.graph.population(v) / max_pop);
+    out << "  \"" << topology.graph.name(v) << "\" [width=" << size << "];\n";
+  }
+  for (NodeId v = 0; v < topology.graph.num_nodes(); ++v)
+    for (NodeId u : topology.graph.neighbors(v))
+      if (v < u)
+        out << "  \"" << topology.graph.name(v) << "\" -- \""
+            << topology.graph.name(u) << "\";\n";
+  out << "}\n";
+}
+
+std::string to_dot(const Topology& topology) {
+  std::ostringstream os;
+  write_dot(topology, os);
+  return os.str();
+}
+
+}  // namespace nwlb::topo

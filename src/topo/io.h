@@ -1,0 +1,32 @@
+// Topology import/export.
+//
+// Text format ("nwlb topology format", one directive per line):
+//   topology <name>
+//   node <name> <population>
+//   edge <name-a> <name-b>
+// plus '#' comments.  DOT export renders the same graph for Graphviz,
+// with node sizes hinting at populations.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "topo/topology.h"
+
+namespace nwlb::topo {
+
+/// Writes the text format.
+void write_topology(const Topology& topology, std::ostream& out);
+std::string to_topology_string(const Topology& topology);
+
+/// Parses the text format; throws std::invalid_argument with a
+/// line-numbered message on malformed input (unknown node in an edge,
+/// duplicate node names, missing topology line, ...).
+Topology read_topology(std::istream& in);
+Topology read_topology_string(const std::string& text);
+
+/// Graphviz DOT export (undirected graph).
+void write_dot(const Topology& topology, std::ostream& out);
+std::string to_dot(const Topology& topology);
+
+}  // namespace nwlb::topo

@@ -1,0 +1,96 @@
+#include "topo/kshortest.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <set>
+#include <stdexcept>
+
+namespace nwlb::topo {
+namespace {
+
+// BFS shortest path from src to dst that avoids the given nodes and edges;
+// empty result when unreachable.  Deterministic (ascending neighbor order).
+Path restricted_bfs(const Graph& graph, NodeId src, NodeId dst,
+                    const std::vector<bool>& banned_node,
+                    const std::set<std::pair<NodeId, NodeId>>& banned_edge) {
+  const int n = graph.num_nodes();
+  std::vector<NodeId> parent(static_cast<std::size_t>(n), -2);
+  std::queue<NodeId> queue;
+  parent[static_cast<std::size_t>(src)] = -1;
+  queue.push(src);
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop();
+    if (u == dst) break;
+    for (NodeId v : graph.neighbors(u)) {
+      if (parent[static_cast<std::size_t>(v)] != -2) continue;
+      if (banned_node[static_cast<std::size_t>(v)]) continue;
+      const std::pair<NodeId, NodeId> key{std::min(u, v), std::max(u, v)};
+      if (banned_edge.count(key) != 0) continue;
+      parent[static_cast<std::size_t>(v)] = u;
+      queue.push(v);
+    }
+  }
+  if (parent[static_cast<std::size_t>(dst)] == -2) return {};
+  Path p;
+  for (NodeId cur = dst; cur != -1; cur = parent[static_cast<std::size_t>(cur)])
+    p.push_back(cur);
+  std::reverse(p.begin(), p.end());
+  return p;
+}
+
+}  // namespace
+
+std::vector<Path> k_shortest_paths(const Graph& graph, NodeId src, NodeId dst, int k) {
+  if (k <= 0) throw std::invalid_argument("k_shortest_paths: k must be positive");
+  if (src == dst) return {Path{src}};
+  const int n = graph.num_nodes();
+  std::vector<bool> no_ban(static_cast<std::size_t>(n), false);
+  Path first = restricted_bfs(graph, src, dst, no_ban, {});
+  if (first.empty()) return {};
+
+  auto path_less = [](const Path& a, const Path& b) {
+    if (a.size() != b.size()) return a.size() < b.size();
+    return a < b;
+  };
+
+  std::vector<Path> result{first};
+  // Candidate pool, kept sorted; a std::set dedupes spur paths found via
+  // different (root, deviation) combinations.
+  std::set<Path, decltype(path_less)> candidates(path_less);
+
+  while (static_cast<int>(result.size()) < k) {
+    const Path& previous = result.back();
+    // Spur from every node of the previous path except the last.
+    for (std::size_t i = 0; i + 1 < previous.size(); ++i) {
+      const Path root(previous.begin(), previous.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+      std::vector<bool> banned_node(static_cast<std::size_t>(n), false);
+      std::set<std::pair<NodeId, NodeId>> banned_edge;
+      // Ban edges used by already-accepted paths sharing this root.
+      for (const Path& accepted : result) {
+        if (accepted.size() <= i) continue;
+        if (!std::equal(root.begin(), root.end(), accepted.begin())) continue;
+        banned_edge.insert({std::min(accepted[i], accepted[i + 1]),
+                            std::max(accepted[i], accepted[i + 1])});
+      }
+      // Ban root nodes (except the spur node) to keep paths loopless.
+      for (std::size_t j = 0; j < i; ++j)
+        banned_node[static_cast<std::size_t>(root[j])] = true;
+
+      const Path spur =
+          restricted_bfs(graph, previous[i], dst, banned_node, banned_edge);
+      if (spur.empty()) continue;
+      Path total(root.begin(), root.end() - 1);
+      total.insert(total.end(), spur.begin(), spur.end());
+      if (std::find(result.begin(), result.end(), total) == result.end())
+        candidates.insert(std::move(total));
+    }
+    if (candidates.empty()) break;
+    result.push_back(*candidates.begin());
+    candidates.erase(candidates.begin());
+  }
+  return result;
+}
+
+}  // namespace nwlb::topo

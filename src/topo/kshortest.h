@@ -1,0 +1,20 @@
+// Yen's k-shortest loopless paths.
+//
+// Used to enumerate alternative routes when building richer reverse-path
+// candidate sets and in tests of the routing layer.  Hop-count metric, ties
+// broken deterministically (lexicographically smallest node sequence).
+#pragma once
+
+#include <vector>
+
+#include "topo/graph.h"
+#include "topo/routing.h"
+
+namespace nwlb::topo {
+
+/// Up to `k` loopless shortest paths from src to dst, ordered by length and
+/// then lexicographically.  Returns fewer than `k` when the graph does not
+/// contain that many distinct loopless paths.
+std::vector<Path> k_shortest_paths(const Graph& graph, NodeId src, NodeId dst, int k);
+
+}  // namespace nwlb::topo

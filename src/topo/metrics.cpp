@@ -1,0 +1,55 @@
+#include "topo/metrics.h"
+
+#include <algorithm>
+
+namespace nwlb::topo {
+
+GraphMetrics compute_metrics(const Routing& routing) {
+  const Graph& graph = routing.graph();
+  GraphMetrics m;
+  m.num_nodes = graph.num_nodes();
+  m.num_edges = graph.num_edges();
+  if (m.num_nodes == 0) return m;
+  m.average_degree = 2.0 * m.num_edges / m.num_nodes;
+
+  long long hop_total = 0;
+  for (NodeId a = 0; a < m.num_nodes; ++a) {
+    m.max_degree = std::max(m.max_degree, static_cast<int>(graph.neighbors(a).size()));
+    for (NodeId b = 0; b < m.num_nodes; ++b) {
+      if (a == b) continue;
+      const int d = routing.distance(a, b);
+      hop_total += d;
+      m.diameter = std::max(m.diameter, d);
+    }
+  }
+  const long long pairs =
+      static_cast<long long>(m.num_nodes) * (m.num_nodes - 1);
+  m.average_path_length = pairs > 0 ? static_cast<double>(hop_total) / pairs : 0.0;
+
+  // Local clustering: fraction of a node's neighbour pairs that are linked.
+  double clustering_total = 0.0;
+  for (NodeId v = 0; v < m.num_nodes; ++v) {
+    const auto nb = graph.neighbors(v);
+    if (nb.size() < 2) continue;
+    int closed = 0;
+    for (std::size_t i = 0; i < nb.size(); ++i)
+      for (std::size_t j = i + 1; j < nb.size(); ++j)
+        if (graph.has_edge(nb[i], nb[j])) ++closed;
+    clustering_total += 2.0 * closed / (static_cast<double>(nb.size()) *
+                                        (static_cast<double>(nb.size()) - 1.0));
+  }
+  m.clustering = clustering_total / m.num_nodes;
+  return m;
+}
+
+std::vector<int> degree_histogram(const Graph& graph) {
+  std::vector<int> hist;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    const auto d = graph.neighbors(v).size();
+    if (d >= hist.size()) hist.resize(d + 1, 0);
+    ++hist[d];
+  }
+  return hist;
+}
+
+}  // namespace nwlb::topo

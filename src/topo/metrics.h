@@ -1,0 +1,29 @@
+// Structural graph metrics.
+//
+// Used to sanity-check that the synthetic Rocketfuel-band topologies look
+// like ISP PoP maps (degree distribution, short diameters, skewed
+// betweenness) and reported by the topology tooling.
+#pragma once
+
+#include <vector>
+
+#include "topo/routing.h"
+
+namespace nwlb::topo {
+
+struct GraphMetrics {
+  int num_nodes = 0;
+  int num_edges = 0;
+  double average_degree = 0.0;
+  int max_degree = 0;
+  int diameter = 0;               // Max shortest-path hops.
+  double average_path_length = 0; // Mean hops over ordered pairs.
+  double clustering = 0.0;        // Mean local clustering coefficient.
+};
+
+GraphMetrics compute_metrics(const Routing& routing);
+
+/// Degree histogram: result[d] = number of nodes with degree d.
+std::vector<int> degree_histogram(const Graph& graph);
+
+}  // namespace nwlb::topo

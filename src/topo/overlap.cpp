@@ -1,0 +1,94 @@
+#include "topo/overlap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nwlb::topo {
+
+double path_overlap(const Path& a, const Path& b) {
+  if (a.empty() || b.empty())
+    throw std::invalid_argument("path_overlap: empty path");
+  // Paths at PoP scale are short (<= ~10 nodes); sorted-merge set math is
+  // cheaper than hashing here.
+  Path sa = a, sb = b;
+  std::sort(sa.begin(), sa.end());
+  sa.erase(std::unique(sa.begin(), sa.end()), sa.end());
+  std::sort(sb.begin(), sb.end());
+  sb.erase(std::unique(sb.begin(), sb.end()), sb.end());
+  std::size_t inter = 0, i = 0, j = 0;
+  while (i < sa.size() && j < sb.size()) {
+    if (sa[i] == sb[j]) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (sa[i] < sb[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  const std::size_t uni = sa.size() + sb.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+AsymmetricRouteGenerator::AsymmetricRouteGenerator(const Routing& routing, int buckets,
+                                                   int candidates_per_bucket)
+    : routing_(&routing), buckets_(buckets) {
+  if (buckets < 2) throw std::invalid_argument("AsymmetricRouteGenerator: buckets < 2");
+  if (candidates_per_bucket < 1)
+    throw std::invalid_argument("AsymmetricRouteGenerator: candidates_per_bucket < 1");
+  const int n = routing.graph().num_nodes();
+  const auto pairs = routing.all_pairs();
+  table_.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), {});
+  for (auto [src, dst] : pairs) {
+    auto& slots = table_[class_index(src, dst)];
+    slots.assign(static_cast<std::size_t>(buckets_), {});
+    const Path& fwd = routing.path(src, dst);
+    for (auto [a, b] : pairs) {
+      const double ov = path_overlap(fwd, routing.path(a, b));
+      auto bucket = static_cast<std::size_t>(
+          std::min<int>(buckets_ - 1, static_cast<int>(ov * buckets_)));
+      auto& bin = slots[bucket];
+      if (static_cast<int>(bin.size()) < candidates_per_bucket)
+        bin.push_back(Candidate{a, b, ov});
+    }
+  }
+}
+
+Path AsymmetricRouteGenerator::reverse_path(NodeId src, NodeId dst, double theta,
+                                            nwlb::util::Rng& rng) const {
+  if (theta < 0.0 || theta > 1.0)
+    throw std::invalid_argument("reverse_path: theta out of [0,1]");
+  const double sample = std::clamp(rng.normal(theta, theta / 5.0), 0.0, 1.0);
+  const auto& slots = table_[class_index(src, dst)];
+  const int center =
+      std::min<int>(buckets_ - 1, static_cast<int>(sample * buckets_));
+  // Nearest non-empty bucket, expanding outward from the sampled one.
+  for (int radius = 0; radius < buckets_; ++radius) {
+    for (int dir : {-1, +1}) {
+      const int b = center + dir * radius;
+      if (b < 0 || b >= buckets_) continue;
+      const auto& bin = slots[static_cast<std::size_t>(b)];
+      if (bin.empty()) continue;
+      const auto& cand = bin[rng.below(bin.size())];
+      return routing_->path(cand.src, cand.dst);
+    }
+  }
+  throw std::logic_error("reverse_path: no candidates (graph too small?)");
+}
+
+double AsymmetricRouteGenerator::achieved_overlap(NodeId src, NodeId dst,
+                                                  const Path& reverse) const {
+  return path_overlap(routing_->path(src, dst), reverse);
+}
+
+std::size_t AsymmetricRouteGenerator::class_index(NodeId src, NodeId dst) const {
+  const int n = routing_->graph().num_nodes();
+  if (src < 0 || src >= n || dst < 0 || dst >= n || src == dst)
+    throw std::out_of_range("AsymmetricRouteGenerator: bad class endpoints");
+  return static_cast<std::size_t>(src) * static_cast<std::size_t>(n) +
+         static_cast<std::size_t>(dst);
+}
+
+}  // namespace nwlb::topo

@@ -1,0 +1,56 @@
+// Path-overlap machinery for the routing-asymmetry study (§8.3).
+//
+// Overlap between two paths is the Jaccard similarity of their node sets.
+// The AsymmetricRouteGenerator reproduces the paper's methodology: for each
+// forward (shortest) path it pre-buckets every other shortest path in the
+// network by overlap; a reverse path for target overlap θ is then drawn by
+// sampling θ' ~ N(θ, θ/5) and returning a candidate from the nearest
+// non-empty bucket.
+#pragma once
+
+#include <vector>
+
+#include "topo/routing.h"
+#include "util/rng.h"
+
+namespace nwlb::topo {
+
+/// Jaccard similarity of the node sets of two paths: |A∩B| / |A∪B|,
+/// 1 when identical, 0 when disjoint.  Both paths must be non-empty.
+double path_overlap(const Path& a, const Path& b);
+
+class AsymmetricRouteGenerator {
+ public:
+  /// Pre-buckets all shortest paths against each other.  `buckets` controls
+  /// overlap resolution; `candidates_per_bucket` bounds memory and adds
+  /// sampling variety.
+  explicit AsymmetricRouteGenerator(const Routing& routing, int buckets = 21,
+                                    int candidates_per_bucket = 8);
+
+  /// A reverse path for the session whose forward path is path(src, dst),
+  /// with overlap close to a sample θ' ~ N(theta, theta/5).  The returned
+  /// path is some shortest path of the network (hot-potato style: its
+  /// endpoints generally differ from src/dst).
+  Path reverse_path(NodeId src, NodeId dst, double theta, nwlb::util::Rng& rng) const;
+
+  /// The overlap the generator achieved for a given choice; exposed so the
+  /// benches can report the realized (not just target) overlap.
+  double achieved_overlap(NodeId src, NodeId dst, const Path& reverse) const;
+
+ private:
+  struct Candidate {
+    NodeId src;
+    NodeId dst;
+    double overlap;
+  };
+
+  std::size_t class_index(NodeId src, NodeId dst) const;
+
+  const Routing* routing_;
+  int buckets_;
+  // Per (src,dst) class: per overlap bucket, up to candidates_per_bucket
+  // candidate paths identified by their endpoints.
+  std::vector<std::vector<std::vector<Candidate>>> table_;
+};
+
+}  // namespace nwlb::topo

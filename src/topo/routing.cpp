@@ -1,0 +1,126 @@
+#include "topo/routing.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace nwlb::topo {
+
+Routing::Routing(const Graph& graph) : graph_(&graph) {
+  if (!graph.connected())
+    throw std::invalid_argument("Routing: graph must be connected");
+  const int n = graph.num_nodes();
+  paths_.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), {});
+  links_.assign(paths_.size(), {});
+  dist_.assign(paths_.size(), 0);
+
+  // BFS from each source; neighbor iteration is in ascending id order and a
+  // node's parent is fixed at first discovery, so the parent tree (and thus
+  // every path) is deterministic.
+  for (NodeId src = 0; src < n; ++src) {
+    std::vector<int> dist(static_cast<std::size_t>(n), -1);
+    std::vector<NodeId> parent(static_cast<std::size_t>(n), -1);
+    std::queue<NodeId> queue;
+    dist[static_cast<std::size_t>(src)] = 0;
+    queue.push(src);
+    while (!queue.empty()) {
+      const NodeId u = queue.front();
+      queue.pop();
+      for (NodeId v : graph.neighbors(u)) {
+        if (dist[static_cast<std::size_t>(v)] >= 0) continue;
+        dist[static_cast<std::size_t>(v)] = dist[static_cast<std::size_t>(u)] + 1;
+        parent[static_cast<std::size_t>(v)] = u;
+        queue.push(v);
+      }
+    }
+    for (NodeId dst = 0; dst < n; ++dst) {
+      // Fill only src <= dst here; the mirror direction is reversed below,
+      // which guarantees forward/reverse path symmetry.
+      if (dst < src) continue;
+      Path p;
+      for (NodeId cur = dst; cur != -1; cur = parent[static_cast<std::size_t>(cur)])
+        p.push_back(cur);
+      std::reverse(p.begin(), p.end());
+      dist_[index(src, dst)] = dist[static_cast<std::size_t>(dst)];
+      dist_[index(dst, src)] = dist[static_cast<std::size_t>(dst)];
+      Path rev(p.rbegin(), p.rend());
+      paths_[index(src, dst)] = std::move(p);
+      paths_[index(dst, src)] = std::move(rev);
+    }
+  }
+  for (NodeId a = 0; a < n; ++a)
+    for (NodeId b = 0; b < n; ++b)
+      links_[index(a, b)] = links_of(paths_[index(a, b)]);
+}
+
+const Path& Routing::path(NodeId src, NodeId dst) const { return paths_[index(src, dst)]; }
+
+int Routing::distance(NodeId src, NodeId dst) const { return dist_[index(src, dst)]; }
+
+bool Routing::on_path(NodeId node, NodeId src, NodeId dst) const {
+  const Path& p = path(src, dst);
+  return std::find(p.begin(), p.end(), node) != p.end();
+}
+
+const std::vector<LinkId>& Routing::links_on_path(NodeId src, NodeId dst) const {
+  return links_[index(src, dst)];
+}
+
+std::vector<LinkId> Routing::links_of(const Path& path) const {
+  std::vector<LinkId> out;
+  if (path.size() < 2) return out;
+  out.reserve(path.size() - 1);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i)
+    out.push_back(graph_->link_id(path[i], path[i + 1]));
+  return out;
+}
+
+std::vector<std::pair<NodeId, NodeId>> Routing::all_pairs() const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  const int n = graph_->num_nodes();
+  out.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(n - 1));
+  for (NodeId a = 0; a < n; ++a)
+    for (NodeId b = 0; b < n; ++b)
+      if (a != b) out.emplace_back(a, b);
+  return out;
+}
+
+std::size_t Routing::index(NodeId src, NodeId dst) const {
+  const int n = graph_->num_nodes();
+  if (src < 0 || src >= n || dst < 0 || dst >= n)
+    throw std::out_of_range("Routing: bad node id");
+  return static_cast<std::size_t>(src) * static_cast<std::size_t>(n) +
+         static_cast<std::size_t>(dst);
+}
+
+NodeId medoid_node(const Routing& routing) {
+  const int n = routing.graph().num_nodes();
+  NodeId best = 0;
+  long long best_total = -1;
+  for (NodeId c = 0; c < n; ++c) {
+    long long total = 0;
+    for (NodeId other = 0; other < n; ++other) total += routing.distance(c, other);
+    if (best_total < 0 || total < best_total) {
+      best_total = total;
+      best = c;
+    }
+  }
+  return best;
+}
+
+NodeId max_betweenness_node(const Routing& routing) {
+  const int n = routing.graph().num_nodes();
+  std::vector<long long> counts(static_cast<std::size_t>(n), 0);
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = 0; b < n; ++b) {
+      if (a == b) continue;
+      for (NodeId node : routing.path(a, b)) ++counts[static_cast<std::size_t>(node)];
+    }
+  }
+  NodeId best = 0;
+  for (NodeId c = 1; c < n; ++c)
+    if (counts[static_cast<std::size_t>(c)] > counts[static_cast<std::size_t>(best)]) best = c;
+  return best;
+}
+
+}  // namespace nwlb::topo

@@ -1,0 +1,67 @@
+// Shortest-path routing over a PoP graph.
+//
+// The paper assumes hop-count shortest-path routing with a unique symmetric
+// path per ingress-egress pair (§8.1); Routing precomputes all-pairs BFS
+// paths with a deterministic tie-break and guarantees that
+// path(b, a) == reverse(path(a, b)).  It also resolves the directed links a
+// path crosses, which the replication LP needs for Eq. (4)'s link loads.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "topo/graph.h"
+
+namespace nwlb::topo {
+
+/// A path is the full node sequence, endpoints included; a path from a
+/// node to itself is the single-element sequence {a}.
+using Path = std::vector<NodeId>;
+
+class Routing {
+ public:
+  /// Precomputes all-pairs shortest paths on `graph` (which must be
+  /// connected).  The graph must outlive the Routing.
+  explicit Routing(const Graph& graph);
+
+  const Graph& graph() const { return *graph_; }
+
+  /// Shortest path from src to dst (node sequence).  Symmetric:
+  /// path(b,a) is exactly the reverse of path(a,b).
+  const Path& path(NodeId src, NodeId dst) const;
+
+  /// Hop count of the shortest path.
+  int distance(NodeId src, NodeId dst) const;
+
+  bool on_path(NodeId node, NodeId src, NodeId dst) const;
+
+  /// Directed link ids crossed by path(src, dst), in order.
+  const std::vector<LinkId>& links_on_path(NodeId src, NodeId dst) const;
+
+  /// Directed links crossed by an explicit node sequence.
+  std::vector<LinkId> links_of(const Path& path) const;
+
+  /// All distinct shortest paths in the network with at least one hop
+  /// (src != dst), as (src, dst) pairs in deterministic order.  This is the
+  /// candidate set the asymmetric-route generator draws from (§8.3).
+  std::vector<std::pair<NodeId, NodeId>> all_pairs() const;
+
+ private:
+  std::size_t index(NodeId src, NodeId dst) const;
+
+  const Graph* graph_;
+  std::vector<Path> paths_;                  // n*n entries.
+  std::vector<std::vector<LinkId>> links_;   // n*n entries, lazy-free: precomputed.
+  std::vector<int> dist_;
+};
+
+/// The node minimizing the average hop distance to all other nodes
+/// (the medoid; DC placement strategy 4 in §8.2).  Ties break to the
+/// smallest id.
+NodeId medoid_node(const Routing& routing);
+
+/// The node lying on the most src-dst shortest paths (strategy 3), counting
+/// transit and endpoint appearances.  Ties break to the smallest id.
+NodeId max_betweenness_node(const Routing& routing);
+
+}  // namespace nwlb::topo

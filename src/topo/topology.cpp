@@ -1,0 +1,193 @@
+#include "topo/topology.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace nwlb::topo {
+namespace {
+
+using nwlb::util::Rng;
+
+struct NamedNode {
+  const char* name;
+  double population;  // Metro / country population, millions scaled to raw.
+};
+
+}  // namespace
+
+Topology make_internet2() {
+  Topology t;
+  t.name = "Internet2";
+  // Abilene's 11 PoPs with approximate metro populations (persons).
+  const NamedNode nodes[] = {
+      {"Seattle", 3.4e6},      {"Sunnyvale", 1.8e6}, {"LosAngeles", 12.8e6},
+      {"Denver", 2.7e6},       {"KansasCity", 2.1e6}, {"Houston", 6.0e6},
+      {"Chicago", 9.5e6},      {"Indianapolis", 1.9e6}, {"Atlanta", 5.5e6},
+      {"WashingtonDC", 5.6e6}, {"NewYork", 19.0e6},
+  };
+  for (const auto& n : nodes) t.graph.add_node(n.name, n.population);
+  const std::pair<int, int> edges[] = {
+      {0, 1}, {0, 3}, {1, 2}, {1, 3}, {2, 5}, {3, 4}, {4, 5},
+      {4, 7}, {5, 8}, {7, 6}, {7, 8}, {6, 10}, {8, 9}, {10, 9},
+  };
+  for (auto [a, b] : edges) t.graph.add_edge(a, b);
+  return t;
+}
+
+Topology make_geant() {
+  Topology t;
+  t.name = "Geant";
+  // 22 national PoPs of the GEANT research backbone (2012-era map,
+  // approximated) with country populations.
+  const NamedNode nodes[] = {
+      {"Austria", 8.4e6},   {"Belgium", 11.0e6},  {"Switzerland", 7.9e6},
+      {"Cyprus", 1.1e6},    {"CzechRep", 10.5e6}, {"Germany", 81.8e6},
+      {"Denmark", 5.6e6},   {"Spain", 46.2e6},    {"France", 65.3e6},
+      {"Greece", 11.1e6},   {"Croatia", 4.3e6},   {"Hungary", 10.0e6},
+      {"Ireland", 4.6e6},   {"Italy", 59.4e6},    {"Luxembourg", 0.52e6},
+      {"Netherlands", 16.7e6}, {"Poland", 38.5e6}, {"Portugal", 10.5e6},
+      {"Sweden", 9.5e6},    {"Slovenia", 2.1e6},  {"Slovakia", 5.4e6},
+      {"UK", 63.2e6},
+  };
+  for (const auto& n : nodes) t.graph.add_node(n.name, n.population);
+  auto id = [&](const char* name) {
+    for (int i = 0; i < t.graph.num_nodes(); ++i)
+      if (t.graph.name(i) == name) return i;
+    throw std::logic_error("geant: unknown node");
+  };
+  const std::pair<const char*, const char*> edges[] = {
+      {"UK", "France"},        {"UK", "Netherlands"}, {"UK", "Ireland"},
+      {"UK", "Portugal"},      {"Netherlands", "Germany"},
+      {"Netherlands", "Belgium"}, {"Belgium", "France"},
+      {"France", "Switzerland"}, {"France", "Spain"},  {"Spain", "Portugal"},
+      {"Spain", "Italy"},      {"Switzerland", "Italy"},
+      {"Switzerland", "Germany"}, {"Germany", "Austria"},
+      {"Germany", "Poland"},   {"Germany", "CzechRep"},
+      {"Germany", "Denmark"},  {"Germany", "Luxembourg"},
+      {"Luxembourg", "Belgium"}, {"Denmark", "Sweden"},
+      {"Sweden", "Poland"},    {"Poland", "CzechRep"},
+      {"CzechRep", "Slovakia"}, {"Slovakia", "Austria"},
+      {"Austria", "Hungary"},  {"Austria", "Slovenia"},
+      {"Austria", "Italy"},    {"Hungary", "Croatia"},
+      {"Hungary", "Slovakia"}, {"Croatia", "Slovenia"},
+      {"Italy", "Greece"},     {"Greece", "Cyprus"},
+      {"Austria", "CzechRep"}, {"Italy", "Cyprus"},
+  };
+  for (auto [a, b] : edges) t.graph.add_edge(id(a), id(b));
+  return t;
+}
+
+Topology make_enterprise() {
+  Topology t;
+  t.name = "Enterprise";
+  // Multi-site enterprise WAN in the spirit of the "middlebox manifesto"
+  // measurement study: one HQ, four regional hubs, 18 branch sites.
+  const NodeId hq = t.graph.add_node("HQ", 20e3);
+  NodeId hubs[4];
+  for (int h = 0; h < 4; ++h) {
+    hubs[h] = t.graph.add_node("Hub" + std::to_string(h + 1), 5e3);
+    t.graph.add_edge(hq, hubs[h]);
+  }
+  // Hub ring for redundancy.
+  t.graph.add_edge(hubs[0], hubs[1]);
+  t.graph.add_edge(hubs[1], hubs[2]);
+  t.graph.add_edge(hubs[2], hubs[3]);
+  t.graph.add_edge(hubs[3], hubs[0]);
+  // 18 branches, round-robin across hubs; every 5th branch is dual-homed.
+  for (int b = 0; b < 18; ++b) {
+    const NodeId site = t.graph.add_node("Branch" + std::to_string(b + 1),
+                                         200.0 + 40.0 * (b % 7));
+    t.graph.add_edge(site, hubs[b % 4]);
+    if (b % 5 == 0) t.graph.add_edge(site, hubs[(b + 1) % 4]);
+  }
+  return t;
+}
+
+Topology make_synthetic_isp(std::string name, int num_pops, std::uint64_t seed,
+                            double avg_degree) {
+  if (num_pops < 3) throw std::invalid_argument("make_synthetic_isp: too few PoPs");
+  if (avg_degree < 2.0) throw std::invalid_argument("make_synthetic_isp: avg_degree < 2");
+  Topology t;
+  t.name = std::move(name);
+  Rng rng(nwlb::util::derive_seed(seed, 0xA5));
+
+  // Heavy-tailed PoP populations: a few big metros, many small ones.
+  for (int i = 0; i < num_pops; ++i) {
+    const double pop = 5e4 + rng.lognormal(std::log(8e5), 1.0);
+    t.graph.add_node("PoP" + std::to_string(i), pop);
+  }
+
+  // Preferential-attachment backbone: node i attaches to an existing node
+  // chosen with probability proportional to (degree + 1), yielding the
+  // hub-and-spoke flavor of measured ISP PoP maps.
+  std::vector<double> degree(static_cast<std::size_t>(num_pops), 0.0);
+  for (int i = 1; i < num_pops; ++i) {
+    std::vector<double> weights(static_cast<std::size_t>(i));
+    for (int j = 0; j < i; ++j)
+      weights[static_cast<std::size_t>(j)] = degree[static_cast<std::size_t>(j)] + 1.0;
+    const auto target = static_cast<NodeId>(rng.weighted_index(weights));
+    t.graph.add_edge(i, target);
+    degree[static_cast<std::size_t>(i)] += 1.0;
+    degree[static_cast<std::size_t>(target)] += 1.0;
+  }
+
+  // Redundancy edges up to the target average degree, again degree-biased,
+  // mirroring the meshier cores of real ISP maps.
+  const int target_edges = static_cast<int>(avg_degree * num_pops / 2.0);
+  int guard = 20 * target_edges;
+  while (t.graph.num_edges() < target_edges && guard-- > 0) {
+    const auto a = static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(num_pops)));
+    std::vector<double> weights(static_cast<std::size_t>(num_pops));
+    for (int j = 0; j < num_pops; ++j)
+      weights[static_cast<std::size_t>(j)] =
+          (j == a || t.graph.has_edge(a, j)) ? 0.0 : degree[static_cast<std::size_t>(j)] + 1.0;
+    double total = 0.0;
+    for (double w : weights) total += w;
+    if (total <= 0.0) break;
+    const auto b = static_cast<NodeId>(rng.weighted_index(weights));
+    t.graph.add_edge(a, b);
+    degree[static_cast<std::size_t>(a)] += 1.0;
+    degree[static_cast<std::size_t>(b)] += 1.0;
+  }
+  return t;
+}
+
+// Average degrees approximate the published Rocketfuel PoP-level maps
+// (these ISP cores are dense meshes: 2-3 hop PoP paths are typical).
+Topology make_tinet() { return make_synthetic_isp("TiNet", 41, 3257, 4.2); }
+Topology make_telstra() { return make_synthetic_isp("Telstra", 44, 1221, 4.5); }
+Topology make_sprint() { return make_synthetic_isp("Sprint", 52, 1239, 5.0); }
+Topology make_level3() { return make_synthetic_isp("Level3", 63, 3356, 6.0); }
+Topology make_ntt() { return make_synthetic_isp("NTT", 70, 2914, 6.3); }
+
+std::vector<Topology> all_topologies() {
+  std::vector<Topology> out;
+  out.push_back(make_internet2());
+  out.push_back(make_geant());
+  out.push_back(make_enterprise());
+  out.push_back(make_tinet());
+  out.push_back(make_telstra());
+  out.push_back(make_sprint());
+  out.push_back(make_level3());
+  out.push_back(make_ntt());
+  return out;
+}
+
+std::vector<Topology> small_topologies() {
+  std::vector<Topology> out;
+  out.push_back(make_internet2());
+  out.push_back(make_geant());
+  out.push_back(make_enterprise());
+  out.push_back(make_tinet());
+  return out;
+}
+
+Topology topology_by_name(const std::string& name) {
+  for (auto& t : all_topologies())
+    if (t.name == name) return std::move(t);
+  throw std::invalid_argument("topology_by_name: unknown topology '" + name + "'");
+}
+
+}  // namespace nwlb::topo

@@ -1,0 +1,58 @@
+// Catalogue of the evaluation topologies (§8.1 / Table 1).
+//
+// Internet2 (Abilene), Geant, and the multi-site Enterprise network are
+// hand-coded from public maps.  The five Rocketfuel-inferred ISP topologies
+// (TiNet, Telstra, Sprint, Level3, NTT) are *synthesized*: the measured
+// PoP-level data is not redistributable, so we generate ISP-like graphs
+// with the paper's exact PoP counts — a preferential-attachment backbone
+// plus redundancy edges, and heavy-tailed city populations — seeded
+// deterministically by AS number.  DESIGN.md §2 records this substitution.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topo/graph.h"
+
+namespace nwlb::topo {
+
+/// A named evaluation topology.
+struct Topology {
+  std::string name;
+  Graph graph;
+};
+
+/// Internet2/Abilene backbone: 11 PoPs, 14 links, US metro populations.
+Topology make_internet2();
+
+/// GEANT (European research backbone), 22 country PoPs.
+Topology make_geant();
+
+/// Multi-site enterprise WAN: HQ, regional hubs, branch sites (23 nodes).
+Topology make_enterprise();
+
+/// ISP-like synthetic PoP topology with `num_pops` nodes: a random spanning
+/// tree grown with preferential attachment (degree-biased), then extra
+/// redundancy edges up to roughly `avg_degree`, populations ~ lognormal.
+/// Fully deterministic in `seed`.
+Topology make_synthetic_isp(std::string name, int num_pops, std::uint64_t seed,
+                            double avg_degree = 3.2);
+
+/// Rocketfuel-band topologies with the paper's PoP counts, seeded by ASN.
+Topology make_tinet();    // AS3257, 41 PoPs.
+Topology make_telstra();  // AS1221, 44 PoPs.
+Topology make_sprint();   // AS1239, 52 PoPs.
+Topology make_level3();   // AS3356, 63 PoPs.
+Topology make_ntt();      // AS2914, 70 PoPs.
+
+/// All eight topologies in the paper's Table 1 order.
+std::vector<Topology> all_topologies();
+
+/// The four smallest (Internet2, Geant, Enterprise, TiNet) for quick runs.
+std::vector<Topology> small_topologies();
+
+/// Lookup by name (case-sensitive, as listed in Table 1); throws if absent.
+Topology topology_by_name(const std::string& name);
+
+}  // namespace nwlb::topo

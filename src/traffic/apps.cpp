@@ -1,0 +1,52 @@
+#include "traffic/apps.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nwlb::traffic {
+
+std::vector<AppProfile> default_app_mix() {
+  return {
+      // name, port, share, footprint scale, bytes/session
+      {"http", 80, 0.46, 1.4, 96.0 * 1024},    // Signature + app rules.
+      {"https", 443, 0.24, 0.6, 128.0 * 1024}, // Mostly headers (encrypted).
+      {"dns", 53, 0.12, 0.2, 1.0 * 1024},      // Tiny, cheap sessions.
+      {"smtp", 25, 0.06, 1.2, 48.0 * 1024},
+      {"ssh", 22, 0.05, 0.5, 64.0 * 1024},
+      {"irc", 6667, 0.02, 1.8, 24.0 * 1024},   // Botnet C&C rules: expensive.
+      {"other", 0, 0.05, 1.0, 64.0 * 1024},
+  };
+}
+
+AppClasses split_by_application(const std::vector<TrafficClass>& aggregate,
+                                const std::vector<AppProfile>& mix) {
+  if (mix.empty()) throw std::invalid_argument("split_by_application: empty mix");
+  double share_total = 0.0;
+  for (const AppProfile& app : mix) {
+    if (app.traffic_share <= 0.0 || app.footprint_scale < 0.0 ||
+        app.bytes_per_session <= 0.0)
+      throw std::invalid_argument("split_by_application: malformed profile '" +
+                                  app.name + "'");
+    share_total += app.traffic_share;
+  }
+  if (std::abs(share_total - 1.0) > 1e-6)
+    throw std::invalid_argument("split_by_application: shares must sum to 1");
+
+  AppClasses out;
+  out.classes.reserve(aggregate.size() * mix.size());
+  int next_id = 0;
+  for (const TrafficClass& base : aggregate) {
+    for (const AppProfile& app : mix) {
+      TrafficClass cls = base;
+      cls.id = next_id++;
+      cls.sessions = base.sessions * app.traffic_share;
+      cls.bytes_per_session = app.bytes_per_session;
+      out.classes.push_back(std::move(cls));
+      out.footprint_scale.push_back(app.footprint_scale);
+      out.application.push_back(app.name);
+    }
+  }
+  return out;
+}
+
+}  // namespace nwlb::traffic

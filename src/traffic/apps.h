@@ -1,0 +1,44 @@
+// Application-level traffic classes.
+//
+// §3 of the paper defines classes as (prefix pair, application ports) —
+// e.g., HTTP and IRC between the same PoPs are distinct classes with
+// different analysis footprints (HTTP gets payload signatures plus
+// app-specific rules; DNS is cheap; etc.).  split_by_application() refines
+// the aggregate per-pair classes of build_classes() into per-application
+// classes with their own volumes, session sizes, and footprint scales,
+// ready to feed any of the formulations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "traffic/classes.h"
+
+namespace nwlb::traffic {
+
+struct AppProfile {
+  std::string name;
+  std::uint16_t port = 0;        // Canonical server port.
+  double traffic_share = 0.0;    // Fraction of each pair's sessions.
+  double footprint_scale = 1.0;  // Relative per-session analysis cost.
+  double bytes_per_session = kDefaultSessionBytes;
+};
+
+/// A representative enterprise mix; shares sum to 1.
+std::vector<AppProfile> default_app_mix();
+
+struct AppClasses {
+  std::vector<TrafficClass> classes;
+  std::vector<double> footprint_scale;  // Aligned with `classes`; feed to
+                                        // ProblemInput::class_scale.
+  std::vector<std::string> application; // Application name per class.
+};
+
+/// Splits each aggregate class into one class per application profile.
+/// Shares must be positive and sum to ~1 (validated).  Class ids are
+/// renumbered densely.
+AppClasses split_by_application(const std::vector<TrafficClass>& aggregate,
+                                const std::vector<AppProfile>& mix);
+
+}  // namespace nwlb::traffic

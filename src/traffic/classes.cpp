@@ -1,0 +1,72 @@
+#include "traffic/classes.h"
+
+#include <algorithm>
+
+namespace nwlb::traffic {
+namespace {
+
+std::vector<topo::NodeId> sorted_unique(const topo::Path& p) {
+  std::vector<topo::NodeId> out(p.begin(), p.end());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace
+
+bool TrafficClass::symmetric() const {
+  if (fwd_path.size() != rev_path.size()) return false;
+  return std::equal(fwd_path.begin(), fwd_path.end(), rev_path.rbegin());
+}
+
+std::vector<topo::NodeId> TrafficClass::common_nodes() const {
+  const auto f = sorted_unique(fwd_path);
+  const auto r = sorted_unique(rev_path);
+  std::vector<topo::NodeId> out;
+  std::set_intersection(f.begin(), f.end(), r.begin(), r.end(), std::back_inserter(out));
+  return out;
+}
+
+std::vector<topo::NodeId> TrafficClass::fwd_nodes() const { return sorted_unique(fwd_path); }
+
+std::vector<topo::NodeId> TrafficClass::rev_nodes() const { return sorted_unique(rev_path); }
+
+std::vector<TrafficClass> build_classes(const topo::Routing& routing,
+                                        const TrafficMatrix& tm,
+                                        double bytes_per_session) {
+  std::vector<TrafficClass> out;
+  const int n = routing.graph().num_nodes();
+  int next_id = 0;
+  for (topo::NodeId i = 0; i < n; ++i) {
+    for (topo::NodeId j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double volume = tm.volume(i, j);
+      if (volume <= 0.0) continue;
+      TrafficClass c;
+      c.id = next_id++;
+      c.ingress = i;
+      c.egress = j;
+      c.sessions = volume;
+      c.bytes_per_session = bytes_per_session;
+      c.fwd_path = routing.path(i, j);
+      c.rev_path = topo::Path(c.fwd_path.rbegin(), c.fwd_path.rend());
+      out.push_back(std::move(c));
+    }
+  }
+  return out;
+}
+
+void apply_asymmetry(std::vector<TrafficClass>& classes,
+                     const topo::AsymmetricRouteGenerator& generator, double theta,
+                     nwlb::util::Rng& rng) {
+  for (TrafficClass& c : classes)
+    c.rev_path = generator.reverse_path(c.ingress, c.egress, theta, rng);
+}
+
+double total_sessions(const std::vector<TrafficClass>& classes) {
+  double total = 0.0;
+  for (const TrafficClass& c : classes) total += c.sessions;
+  return total;
+}
+
+}  // namespace nwlb::traffic

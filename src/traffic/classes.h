@@ -1,0 +1,60 @@
+// Traffic classes (the paper's T_c).
+//
+// A class is a logical group of end-to-end sessions sharing routing state:
+// ingress/egress PoPs, forward path, reverse path (equal to the reversed
+// forward path under symmetric routing; §5 relaxes this), session volume
+// |T_c| and mean session size Size_c.  §8.1 evaluates a single aggregate
+// class per PoP pair, which build_classes() constructs; application-port
+// sub-classes can be added with split_class().
+#pragma once
+
+#include <vector>
+
+#include "topo/overlap.h"
+#include "topo/routing.h"
+#include "traffic/matrix.h"
+#include "util/rng.h"
+
+namespace nwlb::traffic {
+
+struct TrafficClass {
+  int id = -1;
+  topo::NodeId ingress = -1;  // Forward-direction ingress PoP.
+  topo::NodeId egress = -1;   // Forward-direction egress PoP.
+  double sessions = 0.0;      // |T_c|.
+  double bytes_per_session = 0.0;  // Size_c.
+  topo::Path fwd_path;        // P_c^fwd.
+  topo::Path rev_path;        // P_c^rev (reversed fwd path when symmetric).
+
+  /// True when the reverse path is exactly the reversed forward path.
+  bool symmetric() const;
+
+  /// Nodes on both directions (P_c^common), ascending.
+  std::vector<topo::NodeId> common_nodes() const;
+
+  /// Nodes on the forward (resp. reverse) path, ascending, deduplicated.
+  std::vector<topo::NodeId> fwd_nodes() const;
+  std::vector<topo::NodeId> rev_nodes() const;
+};
+
+/// Default mean session size used across the evaluation (bytes).  The
+/// paper notes NIDS load tracks session counts, not bytes; size only
+/// matters for link-load accounting.
+inline constexpr double kDefaultSessionBytes = 64.0 * 1024.0;
+
+/// One aggregate class per ordered PoP pair with positive demand, with
+/// symmetric shortest-path routing.  Deterministic class ids (by pair).
+std::vector<TrafficClass> build_classes(const topo::Routing& routing,
+                                        const TrafficMatrix& tm,
+                                        double bytes_per_session = kDefaultSessionBytes);
+
+/// Rewrites every class's reverse path using the asymmetry generator with
+/// target overlap `theta` (§8.3).  Forward paths stay shortest-path.
+void apply_asymmetry(std::vector<TrafficClass>& classes,
+                     const topo::AsymmetricRouteGenerator& generator, double theta,
+                     nwlb::util::Rng& rng);
+
+/// Total sessions across classes.
+double total_sessions(const std::vector<TrafficClass>& classes);
+
+}  // namespace nwlb::traffic

@@ -1,0 +1,92 @@
+#include "traffic/matrix.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nwlb::traffic {
+
+TrafficMatrix::TrafficMatrix(int num_nodes) : n_(num_nodes) {
+  if (num_nodes <= 0) throw std::invalid_argument("TrafficMatrix: non-positive size");
+  demand_.assign(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_), 0.0);
+}
+
+double TrafficMatrix::volume(topo::NodeId src, topo::NodeId dst) const {
+  return demand_[index(src, dst)];
+}
+
+void TrafficMatrix::set_volume(topo::NodeId src, topo::NodeId dst, double sessions) {
+  if (sessions < 0.0) throw std::invalid_argument("TrafficMatrix: negative volume");
+  if (src == dst && sessions != 0.0)
+    throw std::invalid_argument("TrafficMatrix: diagonal must stay zero");
+  demand_[index(src, dst)] = sessions;
+}
+
+double TrafficMatrix::total() const {
+  double total = 0.0;
+  for (double v : demand_) total += v;
+  return total;
+}
+
+void TrafficMatrix::scale(double factor) {
+  if (factor < 0.0) throw std::invalid_argument("TrafficMatrix::scale: negative factor");
+  for (double& v : demand_) v *= factor;
+}
+
+std::size_t TrafficMatrix::index(topo::NodeId src, topo::NodeId dst) const {
+  if (src < 0 || src >= n_ || dst < 0 || dst >= n_)
+    throw std::out_of_range("TrafficMatrix: bad node id");
+  return static_cast<std::size_t>(src) * static_cast<std::size_t>(n_) +
+         static_cast<std::size_t>(dst);
+}
+
+double paper_total_sessions(int num_pops) {
+  return 8e6 * static_cast<double>(num_pops) / 11.0;
+}
+
+TrafficMatrix gravity_matrix(const topo::Graph& graph, double total_sessions) {
+  if (total_sessions < 0.0)
+    throw std::invalid_argument("gravity_matrix: negative total");
+  const int n = graph.num_nodes();
+  TrafficMatrix tm(n);
+  double weight_total = 0.0;
+  for (topo::NodeId i = 0; i < n; ++i)
+    for (topo::NodeId j = 0; j < n; ++j)
+      if (i != j) weight_total += graph.population(i) * graph.population(j);
+  if (weight_total <= 0.0) return tm;
+  for (topo::NodeId i = 0; i < n; ++i) {
+    for (topo::NodeId j = 0; j < n; ++j) {
+      if (i == j) continue;
+      tm.set_volume(i, j, total_sessions * graph.population(i) * graph.population(j) /
+                              weight_total);
+    }
+  }
+  return tm;
+}
+
+std::vector<double> link_traffic(const topo::Routing& routing, const TrafficMatrix& tm,
+                                 double bytes_per_session) {
+  const topo::Graph& graph = routing.graph();
+  std::vector<double> load(static_cast<std::size_t>(graph.num_directed_links()), 0.0);
+  const int n = graph.num_nodes();
+  for (topo::NodeId i = 0; i < n; ++i) {
+    for (topo::NodeId j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double bytes = tm.volume(i, j) * bytes_per_session;
+      if (bytes == 0.0) continue;
+      for (topo::LinkId l : routing.links_on_path(i, j))
+        load[static_cast<std::size_t>(l)] += bytes;
+    }
+  }
+  return load;
+}
+
+std::vector<double> provision_link_capacities(const std::vector<double>& traffic,
+                                              double headroom) {
+  if (headroom <= 0.0)
+    throw std::invalid_argument("provision_link_capacities: non-positive headroom");
+  const double worst = traffic.empty() ? 0.0 : *std::max_element(traffic.begin(), traffic.end());
+  const double cap = worst > 0.0 ? headroom * worst : 1.0;
+  return std::vector<double>(traffic.size(), cap);
+}
+
+}  // namespace nwlb::traffic

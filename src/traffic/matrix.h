@@ -1,0 +1,55 @@
+// Traffic matrices and link-level demand bookkeeping.
+//
+// The paper's evaluation (§8.2) builds a gravity-model traffic matrix from
+// city populations, scales total volume to 8M sessions for the 11-PoP
+// Internet2 and linearly with PoP count for larger topologies, and
+// provisions link capacities at 3x the most congested link's traffic so
+// that max background utilization is 0.3.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "topo/graph.h"
+#include "topo/routing.h"
+
+namespace nwlb::traffic {
+
+/// Per ordered PoP pair session demand; diagonal is zero.
+class TrafficMatrix {
+ public:
+  explicit TrafficMatrix(int num_nodes);
+
+  int num_nodes() const { return n_; }
+  double volume(topo::NodeId src, topo::NodeId dst) const;
+  void set_volume(topo::NodeId src, topo::NodeId dst, double sessions);
+  double total() const;
+
+  /// Multiplies every entry by `factor`.
+  void scale(double factor);
+
+ private:
+  std::size_t index(topo::NodeId src, topo::NodeId dst) const;
+  int n_;
+  std::vector<double> demand_;
+};
+
+/// Paper scaling rule: 8M sessions for 11 PoPs, linear in PoP count.
+double paper_total_sessions(int num_pops);
+
+/// Gravity model: volume(i, j) proportional to pop_i * pop_j for i != j,
+/// normalized so the matrix totals `total_sessions`.
+TrafficMatrix gravity_matrix(const topo::Graph& graph, double total_sessions);
+
+/// Bytes of traffic crossing each *directed* link under shortest-path
+/// routing: result[l] = sum over pairs routed through l of
+/// volume * bytes_per_session.
+std::vector<double> link_traffic(const topo::Routing& routing, const TrafficMatrix& tm,
+                                 double bytes_per_session);
+
+/// Capacity provisioning: every directed link gets `headroom` times the
+/// byte load of the most loaded link (so max utilization = 1/headroom).
+std::vector<double> provision_link_capacities(const std::vector<double>& traffic,
+                                              double headroom = 3.0);
+
+}  // namespace nwlb::traffic

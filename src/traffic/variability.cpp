@@ -1,0 +1,51 @@
+#include "traffic/variability.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nwlb::traffic {
+
+nwlb::util::EmpiricalCdf abilene_like_factor_cdf(int samples, std::uint64_t seed) {
+  if (samples < 2) throw std::invalid_argument("abilene_like_factor_cdf: too few samples");
+  nwlb::util::Rng rng(nwlb::util::derive_seed(seed, 0xCDF));
+  // Lognormal with sigma=0.5 has mean exp(mu + sigma^2/2); pick mu so the
+  // mean factor is 1 (no systematic growth), then truncate the tails.
+  const double sigma = 0.5;
+  const double mu = -0.5 * sigma * sigma;
+  std::vector<double> draws;
+  draws.reserve(static_cast<std::size_t>(samples));
+  for (int i = 0; i < samples; ++i)
+    draws.push_back(std::clamp(rng.lognormal(mu, sigma), 0.1, 5.0));
+  return nwlb::util::EmpiricalCdf(std::move(draws));
+}
+
+VariabilityModel::VariabilityModel(nwlb::util::EmpiricalCdf cdf) : cdf_(std::move(cdf)) {}
+
+TrafficMatrix VariabilityModel::sample(const TrafficMatrix& mean,
+                                       nwlb::util::Rng& rng) const {
+  const int n = mean.num_nodes();
+  TrafficMatrix out(n);
+  for (topo::NodeId i = 0; i < n; ++i) {
+    for (topo::NodeId j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double v = mean.volume(i, j);
+      if (v <= 0.0) continue;
+      out.set_volume(i, j, v * cdf_.inverse(rng.uniform()));
+    }
+  }
+  return out;
+}
+
+std::vector<TrafficMatrix> VariabilityModel::sample_many(const TrafficMatrix& mean,
+                                                         int count,
+                                                         std::uint64_t seed) const {
+  if (count < 0) throw std::invalid_argument("sample_many: negative count");
+  std::vector<TrafficMatrix> out;
+  out.reserve(static_cast<std::size_t>(count));
+  nwlb::util::Rng rng(nwlb::util::derive_seed(seed, 0x7A));
+  for (int k = 0; k < count; ++k) out.push_back(sample(mean, rng));
+  return out;
+}
+
+}  // namespace nwlb::traffic

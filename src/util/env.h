@@ -1,0 +1,31 @@
+// Environment-variable knobs used by the benchmark harnesses so that the
+// full paper-scale sweeps (100 traffic matrices, 50 asymmetry configs) can
+// be dialed down on small machines without editing code.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+namespace nwlb::util {
+
+/// Returns the integer value of the environment variable `name`, or
+/// `fallback` if it is unset or unparsable.
+inline int env_int(const char* name, int fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long value = std::strtol(raw, &end, 10);
+  if (end == raw || *end != '\0') return fallback;
+  return static_cast<int>(value);
+}
+
+/// Returns true iff the environment variable is set to a truthy value
+/// ("1", "true", "yes", "on"; case-sensitive by design — keep it simple).
+inline bool env_flag(const char* name) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return false;
+  const std::string value(raw);
+  return value == "1" || value == "true" || value == "yes" || value == "on";
+}
+
+}  // namespace nwlb::util

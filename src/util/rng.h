@@ -1,0 +1,162 @@
+// Deterministic, seedable random number generation for nwlb.
+//
+// All stochastic pieces of the library (synthetic topologies, gravity
+// populations, traffic variability, trace synthesis, asymmetric route
+// sampling) draw from this engine so that every experiment is exactly
+// reproducible from a 64-bit seed.  We deliberately avoid std::mt19937 +
+// std::*_distribution because their outputs are not guaranteed to be
+// identical across standard-library implementations; xoshiro256** plus
+// hand-rolled distributions gives bit-stable results everywhere.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace nwlb::util {
+
+/// SplitMix64: used to expand a single 64-bit seed into a full xoshiro
+/// state. Also useful directly as a cheap stateless mixer.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 (Blackman & Vigna), a small fast PRNG with 256 bits of
+/// state and excellent statistical quality for simulation workloads.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9d2c5680cafef00dULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t below(std::uint64_t n) {
+    if (n == 0) throw std::invalid_argument("Rng::below: n must be > 0");
+    // Rejection sampling to remove modulo bias.
+    const std::uint64_t threshold = (~n + 1) % n;  // == 2^64 mod n
+    for (;;) {
+      const std::uint64_t r = (*this)();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    if (lo > hi) throw std::invalid_argument("Rng::range: lo > hi");
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Standard normal via Box-Muller (deterministic, no cached spare).
+  double normal() noexcept {
+    double u1 = uniform();
+    // Avoid log(0).
+    if (u1 <= 0.0) u1 = 0x1.0p-53;
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  double normal(double mean, double stddev) noexcept { return mean + stddev * normal(); }
+
+  /// Lognormal with the given parameters of the underlying normal.
+  double lognormal(double mu, double sigma) noexcept { return std::exp(normal(mu, sigma)); }
+
+  /// Exponential with rate lambda (> 0).
+  double exponential(double lambda) {
+    if (lambda <= 0.0) throw std::invalid_argument("Rng::exponential: lambda must be > 0");
+    double u = uniform();
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -std::log(u) / lambda;
+  }
+
+  /// Bounded Pareto-ish heavy tail used for flow sizes: x_min * U^(-1/alpha),
+  /// truncated at x_max.
+  double pareto(double x_min, double alpha, double x_max) {
+    if (x_min <= 0.0 || alpha <= 0.0 || x_max < x_min)
+      throw std::invalid_argument("Rng::pareto: bad parameters");
+    double u = uniform();
+    if (u <= 0.0) u = 0x1.0p-53;
+    const double x = x_min * std::pow(u, -1.0 / alpha);
+    return x > x_max ? x_max : x;
+  }
+
+  bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Sample an index according to non-negative weights (sum must be > 0).
+  std::size_t weighted_index(std::span<const double> weights) {
+    double total = 0.0;
+    for (double w : weights) {
+      if (w < 0.0) throw std::invalid_argument("Rng::weighted_index: negative weight");
+      total += w;
+    }
+    if (total <= 0.0) throw std::invalid_argument("Rng::weighted_index: zero total weight");
+    double target = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      target -= weights[i];
+      if (target < 0.0) return i;
+    }
+    return weights.size() - 1;  // Floating-point slack: return last index.
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      using std::swap;
+      swap(items[i - 1], items[below(i)]);
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Derive a child seed from a parent seed and a stream tag; used so that
+/// independent experiment components get decorrelated streams.
+constexpr std::uint64_t derive_seed(std::uint64_t parent, std::uint64_t stream) noexcept {
+  std::uint64_t s = parent ^ (0x632be59bd9b4e019ULL * (stream + 1));
+  return splitmix64(s);
+}
+
+}  // namespace nwlb::util

@@ -1,0 +1,109 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace nwlb::util {
+
+std::string BoxStats::to_string() const {
+  std::ostringstream os;
+  os << "[min=" << min << " q25=" << q25 << " med=" << median << " q75=" << q75
+     << " max=" << max << "]";
+  return os.str();
+}
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double total = 0.0;
+  for (double x : xs) total += x;
+  return total / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double total = 0.0;
+  for (double x : xs) total += (x - m) * (x - m);
+  return total / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double quantile(std::span<const double> xs, double q) {
+  if (xs.empty()) throw std::invalid_argument("quantile: empty input");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q out of [0,1]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+BoxStats box_stats(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("box_stats: empty input");
+  BoxStats b;
+  b.min = min_of(xs);
+  b.q25 = quantile(xs, 0.25);
+  b.median = quantile(xs, 0.5);
+  b.q75 = quantile(xs, 0.75);
+  b.max = max_of(xs);
+  return b;
+}
+
+double min_of(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("min_of: empty input");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("max_of: empty input");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double sum(std::span<const double> xs) {
+  double total = 0.0;
+  for (double x : xs) total += x;
+  return total;
+}
+
+double max_over_mean(std::span<const double> xs) {
+  const double m = mean(xs);
+  if (m == 0.0) throw std::invalid_argument("max_over_mean: zero mean");
+  return max_of(xs) / m;
+}
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples) : sorted_(std::move(samples)) {
+  if (sorted_.empty()) throw std::invalid_argument("EmpiricalCdf: empty input");
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::inverse(double u) const {
+  if (u <= 0.0) return sorted_.front();
+  if (u >= 1.0) return sorted_.back();
+  if (sorted_.size() == 1) return sorted_.front();
+  const double pos = u * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted_.size()) return sorted_.back();
+  return sorted_[lo] * (1.0 - frac) + sorted_[lo + 1] * frac;
+}
+
+double EmpiricalCdf::at(double x) const {
+  if (x <= sorted_.front()) return 0.0;
+  if (x >= sorted_.back()) return 1.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  const auto hi = static_cast<std::size_t>(it - sorted_.begin());
+  const std::size_t lo = hi - 1;
+  const double span = sorted_[hi] - sorted_[lo];
+  const double frac = span > 0.0 ? (x - sorted_[lo]) / span : 0.0;
+  return (static_cast<double>(lo) + frac) / static_cast<double>(sorted_.size() - 1);
+}
+
+}  // namespace nwlb::util

@@ -1,0 +1,67 @@
+// Small descriptive-statistics helpers used by the benchmark harnesses and
+// the evaluation figures (box-and-whiskers summaries, quantiles, ratios).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace nwlb::util {
+
+/// Five-number summary used by Fig. 15-style box-and-whiskers plots.
+struct BoxStats {
+  double min = 0.0;
+  double q25 = 0.0;
+  double median = 0.0;
+  double q75 = 0.0;
+  double max = 0.0;
+
+  std::string to_string() const;
+};
+
+/// Arithmetic mean; returns 0 for an empty input.
+double mean(std::span<const double> xs);
+
+/// Population variance; returns 0 for fewer than two samples.
+double variance(std::span<const double> xs);
+
+double stddev(std::span<const double> xs);
+
+/// Linear-interpolation quantile (type-7, the numpy/R default).
+/// q must be in [0, 1]; input need not be sorted. Throws on empty input.
+double quantile(std::span<const double> xs, double q);
+
+double median(std::span<const double> xs);
+
+/// Computes the five-number summary. Throws on empty input.
+BoxStats box_stats(std::span<const double> xs);
+
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+double sum(std::span<const double> xs);
+
+/// max/mean ratio used by Fig. 19 (load imbalance). Throws if mean == 0.
+double max_over_mean(std::span<const double> xs);
+
+/// Empirical CDF over a fixed set of samples; supports inverse-CDF sampling
+/// with linear interpolation between observed points. Used by the traffic
+/// variability model (§8.2) to mimic the Abilene traffic-matrix CDFs.
+class EmpiricalCdf {
+ public:
+  /// Builds the CDF from samples (copied and sorted). Throws on empty input.
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  /// Inverse CDF: maps u in [0,1] to a sample value, interpolating linearly.
+  double inverse(double u) const;
+
+  /// CDF value at x: fraction of samples <= x (with interpolation).
+  double at(double x) const;
+
+  std::size_t size() const { return sorted_.size(); }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace nwlb::util

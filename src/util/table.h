@@ -1,0 +1,49 @@
+// Plain-text table rendering for benchmark harness output.  Every figure /
+// table bench prints its series through this so the output is uniform and
+// greppable (aligned columns plus an optional CSV echo).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace nwlb::util {
+
+/// A simple column-aligned text table.  Cells are strings; numeric helpers
+/// format with a fixed precision.  Rendering pads each column to its widest
+/// cell.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row. Subsequent add_* calls append cells to it.
+  Table& row();
+
+  Table& cell(std::string value);
+  Table& cell(double value, int precision = 4);
+  Table& cell(long long value);
+  Table& cell(int value) { return cell(static_cast<long long>(value)); }
+  Table& cell(std::size_t value) { return cell(static_cast<long long>(value)); }
+
+  /// Renders the aligned table.
+  std::string to_string() const;
+
+  /// Renders as CSV (header + rows, comma-separated, no quoting — callers
+  /// must not put commas in cells).
+  std::string to_csv() const;
+
+  /// Prints the aligned table to the stream, followed by a blank line.
+  void print(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given precision, trimming trailing zeros is
+/// deliberately *not* done so columns stay visually aligned.
+std::string format_double(double value, int precision = 4);
+
+}  // namespace nwlb::util

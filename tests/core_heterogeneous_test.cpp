@@ -1,0 +1,85 @@
+// Heterogeneous hardware and other capacity-shape edge cases of the
+// replication formulation (§3: differing Cap_j^r across the network).
+#include <gtest/gtest.h>
+
+#include "core/replication_lp.h"
+#include "core/scenario.h"
+#include "core/validate.h"
+#include "topo/topology.h"
+#include "traffic/matrix.h"
+
+namespace nwlb::core {
+namespace {
+
+struct HeteroFixture {
+  topo::Topology topology = topo::make_internet2();
+  traffic::TrafficMatrix tm;
+  Scenario scenario;
+
+  HeteroFixture()
+      : tm(traffic::gravity_matrix(topology.graph, traffic::paper_total_sessions(11))),
+        scenario(topology, tm) {}
+};
+
+TEST(Heterogeneous, UpgradedNodesAttractWork) {
+  HeteroFixture f;
+  ProblemInput input = f.scenario.problem(Architecture::kPathNoReplicate);
+  // Upgrade one transit node massively; it should absorb more traffic.
+  const int upgraded = 4;  // KansasCity, a central transit PoP.
+  input.capacities.scale_node(upgraded, 8.0);
+  const Assignment a = ReplicationLp(input).solve();
+  // Normalized loads are balanced, so the upgraded node's *absolute* work
+  // (load x capacity) must exceed any single legacy node's.
+  const double upgraded_work =
+      a.node_load[upgraded][0] * input.capacities.of(upgraded, nids::Resource::kCpu);
+  double max_legacy_work = 0.0;
+  for (int j = 0; j < input.num_pops(); ++j) {
+    if (j == upgraded) continue;
+    max_legacy_work = std::max(
+        max_legacy_work,
+        a.node_load[static_cast<std::size_t>(j)][0] *
+            input.capacities.of(j, nids::Resource::kCpu));
+  }
+  EXPECT_GT(upgraded_work, max_legacy_work);
+  EXPECT_TRUE(validate_assignment(input, a).empty());
+}
+
+TEST(Heterogeneous, PartialUpgradeLowersOptimum) {
+  HeteroFixture f;
+  const ProblemInput base = f.scenario.problem(Architecture::kPathNoReplicate);
+  const double before = ReplicationLp(base).solve().load_cost;
+  ProblemInput upgraded = base;
+  for (int j = 0; j < upgraded.num_pops(); j += 3) upgraded.capacities.scale_node(j, 4.0);
+  const double after = ReplicationLp(upgraded).solve().load_cost;
+  EXPECT_LT(after, before);
+}
+
+TEST(Heterogeneous, DowngradedNodeDoesNotBreakFeasibility) {
+  // A nearly-dead node (1% capacity) can always be bypassed: the LP stays
+  // feasible (full coverage) and simply routes around it.
+  HeteroFixture f;
+  ProblemInput input = f.scenario.problem(Architecture::kPathReplicate);
+  input.capacities.set(7, nids::Resource::kCpu,
+                       0.01 * f.scenario.base_capacity());
+  const Assignment a = ReplicationLp(input).solve();
+  EXPECT_EQ(a.lp.status, lp::Status::kOptimal);
+  for (double cov : a.coverage) EXPECT_NEAR(cov, 1.0, 1e-6);
+  ValidationOptions opts;
+  opts.require_full_coverage = true;
+  EXPECT_TRUE(validate_assignment(input, a, opts).empty());
+}
+
+TEST(Heterogeneous, PerClassFootprintScalesShiftLoad) {
+  // Doubling one class's footprint doubles its contribution: the optimum
+  // with scale 2 on all classes is exactly twice the base optimum.
+  HeteroFixture f;
+  const ProblemInput base = f.scenario.problem(Architecture::kPathNoReplicate);
+  const double unit = ReplicationLp(base).solve().load_cost;
+  ProblemInput heavy = base;
+  heavy.class_scale.assign(heavy.classes.size(), 2.0);
+  const double doubled = ReplicationLp(heavy).solve().load_cost;
+  EXPECT_NEAR(doubled, 2.0 * unit, 1e-6);
+}
+
+}  // namespace
+}  // namespace nwlb::core

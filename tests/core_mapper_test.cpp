@@ -1,0 +1,137 @@
+// ConfigMapper (§7.1): LP fractions -> hash ranges, exactly.
+#include <gtest/gtest.h>
+
+#include "core/mapper.h"
+#include "core/replication_lp.h"
+#include "core/scenario.h"
+#include "core/split_lp.h"
+#include "shim/hash.h"
+#include "topo/overlap.h"
+#include "topo/topology.h"
+#include "traffic/matrix.h"
+#include "util/rng.h"
+
+namespace nwlb::core {
+namespace {
+
+struct MapperFixture {
+  topo::Topology topology = topo::make_internet2();
+  traffic::TrafficMatrix tm;
+  Scenario scenario;
+
+  MapperFixture()
+      : tm(traffic::gravity_matrix(topology.graph, traffic::paper_total_sessions(11))),
+        scenario(topology, tm) {}
+};
+
+TEST(ConfigMapper, FractionsRoundTrip) {
+  MapperFixture f;
+  const ProblemInput input = f.scenario.problem(Architecture::kPathReplicate);
+  const Assignment a = ReplicationLp(input).solve();
+  const auto configs = build_shim_configs(input, a);
+  ASSERT_EQ(configs.size(), 11u);
+  for (std::size_t c = 0; c < input.classes.size(); ++c) {
+    double p_total = 0.0, o_total = 0.0;
+    for (const auto& share : a.process[c]) p_total += share.fraction;
+    for (const auto& off : a.offloads[c])
+      if (off.direction == nids::Direction::kForward) o_total += off.fraction;
+    const auto [mapped_p, mapped_o] =
+        mapped_fractions(configs, static_cast<int>(c), nids::Direction::kForward);
+    EXPECT_NEAR(mapped_p, p_total, 1e-6) << "class " << c;
+    EXPECT_NEAR(mapped_o, o_total, 1e-6) << "class " << c;
+    // Full coverage: the whole hash space is owned by someone.
+    EXPECT_NEAR(mapped_p + mapped_o, 1.0, 1e-6);
+  }
+}
+
+TEST(ConfigMapper, ExactlyOneOwnerPerHash) {
+  MapperFixture f;
+  const ProblemInput input = f.scenario.problem(Architecture::kPathReplicate);
+  const Assignment a = ReplicationLp(input).solve();
+  const auto configs = build_shim_configs(input, a);
+  nwlb::util::Rng rng(31);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const int c = static_cast<int>(rng.below(input.classes.size()));
+    const auto h = static_cast<std::uint32_t>(rng());
+    int owners = 0;
+    for (std::size_t pop = 0; pop < configs.size(); ++pop) {
+      const auto action = configs[pop].lookup(c, nids::Direction::kForward, h);
+      if (action.kind != shim::Action::Kind::kIgnore) ++owners;
+    }
+    EXPECT_EQ(owners, 1) << "class " << c << " hash " << h;
+  }
+}
+
+TEST(ConfigMapper, OwnersAreOnPath) {
+  MapperFixture f;
+  const ProblemInput input = f.scenario.problem(Architecture::kPathReplicate);
+  const Assignment a = ReplicationLp(input).solve();
+  const auto configs = build_shim_configs(input, a);
+  for (std::size_t c = 0; c < input.classes.size(); ++c) {
+    const auto nodes = input.classes[c].fwd_nodes();
+    for (std::size_t pop = 0; pop < configs.size(); ++pop) {
+      const auto* table = configs[pop].table(static_cast<int>(c), nids::Direction::kForward);
+      if (table == nullptr || table->empty()) continue;
+      EXPECT_TRUE(std::binary_search(nodes.begin(), nodes.end(), static_cast<int>(pop)))
+          << "off-path pop " << pop << " owns ranges for class " << c;
+    }
+  }
+}
+
+TEST(ConfigMapper, ReplicationTargetsAreMirrors) {
+  MapperFixture f;
+  const ProblemInput input = f.scenario.problem(Architecture::kPathReplicate);
+  const Assignment a = ReplicationLp(input).solve();
+  const auto configs = build_shim_configs(input, a);
+  bool saw_replication = false;
+  for (const auto& config : configs) {
+    for (std::size_t c = 0; c < input.classes.size(); ++c) {
+      const auto* table = config.table(static_cast<int>(c), nids::Direction::kForward);
+      if (table == nullptr) continue;
+      for (const auto& range : table->ranges()) {
+        if (range.action.kind == shim::Action::Kind::kReplicate) {
+          saw_replication = true;
+          EXPECT_EQ(range.action.mirror, input.datacenter_id());
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(saw_replication);
+}
+
+TEST(ConfigMapper, SplitDirectionsOverlapAtMin) {
+  // Under asymmetric routing, the fwd- and rev-covered hash ranges must
+  // overlap in exactly min(cov_fwd, cov_rev) — the mapper anchors both
+  // layouts at hash 0.
+  MapperFixture f;
+  ProblemInput input = f.scenario.problem(Architecture::kPathReplicate);
+  const topo::AsymmetricRouteGenerator generator(f.scenario.routing());
+  nwlb::util::Rng rng(5);
+  traffic::apply_asymmetry(input.classes, generator, 0.4, rng);
+  const Assignment a = SplitTrafficLp(input).solve();
+  const auto configs = build_shim_configs(input, a);
+
+  nwlb::util::Rng sampler(6);
+  for (std::size_t c = 0; c < input.classes.size(); ++c) {
+    int both = 0;
+    const int kSamples = 200;
+    for (int s = 0; s < kSamples; ++s) {
+      const auto h = static_cast<std::uint32_t>(sampler());
+      bool fwd_owned = false, rev_owned = false;
+      for (const auto& config : configs) {
+        if (config.lookup(static_cast<int>(c), nids::Direction::kForward, h).kind !=
+            shim::Action::Kind::kIgnore)
+          fwd_owned = true;
+        if (config.lookup(static_cast<int>(c), nids::Direction::kReverse, h).kind !=
+            shim::Action::Kind::kIgnore)
+          rev_owned = true;
+      }
+      if (fwd_owned && rev_owned) ++both;
+    }
+    EXPECT_NEAR(static_cast<double>(both) / kSamples, a.coverage[c], 0.12)
+        << "class " << c;
+  }
+}
+
+}  // namespace
+}  // namespace nwlb::core

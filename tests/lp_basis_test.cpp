@@ -1,0 +1,277 @@
+// Sparse LU / PFI-update tests: factorize random sparse bases and compare
+// FTRAN/BTRAN against a dense Gaussian-elimination reference.
+#include "lp/basis.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace nwlb::lp {
+namespace {
+
+using nwlb::util::Rng;
+
+// Dense reference: solves M x = b by Gaussian elimination w/ partial pivot.
+std::vector<double> dense_solve(std::vector<std::vector<double>> M, std::vector<double> b) {
+  const std::size_t n = b.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t piv = k;
+    for (std::size_t i = k + 1; i < n; ++i)
+      if (std::abs(M[i][k]) > std::abs(M[piv][k])) piv = i;
+    std::swap(M[k], M[piv]);
+    std::swap(b[k], b[piv]);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double f = M[i][k] / M[k][k];
+      if (f == 0.0) continue;
+      for (std::size_t j = k; j < n; ++j) M[i][j] -= f * M[k][j];
+      b[i] -= f * b[k];
+    }
+  }
+  std::vector<double> x(n);
+  for (std::size_t i = n; i-- > 0;) {
+    double v = b[i];
+    for (std::size_t j = i + 1; j < n; ++j) v -= M[i][j] * x[j];
+    x[i] = v / M[i][i];
+  }
+  return x;
+}
+
+// Builds an AugmentedMatrix whose structural part is a random sparse,
+// well-conditioned m x m matrix (diagonally dominated), returns the dense
+// copy alongside.
+struct RandomBasisCase {
+  AugmentedMatrix matrix;
+  std::vector<std::vector<double>> dense;  // m x m structural columns.
+};
+
+RandomBasisCase make_random_case(int m, double density, Rng& rng) {
+  RandomBasisCase rc;
+  rc.matrix.num_rows = m;
+  rc.matrix.num_structural = m;
+  rc.matrix.col_ptr.assign(1, 0);
+  rc.dense.assign(static_cast<std::size_t>(m),
+                  std::vector<double>(static_cast<std::size_t>(m), 0.0));
+  for (int j = 0; j < m; ++j) {
+    for (int i = 0; i < m; ++i) {
+      double v = 0.0;
+      if (i == j) {
+        v = 3.0 + rng.uniform();  // Dominant diagonal keeps it invertible.
+      } else if (rng.bernoulli(density)) {
+        v = rng.uniform(-1.0, 1.0);
+      }
+      if (v != 0.0) {
+        rc.matrix.row_idx.push_back(i);
+        rc.matrix.value.push_back(v);
+        rc.dense[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = v;
+      }
+    }
+    rc.matrix.col_ptr.push_back(static_cast<int>(rc.matrix.row_idx.size()));
+  }
+  return rc;
+}
+
+TEST(AugmentedMatrix, LogicalColumnsAreUnitVectors) {
+  AugmentedMatrix m;
+  m.num_rows = 3;
+  m.num_structural = 0;
+  m.col_ptr = {0};
+  std::vector<double> out(3, 0.0);
+  m.scatter(/*col=*/1, 2.0, out);  // Logical column for row 1.
+  EXPECT_DOUBLE_EQ(out[1], 2.0);
+  EXPECT_DOUBLE_EQ(m.dot(2, std::vector<double>{5, 6, 7}), 7.0);
+}
+
+TEST(BasisFactor, IdentityBasis) {
+  AugmentedMatrix m;
+  m.num_rows = 4;
+  m.num_structural = 0;
+  m.col_ptr = {0};
+  BasisFactor f;
+  const std::vector<int> basic{0, 1, 2, 3};
+  ASSERT_TRUE(f.factorize(m, basic, 1e-10).ok);
+  std::vector<double> x{1, 2, 3, 4};
+  f.ftran(x);
+  EXPECT_DOUBLE_EQ(x[2], 3.0);
+  f.btran(x);
+  EXPECT_DOUBLE_EQ(x[3], 4.0);
+}
+
+TEST(BasisFactor, FtranMatchesDense) {
+  Rng rng(101);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int m = 3 + static_cast<int>(rng.below(20));
+    auto rc = make_random_case(m, 0.3, rng);
+    std::vector<int> basic(static_cast<std::size_t>(m));
+    for (int i = 0; i < m; ++i) basic[static_cast<std::size_t>(i)] = i;
+    BasisFactor f;
+    ASSERT_TRUE(f.factorize(rc.matrix, basic, 1e-10).ok);
+
+    std::vector<double> b(static_cast<std::size_t>(m));
+    for (auto& v : b) v = rng.uniform(-5, 5);
+    auto x = b;
+    f.ftran(x);
+    const auto expected = dense_solve(rc.dense, b);
+    for (int i = 0; i < m; ++i)
+      EXPECT_NEAR(x[static_cast<std::size_t>(i)], expected[static_cast<std::size_t>(i)], 1e-8)
+          << "trial " << trial << " m=" << m;
+  }
+}
+
+TEST(BasisFactor, BtranMatchesDenseTranspose) {
+  Rng rng(202);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int m = 3 + static_cast<int>(rng.below(16));
+    auto rc = make_random_case(m, 0.35, rng);
+    std::vector<int> basic(static_cast<std::size_t>(m));
+    for (int i = 0; i < m; ++i) basic[static_cast<std::size_t>(i)] = i;
+    BasisFactor f;
+    ASSERT_TRUE(f.factorize(rc.matrix, basic, 1e-10).ok);
+
+    std::vector<double> c(static_cast<std::size_t>(m));
+    for (auto& v : c) v = rng.uniform(-5, 5);
+    auto y = c;
+    f.btran(y);
+    // Dense transpose solve.
+    auto mt = rc.dense;
+    for (int i = 0; i < m; ++i)
+      for (int j = 0; j < i; ++j)
+        std::swap(mt[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)],
+                  mt[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)]);
+    const auto expected = dense_solve(mt, c);
+    for (int i = 0; i < m; ++i)
+      EXPECT_NEAR(y[static_cast<std::size_t>(i)], expected[static_cast<std::size_t>(i)], 1e-8);
+  }
+}
+
+TEST(BasisFactor, MixedLogicalAndStructuralColumns) {
+  Rng rng(303);
+  const int m = 12;
+  auto rc = make_random_case(m, 0.3, rng);
+  // Half structural, half logical.
+  std::vector<int> basic;
+  for (int i = 0; i < m; ++i)
+    basic.push_back(i % 2 == 0 ? i : rc.matrix.num_structural + i);
+  BasisFactor f;
+  ASSERT_TRUE(f.factorize(rc.matrix, basic, 1e-10).ok);
+  // Verify B * ftran(b) == b by explicit reconstruction.
+  std::vector<double> b(static_cast<std::size_t>(m));
+  for (auto& v : b) v = rng.uniform(-2, 2);
+  auto x = b;
+  f.ftran(x);
+  std::vector<double> recon(static_cast<std::size_t>(m), 0.0);
+  for (int pos = 0; pos < m; ++pos)
+    rc.matrix.scatter(basic[static_cast<std::size_t>(pos)], x[static_cast<std::size_t>(pos)],
+                      recon);
+  for (int i = 0; i < m; ++i)
+    EXPECT_NEAR(recon[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(i)], 1e-8);
+}
+
+TEST(BasisFactor, UpdateMatchesRefactorization) {
+  Rng rng(404);
+  const int m = 15;
+  auto rc = make_random_case(m, 0.3, rng);
+  std::vector<int> basic(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) basic[static_cast<std::size_t>(i)] = i;
+  BasisFactor f;
+  ASSERT_TRUE(f.factorize(rc.matrix, basic, 1e-10).ok);
+
+  // Replace basis position 4 by the logical column of row 7.
+  const int entering = rc.matrix.num_structural + 7;
+  std::vector<double> w(static_cast<std::size_t>(m), 0.0);
+  rc.matrix.scatter(entering, 1.0, w);
+  f.ftran(w);
+  ASSERT_TRUE(f.update(4, w, 1e-10));
+  basic[4] = entering;
+
+  BasisFactor fresh;
+  ASSERT_TRUE(fresh.factorize(rc.matrix, basic, 1e-10).ok);
+
+  std::vector<double> b(static_cast<std::size_t>(m));
+  for (auto& v : b) v = rng.uniform(-3, 3);
+  auto x1 = b, x2 = b;
+  f.ftran(x1);
+  fresh.ftran(x2);
+  for (int i = 0; i < m; ++i)
+    EXPECT_NEAR(x1[static_cast<std::size_t>(i)], x2[static_cast<std::size_t>(i)], 1e-7);
+
+  auto y1 = b, y2 = b;
+  f.btran(y1);
+  fresh.btran(y2);
+  for (int i = 0; i < m; ++i)
+    EXPECT_NEAR(y1[static_cast<std::size_t>(i)], y2[static_cast<std::size_t>(i)], 1e-7);
+}
+
+TEST(BasisFactor, SequenceOfUpdates) {
+  Rng rng(505);
+  const int m = 20;
+  auto rc = make_random_case(m, 0.25, rng);
+  std::vector<int> basic(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) basic[static_cast<std::size_t>(i)] = i;
+  BasisFactor f;
+  ASSERT_TRUE(f.factorize(rc.matrix, basic, 1e-10).ok);
+  // Swap five positions to logicals, one by one, through PFI updates.
+  for (int k = 0; k < 5; ++k) {
+    const int pos = 2 * k;
+    const int entering = rc.matrix.num_structural + (m - 1 - k);
+    std::vector<double> w(static_cast<std::size_t>(m), 0.0);
+    rc.matrix.scatter(entering, 1.0, w);
+    f.ftran(w);
+    ASSERT_TRUE(f.update(pos, w, 1e-10));
+    basic[static_cast<std::size_t>(pos)] = entering;
+  }
+  EXPECT_EQ(f.num_updates(), 5);
+  BasisFactor fresh;
+  ASSERT_TRUE(fresh.factorize(rc.matrix, basic, 1e-10).ok);
+  std::vector<double> b(static_cast<std::size_t>(m));
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  auto x1 = b, x2 = b;
+  f.ftran(x1);
+  fresh.ftran(x2);
+  for (int i = 0; i < m; ++i)
+    EXPECT_NEAR(x1[static_cast<std::size_t>(i)], x2[static_cast<std::size_t>(i)], 1e-6);
+}
+
+TEST(BasisFactor, SingularBasisIsRepairedWithLogicals) {
+  // Two identical columns: one slot must be repaired with a logical.
+  AugmentedMatrix m;
+  m.num_rows = 2;
+  m.num_structural = 2;
+  // Column 0 and 1 both equal (1, 1)^T.
+  m.col_ptr = {0, 2, 4};
+  m.row_idx = {0, 1, 0, 1};
+  m.value = {1, 1, 1, 1};
+  BasisFactor f;
+  const std::vector<int> basic{0, 1};
+  const auto result = f.factorize(m, basic, 1e-10);
+  ASSERT_TRUE(result.ok);
+  ASSERT_EQ(result.defective_positions.size(), 1u);
+  ASSERT_EQ(result.unpivoted_rows.size(), 1u);
+  // After mirroring the repair, FTRAN must solve the repaired basis.
+  std::vector<int> repaired = basic;
+  repaired[static_cast<std::size_t>(result.defective_positions[0])] =
+      m.num_structural + result.unpivoted_rows[0];
+  std::vector<double> b{3.0, 5.0};
+  auto x = b;
+  f.ftran(x);
+  std::vector<double> recon(2, 0.0);
+  for (int pos = 0; pos < 2; ++pos)
+    m.scatter(repaired[static_cast<std::size_t>(pos)], x[static_cast<std::size_t>(pos)], recon);
+  EXPECT_NEAR(recon[0], 3.0, 1e-9);
+  EXPECT_NEAR(recon[1], 5.0, 1e-9);
+}
+
+TEST(BasisFactor, FactorNonzerosReported) {
+  Rng rng(606);
+  auto rc = make_random_case(8, 0.4, rng);
+  std::vector<int> basic{0, 1, 2, 3, 4, 5, 6, 7};
+  BasisFactor f;
+  ASSERT_TRUE(f.factorize(rc.matrix, basic, 1e-10).ok);
+  EXPECT_GE(f.factor_nonzeros(), 8u);
+  EXPECT_EQ(f.dimension(), 8);
+}
+
+}  // namespace
+}  // namespace nwlb::lp

@@ -1,0 +1,161 @@
+// Medium-scale optimality certification: verify the revised simplex's
+// answers through KKT conditions (primal feasibility, dual feasibility of
+// reduced costs at the returned point, and strong duality), which needs no
+// reference solver and therefore scales beyond the dense oracle.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lp/revised_simplex.h"
+#include "util/rng.h"
+
+namespace nwlb::lp {
+namespace {
+
+using nwlb::util::Rng;
+
+// Dense column view of a normalized model (small helper, test-only).
+std::vector<std::vector<std::pair<int, double>>> columns_of(const Model& m) {
+  std::vector<std::vector<std::pair<int, double>>> cols(
+      static_cast<std::size_t>(m.num_variables()));
+  for (int r = 0; r < m.num_rows(); ++r)
+    for (const Entry& e : m.row_entries(RowId{r}))
+      cols[static_cast<std::size_t>(e.var)].emplace_back(r, e.coef);
+  return cols;
+}
+
+// Verifies KKT at (x, y): feasibility, reduced-cost signs, strong duality.
+void verify_kkt(const Model& model, const Solution& sol) {
+  ASSERT_EQ(sol.status, Status::kOptimal);
+  ASSERT_EQ(static_cast<int>(sol.duals.size()), model.num_rows());
+  EXPECT_LE(model.max_violation(sol.x), 1e-6);
+
+  Model m = model;
+  m.normalize();
+  const auto cols = columns_of(m);
+  constexpr double kTol = 1e-5;
+
+  // Dual feasibility w.r.t. row senses: for a <= row, y <= 0 is NOT the
+  // convention here; our duals satisfy d_logical = -y with logical bounds
+  // [0, inf) for <=; equivalently y_i <= tol for <=, y_i >= -tol for >=.
+  for (int r = 0; r < m.num_rows(); ++r) {
+    const double y = sol.duals[static_cast<std::size_t>(r)];
+    switch (m.sense(RowId{r})) {
+      case Sense::kLessEqual:
+        EXPECT_LE(y, kTol) << "row " << r;
+        break;
+      case Sense::kGreaterEqual:
+        EXPECT_GE(y, -kTol) << "row " << r;
+        break;
+      case Sense::kEqual:
+        break;  // Free sign.
+    }
+    // Complementary slackness: slack * y == 0.
+    double activity = 0.0;
+    for (const Entry& e : m.row_entries(RowId{r}))
+      activity += e.coef * sol.x[static_cast<std::size_t>(e.var)];
+    const double slack = m.rhs(RowId{r}) - activity;
+    EXPECT_NEAR(slack * y, 0.0, 1e-4 * (1.0 + std::abs(y))) << "row " << r;
+  }
+
+  // Reduced costs: d_j = c_j - y'A_j; sign must match the active bound,
+  // and strong duality: c'x == y'b + sum_j d_j * x_j over bound-active js.
+  double dual_objective = 0.0;
+  for (int r = 0; r < m.num_rows(); ++r)
+    dual_objective += sol.duals[static_cast<std::size_t>(r)] * m.rhs(RowId{r});
+  for (int j = 0; j < m.num_variables(); ++j) {
+    double d = m.cost(VarId{j});
+    for (const auto& [r, a] : cols[static_cast<std::size_t>(j)])
+      d -= sol.duals[static_cast<std::size_t>(r)] * a;
+    const double x = sol.x[static_cast<std::size_t>(j)];
+    const double lo = m.lower(VarId{j});
+    const double hi = m.upper(VarId{j});
+    const bool at_lower = std::isfinite(lo) && std::abs(x - lo) < 1e-6;
+    const bool at_upper = std::isfinite(hi) && std::abs(x - hi) < 1e-6;
+    if (at_lower && at_upper) {
+      // Fixed: any sign.
+    } else if (at_lower) {
+      EXPECT_GE(d, -kTol) << "var " << j;
+    } else if (at_upper) {
+      EXPECT_LE(d, kTol) << "var " << j;
+    } else {
+      EXPECT_NEAR(d, 0.0, kTol) << "var " << j;  // Interior => basic.
+    }
+    if (at_lower || at_upper) dual_objective += d * x;
+  }
+  const double scale = std::max(1.0, std::abs(sol.objective));
+  EXPECT_NEAR(dual_objective, sol.objective, 1e-4 * scale);
+}
+
+class KktCertification : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KktCertification, MediumRandomLps) {
+  Rng rng(GetParam() * 6701);
+  Model m;
+  const int n = 150 + static_cast<int>(rng.below(300));
+  const int k = 40 + static_cast<int>(rng.below(80));
+  std::vector<VarId> vars;
+  std::vector<double> point;
+  for (int j = 0; j < n; ++j) {
+    const double lo = rng.uniform(-1, 0);
+    const double hi = lo + rng.uniform(0.5, 2.0);
+    vars.push_back(m.add_variable(lo, hi, rng.uniform(-1, 1)));
+    point.push_back(lo + 0.5 * (hi - lo));
+  }
+  for (int i = 0; i < k; ++i) {
+    double activity = 0.0;
+    std::vector<std::pair<int, double>> entries;
+    for (int t = 0; t < 8; ++t) {
+      const int j = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+      const double a = rng.uniform(-2, 2);
+      entries.emplace_back(j, a);
+      activity += a * point[static_cast<std::size_t>(j)];
+    }
+    const bool le = rng.bernoulli(0.5);
+    const RowId r = m.add_row(le ? Sense::kLessEqual : Sense::kGreaterEqual,
+                              le ? activity + rng.uniform(0, 1) : activity - rng.uniform(0, 1));
+    for (auto [j, a] : entries) m.add_coefficient(r, vars[static_cast<std::size_t>(j)], a);
+  }
+  const Solution sol = solve_revised(m);
+  verify_kkt(m, sol);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, KktCertification,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(KktCertification, ReplicationShapedAtScale) {
+  // A structured instance with the exact shape of the Fig. 7 LP at a
+  // few-thousand-variable scale; the optimum must satisfy KKT.
+  Rng rng(4242);
+  Model m;
+  const int classes = 400, nodes = 24;
+  const VarId load = m.add_variable(0, kInf, 1.0, "LoadCost");
+  std::vector<std::vector<VarId>> p(static_cast<std::size_t>(classes));
+  for (int c = 0; c < classes; ++c) {
+    const RowId cov = m.add_row(Sense::kEqual, 1.0);
+    for (int j = 0; j < 5; ++j) {
+      const VarId v = m.add_variable(0, 1, 0);
+      p[static_cast<std::size_t>(c)].push_back(v);
+      m.add_coefficient(cov, v, 1.0);
+    }
+  }
+  std::vector<RowId> load_rows;
+  for (int jn = 0; jn < nodes; ++jn) {
+    const RowId r = m.add_row(Sense::kLessEqual, 0.0);
+    m.add_coefficient(r, load, -1.0);
+    load_rows.push_back(r);
+  }
+  for (int c = 0; c < classes; ++c) {
+    const double weight = rng.uniform(0.2, 2.0);
+    for (std::size_t j = 0; j < p[static_cast<std::size_t>(c)].size(); ++j) {
+      const auto node = static_cast<std::size_t>((c + 3 * static_cast<int>(j)) % nodes);
+      m.add_coefficient(load_rows[node], p[static_cast<std::size_t>(c)][j], weight);
+    }
+  }
+  const Solution sol = solve_revised(m);
+  verify_kkt(m, sol);
+  EXPECT_GT(sol.objective, 0.0);
+}
+
+}  // namespace
+}  // namespace nwlb::lp

@@ -1,0 +1,180 @@
+// Presolve and scaling: reductions must never change the optimum.
+#include <gtest/gtest.h>
+
+#include "lp/presolve.h"
+#include "lp/revised_simplex.h"
+#include "lp/scaling.h"
+#include "util/rng.h"
+
+namespace nwlb::lp {
+namespace {
+
+TEST(Presolve, RemovesFixedVariables) {
+  Model m;
+  const VarId x = m.add_variable(3, 3, 5, "fixed");
+  const VarId y = m.add_variable(0, kInf, 1, "free");
+  const RowId r = m.add_row(Sense::kGreaterEqual, 10);
+  m.add_coefficient(r, x, 1);
+  m.add_coefficient(r, y, 1);
+  const Presolved p = presolve(m);
+  ASSERT_EQ(p.status, PresolveStatus::kReduced);
+  // The cascade dissolves the whole problem: x is fixed, the row becomes
+  // the singleton y >= 7, and y's now-empty column pins it at that bound.
+  EXPECT_EQ(p.vars_removed(), 2);
+  EXPECT_EQ(p.model.num_variables(), 0);
+  const Solution s = solve_with_presolve(m);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.objective, 15 + 7, 1e-8);
+  EXPECT_NEAR(s.x[0], 3.0, 1e-9);
+  EXPECT_NEAR(s.x[1], 7.0, 1e-9);
+}
+
+TEST(Presolve, SingletonRowTightensBounds) {
+  Model m;
+  const VarId x = m.add_variable(0, 10, -1);
+  const RowId r = m.add_row(Sense::kLessEqual, 4);
+  m.add_coefficient(r, x, 2);  // 2x <= 4 -> x <= 2.
+  const Presolved p = presolve(m);
+  ASSERT_EQ(p.status, PresolveStatus::kReduced);
+  EXPECT_EQ(p.rows_removed(), 1);
+  // The whole problem dissolves into a bound + empty column.
+  const Solution s = solve_with_presolve(m);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.objective, -2.0, 1e-9);
+}
+
+TEST(Presolve, DetectsInfeasibleSingletons) {
+  Model m;
+  const VarId x = m.add_variable(0, 1, 0);
+  const RowId r = m.add_row(Sense::kGreaterEqual, 5);
+  m.add_coefficient(r, x, 1);
+  EXPECT_EQ(presolve(m).status, PresolveStatus::kInfeasible);
+  EXPECT_EQ(solve_with_presolve(m).status, Status::kInfeasible);
+}
+
+TEST(Presolve, DetectsEmptyColumnUnboundedness) {
+  Model m;
+  m.add_variable(0, kInf, -1);  // Appears nowhere; cost pushes to +inf.
+  EXPECT_EQ(presolve(m).status, PresolveStatus::kUnbounded);
+}
+
+TEST(Presolve, EmptyRowFeasibilityCheck) {
+  Model m;
+  const VarId x = m.add_variable(2, 2, 1);  // Fixed -> substituted out.
+  const RowId r = m.add_row(Sense::kEqual, 5);
+  m.add_coefficient(r, x, 1);  // Becomes empty row "0 = 3": infeasible.
+  EXPECT_EQ(presolve(m).status, PresolveStatus::kInfeasible);
+}
+
+TEST(Presolve, FullySolvedByPresolve) {
+  Model m;
+  m.add_variable(1, 1, 2, "a");
+  m.add_variable(0, 4, 3, "b");  // Empty column, cost > 0 -> pinned at 0.
+  const Solution s = solve_with_presolve(m);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.objective, 2.0, 1e-9);
+  EXPECT_NEAR(s.x[1], 0.0, 1e-9);
+}
+
+class PresolveEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PresolveEquivalence, SameOptimumAsDirectSolve) {
+  nwlb::util::Rng rng(GetParam() * 977);
+  Model m;
+  const int n = 4 + static_cast<int>(rng.below(12));
+  std::vector<VarId> vars;
+  for (int j = 0; j < n; ++j) {
+    // Mix of fixed, bounded, and unbounded variables.
+    const double pick = rng.uniform();
+    if (pick < 0.2) {
+      const double v = rng.uniform(-1, 1);
+      vars.push_back(m.add_variable(v, v, rng.uniform(-1, 1)));
+    } else {
+      vars.push_back(m.add_variable(0, rng.uniform(0.5, 3), rng.uniform(-1, 1)));
+    }
+  }
+  const int k = 2 + static_cast<int>(rng.below(6));
+  for (int i = 0; i < k; ++i) {
+    const int width = 1 + static_cast<int>(rng.below(3));  // Singletons likely.
+    const RowId r = m.add_row(rng.bernoulli(0.5) ? Sense::kLessEqual : Sense::kGreaterEqual,
+                              rng.uniform(0, 3));
+    for (int w = 0; w < width; ++w)
+      m.add_coefficient(r, vars[rng.below(static_cast<std::uint64_t>(n))],
+                        rng.uniform(-2, 2));
+  }
+  const Solution direct = solve_revised(m);
+  const Solution reduced = solve_with_presolve(m);
+  ASSERT_EQ(direct.status, reduced.status);
+  if (direct.status == Status::kOptimal) {
+    EXPECT_NEAR(direct.objective, reduced.objective, 1e-6);
+    EXPECT_LE(m.max_violation(reduced.x), 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, PresolveEquivalence,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+TEST(Scaling, ReducesCoefficientSpread) {
+  Model m;
+  const VarId x = m.add_variable(0, kInf, 1);
+  const VarId y = m.add_variable(0, kInf, 1e6);
+  const RowId r1 = m.add_row(Sense::kGreaterEqual, 1e6);
+  m.add_coefficient(r1, x, 1e6);
+  m.add_coefficient(r1, y, 1e-3);
+  const RowId r2 = m.add_row(Sense::kLessEqual, 10);
+  m.add_coefficient(r2, x, 1e-4);
+  m.add_coefficient(r2, y, 100);
+  const double before = coefficient_spread(m);
+  const ScaledModel scaled = scale_model(m);
+  EXPECT_LT(coefficient_spread(scaled.model), before);
+}
+
+TEST(Scaling, SolutionMapsBack) {
+  Model m;
+  const VarId x = m.add_variable(0, 2000, -1e-3);
+  const VarId y = m.add_variable(0, 3, -2000);
+  const RowId r = m.add_row(Sense::kLessEqual, 4000);
+  m.add_coefficient(r, x, 1);
+  m.add_coefficient(r, y, 1000);
+  const Solution direct = solve_revised(m);
+  const ScaledModel scaled = scale_model(m);
+  const Solution inner = solve_revised(scaled.model);
+  ASSERT_EQ(direct.status, Status::kOptimal);
+  ASSERT_EQ(inner.status, Status::kOptimal);
+  const auto restored = scaled.restore_primal(inner.x);
+  EXPECT_NEAR(m.objective_value(restored), direct.objective, 1e-6 * std::abs(direct.objective));
+  EXPECT_LE(m.max_violation(restored), 1e-5);
+}
+
+class ScalingEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScalingEquivalence, PreservesOptima) {
+  nwlb::util::Rng rng(GetParam() * 313);
+  Model m;
+  const int n = 3 + static_cast<int>(rng.below(8));
+  std::vector<VarId> vars;
+  for (int j = 0; j < n; ++j) {
+    const double magnitude = std::pow(10.0, rng.uniform(-3, 3));
+    vars.push_back(m.add_variable(0, 5 * magnitude, rng.uniform(-1, 1) / magnitude));
+  }
+  for (int i = 0; i < 4; ++i) {
+    const RowId r = m.add_row(Sense::kLessEqual, std::pow(10.0, rng.uniform(0, 3)));
+    for (int j = 0; j < n; ++j)
+      if (rng.bernoulli(0.6))
+        m.add_coefficient(r, vars[static_cast<std::size_t>(j)],
+                          rng.uniform(0.1, 2) * std::pow(10.0, rng.uniform(-2, 2)));
+  }
+  const Solution direct = solve_revised(m);
+  const ScaledModel scaled = scale_model(m);
+  const Solution inner = solve_revised(scaled.model);
+  ASSERT_EQ(direct.status, Status::kOptimal);
+  ASSERT_EQ(inner.status, Status::kOptimal);
+  const double tol = 1e-6 * std::max(1.0, std::abs(direct.objective));
+  EXPECT_NEAR(m.objective_value(scaled.restore_primal(inner.x)), direct.objective, tol);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, ScalingEquivalence,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace nwlb::lp

@@ -1,0 +1,85 @@
+// Sketch-based scan detection: accuracy vs the exact detector, union-merge
+// correctness (the property that makes flow-level splits aggregation-safe).
+#include "nids/approx_scan.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace nwlb::nids {
+namespace {
+
+TEST(ApproxScan, TracksExactDetectorOnSmallCounts) {
+  ScanDetector exact;
+  ApproxScanDetector approx(12);
+  nwlb::util::Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const auto src = static_cast<std::uint32_t>(1 + rng.below(5));
+    const auto dst = static_cast<std::uint32_t>(rng.below(300));
+    exact.observe(src, dst);
+    approx.observe(src, dst);
+  }
+  const auto e = exact.report();
+  const auto a = approx.report();
+  ASSERT_EQ(e.size(), a.size());
+  for (std::size_t i = 0; i < e.size(); ++i) {
+    EXPECT_EQ(e[i].source, a[i].source);
+    EXPECT_NEAR(a[i].distinct_destinations, e[i].distinct_destinations,
+                std::max(3.0, 0.1 * e[i].distinct_destinations));
+  }
+}
+
+TEST(ApproxScan, AlertsAgreeWithExactAwayFromThreshold) {
+  ScanDetector exact;
+  ApproxScanDetector approx(12);
+  // One loud scanner (200 dsts), many quiet sources (2 dsts).
+  for (std::uint32_t d = 0; d < 200; ++d) {
+    exact.observe(7, d);
+    approx.observe(7, d);
+  }
+  for (std::uint32_t s = 100; s < 140; ++s) {
+    for (std::uint32_t d = 0; d < 2; ++d) {
+      exact.observe(s, d);
+      approx.observe(s, d);
+    }
+  }
+  // Threshold far from both clusters: identical alert sets.
+  EXPECT_EQ(approx.alerts(50).size(), 1u);
+  EXPECT_EQ(approx.alerts(50)[0].source, 7u);
+  EXPECT_EQ(exact.alerts(50).size(), 1u);
+}
+
+TEST(ApproxScan, MergeIsUnionNotSum) {
+  // The same destinations observed at two vantage points must not double
+  // count — this is what count-based flow-level reports get wrong (Fig. 8)
+  // and sketch reports get right.
+  ApproxScanDetector a(11), b(11);
+  for (std::uint32_t d = 0; d < 500; ++d) {
+    a.observe(1, d);
+    b.observe(1, d);  // Identical destination set.
+  }
+  a.merge(b);
+  const auto report = a.report();
+  ASSERT_EQ(report.size(), 1u);
+  EXPECT_NEAR(report[0].distinct_destinations, 500.0, 50.0);  // Not ~1000.
+}
+
+TEST(ApproxScan, MergeCoversDisjointSources) {
+  ApproxScanDetector a(10), b(10);
+  a.observe(1, 10);
+  b.observe(2, 20);
+  a.merge(b);
+  EXPECT_EQ(a.num_sources(), 2u);
+}
+
+TEST(ApproxScan, MemoryIsBounded) {
+  ApproxScanDetector approx(8);  // 256 bytes per source.
+  for (std::uint32_t d = 0; d < 100000; ++d) approx.observe(42, d);
+  EXPECT_EQ(approx.memory_bytes(), 256u);  // One source, fixed sketch.
+  approx.clear();
+  EXPECT_EQ(approx.num_sources(), 0u);
+  EXPECT_THROW(ApproxScanDetector(99), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nwlb::nids

@@ -1,0 +1,100 @@
+// HyperLogLog sketches and flood (DoS) detection.
+#include <gtest/gtest.h>
+
+#include "nids/flood.h"
+#include "nids/hll.h"
+#include "util/rng.h"
+
+namespace nwlb::nids {
+namespace {
+
+TEST(HyperLogLog, EmptyEstimatesZero) {
+  const HyperLogLog hll(10);
+  EXPECT_NEAR(hll.estimate(), 0.0, 1e-9);
+  EXPECT_EQ(hll.memory_bytes(), 1024u);
+}
+
+TEST(HyperLogLog, SmallCountsAreExactish) {
+  HyperLogLog hll(12);
+  for (std::uint64_t i = 0; i < 50; ++i) hll.add(i * 7919);
+  EXPECT_NEAR(hll.estimate(), 50.0, 3.0);
+}
+
+TEST(HyperLogLog, DuplicatesDoNotInflate) {
+  HyperLogLog hll(12);
+  for (int rep = 0; rep < 100; ++rep)
+    for (std::uint64_t i = 0; i < 20; ++i) hll.add(i);
+  EXPECT_NEAR(hll.estimate(), 20.0, 2.0);
+}
+
+class HllAccuracy : public ::testing::TestWithParam<int> {};
+
+TEST_P(HllAccuracy, WithinExpectedError) {
+  const int n = GetParam();
+  HyperLogLog hll(11);  // ~2.3% standard error.
+  nwlb::util::Rng rng(static_cast<std::uint64_t>(n));
+  for (int i = 0; i < n; ++i) hll.add(rng());
+  const double error = std::abs(hll.estimate() - n) / n;
+  EXPECT_LT(error, 0.10) << "n=" << n;  // 4+ sigma headroom.
+}
+
+INSTANTIATE_TEST_SUITE_P(Cardinalities, HllAccuracy,
+                         ::testing::Values(1000, 5000, 20000, 100000, 400000));
+
+TEST(HyperLogLog, MergeEqualsUnion) {
+  HyperLogLog a(10), b(10), u(10);
+  for (std::uint64_t i = 0; i < 3000; ++i) {
+    a.add(i);
+    u.add(i);
+  }
+  for (std::uint64_t i = 2000; i < 6000; ++i) {
+    b.add(i);
+    u.add(i);
+  }
+  a.merge(b);
+  EXPECT_NEAR(a.estimate(), u.estimate(), 1e-9);  // Register-exact equality.
+  HyperLogLog other(12);
+  EXPECT_THROW(a.merge(other), std::invalid_argument);
+}
+
+TEST(HyperLogLog, PrecisionValidation) {
+  EXPECT_THROW(HyperLogLog(3), std::invalid_argument);
+  EXPECT_THROW(HyperLogLog(17), std::invalid_argument);
+  HyperLogLog hll(6);
+  hll.add(1);
+  hll.clear();
+  EXPECT_NEAR(hll.estimate(), 0.0, 1e-9);
+}
+
+TEST(FloodDetector, CountsDistinctSources) {
+  FloodDetector d;
+  for (std::uint32_t s = 0; s < 30; ++s) d.observe(s, /*dst=*/99);
+  d.observe(5, 99);  // Duplicate source.
+  d.observe(1, 100);
+  const auto report = d.report();
+  ASSERT_EQ(report.size(), 2u);
+  EXPECT_EQ(report[0].destination, 99u);
+  EXPECT_EQ(report[0].distinct_sources, 30u);
+  EXPECT_EQ(d.alerts(25).size(), 1u);
+  EXPECT_EQ(d.alerts(25)[0].destination, 99u);
+  EXPECT_TRUE(d.alerts(100).empty());
+}
+
+TEST(FloodDetector, MirrorsScanSemantics) {
+  // Flood is scan with src/dst swapped: per-destination counts add across
+  // disjoint source sets exactly like scan counts add across paths.
+  FloodDetector left, right, full;
+  for (std::uint32_t s = 0; s < 10; ++s) {
+    left.observe(s, 7);
+    full.observe(s, 7);
+  }
+  for (std::uint32_t s = 10; s < 25; ++s) {
+    right.observe(s, 7);
+    full.observe(s, 7);
+  }
+  EXPECT_EQ(left.report()[0].distinct_sources + right.report()[0].distinct_sources,
+            full.report()[0].distinct_sources);
+}
+
+}  // namespace
+}  // namespace nwlb::nids

@@ -1,0 +1,76 @@
+#include "nids/signature.h"
+
+#include <gtest/gtest.h>
+
+namespace nwlb::nids {
+namespace {
+
+TEST(SignatureEngine, FindsSingleTonePattern) {
+  const SignatureEngine engine({"attack"});
+  const auto matches = engine.scan("pre attack post");
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].pattern_id, 0);
+  EXPECT_EQ(matches[0].end_offset, 10u);  // "pre attack" is 10 bytes.
+}
+
+TEST(SignatureEngine, MultiplePatternsAndOverlaps) {
+  const SignatureEngine engine({"he", "she", "his", "hers"});
+  const auto matches = engine.scan("ushers");
+  // Classic Aho-Corasick example: "she" at 4, "he" at 4, "hers" at 6.
+  ASSERT_EQ(matches.size(), 3u);
+}
+
+TEST(SignatureEngine, NoFalsePositives) {
+  const SignatureEngine engine({"evil"});
+  EXPECT_TRUE(engine.scan("perfectly benign payload").empty());
+  EXPECT_EQ(engine.count_matches("eviL evi evil!"), 1u);
+}
+
+TEST(SignatureEngine, PatternAtBoundaries) {
+  const SignatureEngine engine({"xyz"});
+  EXPECT_EQ(engine.count_matches("xyz"), 1u);
+  EXPECT_EQ(engine.count_matches("xyzxyz"), 2u);
+  EXPECT_EQ(engine.count_matches("xyxyz"), 1u);
+  EXPECT_EQ(engine.count_matches(""), 0u);
+}
+
+TEST(SignatureEngine, RepeatedPatternInstances) {
+  const SignatureEngine engine({"ab"});
+  EXPECT_EQ(engine.count_matches("ababab"), 3u);
+}
+
+TEST(SignatureEngine, SubstringPatterns) {
+  const SignatureEngine engine({"abc", "b"});
+  const auto matches = engine.scan("abc");
+  ASSERT_EQ(matches.size(), 2u);  // "b" at offset 2, "abc" at offset 3.
+}
+
+TEST(SignatureEngine, BinaryPatterns) {
+  const std::string nops = "\x90\x90\x90";
+  const SignatureEngine engine({nops});
+  std::string payload = "aa";
+  payload += nops;
+  payload += "bb";
+  EXPECT_EQ(engine.count_matches(payload), 1u);
+}
+
+TEST(SignatureEngine, WorkUnitsTrackBytes) {
+  const SignatureEngine engine({"x"});
+  engine.count_matches("12345");
+  engine.count_matches("123");
+  EXPECT_EQ(engine.work_units(), 8u);
+}
+
+TEST(SignatureEngine, DefaultRulesCompileAndMatch) {
+  const SignatureEngine engine(SignatureEngine::default_rules());
+  EXPECT_GT(engine.num_patterns(), 30);
+  EXPECT_GE(engine.count_matches("GET /admin/config.php HTTP/1.1"), 1u);
+  EXPECT_EQ(engine.count_matches("innocuous body"), 0u);
+}
+
+TEST(SignatureEngine, RejectsEmptyPattern) {
+  EXPECT_THROW(SignatureEngine({""}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nwlb::nids

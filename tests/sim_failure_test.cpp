@@ -1,0 +1,114 @@
+// Failure injection: replication-tunnel loss and its detection impact.
+#include <gtest/gtest.h>
+
+#include "core/mapper.h"
+#include "core/replication_lp.h"
+#include "core/scenario.h"
+#include "sim/replay.h"
+#include "sim/trace.h"
+#include "topo/topology.h"
+#include "traffic/matrix.h"
+
+namespace nwlb::sim {
+namespace {
+
+struct LossFixture {
+  topo::Topology topology = topo::make_internet2();
+  traffic::TrafficMatrix tm;
+  core::Scenario scenario;
+  core::ProblemInput input;
+  core::Assignment assignment;
+  std::vector<shim::ShimConfig> configs;
+
+  LossFixture()
+      : tm(traffic::gravity_matrix(topology.graph, traffic::paper_total_sessions(11))),
+        scenario(topology, tm),
+        input(scenario.problem(core::Architecture::kPathReplicate)),
+        assignment(core::ReplicationLp(input).solve()),
+        configs(core::build_shim_configs(input, assignment)) {}
+
+  ReplayStats run(double loss, std::uint64_t trace_seed = 77) {
+    ReplayOptions opts;
+    opts.replication_loss = loss;
+    ReplaySimulator sim(input, configs, opts);
+    TraceConfig tc;
+    tc.scanners = 0;
+    TraceGenerator gen(input.classes, tc, trace_seed);
+    sim.replay(gen.generate(1500), gen);
+    return sim.stats();
+  }
+};
+
+TEST(FailureInjection, ZeroLossIsLossless) {
+  LossFixture f;
+  const ReplayStats stats = f.run(0.0);
+  EXPECT_GT(stats.tunnel_frames_sent, 0u);
+  EXPECT_EQ(stats.tunnel_frames_dropped, 0u);
+  EXPECT_EQ(stats.tunnel_frames_detected_lost, 0u);
+  EXPECT_NEAR(stats.miss_rate(), 0.0, 1e-12);
+}
+
+TEST(FailureInjection, DropRateMatchesInjection) {
+  LossFixture f;
+  const ReplayStats stats = f.run(0.3);
+  ASSERT_GT(stats.tunnel_frames_sent, 100u);
+  const double observed = static_cast<double>(stats.tunnel_frames_dropped) /
+                          static_cast<double>(stats.tunnel_frames_sent);
+  EXPECT_NEAR(observed, 0.3, 0.05);
+}
+
+TEST(FailureInjection, LossCausesStatefulMisses) {
+  // Sessions whose coverage depends on replication lose one direction when
+  // frames drop; the stateful miss rate must rise from zero.
+  LossFixture f;
+  const ReplayStats clean = f.run(0.0);
+  const ReplayStats lossy = f.run(0.5);
+  EXPECT_NEAR(clean.miss_rate(), 0.0, 1e-12);
+  EXPECT_GT(lossy.miss_rate(), 0.0);
+  // Lost frames also mean less work at the mirrors.
+  EXPECT_LT(lossy.node_work.back(), clean.node_work.back());
+}
+
+TEST(FailureInjection, ReceiversDetectSequenceGaps) {
+  LossFixture f;
+  const ReplayStats stats = f.run(0.25);
+  ASSERT_GT(stats.tunnel_frames_dropped, 0u);
+  // Gap-based detection misses only trailing losses per (sender, stream);
+  // the bulk must be observed.
+  EXPECT_GE(stats.tunnel_frames_detected_lost,
+            stats.tunnel_frames_dropped * 8 / 10);
+  EXPECT_LE(stats.tunnel_frames_detected_lost, stats.tunnel_frames_dropped);
+}
+
+TEST(FailureInjection, DeterministicInSeed) {
+  LossFixture f;
+  ReplayOptions opts;
+  opts.replication_loss = 0.2;
+  opts.seed = 9;
+  auto run_with = [&](ReplayOptions o) {
+    ReplaySimulator sim(f.input, f.configs, o);
+    TraceConfig tc;
+    tc.scanners = 0;
+    TraceGenerator gen(f.input.classes, tc, 3);
+    sim.replay(gen.generate(400), gen);
+    return sim.stats();
+  };
+  const ReplayStats a = run_with(opts);
+  const ReplayStats b = run_with(opts);
+  EXPECT_EQ(a.tunnel_frames_dropped, b.tunnel_frames_dropped);
+  EXPECT_EQ(a.stateful_missed, b.stateful_missed);
+  ReplayOptions other = opts;
+  other.seed = 10;
+  const ReplayStats c = run_with(other);
+  EXPECT_NE(a.tunnel_frames_dropped, c.tunnel_frames_dropped);
+}
+
+TEST(FailureInjection, RejectsBadProbability) {
+  LossFixture f;
+  ReplayOptions opts;
+  opts.replication_loss = 1.5;
+  EXPECT_THROW(ReplaySimulator(f.input, f.configs, opts), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nwlb::sim

@@ -1,0 +1,80 @@
+#include "topo/overlap.h"
+
+#include <gtest/gtest.h>
+
+#include "topo/topology.h"
+#include "util/stats.h"
+
+namespace nwlb::topo {
+namespace {
+
+TEST(PathOverlap, JaccardBasics) {
+  EXPECT_DOUBLE_EQ(path_overlap({0, 1, 2}, {0, 1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(path_overlap({0, 1, 2}, {2, 1, 0}), 1.0);  // Set semantics.
+  EXPECT_DOUBLE_EQ(path_overlap({0, 1}, {2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(path_overlap({0, 1, 2}, {1, 2, 3}), 0.5);  // 2 / 4.
+  EXPECT_THROW(path_overlap({}, {1}), std::invalid_argument);
+}
+
+TEST(PathOverlap, DuplicateNodesIgnored) {
+  EXPECT_DOUBLE_EQ(path_overlap({0, 1, 1, 2}, {0, 1, 2}), 1.0);
+}
+
+class AsymmetryTargets : public ::testing::TestWithParam<double> {};
+
+TEST_P(AsymmetryTargets, AchievedOverlapTracksTarget) {
+  const double theta = GetParam();
+  const auto t = make_internet2();
+  const Routing routing(t.graph);
+  const AsymmetricRouteGenerator generator(routing);
+  nwlb::util::Rng rng(42);
+
+  std::vector<double> achieved;
+  for (NodeId a = 0; a < t.graph.num_nodes(); ++a) {
+    for (NodeId b = 0; b < t.graph.num_nodes(); ++b) {
+      if (a == b) continue;
+      const Path rev = generator.reverse_path(a, b, theta, rng);
+      ASSERT_FALSE(rev.empty());
+      achieved.push_back(generator.achieved_overlap(a, b, rev));
+    }
+  }
+  const double mean_achieved = nwlb::util::mean(achieved);
+  // The candidate set is discrete, so allow generous slack; the point is
+  // that the achieved overlap moves with (and roughly matches) the target.
+  EXPECT_NEAR(mean_achieved, theta, 0.17) << "theta=" << theta;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AsymmetryTargets,
+                         ::testing::Values(0.2, 0.4, 0.6, 0.8));
+
+TEST(AsymmetricRouteGenerator, MonotoneInTheta) {
+  const auto t = make_geant();
+  const Routing routing(t.graph);
+  const AsymmetricRouteGenerator generator(routing);
+  nwlb::util::Rng rng(7);
+  auto mean_for = [&](double theta) {
+    std::vector<double> achieved;
+    for (NodeId a = 0; a < 10; ++a)
+      for (NodeId b = 10; b < 20; ++b)
+        achieved.push_back(generator.achieved_overlap(
+            a, b, generator.reverse_path(a, b, theta, rng)));
+    return nwlb::util::mean(achieved);
+  };
+  EXPECT_LT(mean_for(0.1), mean_for(0.9));
+}
+
+TEST(AsymmetricRouteGenerator, ReturnsRealPaths) {
+  const auto t = make_internet2();
+  const Routing routing(t.graph);
+  const AsymmetricRouteGenerator generator(routing);
+  nwlb::util::Rng rng(3);
+  const Path rev = generator.reverse_path(0, 10, 0.5, rng);
+  // Every returned path is a real shortest path: consecutive adjacency.
+  for (std::size_t i = 0; i + 1 < rev.size(); ++i)
+    EXPECT_TRUE(t.graph.has_edge(rev[i], rev[i + 1]));
+  EXPECT_THROW(generator.reverse_path(0, 10, 1.5, rng), std::invalid_argument);
+  EXPECT_THROW(generator.reverse_path(0, 0, 0.5, rng), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace nwlb::topo

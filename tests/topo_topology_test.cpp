@@ -1,0 +1,101 @@
+#include "topo/topology.h"
+
+#include <gtest/gtest.h>
+
+#include "topo/routing.h"
+
+namespace nwlb::topo {
+namespace {
+
+TEST(Topology, PaperPopCounts) {
+  const auto all = all_topologies();
+  ASSERT_EQ(all.size(), 8u);
+  const std::pair<const char*, int> expected[] = {
+      {"Internet2", 11}, {"Geant", 22},  {"Enterprise", 23}, {"TiNet", 41},
+      {"Telstra", 44},   {"Sprint", 52}, {"Level3", 63},     {"NTT", 70},
+  };
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].name, expected[i].first);
+    EXPECT_EQ(all[i].graph.num_nodes(), expected[i].second) << all[i].name;
+  }
+}
+
+TEST(Topology, AllConnected) {
+  for (const auto& t : all_topologies())
+    EXPECT_TRUE(t.graph.connected()) << t.name;
+}
+
+TEST(Topology, Internet2HasAbileneShape) {
+  const auto t = make_internet2();
+  EXPECT_EQ(t.graph.num_edges(), 14);
+  // New York is the biggest metro in the gravity model.
+  double best = 0.0;
+  std::string biggest;
+  for (int i = 0; i < t.graph.num_nodes(); ++i) {
+    if (t.graph.population(i) > best) {
+      best = t.graph.population(i);
+      biggest = t.graph.name(i);
+    }
+  }
+  EXPECT_EQ(biggest, "NewYork");
+}
+
+TEST(Topology, SyntheticIsDeterministic) {
+  const auto a = make_ntt();
+  const auto b = make_ntt();
+  ASSERT_EQ(a.graph.num_nodes(), b.graph.num_nodes());
+  ASSERT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  for (int i = 0; i < a.graph.num_nodes(); ++i)
+    EXPECT_DOUBLE_EQ(a.graph.population(i), b.graph.population(i));
+  for (int i = 0; i < a.graph.num_nodes(); ++i) {
+    const auto na = a.graph.neighbors(i);
+    const auto nb = b.graph.neighbors(i);
+    ASSERT_EQ(na.size(), nb.size());
+    for (std::size_t k = 0; k < na.size(); ++k) EXPECT_EQ(na[k], nb[k]);
+  }
+}
+
+TEST(Topology, SyntheticSeedsDiffer) {
+  const auto a = make_synthetic_isp("A", 30, 1);
+  const auto b = make_synthetic_isp("B", 30, 2);
+  bool differs = a.graph.num_edges() != b.graph.num_edges();
+  if (!differs) {
+    for (int i = 0; i < 30 && !differs; ++i) {
+      const auto na = a.graph.neighbors(i);
+      const auto nb = b.graph.neighbors(i);
+      differs = na.size() != nb.size() ||
+                !std::equal(na.begin(), na.end(), nb.begin());
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Topology, SyntheticDegreeTarget) {
+  const auto t = make_synthetic_isp("X", 50, 7, 3.2);
+  const double avg = 2.0 * t.graph.num_edges() / t.graph.num_nodes();
+  EXPECT_GE(avg, 2.5);
+  EXPECT_LE(avg, 3.5);
+  EXPECT_THROW(make_synthetic_isp("bad", 2, 1), std::invalid_argument);
+  EXPECT_THROW(make_synthetic_isp("bad", 10, 1, 1.0), std::invalid_argument);
+}
+
+TEST(Topology, ByNameLookup) {
+  EXPECT_EQ(topology_by_name("Sprint").graph.num_nodes(), 52);
+  EXPECT_THROW(topology_by_name("nope"), std::invalid_argument);
+}
+
+TEST(Topology, SmallSubsetIsPrefix) {
+  const auto small = small_topologies();
+  ASSERT_EQ(small.size(), 4u);
+  EXPECT_EQ(small.back().name, "TiNet");
+}
+
+TEST(Topology, RoutableAtScale) {
+  // Routing must construct without throwing on the largest topology.
+  const auto t = make_ntt();
+  const Routing r(t.graph);
+  EXPECT_GE(r.distance(0, t.graph.num_nodes() - 1), 1);
+}
+
+}  // namespace
+}  // namespace nwlb::topo

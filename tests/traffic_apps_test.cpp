@@ -1,0 +1,78 @@
+// Application-level class splitting (§3's port-based classes).
+#include "traffic/apps.h"
+
+#include <gtest/gtest.h>
+
+#include "core/replication_lp.h"
+#include "core/scenario.h"
+#include "topo/topology.h"
+#include "traffic/matrix.h"
+
+namespace nwlb::traffic {
+namespace {
+
+TEST(Apps, DefaultMixSumsToOne) {
+  double total = 0.0;
+  for (const auto& app : default_app_mix()) total += app.traffic_share;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Apps, SplitPreservesVolumeAndPaths) {
+  const auto topology = topo::make_internet2();
+  const topo::Routing routing(topology.graph);
+  const auto tm = gravity_matrix(topology.graph, 8e6);
+  const auto aggregate = build_classes(routing, tm);
+  const AppClasses split = split_by_application(aggregate, default_app_mix());
+
+  EXPECT_EQ(split.classes.size(), aggregate.size() * default_app_mix().size());
+  EXPECT_EQ(split.classes.size(), split.footprint_scale.size());
+  EXPECT_NEAR(total_sessions(split.classes), total_sessions(aggregate), 1.0);
+  // Paths are inherited; ids are dense.
+  for (std::size_t i = 0; i < split.classes.size(); ++i) {
+    EXPECT_EQ(split.classes[i].id, static_cast<int>(i));
+    EXPECT_FALSE(split.classes[i].fwd_path.empty());
+  }
+  // HTTP at 46% of each pair's sessions.
+  EXPECT_NEAR(split.classes[0].sessions, aggregate[0].sessions * 0.46, 1e-6);
+  EXPECT_EQ(split.application[0], "http");
+}
+
+TEST(Apps, ValidatesProfiles) {
+  const auto topology = topo::make_internet2();
+  const topo::Routing routing(topology.graph);
+  const auto aggregate = build_classes(routing, gravity_matrix(topology.graph, 1e5));
+  EXPECT_THROW(split_by_application(aggregate, {}), std::invalid_argument);
+  std::vector<AppProfile> bad{{"a", 80, 0.7, 1.0, 1024.0}};  // Sums to 0.7.
+  EXPECT_THROW(split_by_application(aggregate, bad), std::invalid_argument);
+  std::vector<AppProfile> negative{{"a", 80, 1.0, -1.0, 1024.0}};
+  EXPECT_THROW(split_by_application(aggregate, negative), std::invalid_argument);
+}
+
+TEST(Apps, HeterogeneousFootprintsFeedTheLp) {
+  // End-to-end: per-app footprint scales change the optimum sensibly —
+  // the expensive classes dominate the load, and the LP still balances.
+  const auto topology = topo::make_internet2();
+  const auto tm = gravity_matrix(topology.graph, paper_total_sessions(11));
+  const core::Scenario scenario(topology, tm);
+  core::ProblemInput input = scenario.problem(core::Architecture::kPathReplicate);
+
+  const AppClasses split = split_by_application(input.classes, default_app_mix());
+  input.classes = split.classes;
+  input.class_scale = split.footprint_scale;
+
+  const core::Assignment a = core::ReplicationLp(input).solve();
+  EXPECT_EQ(a.lp.status, lp::Status::kOptimal);
+  // Every app class fully covered.
+  for (std::size_t c = 0; c < input.classes.size(); ++c) {
+    double total = 0.0;
+    for (const auto& share : a.process[c]) total += share.fraction;
+    for (const auto& o : a.offloads[c])
+      if (o.direction == nids::Direction::kForward) total += o.fraction;
+    EXPECT_NEAR(total, 1.0, 1e-6);
+  }
+  // Load is balanced far below the ingress benchmark even with the skew.
+  EXPECT_LT(a.load_cost, 0.6);
+}
+
+}  // namespace
+}  // namespace nwlb::traffic

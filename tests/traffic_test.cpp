@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "topo/topology.h"
+#include "traffic/classes.h"
+#include "traffic/matrix.h"
+#include "traffic/variability.h"
+#include "util/stats.h"
+
+namespace nwlb::traffic {
+namespace {
+
+TEST(TrafficMatrix, BasicOps) {
+  TrafficMatrix tm(3);
+  tm.set_volume(0, 1, 5.0);
+  tm.set_volume(1, 2, 7.0);
+  EXPECT_DOUBLE_EQ(tm.volume(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(tm.total(), 12.0);
+  tm.scale(2.0);
+  EXPECT_DOUBLE_EQ(tm.total(), 24.0);
+  EXPECT_THROW(tm.set_volume(0, 0, 1.0), std::invalid_argument);
+  EXPECT_THROW(tm.set_volume(0, 1, -1.0), std::invalid_argument);
+  EXPECT_THROW(tm.volume(0, 9), std::out_of_range);
+}
+
+TEST(Gravity, TotalsAndProportionality) {
+  const auto t = topo::make_internet2();
+  const TrafficMatrix tm = gravity_matrix(t.graph, 8e6);
+  EXPECT_NEAR(tm.total(), 8e6, 1.0);
+  // New York (10) <-> LA (2) should dominate Sunnyvale (1) <-> Indy (7).
+  EXPECT_GT(tm.volume(10, 2), tm.volume(1, 7));
+  // Gravity symmetry: volume(i,j) == volume(j,i) for equal populations only;
+  // in general ratio follows populations exactly.
+  const double expected_ratio = t.graph.population(10) / t.graph.population(1);
+  EXPECT_NEAR(tm.volume(10, 2) / tm.volume(1, 2), expected_ratio, 1e-6);
+}
+
+TEST(Gravity, PaperScaling) {
+  EXPECT_NEAR(paper_total_sessions(11), 8e6, 1e-6);
+  EXPECT_NEAR(paper_total_sessions(22), 16e6, 1e-6);
+}
+
+TEST(LinkTraffic, ConservesBytesAndProvisioning) {
+  const auto t = topo::make_internet2();
+  const topo::Routing routing(t.graph);
+  const TrafficMatrix tm = gravity_matrix(t.graph, 1e5);
+  const auto load = link_traffic(routing, tm, 1000.0);
+  ASSERT_EQ(load.size(), static_cast<std::size_t>(t.graph.num_directed_links()));
+  double total = 0.0;
+  for (double v : load) total += v;
+  EXPECT_GT(total, 0.0);
+  const auto caps = provision_link_capacities(load, 3.0);
+  double max_util = 0.0;
+  for (std::size_t l = 0; l < load.size(); ++l) max_util = std::max(max_util, load[l] / caps[l]);
+  EXPECT_NEAR(max_util, 1.0 / 3.0, 1e-9);  // Busiest link at exactly 0.3.
+  EXPECT_THROW(provision_link_capacities(load, 0.0), std::invalid_argument);
+}
+
+TEST(Classes, OnePerOrderedPair) {
+  const auto t = topo::make_internet2();
+  const topo::Routing routing(t.graph);
+  const TrafficMatrix tm = gravity_matrix(t.graph, 8e6);
+  const auto classes = build_classes(routing, tm);
+  EXPECT_EQ(classes.size(), 110u);  // 11 * 10.
+  EXPECT_NEAR(total_sessions(classes), 8e6, 1.0);
+  for (const auto& c : classes) {
+    EXPECT_TRUE(c.symmetric());
+    EXPECT_EQ(c.fwd_path.front(), c.ingress);
+    EXPECT_EQ(c.fwd_path.back(), c.egress);
+    EXPECT_EQ(c.common_nodes(), c.fwd_nodes());
+  }
+}
+
+TEST(Classes, AsymmetryBreaksSymmetry) {
+  const auto t = topo::make_internet2();
+  const topo::Routing routing(t.graph);
+  const TrafficMatrix tm = gravity_matrix(t.graph, 8e6);
+  auto classes = build_classes(routing, tm);
+  const topo::AsymmetricRouteGenerator generator(routing);
+  nwlb::util::Rng rng(11);
+  apply_asymmetry(classes, generator, 0.3, rng);
+  int asymmetric = 0;
+  for (const auto& c : classes)
+    if (!c.symmetric()) ++asymmetric;
+  EXPECT_GT(asymmetric, static_cast<int>(classes.size()) / 2);
+}
+
+TEST(Classes, CommonNodesIntersect) {
+  TrafficClass c;
+  c.fwd_path = {0, 1, 2, 3};
+  c.rev_path = {5, 2, 1, 6};
+  EXPECT_EQ(c.common_nodes(), (std::vector<topo::NodeId>{1, 2}));
+}
+
+TEST(Variability, UnitMeanFactors) {
+  const auto cdf = abilene_like_factor_cdf();
+  // Mean of the inverse CDF over uniform u approximates the factor mean.
+  double total = 0.0;
+  const int n = 20000;
+  nwlb::util::Rng rng(5);
+  for (int i = 0; i < n; ++i) total += cdf.inverse(rng.uniform());
+  EXPECT_NEAR(total / n, 1.0, 0.05);
+}
+
+TEST(Variability, SampledMatricesVaryButPreserveScale) {
+  const auto t = topo::make_internet2();
+  const TrafficMatrix mean = gravity_matrix(t.graph, 8e6);
+  const VariabilityModel model(abilene_like_factor_cdf());
+  const auto samples = model.sample_many(mean, 20, 99);
+  ASSERT_EQ(samples.size(), 20u);
+  std::vector<double> totals;
+  for (const auto& tm : samples) totals.push_back(tm.total());
+  // Element-wise unit-mean factors keep totals near the mean total.
+  EXPECT_NEAR(nwlb::util::mean(totals), 8e6, 8e6 * 0.1);
+  // And the samples genuinely differ.
+  EXPECT_GT(nwlb::util::stddev(totals), 0.0);
+}
+
+TEST(Variability, Deterministic) {
+  const auto t = topo::make_internet2();
+  const TrafficMatrix mean = gravity_matrix(t.graph, 1e6);
+  const VariabilityModel model(abilene_like_factor_cdf());
+  const auto a = model.sample_many(mean, 3, 1);
+  const auto b = model.sample_many(mean, 3, 1);
+  for (int k = 0; k < 3; ++k)
+    for (int i = 0; i < 11; ++i)
+      for (int j = 0; j < 11; ++j)
+        if (i != j) {
+          EXPECT_DOUBLE_EQ(a[static_cast<std::size_t>(k)].volume(i, j),
+                           b[static_cast<std::size_t>(k)].volume(i, j));
+        }
+}
+
+}  // namespace
+}  // namespace nwlb::traffic

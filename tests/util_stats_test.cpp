@@ -1,0 +1,80 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace nwlb::util {
+namespace {
+
+TEST(Stats, MeanAndVariance) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(variance(xs), 1.25);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> xs{4, 1, 3, 2};  // Unsorted on purpose.
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 1.75);
+  EXPECT_THROW(quantile(std::vector<double>{}, 0.5), std::invalid_argument);
+  EXPECT_THROW(quantile(xs, 1.5), std::invalid_argument);
+}
+
+TEST(Stats, BoxStatsFiveNumbers) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const BoxStats b = box_stats(xs);
+  EXPECT_DOUBLE_EQ(b.min, 1.0);
+  EXPECT_DOUBLE_EQ(b.q25, 2.0);
+  EXPECT_DOUBLE_EQ(b.median, 3.0);
+  EXPECT_DOUBLE_EQ(b.q75, 4.0);
+  EXPECT_DOUBLE_EQ(b.max, 5.0);
+  EXPECT_FALSE(b.to_string().empty());
+}
+
+TEST(Stats, MaxOverMean) {
+  const std::vector<double> xs{1, 1, 4};
+  EXPECT_DOUBLE_EQ(max_over_mean(xs), 2.0);
+  EXPECT_THROW(max_over_mean(std::vector<double>{0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(Stats, SingleElement) {
+  const std::vector<double> xs{7.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.3), 7.0);
+  const BoxStats b = box_stats(xs);
+  EXPECT_DOUBLE_EQ(b.min, 7.0);
+  EXPECT_DOUBLE_EQ(b.max, 7.0);
+}
+
+TEST(EmpiricalCdf, InverseEndpoints) {
+  EmpiricalCdf cdf({3.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(cdf.inverse(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.inverse(1.0), 3.0);
+  EXPECT_DOUBLE_EQ(cdf.inverse(0.5), 2.0);
+}
+
+TEST(EmpiricalCdf, AtIsMonotone) {
+  EmpiricalCdf cdf({1.0, 2.0, 4.0, 8.0});
+  double prev = -1.0;
+  for (double x = 0.0; x < 10.0; x += 0.25) {
+    const double v = cdf.at(x);
+    EXPECT_GE(v, prev);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+    prev = v;
+  }
+}
+
+TEST(EmpiricalCdf, RoundTrip) {
+  EmpiricalCdf cdf({1.0, 2.0, 4.0, 8.0});
+  for (double u : {0.1, 0.33, 0.5, 0.77, 0.9}) {
+    EXPECT_NEAR(cdf.at(cdf.inverse(u)), u, 1e-9);
+  }
+  EXPECT_THROW(EmpiricalCdf({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nwlb::util

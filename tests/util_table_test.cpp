@@ -1,0 +1,48 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace nwlb::util {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"Topology", "PoPs", "Time"});
+  t.row().cell("Internet2").cell(11).cell(0.05, 2);
+  t.row().cell("NTT").cell(70).cell(1.59, 2);
+  const std::string text = t.to_string();
+  EXPECT_NE(text.find("Internet2"), std::string::npos);
+  EXPECT_NE(text.find("1.59"), std::string::npos);
+  EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.row().cell(1).cell(2);
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, ErrorsOnMisuse) {
+  Table t({"x"});
+  EXPECT_THROW(t.cell("no row yet"), std::logic_error);
+  t.row().cell("ok");
+  EXPECT_THROW(t.cell("too wide"), std::logic_error);
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, PrintWritesToStream) {
+  Table t({"h"});
+  t.row().cell("v");
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find('v'), std::string::npos);
+}
+
+TEST(FormatDouble, FixedPrecision) {
+  EXPECT_EQ(format_double(1.5, 2), "1.50");
+  EXPECT_EQ(format_double(-0.125, 3), "-0.125");
+}
+
+}  // namespace
+}  // namespace nwlb::util

@@ -1,0 +1,228 @@
+// nwlbctl — command-line front end to the nwlb optimizer.
+//
+// The operator-facing entry point: pick a topology (built-in or a text
+// file), an architecture, and knobs; get the optimized assignment, the
+// per-node load table, and optional artifact dumps (MPS model, DOT graph,
+// per-node hash-range configurations).
+//
+//   nwlbctl --topology Internet2 --arch replicate --mll 0.4 --dc 10
+//   nwlbctl --topology-file mynet.topo --arch onehop --csv
+//   nwlbctl --list-topologies
+//   nwlbctl --topology Geant --arch replicate --dump-mps model.mps
+//           --dump-dot net.dot --show-configs
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/mapper.h"
+#include "core/replication_lp.h"
+#include "core/scenario.h"
+#include "core/validate.h"
+#include "lp/mps.h"
+#include "topo/io.h"
+#include "topo/metrics.h"
+#include "traffic/matrix.h"
+#include "util/table.h"
+
+using namespace nwlb;
+
+namespace {
+
+struct CliOptions {
+  std::string topology = "Internet2";
+  std::string topology_file;
+  std::string arch = "replicate";
+  double mll = 0.4;
+  double dc = 10.0;
+  std::string placement = "most-observed";
+  bool csv = false;
+  bool show_configs = false;
+  bool list_topologies = false;
+  std::string dump_mps;
+  std::string dump_dot;
+};
+
+void print_usage() {
+  std::cout <<
+      R"(nwlbctl — network-wide NIDS load-balancing optimizer
+
+Options:
+  --topology <name>       Built-in topology (default Internet2; see --list-topologies)
+  --topology-file <path>  Load a topology in the nwlb text format instead
+  --arch <name>           ingress | path | replicate | augmented | onehop |
+                          twohop | dc+onehop          (default replicate)
+  --mll <x>               MaxLinkLoad in [0,1]         (default 0.4)
+  --dc <alpha>            Datacenter capacity factor   (default 10)
+  --placement <strategy>  most-originating | most-observed | most-paths | medoid
+  --csv                   Emit tables as CSV
+  --show-configs          Print per-node hash-range counts
+  --dump-mps <path>       Write the LP in MPS format
+  --dump-dot <path>       Write the topology as Graphviz DOT
+  --list-topologies       List built-in topologies and exit
+  --help                  This text
+)";
+}
+
+std::optional<CliOptions> parse(int argc, char** argv) {
+  CliOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) throw std::invalid_argument(arg + " needs a value");
+      return argv[++i];
+    };
+    if (arg == "--topology") opt.topology = value();
+    else if (arg == "--topology-file") opt.topology_file = value();
+    else if (arg == "--arch") opt.arch = value();
+    else if (arg == "--mll") opt.mll = std::stod(value());
+    else if (arg == "--dc") opt.dc = std::stod(value());
+    else if (arg == "--placement") opt.placement = value();
+    else if (arg == "--csv") opt.csv = true;
+    else if (arg == "--show-configs") opt.show_configs = true;
+    else if (arg == "--dump-mps") opt.dump_mps = value();
+    else if (arg == "--dump-dot") opt.dump_dot = value();
+    else if (arg == "--list-topologies") opt.list_topologies = true;
+    else if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return std::nullopt;
+    } else {
+      throw std::invalid_argument("unknown option '" + arg + "' (try --help)");
+    }
+  }
+  return opt;
+}
+
+core::Architecture parse_arch(const std::string& name) {
+  if (name == "ingress") return core::Architecture::kIngress;
+  if (name == "path") return core::Architecture::kPathNoReplicate;
+  if (name == "replicate") return core::Architecture::kPathReplicate;
+  if (name == "augmented") return core::Architecture::kPathAugmented;
+  if (name == "onehop") return core::Architecture::kLocalOffload1;
+  if (name == "twohop") return core::Architecture::kLocalOffload2;
+  if (name == "dc+onehop") return core::Architecture::kDcPlusOneHop;
+  throw std::invalid_argument("unknown architecture '" + name + "'");
+}
+
+core::DcPlacement parse_placement(const std::string& name) {
+  if (name == "most-originating") return core::DcPlacement::kMostOriginating;
+  if (name == "most-observed") return core::DcPlacement::kMostObserved;
+  if (name == "most-paths") return core::DcPlacement::kMostPaths;
+  if (name == "medoid") return core::DcPlacement::kMedoid;
+  throw std::invalid_argument("unknown placement '" + name + "'");
+}
+
+void emit(const util::Table& table, bool csv) {
+  if (csv) {
+    std::cout << table.to_csv();
+  } else {
+    table.print(std::cout);
+  }
+}
+
+int run(const CliOptions& opt) {
+  if (opt.list_topologies) {
+    util::Table table({"Name", "PoPs", "Links", "Diameter"});
+    for (const auto& t : topo::all_topologies()) {
+      const topo::Routing routing(t.graph);
+      const auto metrics = topo::compute_metrics(routing);
+      table.row().cell(t.name).cell(metrics.num_nodes).cell(metrics.num_edges).cell(
+          metrics.diameter);
+    }
+    emit(table, opt.csv);
+    return 0;
+  }
+
+  topo::Topology topology = [&] {
+    if (!opt.topology_file.empty()) {
+      std::ifstream in(opt.topology_file);
+      if (!in) throw std::invalid_argument("cannot open " + opt.topology_file);
+      return topo::read_topology(in);
+    }
+    return topo::topology_by_name(opt.topology);
+  }();
+
+  const auto tm = traffic::gravity_matrix(
+      topology.graph, traffic::paper_total_sessions(topology.graph.num_nodes()));
+  core::ScenarioConfig config;
+  config.max_link_load = opt.mll;
+  config.dc_factor = opt.dc;
+  config.placement = parse_placement(opt.placement);
+  const core::Scenario scenario(topology, tm, config);
+  const core::Architecture arch = parse_arch(opt.arch);
+  const core::ProblemInput input = scenario.problem(arch);
+  const core::Assignment assignment = scenario.solve(arch);
+
+  std::cout << "topology=" << topology.name << " arch=" << core::to_string(arch)
+            << " mll=" << opt.mll << " dc=" << opt.dc << "\n";
+  std::cout << "max_load=" << assignment.load_cost
+            << " miss_rate=" << assignment.miss_rate
+            << " dc_access_util=" << assignment.dc_access_utilization
+            << " solve_ms=" << assignment.lp.solve_seconds * 1e3 << "\n\n";
+
+  const auto violations = validate_assignment(input, assignment);
+  if (!violations.empty()) {
+    std::cerr << "WARNING: assignment failed validation:\n";
+    for (const auto& v : violations) std::cerr << "  " << v << "\n";
+  }
+
+  util::Table loads({"Node", "CPU load", "Role"});
+  for (int j = 0; j < input.num_processing_nodes(); ++j) {
+    const bool is_dc = input.has_datacenter() && j == input.datacenter_id();
+    loads.row()
+        .cell(is_dc ? "Datacenter" : topology.graph.name(j))
+        .cell(assignment.node_load[static_cast<std::size_t>(j)][0], 3)
+        .cell(is_dc ? "cluster"
+                    : (j == scenario.datacenter_pop() && input.has_datacenter()
+                           ? "PoP (DC attach)"
+                           : "PoP"));
+  }
+  emit(loads, opt.csv);
+
+  if (opt.show_configs) {
+    const auto configs = core::build_shim_configs(input, assignment);
+    util::Table ranges({"Node", "RangeTables", "ProcessFrac", "ReplicateFrac"});
+    for (std::size_t j = 0; j < configs.size(); ++j) {
+      double process = 0.0, replicate = 0.0;
+      for (std::size_t c = 0; c < input.classes.size(); ++c) {
+        const auto* table = configs[j].table(static_cast<int>(c), nids::Direction::kForward);
+        if (table == nullptr) continue;
+        process += table->fraction_of(shim::Action::Kind::kProcess);
+        replicate += table->fraction_of(shim::Action::Kind::kReplicate);
+      }
+      ranges.row()
+          .cell(topology.graph.name(static_cast<int>(j)))
+          .cell(static_cast<long long>(configs[j].num_tables()))
+          .cell(process, 2)
+          .cell(replicate, 2);
+    }
+    emit(ranges, opt.csv);
+  }
+
+  if (!opt.dump_mps.empty()) {
+    const core::ReplicationLp formulation(input);
+    std::ofstream out(opt.dump_mps);
+    lp::write_mps(formulation.model(), out, topology.name);
+    std::cout << "wrote LP to " << opt.dump_mps << "\n";
+  }
+  if (!opt.dump_dot.empty()) {
+    std::ofstream out(opt.dump_dot);
+    topo::write_dot(topology, out);
+    std::cout << "wrote DOT to " << opt.dump_dot << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const auto options = parse(argc, argv);
+    if (!options) return 0;
+    return run(*options);
+  } catch (const std::exception& e) {
+    std::cerr << "nwlbctl: " << e.what() << "\n";
+    return 1;
+  }
+}
