@@ -1,6 +1,9 @@
 #include "core/controller.h"
 
 #include "core/replication_lp.h"
+#include "core/validate.h"
+#include "shim/validate.h"
+#include "util/check.h"
 
 namespace nwlb::core {
 
@@ -29,6 +32,20 @@ EpochResult Controller::epoch(const traffic::TrafficMatrix& tm) {
     warm_basis_ = result.assignment.lp.basis;
   }
   result.configs = build_shim_configs(input, result.assignment);
+#if NWLB_DCHECK_ENABLED
+  {
+    // Debug builds re-validate every applied assignment and the compiled
+    // shim configs before they would reach the data plane.
+    const auto assignment_violations = validate_assignment(input, result.assignment);
+    NWLB_CHECK(assignment_violations.empty(), "epoch assignment invalid: ",
+               assignment_violations.empty() ? "" : assignment_violations.front());
+    shim::ConfigValidationOptions config_options;
+    config_options.num_classes = static_cast<int>(input.classes.size());
+    const auto config_violations = shim::validate_configs(result.configs, config_options);
+    NWLB_CHECK(config_violations.empty(), "epoch shim configs invalid: ",
+               config_violations.empty() ? "" : config_violations.front());
+  }
+#endif
   result.solve_seconds = result.assignment.lp.solve_seconds;
   result.iterations =
       result.assignment.lp.iterations + result.assignment.lp.phase1_iterations;

@@ -5,6 +5,8 @@
 #include <map>
 #include <tuple>
 
+#include "util/check.h"
+
 namespace nwlb::core {
 namespace {
 
@@ -23,6 +25,7 @@ void install_direction(std::vector<shim::ShimConfig>& configs, int class_id,
   double cumulative = 0.0;
   std::uint64_t begin = 0;
   for (const Slice& s : slices) {
+    NWLB_DCHECK_GE(s.fraction, 0.0, "install_direction: negative decision fraction");
     cumulative += s.fraction;
     const auto end = static_cast<std::uint64_t>(
         std::llround(std::min(cumulative, 1.0) * static_cast<double>(shim::kHashSpace)));
@@ -38,6 +41,12 @@ void install_direction(std::vector<shim::ShimConfig>& configs, int class_id,
 
 std::vector<shim::ShimConfig> build_shim_configs(const ProblemInput& input,
                                                  const Assignment& assignment) {
+  // Trust boundary: a mis-shaped assignment here would compile into
+  // overlapping or truncated hash ranges downstream.
+  NWLB_CHECK_EQ(assignment.process.size(), input.classes.size(),
+                "build_shim_configs: process shares do not match the class count");
+  NWLB_CHECK_EQ(assignment.offloads.size(), input.classes.size(),
+                "build_shim_configs: offloads do not match the class count");
   const int num_pops = input.num_pops();
   std::vector<shim::ShimConfig> configs;
   configs.reserve(static_cast<std::size_t>(num_pops));

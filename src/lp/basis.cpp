@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
+
+#include "util/check.h"
 
 namespace nwlb::lp {
 
@@ -54,8 +55,8 @@ BasisFactor::FactorizeResult BasisFactor::factorize(const AugmentedMatrix& matri
                                                     std::span<const int> basic,
                                                     double pivot_tol) {
   m_ = matrix.num_rows;
-  if (static_cast<int>(basic.size()) != m_)
-    throw std::invalid_argument("BasisFactor::factorize: basis size != row count");
+  NWLB_CHECK_EQ(static_cast<int>(basic.size()), m_,
+                "BasisFactor::factorize: basis size != row count");
 
   etas_.clear();
   l_colptr_.assign(1, 0);
@@ -207,12 +208,11 @@ BasisFactor::FactorizeResult BasisFactor::factorize(const AugmentedMatrix& matri
     int cursor = 0;
     for (int pos : deferred) {
       while (cursor < m_ && pinv_[static_cast<std::size_t>(cursor)] >= 0) ++cursor;
-      if (cursor >= m_)
-        throw std::logic_error("BasisFactor: repair ran out of unpivoted rows");
+      NWLB_CHECK_LT(cursor, m_, "BasisFactor: repair ran out of unpivoted rows");
       result.defective_positions.push_back(pos);
       result.unpivoted_rows.push_back(cursor);
-      if (!process_column(pos, cursor))
-        throw std::logic_error("BasisFactor: logical repair column failed to pivot");
+      NWLB_CHECK(process_column(pos, cursor),
+                 "BasisFactor: logical repair column failed to pivot at row ", cursor);
     }
   }
   // Renumber L's row indices into pivot coordinates.
@@ -222,8 +222,7 @@ BasisFactor::FactorizeResult BasisFactor::factorize(const AugmentedMatrix& matri
 }
 
 void BasisFactor::ftran(std::span<double> x) const {
-  if (static_cast<int>(x.size()) != m_)
-    throw std::invalid_argument("BasisFactor::ftran: bad dimension");
+  NWLB_CHECK_EQ(static_cast<int>(x.size()), m_, "BasisFactor::ftran: bad dimension");
   std::vector<double> work(static_cast<std::size_t>(m_));
   for (int i = 0; i < m_; ++i)
     work[static_cast<std::size_t>(pinv_[static_cast<std::size_t>(i)])] =
@@ -265,8 +264,7 @@ void BasisFactor::ftran(std::span<double> x) const {
 }
 
 void BasisFactor::btran(std::span<double> x) const {
-  if (static_cast<int>(x.size()) != m_)
-    throw std::invalid_argument("BasisFactor::btran: bad dimension");
+  NWLB_CHECK_EQ(static_cast<int>(x.size()), m_, "BasisFactor::btran: bad dimension");
   // Apply eta transpose inverses in reverse creation order.
   for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
     double v = x[static_cast<std::size_t>(it->pivot_pos)];
@@ -306,6 +304,9 @@ void BasisFactor::btran(std::span<double> x) const {
 }
 
 bool BasisFactor::update(int pos, std::span<const double> w, double pivot_tol) {
+  NWLB_DCHECK_EQ(static_cast<int>(w.size()), m_, "BasisFactor::update: bad dimension");
+  NWLB_DCHECK(pos >= 0 && pos < m_, "BasisFactor::update: basis position ", pos,
+              " outside [0, ", m_, ")");
   const double pivot = w[static_cast<std::size_t>(pos)];
   if (std::abs(pivot) < pivot_tol) return false;
   EtaVector eta;

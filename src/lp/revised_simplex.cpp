@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
-#include <stdexcept>
 #include <vector>
 
 #include "lp/basis.h"
+#include "util/check.h"
 
 namespace nwlb::lp {
 namespace {
@@ -321,6 +321,9 @@ class Simplex {
 
   RatioResult ratio_test(int entering, int sigma, const std::vector<double>& w,
                          bool phase1, bool bland) {
+    NWLB_DCHECK(sigma == 1 || sigma == -1, "ratio_test: direction must be +-1");
+    NWLB_DCHECK(stat_[static_cast<std::size_t>(entering)] != VStat::kBasic,
+                "ratio_test: entering column ", entering, " is already basic");
     RatioResult rr;
     const std::size_t je = static_cast<std::size_t>(entering);
     double best = kInf;
@@ -403,6 +406,10 @@ class Simplex {
                   const std::vector<double>& w) {
     const std::size_t je = static_cast<std::size_t>(entering);
     const int m = matrix_.num_rows;
+    NWLB_DCHECK(entering >= 0 && entering < num_cols_,
+                "apply_step: entering column ", entering, " outside [0, ", num_cols_, ")");
+    NWLB_DCHECK_LT(rr.leaving_pos, m, "apply_step: leaving position past the basis");
+    NWLB_DCHECK_GE(rr.step, 0.0, "apply_step: negative step length");
     if (rr.step != 0.0) {
       for (int i = 0; i < m; ++i) {
         const double wi = w[static_cast<std::size_t>(i)];
@@ -483,6 +490,8 @@ class Simplex {
 }  // namespace
 
 Solution solve_revised(const Model& model, const Options& options, const Basis* warm) {
+  NWLB_CHECK_GE(options.max_iterations, 0, "solve_revised: negative iteration limit");
+  NWLB_CHECK_GT(options.pivot_tol, 0.0, "solve_revised: nonpositive pivot tolerance");
   Simplex simplex(model, options);
   Solution sol = simplex.solve(warm);
   if (sol.status == Status::kOptimal) {

@@ -1,15 +1,19 @@
 #include "shim/config.h"
 
 #include <algorithm>
-#include <stdexcept>
+
+#include "util/check.h"
 
 namespace nwlb::shim {
 
 void RangeTable::add(HashRange range) {
-  if (range.end > kHashSpace || range.begin >= range.end)
-    throw std::invalid_argument("RangeTable::add: malformed range");
-  if (!ranges_.empty() && range.begin < ranges_.back().end)
-    throw std::invalid_argument("RangeTable::add: ranges must be ascending");
+  NWLB_CHECK_LT(range.begin, range.end, "RangeTable::add: empty or inverted range");
+  NWLB_CHECK_LE(range.end, kHashSpace, "RangeTable::add: range past the hash space");
+  if (!ranges_.empty())
+    NWLB_CHECK_GE(range.begin, ranges_.back().end,
+                  "RangeTable::add: ranges must be ascending and non-overlapping");
+  NWLB_CHECK(range.action.kind != Action::Kind::kReplicate || range.action.mirror >= 0,
+             "RangeTable::add: replicate action without a target node");
   ranges_.push_back(range);
 }
 
@@ -39,10 +43,12 @@ double RangeTable::fraction_replicated_to(int mirror) const {
 }
 
 void ShimConfig::set_table(int class_id, nids::Direction direction, RangeTable table) {
+  NWLB_CHECK_GE(class_id, 0, "ShimConfig::set_table: negative class id");
   tables_[key(class_id, direction)] = std::move(table);
 }
 
 void ShimConfig::set_table(int class_id, RangeTable table) {
+  NWLB_CHECK_GE(class_id, 0, "ShimConfig::set_table: negative class id");
   tables_[key(class_id, nids::Direction::kForward)] = table;
   tables_[key(class_id, nids::Direction::kReverse)] = std::move(table);
 }

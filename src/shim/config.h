@@ -82,6 +82,18 @@ class ShimConfig {
 
   std::size_t num_tables() const { return tables_.size(); }
 
+  /// Visits every installed table as f(class_id, direction, table);
+  /// iteration order is unspecified.  Used by the validators.
+  template <typename F>
+  void for_each_table(F&& f) const {
+    for (const auto& [key, table] : tables_) {
+      const int class_id = key / 2;
+      const auto direction =
+          key % 2 == 1 ? nids::Direction::kReverse : nids::Direction::kForward;
+      f(class_id, direction, table);
+    }
+  }
+
  private:
   static int key(int class_id, nids::Direction d) {
     return class_id * 2 + (d == nids::Direction::kReverse ? 1 : 0);

@@ -1,0 +1,167 @@
+#include "shim/validate.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+
+namespace nwlb::shim {
+namespace {
+
+const char* kind_name(Action::Kind kind) {
+  switch (kind) {
+    case Action::Kind::kProcess:
+      return "process";
+    case Action::Kind::kReplicate:
+      return "replicate";
+    case Action::Kind::kIgnore:
+      return "ignore";
+  }
+  return "?";
+}
+
+/// The responsible node and action for hash `h` of (class, direction), or
+/// node -1 when every config ignores it.
+struct Owner {
+  int node = -1;
+  Action action = Action::ignore();
+};
+
+Owner find_owner(std::span<const ShimConfig> configs, int class_id,
+                 nids::Direction direction, std::uint32_t hash) {
+  for (std::size_t j = 0; j < configs.size(); ++j) {
+    const Action a = configs[j].lookup(class_id, direction, hash);
+    if (a.kind != Action::Kind::kIgnore) return Owner{static_cast<int>(j), a};
+  }
+  return {};
+}
+
+void validate_table(int class_id, nids::Direction direction, const RangeTable& table,
+                    const ConfigValidationOptions& options,
+                    std::vector<std::string>& violations) {
+  auto where = [&](const HashRange& r) {
+    std::ostringstream os;
+    os << "class " << class_id << (direction == nids::Direction::kForward ? " fwd" : " rev")
+       << " range [" << r.begin << ", " << r.end << "): ";
+    return os.str();
+  };
+  std::uint64_t previous_end = 0;
+  double covered = 0.0;
+  for (const HashRange& r : table.ranges()) {
+    if (r.begin >= r.end) violations.push_back(where(r) + "is empty or inverted");
+    if (r.end > kHashSpace)
+      violations.push_back(where(r) + "extends past the hash space");
+    if (r.begin < previous_end)
+      violations.push_back(where(r) + "overlaps the previous range");
+    previous_end = std::max(previous_end, r.end);
+    covered += r.fraction();
+    switch (r.action.kind) {
+      case Action::Kind::kReplicate:
+        if (r.action.mirror < 0)
+          violations.push_back(where(r) + "replicates to an invalid node " +
+                               std::to_string(r.action.mirror));
+        break;
+      case Action::Kind::kProcess:
+      case Action::Kind::kIgnore:
+        if (r.action.mirror != -1)
+          violations.push_back(where(r) + std::string(kind_name(r.action.kind)) +
+                               " action carries a mirror node");
+        break;
+    }
+  }
+  if (covered > 1.0 + options.tolerance)
+    violations.push_back("class " + std::to_string(class_id) +
+                         ": non-ignore fraction exceeds 1");
+}
+
+}  // namespace
+
+std::vector<std::string> validate_config(const ShimConfig& config,
+                                         const ConfigValidationOptions& options) {
+  std::vector<std::string> violations;
+  config.for_each_table([&](int class_id, nids::Direction direction, const RangeTable& table) {
+    validate_table(class_id, direction, table, options, violations);
+  });
+  return violations;
+}
+
+std::vector<std::string> validate_configs(std::span<const ShimConfig> configs,
+                                          const ConfigValidationOptions& options) {
+  std::vector<std::string> violations;
+  for (std::size_t j = 0; j < configs.size(); ++j) {
+    for (std::string& v : validate_config(configs[j], options))
+      violations.push_back("node " + std::to_string(j) + ": " + std::move(v));
+  }
+  if (options.num_classes < 0) return violations;
+
+  struct OwnedRange {
+    std::uint64_t begin;
+    std::uint64_t end;
+    int node;
+  };
+  for (int c = 0; c < options.num_classes; ++c) {
+    for (const nids::Direction dir : {nids::Direction::kForward, nids::Direction::kReverse}) {
+      const char* dir_name = dir == nids::Direction::kForward ? "fwd" : "rev";
+      std::vector<OwnedRange> owned;
+      for (std::size_t j = 0; j < configs.size(); ++j) {
+        const RangeTable* table = configs[j].table(c, dir);
+        if (table == nullptr) continue;
+        for (const HashRange& r : table->ranges())
+          if (r.action.kind != Action::Kind::kIgnore)
+            owned.push_back(OwnedRange{r.begin, r.end, static_cast<int>(j)});
+      }
+      std::sort(owned.begin(), owned.end(),
+                [](const OwnedRange& a, const OwnedRange& b) { return a.begin < b.begin; });
+      std::uint64_t covered = 0;
+      for (std::size_t i = 0; i < owned.size(); ++i) {
+        if (i > 0 && owned[i].begin < owned[i - 1].end) {
+          std::ostringstream os;
+          os << "class " << c << " " << dir_name << ": nodes " << owned[i - 1].node
+             << " and " << owned[i].node << " both own hashes in ["
+             << owned[i].begin << ", " << std::min(owned[i - 1].end, owned[i].end) << ")";
+          violations.push_back(os.str());
+        }
+        covered += owned[i].end - owned[i].begin;
+      }
+      if (options.require_full_coverage && covered < kHashSpace) {
+        std::ostringstream os;
+        os << "class " << c << " " << dir_name << ": non-ignore ranges cover " << covered
+           << " of " << kHashSpace << " hash values";
+        violations.push_back(os.str());
+      }
+    }
+  }
+
+  // Bidirectional consistency spot check over deterministically sampled
+  // hashes: the anchored p-share prefix means a locally processed hash is
+  // processed at the *same* node in both directions.
+  const int samples = options.bidirectional_samples;
+  for (int c = 0; c < options.num_classes && samples > 0; ++c) {
+    const std::uint64_t stride = kHashSpace / static_cast<std::uint64_t>(samples);
+    for (int s = 0; s < samples; ++s) {
+      const auto h = static_cast<std::uint32_t>(static_cast<std::uint64_t>(s) * stride +
+                                                stride / 2);
+      const Owner fwd = find_owner(configs, c, nids::Direction::kForward, h);
+      const Owner rev = find_owner(configs, c, nids::Direction::kReverse, h);
+      const bool fwd_local = fwd.action.kind == Action::Kind::kProcess;
+      const bool rev_local = rev.action.kind == Action::Kind::kProcess;
+      if (fwd_local != rev_local || (fwd_local && fwd.node != rev.node)) {
+        std::ostringstream os;
+        os << "class " << c << " hash " << h << ": bidirectional mismatch (fwd "
+           << kind_name(fwd.action.kind) << "@" << fwd.node << ", rev "
+           << kind_name(rev.action.kind) << "@" << rev.node << ")";
+        violations.push_back(os.str());
+      }
+      for (const Owner& o : {fwd, rev}) {
+        if (o.action.kind == Action::Kind::kReplicate && o.action.mirror == o.node) {
+          std::ostringstream os;
+          os << "class " << c << " hash " << h << ": node " << o.node
+             << " replicates to itself";
+          violations.push_back(os.str());
+        }
+      }
+    }
+  }
+  return violations;
+}
+
+}  // namespace nwlb::shim

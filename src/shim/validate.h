@@ -1,0 +1,55 @@
+// Shim configuration validation (§7.1 invariants).
+//
+// The whole shim design rests on hash ranges partitioning [0, 2^32):
+// a silently overlapping range double-analyzes (or double-counts) a slice
+// of traffic and an uncovered gap is a detection miss that no unit test
+// notices.  These validators machine-check the §7.1 contract on a single
+// node's config and network-wide across all PoPs' configs, including the
+// bidirectional-consistency anchoring trick (§7.2).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "shim/config.h"
+
+namespace nwlb::shim {
+
+struct ConfigValidationOptions {
+  double tolerance = 1e-9;
+  /// Require the non-ignore ranges of every class to cover all of
+  /// [0, 2^32) (true for full-coverage formulations like the §4
+  /// replication LP; split-traffic coverage may legitimately be < 1).
+  bool require_full_coverage = false;
+  /// Number of deterministic hash samples for the bidirectional
+  /// consistency spot check (0 disables it).
+  int bidirectional_samples = 256;
+  /// Highest class id expected in the configs; classes are checked in
+  /// [0, num_classes).  Negative means infer nothing and skip per-class
+  /// network-wide checks.
+  int num_classes = -1;
+};
+
+/// Structural invariants of one node's config: every table's ranges are
+/// ascending, non-overlapping, and inside [0, 2^32); every action is
+/// well-formed (replicate has a target node, others do not); and no
+/// class's non-ignore fraction exceeds 1.  Returns human-readable
+/// violations; empty means valid.
+std::vector<std::string> validate_config(const ShimConfig& config,
+                                         const ConfigValidationOptions& options = {});
+
+/// Network-wide invariants across all PoPs' configs (index == PoP id), as
+/// produced by core::build_shim_configs:
+///   - every config individually passes validate_config;
+///   - per class and direction, the non-ignore ranges of *different* nodes
+///     never overlap (each hash has at most one responsible node);
+///   - with require_full_coverage, their union covers [0, 2^32) exactly;
+///   - bidirectional spot check: for sampled hashes, a hash processed
+///     locally in one direction is processed locally *at the same node* in
+///     the other direction (the anchored p-share prefix, §7.2), and
+///     replicate targets reference a node outside the owner itself.
+std::vector<std::string> validate_configs(std::span<const ShimConfig> configs,
+                                          const ConfigValidationOptions& options = {});
+
+}  // namespace nwlb::shim

@@ -1,6 +1,8 @@
 #include "sim/pcap.h"
 
 #include <array>
+#include <bit>
+#include <cstring>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
@@ -23,20 +25,28 @@ void put_u32le(std::ostream& out, std::uint32_t v) {
   out.write(bytes, 4);
 }
 
+// Wire integers are read by memcpy into the target type — never by casting
+// the byte buffer to an integer pointer, which is unaligned UB.
 std::uint16_t get_u16le(std::istream& in) {
-  unsigned char b[2];
-  in.read(reinterpret_cast<char*>(b), 2);
+  char b[2];
+  in.read(b, 2);
   if (!in) throw std::invalid_argument("pcap: truncated");
-  return static_cast<std::uint16_t>(b[0] | (b[1] << 8));
+  std::uint16_t v;
+  std::memcpy(&v, b, sizeof v);
+  if constexpr (std::endian::native == std::endian::big)
+    v = static_cast<std::uint16_t>((v >> 8) | (v << 8));
+  return v;
 }
 
 std::uint32_t get_u32le(std::istream& in) {
-  unsigned char b[4];
-  in.read(reinterpret_cast<char*>(b), 4);
+  char b[4];
+  in.read(b, 4);
   if (!in) throw std::invalid_argument("pcap: truncated");
-  return static_cast<std::uint32_t>(b[0]) | (static_cast<std::uint32_t>(b[1]) << 8) |
-         (static_cast<std::uint32_t>(b[2]) << 16) |
-         (static_cast<std::uint32_t>(b[3]) << 24);
+  std::uint32_t v;
+  std::memcpy(&v, b, sizeof v);
+  if constexpr (std::endian::native == std::endian::big)
+    v = ((v >> 24) & 0xffU) | ((v >> 8) & 0xff00U) | ((v << 8) & 0xff0000U) | (v << 24);
+  return v;
 }
 
 void put_u16be(std::vector<std::uint8_t>& out, std::uint16_t v) {
@@ -116,6 +126,8 @@ void PcapWriter::write(const nids::Packet& packet, std::uint32_t ts_sec,
   put_u32le(*out_, ts_usec);
   put_u32le(*out_, static_cast<std::uint32_t>(frame.size()));
   put_u32le(*out_, static_cast<std::uint32_t>(frame.size()));
+  // Byte-buffer aliasing as char* for stream I/O is well-defined (no
+  // integer reinterpretation).  nwlb-lint: allow(reinterpret-cast)
   out_->write(reinterpret_cast<const char*>(frame.data()),
               static_cast<std::streamsize>(frame.size()));
   ++count_;
@@ -140,6 +152,7 @@ std::vector<nids::Packet> read_pcap(std::istream& in) {
     const std::uint32_t incl = get_u32le(in);
     (void)get_u32le(in);  // orig_len.
     std::vector<std::uint8_t> frame(incl);
+    // Byte-buffer aliasing as char* for stream I/O.  nwlb-lint: allow(reinterpret-cast)
     in.read(reinterpret_cast<char*>(frame.data()), static_cast<std::streamsize>(incl));
     if (!in) throw std::invalid_argument("pcap: truncated packet record");
     if (incl < 20 || (frame[0] >> 4) != 4)

@@ -4,11 +4,12 @@
 #include <queue>
 #include <stdexcept>
 
+#include "util/check.h"
+
 namespace nwlb::topo {
 
 Routing::Routing(const Graph& graph) : graph_(&graph) {
-  if (!graph.connected())
-    throw std::invalid_argument("Routing: graph must be connected");
+  NWLB_CHECK(graph.connected(), "Routing: graph must be connected");
   const int n = graph.num_nodes();
   paths_.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), {});
   links_.assign(paths_.size(), {});
@@ -41,6 +42,10 @@ Routing::Routing(const Graph& graph) : graph_(&graph) {
       for (NodeId cur = dst; cur != -1; cur = parent[static_cast<std::size_t>(cur)])
         p.push_back(cur);
       std::reverse(p.begin(), p.end());
+      // Route-construction postcondition: the built route terminates at its
+      // endpoints (a broken parent chain would silently truncate it).
+      NWLB_DCHECK(!p.empty() && p.front() == src && p.back() == dst,
+                  "Routing: route ", src, "->", dst, " does not terminate at its endpoints");
       dist_[index(src, dst)] = dist[static_cast<std::size_t>(dst)];
       dist_[index(dst, src)] = dist[static_cast<std::size_t>(dst)];
       Path rev(p.rbegin(), p.rend());

@@ -1,0 +1,91 @@
+#include "topo/validate.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace nwlb::topo {
+namespace {
+
+std::string pair_tag(NodeId src, NodeId dst) {
+  return "route " + std::to_string(src) + "->" + std::to_string(dst) + ": ";
+}
+
+}  // namespace
+
+std::vector<std::string> validate_path(const Graph& graph, const Path& path, NodeId src,
+                                       NodeId dst) {
+  std::vector<std::string> violations;
+  const std::string tag = pair_tag(src, dst);
+  if (path.empty()) {
+    violations.push_back(tag + "is empty");
+    return violations;
+  }
+  for (const NodeId n : path) {
+    if (n < 0 || n >= graph.num_nodes()) {
+      violations.push_back(tag + "references dead node " + std::to_string(n));
+      return violations;
+    }
+  }
+  if (path.front() != src)
+    violations.push_back(tag + "starts at " + std::to_string(path.front()) +
+                         " instead of its source");
+  if (path.back() != dst)
+    violations.push_back(tag + "does not terminate at its destination (ends at " +
+                         std::to_string(path.back()) + ")");
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    if (!graph.has_edge(path[i], path[i + 1]))
+      violations.push_back(tag + "hop " + std::to_string(path[i]) + "->" +
+                           std::to_string(path[i + 1]) + " crosses a non-existent link");
+  }
+  Path sorted = path;
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end())
+    violations.push_back(tag + "revisits a node (not a simple path)");
+  return violations;
+}
+
+std::vector<std::string> validate(const Routing& routing) {
+  std::vector<std::string> violations;
+  const Graph& graph = routing.graph();
+  if (!graph.connected()) violations.push_back("graph is not connected");
+  for (NodeId src = 0; src < graph.num_nodes(); ++src) {
+    for (NodeId dst = 0; dst < graph.num_nodes(); ++dst) {
+      const Path& fwd = routing.path(src, dst);
+      const std::string tag = pair_tag(src, dst);
+      for (std::string& v : validate_path(graph, fwd, src, dst))
+        violations.push_back(std::move(v));
+      if (src == dst) {
+        if (fwd.size() != 1)
+          violations.push_back(tag + "self route should be the single node");
+        continue;
+      }
+      // Reverse symmetry: path(dst, src) == reverse(path(src, dst)).
+      const Path& rev = routing.path(dst, src);
+      if (!std::equal(fwd.begin(), fwd.end(), rev.rbegin(), rev.rend()))
+        violations.push_back(tag + "reverse route is not the forward route reversed");
+      // Link resolution: links_on_path references each hop's live directed
+      // link, in order.
+      const std::vector<LinkId>& links = routing.links_on_path(src, dst);
+      if (links.size() + 1 != fwd.size()) {
+        violations.push_back(tag + "resolves " + std::to_string(links.size()) +
+                             " links for " + std::to_string(fwd.size() - 1) + " hops");
+      } else {
+        for (std::size_t i = 0; i < links.size(); ++i) {
+          if (links[i] < 0 || links[i] >= graph.num_directed_links()) {
+            violations.push_back(tag + "references dead link " + std::to_string(links[i]));
+            continue;
+          }
+          const auto [from, to] = graph.link_endpoints(links[i]);
+          if (from != fwd[i] || to != fwd[i + 1])
+            violations.push_back(tag + "link " + std::to_string(links[i]) +
+                                 " does not match hop " + std::to_string(i));
+        }
+      }
+      if (routing.distance(src, dst) != static_cast<int>(fwd.size()) - 1)
+        violations.push_back(tag + "distance disagrees with the hop count");
+    }
+  }
+  return violations;
+}
+
+}  // namespace nwlb::topo

@@ -1,0 +1,28 @@
+// Routing validation: every invariant the LP formulations assume about the
+// precomputed paths (§8.1).  A route that references a dead link or fails
+// to terminate at its endpoints silently mis-prices Eq. (4)'s link loads.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topo/graph.h"
+#include "topo/routing.h"
+
+namespace nwlb::topo {
+
+/// Checks one explicit route against the graph: non-empty, endpoints
+/// terminate at (src, dst), every node id live, every hop an existing
+/// edge, and no repeated node (shortest paths are simple).  Returns
+/// human-readable violations; empty means valid.
+std::vector<std::string> validate_path(const Graph& graph, const Path& path, NodeId src,
+                                       NodeId dst);
+
+/// Validates a full Routing: the graph is connected, every (src, dst)
+/// pair's forward route passes validate_path, the reverse route is
+/// exactly the forward route reversed, links_on_path() references the
+/// live directed link of each hop in order, and distance() agrees with
+/// the hop count.  Returns human-readable violations; empty means valid.
+std::vector<std::string> validate(const Routing& routing);
+
+}  // namespace nwlb::topo

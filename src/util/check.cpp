@@ -1,0 +1,43 @@
+#include "util/check.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace nwlb::util {
+namespace {
+
+CheckPolicy initial_policy() {
+  const char* raw = std::getenv("NWLB_CHECK_POLICY");
+  if (raw != nullptr && std::strcmp(raw, "abort") == 0) return CheckPolicy::kAbort;
+  return CheckPolicy::kThrow;
+}
+
+std::atomic<CheckPolicy>& policy_slot() {
+  static std::atomic<CheckPolicy> policy{initial_policy()};
+  return policy;
+}
+
+}  // namespace
+
+CheckPolicy check_policy() { return policy_slot().load(std::memory_order_relaxed); }
+
+void set_check_policy(CheckPolicy policy) {
+  policy_slot().store(policy, std::memory_order_relaxed);
+}
+
+void check_fail(const char* macro, const char* expression, const char* file, int line,
+                const std::string& detail) {
+  std::string what = std::string(macro) + " failed: " + expression;
+  if (!detail.empty()) what += " (" + detail + ")";
+  what += " at " + std::string(file) + ":" + std::to_string(line);
+  if (check_policy() == CheckPolicy::kAbort) {
+    std::fprintf(stderr, "%s\n", what.c_str());
+    std::fflush(stderr);
+    std::abort();
+  }
+  throw CheckError(what);
+}
+
+}  // namespace nwlb::util

@@ -1,0 +1,157 @@
+// Runtime contracts: NWLB_CHECK / NWLB_DCHECK / NWLB_CHECK_NEAR and the
+// comparison forms, with expression + value capture and a process-wide
+// throw-vs-abort policy switch.
+//
+// Every module's trust boundary (LP pivots, shim range lookup, route
+// construction, assignment application) states its preconditions with
+// these macros so that a violated invariant fails loudly and close to the
+// cause instead of silently corrupting downstream benchmark numbers.
+//
+//   NWLB_CHECK(cov >= 0.0);                       // Always compiled in.
+//   NWLB_CHECK(it != end, "class ", class_id);    // Extra context, streamed.
+//   NWLB_CHECK_LT(pos, m);                        // Captures both operands.
+//   NWLB_CHECK_NEAR(total, 1.0, 1e-6);            // |a-b| <= tol, captured.
+//   NWLB_DCHECK(expensive_invariant());           // Debug builds only.
+//
+// Policy: by default a failed check throws nwlb::util::CheckError (tests
+// catch it; nwlbctl reports it as a diagnostic).  set_check_policy(kAbort)
+// — or the environment variable NWLB_CHECK_POLICY=abort — switches to
+// printing the diagnostic on stderr and calling std::abort(), the right
+// behavior under a fuzzer or a sanitizer run where a core dump is wanted.
+#pragma once
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace nwlb::util {
+
+enum class CheckPolicy { kThrow, kAbort };
+
+/// Current process-wide failure policy.  Initialized from the environment
+/// variable NWLB_CHECK_POLICY ("throw" | "abort") on first use; defaults
+/// to kThrow.
+CheckPolicy check_policy();
+void set_check_policy(CheckPolicy policy);
+
+/// Thrown on contract violation under CheckPolicy::kThrow.  what() carries
+/// the failing expression, captured operand values, file:line, and any
+/// caller-supplied context.  Derives from std::invalid_argument (itself a
+/// std::logic_error) so that contract-stating code can replace the repo's
+/// historic ad-hoc argument throws without breaking existing catch sites.
+class CheckError : public std::invalid_argument {
+ public:
+  explicit CheckError(const std::string& what) : std::invalid_argument(what) {}
+};
+
+/// Reports a failed contract according to the current policy.  Never
+/// returns: throws CheckError or aborts.
+[[noreturn]] void check_fail(const char* macro, const char* expression,
+                             const char* file, int line, const std::string& detail);
+
+namespace detail {
+
+/// Streams a value for diagnostics; falls back to "<unprintable>" for
+/// types without operator<<.
+template <typename T>
+std::string format_value(const T& value) {
+  if constexpr (requires(std::ostringstream& os, const T& v) { os << v; }) {
+    std::ostringstream os;
+    os << value;
+    return os.str();
+  } else {
+    return "<unprintable>";
+  }
+}
+
+inline std::string message() { return {}; }
+
+template <typename... Args>
+std::string message(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+template <typename A, typename B, typename Pred, typename... Args>
+void check_op(const char* macro, const char* expression, const char* file, int line,
+              const A& a, const B& b, Pred pred, const Args&... extra) {
+  if (pred(a, b)) [[likely]]
+    return;
+  std::string detail = "lhs = " + format_value(a) + ", rhs = " + format_value(b);
+  if (const std::string rest = message(extra...); !rest.empty()) detail += "; " + rest;
+  check_fail(macro, expression, file, line, detail);
+}
+
+template <typename... Args>
+void check_near(const char* expression, const char* file, int line, double a, double b,
+                double tolerance, const Args&... extra) {
+  if (std::abs(a - b) <= tolerance) [[likely]]
+    return;
+  std::ostringstream os;
+  os << "lhs = " << a << ", rhs = " << b << ", |lhs-rhs| = " << std::abs(a - b)
+     << " > tolerance " << tolerance;
+  if (const std::string rest = message(extra...); !rest.empty()) os << "; " << rest;
+  check_fail("NWLB_CHECK_NEAR", expression, file, line, os.str());
+}
+
+}  // namespace detail
+}  // namespace nwlb::util
+
+/// Always-on contract; extra arguments are streamed into the diagnostic.
+#define NWLB_CHECK(condition, ...)                                          \
+  do {                                                                      \
+    if (!(condition)) [[unlikely]]                                          \
+      ::nwlb::util::check_fail("NWLB_CHECK", #condition, __FILE__,          \
+                               __LINE__,                                    \
+                               ::nwlb::util::detail::message(__VA_ARGS__)); \
+  } while (false)
+
+#define NWLB_CHECK_OP_(macro, op, a, b, ...)                                      \
+  ::nwlb::util::detail::check_op(                                                 \
+      macro, #a " " #op " " #b, __FILE__, __LINE__, (a), (b),                     \
+      [](const auto& nwlb_check_a, const auto& nwlb_check_b) {                    \
+        return nwlb_check_a op nwlb_check_b;                                      \
+      }                                                                           \
+      __VA_OPT__(, ) __VA_ARGS__)
+
+/// Comparison contracts: capture both operand values on failure.
+#define NWLB_CHECK_EQ(a, b, ...) NWLB_CHECK_OP_("NWLB_CHECK_EQ", ==, a, b, __VA_ARGS__)
+#define NWLB_CHECK_NE(a, b, ...) NWLB_CHECK_OP_("NWLB_CHECK_NE", !=, a, b, __VA_ARGS__)
+#define NWLB_CHECK_LT(a, b, ...) NWLB_CHECK_OP_("NWLB_CHECK_LT", <, a, b, __VA_ARGS__)
+#define NWLB_CHECK_LE(a, b, ...) NWLB_CHECK_OP_("NWLB_CHECK_LE", <=, a, b, __VA_ARGS__)
+#define NWLB_CHECK_GT(a, b, ...) NWLB_CHECK_OP_("NWLB_CHECK_GT", >, a, b, __VA_ARGS__)
+#define NWLB_CHECK_GE(a, b, ...) NWLB_CHECK_OP_("NWLB_CHECK_GE", >=, a, b, __VA_ARGS__)
+
+/// |a - b| <= tolerance, with both values and the gap captured.
+#define NWLB_CHECK_NEAR(a, b, tolerance, ...)                                  \
+  ::nwlb::util::detail::check_near(#a " ~= " #b, __FILE__, __LINE__, (a), (b), \
+                                   (tolerance)__VA_OPT__(, ) __VA_ARGS__)
+
+/// Debug contracts: full checks in Debug / sanitizer builds, compiled to a
+/// type-checked no-op in release builds.  NWLB_ENABLE_DCHECKS forces them
+/// on regardless of NDEBUG (the sanitizer presets define it).
+#if !defined(NDEBUG) || defined(NWLB_ENABLE_DCHECKS)
+#define NWLB_DCHECK_ENABLED 1
+#define NWLB_DCHECK(condition, ...) NWLB_CHECK(condition, __VA_ARGS__)
+#define NWLB_DCHECK_EQ(a, b, ...) NWLB_CHECK_EQ(a, b, __VA_ARGS__)
+#define NWLB_DCHECK_NE(a, b, ...) NWLB_CHECK_NE(a, b, __VA_ARGS__)
+#define NWLB_DCHECK_LT(a, b, ...) NWLB_CHECK_LT(a, b, __VA_ARGS__)
+#define NWLB_DCHECK_LE(a, b, ...) NWLB_CHECK_LE(a, b, __VA_ARGS__)
+#define NWLB_DCHECK_GT(a, b, ...) NWLB_CHECK_GT(a, b, __VA_ARGS__)
+#define NWLB_DCHECK_GE(a, b, ...) NWLB_CHECK_GE(a, b, __VA_ARGS__)
+#else
+#define NWLB_DCHECK_ENABLED 0
+#define NWLB_DCHECK_NOOP_(...) \
+  do {                         \
+  } while (false)
+#define NWLB_DCHECK(condition, ...) NWLB_DCHECK_NOOP_()
+#define NWLB_DCHECK_EQ(a, b, ...) NWLB_DCHECK_NOOP_()
+#define NWLB_DCHECK_NE(a, b, ...) NWLB_DCHECK_NOOP_()
+#define NWLB_DCHECK_LT(a, b, ...) NWLB_DCHECK_NOOP_()
+#define NWLB_DCHECK_LE(a, b, ...) NWLB_DCHECK_NOOP_()
+#define NWLB_DCHECK_GT(a, b, ...) NWLB_DCHECK_NOOP_()
+#define NWLB_DCHECK_GE(a, b, ...) NWLB_DCHECK_NOOP_()
+#endif

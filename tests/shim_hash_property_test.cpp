@@ -1,0 +1,86 @@
+// Hash properties the shim's correctness rests on (§7.2): both directions
+// of a session must hash identically, and per-source task splitting must
+// depend on the source address alone.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "nids/packet.h"
+#include "shim/hash.h"
+#include "util/rng.h"
+
+namespace nwlb::shim {
+namespace {
+
+using nwlb::nids::FiveTuple;
+using nwlb::util::Rng;
+
+FiveTuple random_tuple(Rng& rng) {
+  FiveTuple t;
+  t.src_ip = static_cast<std::uint32_t>(rng());
+  t.dst_ip = static_cast<std::uint32_t>(rng());
+  t.src_port = static_cast<std::uint16_t>(rng());
+  t.dst_port = static_cast<std::uint16_t>(rng());
+  t.protocol = rng.bernoulli(0.5) ? 6 : 17;
+  return t;
+}
+
+TEST(ShimHashProperty, TupleHashIsDirectionInvariant) {
+  Rng rng(0xB0B);
+  for (int trial = 0; trial < 10'000; ++trial) {
+    const FiveTuple t = random_tuple(rng);
+    EXPECT_EQ(hash_tuple(t), hash_tuple(t.reversed())) << "trial " << trial;
+    EXPECT_EQ(hash_tuple(t), hash_tuple(t.canonical())) << "trial " << trial;
+  }
+}
+
+TEST(ShimHashProperty, TupleHashIsDirectionInvariantUnderSeeds) {
+  Rng rng(0x5EED);
+  for (int trial = 0; trial < 1'000; ++trial) {
+    const FiveTuple t = random_tuple(rng);
+    const auto seed = static_cast<std::uint32_t>(rng());
+    EXPECT_EQ(hash_tuple(t, seed), hash_tuple(t.reversed(), seed)) << "trial " << trial;
+  }
+}
+
+TEST(ShimHashProperty, SourceHashIgnoresPortsAndProtocol) {
+  // hash_source() keys per-source work (Scan detection); two packets from
+  // the same host must land in the same slice whatever the flow details.
+  Rng rng(0xCAFE);
+  for (int trial = 0; trial < 10'000; ++trial) {
+    const FiveTuple a = random_tuple(rng);
+    FiveTuple b = random_tuple(rng);
+    b.src_ip = a.src_ip;
+    EXPECT_EQ(hash_source(a.src_ip), hash_source(b.src_ip)) << "trial " << trial;
+  }
+}
+
+TEST(ShimHashProperty, HashesSpreadAcrossTheSpace) {
+  // Sanity on distribution: 4096 random sessions should not collapse into
+  // a few range buckets (16 buckets, each expected ~256, allow wide slack).
+  Rng rng(0xD15E);
+  int buckets[16] = {};
+  for (int trial = 0; trial < 4'096; ++trial)
+    ++buckets[hash_tuple(random_tuple(rng)) >> 28];
+  for (int b = 0; b < 16; ++b) {
+    EXPECT_GT(buckets[b], 128) << "bucket " << b;
+    EXPECT_LT(buckets[b], 512) << "bucket " << b;
+  }
+}
+
+TEST(ShimHashProperty, DistinctSessionsRarelyCollide) {
+  Rng rng(0xFACE);
+  int collisions = 0;
+  for (int trial = 0; trial < 10'000; ++trial) {
+    const FiveTuple a = random_tuple(rng);
+    const FiveTuple b = random_tuple(rng);
+    if (a.canonical() == b.canonical()) continue;
+    if (hash_tuple(a) == hash_tuple(b)) ++collisions;
+  }
+  // 10k pairs over a 2^32 space: even a handful of collisions would signal
+  // a broken canonicalization or truncation bug.
+  EXPECT_LE(collisions, 2);
+}
+
+}  // namespace
+}  // namespace nwlb::shim

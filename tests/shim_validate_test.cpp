@@ -1,0 +1,150 @@
+// Shim config validation (shim/validate.h): mapper-produced configs must
+// certify network-wide, and hand-corrupted configs must be rejected with a
+// violation naming the broken §7.1 invariant.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/mapper.h"
+#include "core/replication_lp.h"
+#include "core/scenario.h"
+#include "shim/validate.h"
+#include "topo/topology.h"
+#include "traffic/matrix.h"
+
+namespace nwlb::shim {
+namespace {
+
+bool mentions(const std::vector<std::string>& violations, const std::string& needle) {
+  for (const std::string& v : violations)
+    if (v.find(needle) != std::string::npos) return true;
+  return false;
+}
+
+std::string join(const std::vector<std::string>& violations) {
+  std::string out;
+  for (const std::string& v : violations) out += v + "\n";
+  return out;
+}
+
+std::vector<ShimConfig> solved_configs(core::ProblemInput& input) {
+  const topo::Topology topology = topo::make_internet2();
+  const traffic::TrafficMatrix tm =
+      traffic::gravity_matrix(topology.graph, traffic::paper_total_sessions(11));
+  core::Scenario scenario(topology, tm);
+  input = scenario.problem(core::Architecture::kPathReplicate);
+  const core::Assignment a = core::ReplicationLp(input).solve();
+  return core::build_shim_configs(input, a);
+}
+
+TEST(ShimValidate, CertifiesMapperOutputNetworkWide) {
+  core::ProblemInput input;
+  const auto configs = solved_configs(input);
+  ConfigValidationOptions options;
+  options.num_classes = static_cast<int>(input.classes.size());
+  // The §4 replication LP assigns every session somewhere: full coverage.
+  options.require_full_coverage = true;
+  const auto violations = validate_configs(configs, options);
+  EXPECT_TRUE(violations.empty()) << join(violations);
+}
+
+TEST(ShimValidate, AcceptsSingleNodeConfig) {
+  RangeTable table;
+  table.add(HashRange{0, kHashSpace / 2, Action::process()});
+  table.add(HashRange{kHashSpace / 2, kHashSpace, Action::replicate(3)});
+  ShimConfig config;
+  config.set_table(0, table);
+  EXPECT_TRUE(validate_config(config).empty());
+}
+
+TEST(ShimValidate, RejectsCrossNodeOverlap) {
+  // Node 0 owns [0, 3/4); node 1 owns [1/2, 1): the middle quarter has two
+  // responsible nodes, which double-analyzes that slice of traffic.
+  RangeTable t0;
+  t0.add(HashRange{0, 3 * (kHashSpace / 4), Action::process()});
+  RangeTable t1;
+  t1.add(HashRange{kHashSpace / 2, kHashSpace, Action::process()});
+  std::vector<ShimConfig> configs(2);
+  configs[0].set_table(0, t0);
+  configs[1].set_table(0, t1);
+
+  ConfigValidationOptions options;
+  options.num_classes = 1;
+  options.bidirectional_samples = 0;
+  const auto violations = validate_configs(configs, options);
+  EXPECT_TRUE(mentions(violations, "both own hashes")) << join(violations);
+}
+
+TEST(ShimValidate, RejectsCoverageGap) {
+  RangeTable t0;
+  t0.add(HashRange{0, kHashSpace / 2, Action::process()});
+  std::vector<ShimConfig> configs(1);
+  configs[0].set_table(0, t0);
+
+  ConfigValidationOptions options;
+  options.num_classes = 1;
+  options.bidirectional_samples = 0;
+  EXPECT_TRUE(validate_configs(configs, options).empty());
+  options.require_full_coverage = true;
+  const auto violations = validate_configs(configs, options);
+  EXPECT_TRUE(mentions(violations, "cover")) << join(violations);
+}
+
+TEST(ShimValidate, RejectsMirrorOnProcessAction) {
+  // RangeTable::add only vets replicate mirrors, so a stray mirror on a
+  // process action is exactly the corruption the validator must catch.
+  RangeTable table;
+  table.add(HashRange{0, kHashSpace, Action{Action::Kind::kProcess, 5}});
+  ShimConfig config;
+  config.set_table(0, table);
+  const auto violations = validate_config(config);
+  EXPECT_TRUE(mentions(violations, "carries a mirror node")) << join(violations);
+}
+
+TEST(ShimValidate, RejectsBidirectionalMismatch) {
+  // Forward traffic of the session is processed at node 0, reverse at
+  // node 1: the two halves of one session land on different NIDS instances.
+  RangeTable process_all;
+  process_all.add(HashRange{0, kHashSpace, Action::process()});
+  std::vector<ShimConfig> configs(2);
+  configs[0].set_table(0, nids::Direction::kForward, process_all);
+  configs[1].set_table(0, nids::Direction::kReverse, process_all);
+
+  ConfigValidationOptions options;
+  options.num_classes = 1;
+  options.bidirectional_samples = 16;
+  const auto violations = validate_configs(configs, options);
+  EXPECT_TRUE(mentions(violations, "bidirectional mismatch")) << join(violations);
+}
+
+TEST(ShimValidate, RejectsReplicationToSelf) {
+  RangeTable table;
+  table.add(HashRange{0, kHashSpace, Action::replicate(0)});
+  std::vector<ShimConfig> configs(1);
+  configs[0].set_table(0, table);
+
+  ConfigValidationOptions options;
+  options.num_classes = 1;
+  options.bidirectional_samples = 8;
+  const auto violations = validate_configs(configs, options);
+  EXPECT_TRUE(mentions(violations, "replicates to itself")) << join(violations);
+}
+
+TEST(ShimValidate, ContractRejectsOverlappingAdd) {
+  // Building an overlapping table is already stopped at the trust boundary
+  // by the RangeTable::add contract, with the expression in the diagnostic.
+  RangeTable table;
+  table.add(HashRange{0, kHashSpace / 2, Action::process()});
+  try {
+    table.add(HashRange{kHashSpace / 4, kHashSpace, Action::process()});
+    FAIL() << "overlapping add must be rejected";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("ascending and non-overlapping"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace nwlb::shim

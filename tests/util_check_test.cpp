@@ -1,0 +1,116 @@
+// Contract macros (util/check.h): expression + value capture in the
+// diagnostic, the throw-vs-abort policy switch, and DCHECK gating.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/check.h"
+
+namespace nwlb::util {
+namespace {
+
+// Restores the default throw policy even when an assertion fails mid-test.
+struct PolicyGuard {
+  ~PolicyGuard() { set_check_policy(CheckPolicy::kThrow); }
+};
+
+std::string what_of(void (*body)()) {
+  try {
+    body();
+  } catch (const CheckError& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected CheckError";
+  return {};
+}
+
+TEST(Check, PassingConditionIsSilent) {
+  NWLB_CHECK(1 + 1 == 2);
+  NWLB_CHECK_EQ(4, 4, "context never evaluated on success");
+  NWLB_CHECK_NEAR(1.0, 1.0 + 1e-9, 1e-6);
+}
+
+TEST(Check, FailureCapturesExpressionFileAndContext) {
+  const std::string what = what_of([] {
+    const int class_id = 7;
+    NWLB_CHECK(class_id < 3, "class ", class_id, " out of range");
+  });
+  EXPECT_NE(what.find("NWLB_CHECK failed"), std::string::npos) << what;
+  EXPECT_NE(what.find("class_id < 3"), std::string::npos) << what;
+  EXPECT_NE(what.find("class 7 out of range"), std::string::npos) << what;
+  EXPECT_NE(what.find("util_check_test.cpp"), std::string::npos) << what;
+}
+
+TEST(Check, ComparisonFormsCaptureBothOperands) {
+  const std::string what = what_of([] {
+    const int rows = 3;
+    const int expected = 5;
+    NWLB_CHECK_EQ(rows, expected);
+  });
+  EXPECT_NE(what.find("rows == expected"), std::string::npos) << what;
+  EXPECT_NE(what.find("lhs = 3"), std::string::npos) << what;
+  EXPECT_NE(what.find("rhs = 5"), std::string::npos) << what;
+
+  EXPECT_THROW(NWLB_CHECK_LT(2, 2), CheckError);
+  EXPECT_THROW(NWLB_CHECK_GT(2, 2), CheckError);
+  EXPECT_THROW(NWLB_CHECK_NE(2, 2), CheckError);
+  EXPECT_THROW(NWLB_CHECK_LE(3, 2), CheckError);
+  EXPECT_THROW(NWLB_CHECK_GE(2, 3), CheckError);
+}
+
+TEST(Check, NearCapturesGapAndTolerance) {
+  const std::string what = what_of([] { NWLB_CHECK_NEAR(1.0, 2.0, 0.5); });
+  EXPECT_NE(what.find("1.0 ~= 2.0"), std::string::npos) << what;
+  EXPECT_NE(what.find("|lhs-rhs| = 1"), std::string::npos) << what;
+  EXPECT_NE(what.find("tolerance 0.5"), std::string::npos) << what;
+}
+
+TEST(Check, ErrorIsCatchableAsInvalidArgument) {
+  // Contract-stating code replaced historic throw sites that tests catch as
+  // std::invalid_argument; CheckError must remain compatible.
+  EXPECT_THROW(NWLB_CHECK(false), std::invalid_argument);
+  EXPECT_THROW(NWLB_CHECK(false), std::logic_error);
+}
+
+TEST(Check, ConditionEvaluatedExactlyOnce) {
+  int evaluations = 0;
+  NWLB_CHECK(++evaluations > 0);
+  EXPECT_EQ(evaluations, 1);
+}
+
+#if NWLB_DCHECK_ENABLED
+TEST(Check, DcheckActiveInDebugBuilds) {
+  EXPECT_THROW(NWLB_DCHECK(false), CheckError);
+  EXPECT_THROW(NWLB_DCHECK_EQ(1, 2), CheckError);
+}
+#else
+TEST(Check, DcheckCompiledOutInReleaseBuilds) {
+  NWLB_DCHECK(false);          // Must not evaluate into a failure.
+  NWLB_DCHECK_EQ(1, 2);
+}
+#endif
+
+using CheckDeathTest = ::testing::Test;
+
+TEST(CheckDeathTest, AbortPolicyPrintsDiagnosticAndAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  PolicyGuard guard;
+  EXPECT_DEATH(
+      {
+        set_check_policy(CheckPolicy::kAbort);
+        NWLB_CHECK_EQ(1, 2, "abort-policy diagnostic");
+      },
+      "NWLB_CHECK_EQ failed.*abort-policy diagnostic");
+}
+
+TEST(Check, PolicyRoundTrips) {
+  PolicyGuard guard;
+  EXPECT_EQ(check_policy(), CheckPolicy::kThrow);
+  set_check_policy(CheckPolicy::kAbort);
+  EXPECT_EQ(check_policy(), CheckPolicy::kAbort);
+  set_check_policy(CheckPolicy::kThrow);
+  EXPECT_EQ(check_policy(), CheckPolicy::kThrow);
+}
+
+}  // namespace
+}  // namespace nwlb::util

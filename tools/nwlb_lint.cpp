@@ -1,0 +1,250 @@
+// nwlb_lint — repo-rule enforcement, wired in as a ctest.
+//
+// Walks the directories given on the command line (the ctest passes src/
+// and tests/) and flags violations of the repo's correctness rules:
+//
+//   pragma-once        every header starts its life with #pragma once
+//   no-rand            rand()/srand()/std::rand are banned (util/rng.h is
+//                      the deterministic, seedable source of randomness)
+//   naked-new          no naked new/delete; use containers or smart
+//                      pointers (`= delete`d functions are fine)
+//   using-namespace    no `using namespace` at header scope
+//   reinterpret-cast   reinterpret_cast is quarantined: casting packed
+//                      wire bytes to structs is unaligned UB; every use
+//                      must carry an allow annotation after review
+//
+// A finding on a line carrying `// nwlb-lint: allow(<rule>)` is
+// suppressed.  Comments and string/char literals (including raw strings)
+// are stripped before matching, so prose never trips a rule.
+//
+// Exit status: 0 when clean, 1 with one "file:line: rule: message" per
+// finding otherwise.
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Finding {
+  std::string file;
+  std::size_t line;
+  std::string rule;
+  std::string message;
+};
+
+bool identifier_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Removes comments and string/char literal *contents* from a source file,
+/// preserving line structure so findings keep their line numbers.
+std::vector<std::string> strip_comments_and_strings(const std::string& text) {
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+  std::vector<std::string> lines(1);
+  State state = State::kCode;
+  std::string raw_terminator;  // )delim" that ends the active raw string.
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    if (c == '\n') {
+      if (state == State::kLineComment) state = State::kCode;
+      lines.emplace_back();
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (lines.back().empty() || !identifier_char(lines.back().back()))) {
+          // Raw string: R"delim( ... )delim".
+          std::size_t open = i + 2;
+          std::string delim;
+          while (open < text.size() && text[open] != '(') delim += text[open++];
+          raw_terminator = ")" + delim + "\"";
+          state = State::kRawString;
+          i = open;  // Skip past the opening parenthesis.
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'' && !(!lines.back().empty() &&
+                                  std::isdigit(static_cast<unsigned char>(
+                                      lines.back().back())))) {
+          // Apostrophes inside numeric literals (1'000'000) are separators.
+          state = State::kChar;
+        } else {
+          lines.back() += c;
+        }
+        break;
+      case State::kLineComment:
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          ++i;
+        }
+        break;
+      case State::kString:
+        if (c == '\\')
+          ++i;
+        else if (c == '"')
+          state = State::kCode;
+        break;
+      case State::kChar:
+        if (c == '\\')
+          ++i;
+        else if (c == '\'')
+          state = State::kCode;
+        break;
+      case State::kRawString:
+        if (text.compare(i, raw_terminator.size(), raw_terminator) == 0) {
+          i += raw_terminator.size() - 1;
+          state = State::kCode;
+        }
+        break;
+    }
+  }
+  return lines;
+}
+
+/// True when `token` appears in `line` as a whole identifier.
+bool has_token(const std::string& line, const std::string& token, std::size_t* at = nullptr) {
+  for (std::size_t pos = line.find(token); pos != std::string::npos;
+       pos = line.find(token, pos + 1)) {
+    const bool left_ok = pos == 0 || !identifier_char(line[pos - 1]);
+    const std::size_t end = pos + token.size();
+    const bool right_ok = end >= line.size() || !identifier_char(line[end]);
+    if (left_ok && right_ok) {
+      if (at != nullptr) *at = pos;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// True when the raw line carries `// nwlb-lint: allow(...)` naming `rule`.
+bool allowed(const std::string& raw_line, const std::string& rule) {
+  const std::size_t mark = raw_line.find("nwlb-lint: allow(");
+  if (mark == std::string::npos) return false;
+  const std::size_t open = raw_line.find('(', mark);
+  const std::size_t close = raw_line.find(')', open);
+  if (close == std::string::npos) return false;
+  std::string list = raw_line.substr(open + 1, close - open - 1);
+  std::istringstream parts(list);
+  std::string item;
+  while (std::getline(parts, item, ',')) {
+    item.erase(std::remove_if(item.begin(), item.end(),
+                              [](unsigned char c) { return std::isspace(c) != 0; }),
+               item.end());
+    if (item == rule) return true;
+  }
+  return false;
+}
+
+char last_code_char(const std::string& line, std::size_t before) {
+  for (std::size_t i = before; i > 0; --i) {
+    const char c = line[i - 1];
+    if (std::isspace(static_cast<unsigned char>(c)) == 0) return c;
+  }
+  return '\0';
+}
+
+void lint_file(const fs::path& path, std::vector<Finding>& findings) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  const bool is_header = path.extension() == ".h" || path.extension() == ".hpp";
+
+  std::vector<std::string> raw_lines(1);
+  for (const char c : text) {
+    if (c == '\n')
+      raw_lines.emplace_back();
+    else
+      raw_lines.back() += c;
+  }
+  const std::vector<std::string> code = strip_comments_and_strings(text);
+
+  // An allow annotation suppresses findings on its own line and on the
+  // line directly below it (so it can sit in a comment above the code).
+  auto report = [&](std::size_t line_index, const std::string& rule,
+                    const std::string& message) {
+    if (line_index < raw_lines.size() && allowed(raw_lines[line_index], rule)) return;
+    if (line_index > 0 && allowed(raw_lines[line_index - 1], rule)) return;
+    findings.push_back(Finding{path.string(), line_index + 1, rule, message});
+  };
+
+  bool saw_pragma_once = false;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const std::string& line = code[i];
+    if (line.find("#pragma") != std::string::npos &&
+        line.find("once") != std::string::npos)
+      saw_pragma_once = true;
+
+    std::size_t pos = 0;
+    if (has_token(line, "rand", &pos) || has_token(line, "srand", &pos))
+      report(i, "no-rand", "rand()/srand() is banned; use util/rng.h");
+
+    if (has_token(line, "new", &pos))
+      report(i, "naked-new", "naked new; use a container or smart pointer");
+    if (has_token(line, "delete", &pos) && last_code_char(line, pos) != '=')
+      report(i, "naked-new", "naked delete; use a container or smart pointer");
+
+    if (is_header && has_token(line, "using") && has_token(line, "namespace") &&
+        line.find("using") < line.find("namespace"))
+      report(i, "using-namespace", "no `using namespace` in headers");
+
+    if (has_token(line, "reinterpret_cast"))
+      report(i, "reinterpret-cast",
+             "reinterpret_cast of wire bytes is unaligned UB; memcpy instead, or "
+             "annotate with `// nwlb-lint: allow(reinterpret-cast)` after review");
+  }
+  if (is_header && !saw_pragma_once)
+    findings.push_back(Finding{path.string(), 1, "pragma-once", "header lacks #pragma once"});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: nwlb_lint <dir-or-file>...\n";
+    return 2;
+  }
+  std::vector<Finding> findings;
+  std::size_t files = 0;
+  for (int i = 1; i < argc; ++i) {
+    const fs::path root(argv[i]);
+    if (!fs::exists(root)) {
+      std::cerr << "nwlb_lint: no such path: " << root << "\n";
+      return 2;
+    }
+    std::vector<fs::path> targets;
+    if (fs::is_directory(root)) {
+      for (const auto& entry : fs::recursive_directory_iterator(root))
+        if (entry.is_regular_file()) targets.push_back(entry.path());
+    } else {
+      targets.push_back(root);
+    }
+    std::sort(targets.begin(), targets.end());
+    for (const fs::path& p : targets) {
+      const auto ext = p.extension();
+      if (ext != ".h" && ext != ".hpp" && ext != ".cpp" && ext != ".cc") continue;
+      lint_file(p, findings);
+      ++files;
+    }
+  }
+  for (const Finding& f : findings)
+    std::cout << f.file << ":" << f.line << ": " << f.rule << ": " << f.message << "\n";
+  std::cout << "nwlb_lint: " << files << " files, " << findings.size() << " finding(s)\n";
+  return findings.empty() ? 0 : 1;
+}

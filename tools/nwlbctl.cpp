@@ -21,8 +21,11 @@
 #include "core/scenario.h"
 #include "core/validate.h"
 #include "lp/mps.h"
+#include "lp/validate.h"
+#include "shim/validate.h"
 #include "topo/io.h"
 #include "topo/metrics.h"
+#include "topo/validate.h"
 #include "traffic/matrix.h"
 #include "util/table.h"
 
@@ -39,6 +42,7 @@ struct CliOptions {
   std::string placement = "most-observed";
   bool csv = false;
   bool show_configs = false;
+  bool validate = false;
   bool list_topologies = false;
   std::string dump_mps;
   std::string dump_dot;
@@ -58,6 +62,8 @@ Options:
   --placement <strategy>  most-originating | most-observed | most-paths | medoid
   --csv                   Emit tables as CSV
   --show-configs          Print per-node hash-range counts
+  --validate              Run the routing / LP / assignment / shim-config
+                          invariant validators; exit 2 on any violation
   --dump-mps <path>       Write the LP in MPS format
   --dump-dot <path>       Write the topology as Graphviz DOT
   --list-topologies       List built-in topologies and exit
@@ -81,6 +87,7 @@ std::optional<CliOptions> parse(int argc, char** argv) {
     else if (arg == "--placement") opt.placement = value();
     else if (arg == "--csv") opt.csv = true;
     else if (arg == "--show-configs") opt.show_configs = true;
+    else if (arg == "--validate") opt.validate = true;
     else if (arg == "--dump-mps") opt.dump_mps = value();
     else if (arg == "--dump-dot") opt.dump_dot = value();
     else if (arg == "--list-topologies") opt.list_topologies = true;
@@ -161,10 +168,28 @@ int run(const CliOptions& opt) {
             << " dc_access_util=" << assignment.dc_access_utilization
             << " solve_ms=" << assignment.lp.solve_seconds * 1e3 << "\n\n";
 
-  const auto violations = validate_assignment(input, assignment);
+  std::vector<std::string> violations = validate_assignment(input, assignment);
+  if (opt.validate) {
+    // Full invariant sweep: routing, LP certificate, compiled shim configs.
+    for (std::string& v : topo::validate(scenario.routing()))
+      violations.push_back("routing: " + std::move(v));
+    if (arch != core::Architecture::kIngress) {
+      const core::ReplicationLp formulation(input);
+      const auto report = lp::validate_solution(formulation.model(), assignment.lp);
+      for (const std::string& v : report.violations) violations.push_back("lp: " + v);
+    }
+    const auto configs = core::build_shim_configs(input, assignment);
+    shim::ConfigValidationOptions config_options;
+    config_options.num_classes = static_cast<int>(input.classes.size());
+    for (std::string& v : shim::validate_configs(configs, config_options))
+      violations.push_back("shim: " + std::move(v));
+  }
   if (!violations.empty()) {
-    std::cerr << "WARNING: assignment failed validation:\n";
+    std::cerr << "WARNING: validation failed:\n";
     for (const auto& v : violations) std::cerr << "  " << v << "\n";
+    if (opt.validate) return 2;
+  } else if (opt.validate) {
+    std::cout << "\nvalidate: routing, LP solution, assignment, and shim configs OK\n";
   }
 
   util::Table loads({"Node", "CPU load", "Role"});
