@@ -4,8 +4,10 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "topo/topology.h"
@@ -36,5 +38,58 @@ inline void print_table(const util::Table& table) {
   table.print(std::cout);
   if (util::env_flag("NWLB_CSV")) std::cout << "CSV:\n" << table.to_csv() << "\n";
 }
+
+/// Machine-readable benchmark output.  A harness registers scalars and
+/// tables as it runs; write_if_requested() serializes everything to the
+/// path in NWLB_BENCH_JSON (no-op when the knob is unset), so CI can
+/// archive BENCH_<name>.json artifacts next to the human-readable stdout.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name) : bench_(std::move(bench_name)) {}
+
+  JsonReport& scalar(const std::string& key, double value) {
+    entries_.emplace_back(key, util::format_double(value, 6));
+    return *this;
+  }
+  JsonReport& scalar(const std::string& key, long long value) {
+    entries_.emplace_back(key, std::to_string(value));
+    return *this;
+  }
+  JsonReport& scalar(const std::string& key, const std::string& value) {
+    entries_.emplace_back(key, "\"" + util::json_escape(value) + "\"");
+    return *this;
+  }
+  JsonReport& table(const std::string& key, const util::Table& t) {
+    entries_.emplace_back(key, t.to_json());
+    return *this;
+  }
+
+  std::string to_string() const {
+    std::string out = "{\"bench\":\"" + util::json_escape(bench_) + "\"";
+    for (const auto& [key, json] : entries_)
+      out += ",\"" + util::json_escape(key) + "\":" + json;
+    out += "}\n";
+    return out;
+  }
+
+  /// Writes the report to $NWLB_BENCH_JSON when set.  Returns true when a
+  /// file was written.
+  bool write_if_requested() const {
+    const char* path = std::getenv("NWLB_BENCH_JSON");
+    if (path == nullptr || *path == '\0') return false;
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "NWLB_BENCH_JSON: cannot open " << path << " for writing\n";
+      return false;
+    }
+    out << to_string();
+    std::cout << "JSON report written to " << path << "\n";
+    return true;
+  }
+
+ private:
+  std::string bench_;
+  std::vector<std::pair<std::string, std::string>> entries_;  // key -> raw JSON.
+};
 
 }  // namespace nwlb::bench

@@ -1,0 +1,201 @@
+// Data-plane fast path benchmark: flat-table decide latency and sharded
+// parallel replay throughput.
+//
+// Two measurements per topology, both against the LP-optimal shim
+// configuration (so segment counts and class mixes are realistic):
+//
+//   1. ns/decide — the compiled FlatConfig lookup (dense slot index +
+//      bucketed binary search) vs the installable RangeTable path (class
+//      hash map + ordered-map upper_bound).  This is the per-packet cost
+//      the paper's §8.1 overhead claim rests on.
+//   2. packets/sec — ReplaySimulator serial (1 worker) vs sharded parallel
+//      replay, verifying the two produce byte-identical ReplayStats.
+//
+// Output: human-readable tables, plus a JSON report (NWLB_BENCH_JSON=path)
+// for CI artifacts.  Knobs: NWLB_FAST, NWLB_TOPO, NWLB_SESSIONS,
+// NWLB_WORKERS (default 4), NWLB_LOOKUPS (decide samples).
+#include "bench_common.h"
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/mapper.h"
+#include "core/replication_lp.h"
+#include "core/scenario.h"
+#include "shim/flat_table.h"
+#include "sim/replay.h"
+#include "sim/trace.h"
+#include "traffic/matrix.h"
+#include "util/rng.h"
+
+using namespace nwlb;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// One pre-sampled decide query: which PoP's table, which class/direction,
+/// and the packet hash.
+struct LookupKey {
+  std::uint32_t pop;
+  int class_id;
+  nids::Direction dir;
+  std::uint32_t hash;
+};
+
+bool stats_identical(const sim::ReplayStats& a, const sim::ReplayStats& b) {
+  return a.node_work == b.node_work && a.node_packets == b.node_packets &&
+         a.link_replicated_bytes == b.link_replicated_bytes &&
+         a.sessions_replayed == b.sessions_replayed &&
+         a.packets_replayed == b.packets_replayed &&
+         a.signature_matches == b.signature_matches &&
+         a.tunnel_frames_sent == b.tunnel_frames_sent &&
+         a.tunnel_frames_dropped == b.tunnel_frames_dropped &&
+         a.tunnel_frames_detected_lost == b.tunnel_frames_detected_lost &&
+         a.stateful_covered == b.stateful_covered &&
+         a.stateful_missed == b.stateful_missed;
+}
+
+}  // namespace
+
+int main() {
+  const int sessions = util::env_int("NWLB_SESSIONS", util::env_flag("NWLB_FAST") ? 4000 : 12000);
+  const int workers = util::env_int("NWLB_WORKERS", 4);
+  const int lookups = util::env_int("NWLB_LOOKUPS", util::env_flag("NWLB_FAST") ? 2'000'000 : 8'000'000);
+
+  bench::print_header(
+      "Data-plane fast path: flat decide tables + sharded parallel replay",
+      "sessions=" + std::to_string(sessions) + ", workers=" + std::to_string(workers) +
+          ", decide samples=" + std::to_string(lookups) +
+          ", gravity traffic, DC=10x, MaxLinkLoad=0.4");
+
+  util::Table decide_table({"Topology", "Classes", "Segments", "TableKB", "FlatNs",
+                            "MapNs", "Speedup"});
+  util::Table replay_table({"Topology", "Sessions", "Packets", "SerialSec", "SerialPps",
+                            "Workers", "ParallelSec", "ParallelPps", "Speedup",
+                            "Identical"});
+  util::Table lp_table({"Topology", "LpSolveSec", "LpIters"});
+  std::uint64_t checksum = 0;  // Defeats dead-code elimination of the loops.
+
+  for (const auto& topology : bench::selected_topologies()) {
+    const auto tm = traffic::gravity_matrix(
+        topology.graph, traffic::paper_total_sessions(topology.graph.num_nodes()));
+    const core::Scenario scenario(topology, tm);
+    const core::ProblemInput input = scenario.problem(core::Architecture::kPathReplicate);
+    const core::ReplicationLp formulation(input);
+    const core::Assignment assignment = formulation.solve();
+    const auto configs = core::build_shim_configs(input, assignment);
+    lp_table.row()
+        .cell(topology.name)
+        .cell(assignment.lp.solve_seconds, 4)
+        .cell(assignment.lp.iterations + assignment.lp.phase1_iterations);
+
+    // --- 1. decide latency: compiled flat tables vs map+scan tables. ---
+    std::vector<shim::FlatConfig> flat;
+    flat.reserve(configs.size());
+    std::size_t segments = 0, table_bytes = 0;
+    for (const auto& config : configs) {
+      flat.emplace_back(config);
+      segments += flat.back().num_segments();
+      table_bytes += flat.back().table_bytes();
+    }
+
+    const int num_classes = static_cast<int>(input.classes.size());
+    util::Rng rng(0xdec1de);
+    std::vector<LookupKey> keys(1 << 15);
+    for (auto& key : keys) {
+      key.pop = static_cast<std::uint32_t>(rng.below(configs.size()));
+      key.class_id = static_cast<int>(rng.below(static_cast<std::uint64_t>(num_classes)));
+      key.dir = rng.bernoulli(0.5) ? nids::Direction::kForward : nids::Direction::kReverse;
+      key.hash = static_cast<std::uint32_t>(rng());
+    }
+
+    const int reps = std::max(1, lookups / static_cast<int>(keys.size()));
+    const auto total = static_cast<double>(reps) * static_cast<double>(keys.size());
+
+    const auto flat_start = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r)
+      for (const LookupKey& key : keys)
+        checksum += static_cast<std::uint64_t>(
+            flat[key.pop].lookup(key.class_id, key.dir, key.hash).kind);
+    const double flat_ns = seconds_since(flat_start) * 1e9 / total;
+
+    const auto map_start = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r)
+      for (const LookupKey& key : keys)
+        checksum += static_cast<std::uint64_t>(
+            configs[key.pop].lookup(key.class_id, key.dir, key.hash).kind);
+    const double map_ns = seconds_since(map_start) * 1e9 / total;
+
+    decide_table.row()
+        .cell(topology.name)
+        .cell(num_classes)
+        .cell(segments)
+        .cell(static_cast<double>(table_bytes) / 1024.0, 1)
+        .cell(flat_ns, 2)
+        .cell(map_ns, 2)
+        .cell(map_ns / flat_ns, 2);
+
+    // --- 2. replay throughput: serial vs sharded parallel. ---
+    sim::TraceConfig tc;
+    tc.scanners = 6;
+    sim::TraceGenerator generator(input.classes, tc, /*seed=*/2012);
+    const std::vector<sim::SessionSpec> trace = generator.generate(sessions);
+
+    sim::ReplayOptions serial_opts;
+    serial_opts.num_workers = 1;
+    sim::ReplaySimulator serial(input, configs, serial_opts);
+    const auto serial_start = std::chrono::steady_clock::now();
+    serial.replay(trace, generator);
+    const double serial_sec = seconds_since(serial_start);
+    const sim::ReplayStats serial_stats = serial.stats();
+
+    sim::ReplayOptions parallel_opts;
+    parallel_opts.num_workers = workers;
+    sim::ReplaySimulator parallel(input, configs, parallel_opts);
+    const auto parallel_start = std::chrono::steady_clock::now();
+    parallel.replay(trace, generator);
+    const double parallel_sec = seconds_since(parallel_start);
+    const sim::ReplayStats parallel_stats = parallel.stats();
+
+    const auto packets = static_cast<double>(serial_stats.packets_replayed);
+    replay_table.row()
+        .cell(topology.name)
+        .cell(sessions)
+        .cell(serial_stats.packets_replayed)
+        .cell(serial_sec, 3)
+        .cell(packets / serial_sec, 0)
+        .cell(parallel.num_workers())
+        .cell(parallel_sec, 3)
+        .cell(packets / parallel_sec, 0)
+        .cell(serial_sec / parallel_sec, 2)
+        .cell(stats_identical(serial_stats, parallel_stats) ? "yes" : "NO");
+  }
+
+  std::cout << "-- decide latency (lower FlatNs is better) --\n";
+  bench::print_table(decide_table);
+  std::cout << "-- replay throughput (Identical must be yes) --\n";
+  bench::print_table(replay_table);
+  std::cout << "-- LP solve (context for the configs above) --\n";
+  bench::print_table(lp_table);
+
+  bench::JsonReport report("data_plane");
+  // Parallel speedup is bounded by the hardware: on a 1-core machine the
+  // 4-worker replay can only demonstrate low overhead, not scaling.
+  report.scalar("sessions", static_cast<long long>(sessions))
+      .scalar("workers", static_cast<long long>(workers))
+      .scalar("hw_threads",
+              static_cast<long long>(std::thread::hardware_concurrency()))
+      .scalar("decide_samples", static_cast<long long>(lookups))
+      .scalar("checksum", static_cast<long long>(checksum & 0x7fffffff))
+      .table("decide_ns", decide_table)
+      .table("replay_throughput", replay_table)
+      .table("lp_solve", lp_table);
+  report.write_if_requested();
+  return 0;
+}

@@ -8,6 +8,10 @@ NidsNode::NidsNode(std::string name, std::vector<std::string> rules, CostModel c
           rules.empty() ? SignatureEngine::default_rules() : std::move(rules))),
       cost_(cost) {}
 
+NidsNode::NidsNode(std::string name, std::shared_ptr<const SignatureEngine> engine,
+                   CostModel cost)
+    : name_(std::move(name)), signatures_(std::move(engine)), cost_(cost) {}
+
 std::size_t NidsNode::process(const Packet& packet) {
   const std::size_t matches = signatures_->count_matches(packet.payload);
   // Scan detection counts initiator -> responder contacts; reverse-direction

@@ -31,6 +31,12 @@ class NidsNode {
   explicit NidsNode(std::string name, std::vector<std::string> rules = {},
                     CostModel cost = {});
 
+  /// Shares an already-compiled signature engine instead of building one —
+  /// the parallel replay creates one NidsNode per (worker, node) and the
+  /// automaton is immutable, so all of them reference a single instance.
+  NidsNode(std::string name, std::shared_ptr<const SignatureEngine> engine,
+           CostModel cost = {});
+
   /// Full analysis of one packet (signature + scan + session tracking).
   /// Returns the number of signature matches in the payload.
   std::size_t process(const Packet& packet);

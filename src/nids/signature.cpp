@@ -73,7 +73,6 @@ std::vector<SignatureMatch> SignatureEngine::scan(std::string_view payload) cons
     for (int id : nodes_[static_cast<std::size_t>(state)].output)
       matches.push_back(SignatureMatch{id, i + 1});
   }
-  work_units_ += payload.size();
   return matches;
 }
 
@@ -84,7 +83,6 @@ std::size_t SignatureEngine::count_matches(std::string_view payload) const {
     state = step(state, static_cast<unsigned char>(c));
     count += nodes_[static_cast<std::size_t>(state)].output.size();
   }
-  work_units_ += payload.size();
   return count;
 }
 

@@ -29,15 +29,13 @@ class SignatureEngine {
   std::vector<SignatureMatch> scan(std::string_view payload) const;
 
   /// Scans and only counts matches (cheaper than materializing them).
+  /// Thread-safe: the compiled automaton is immutable, so one engine can
+  /// be shared by any number of concurrent scanners (work accounting is
+  /// the caller's job — one unit per byte examined; NidsNode does this).
   std::size_t count_matches(std::string_view payload) const;
 
   int num_patterns() const { return static_cast<int>(patterns_.size()); }
   const std::string& pattern(int id) const { return patterns_.at(static_cast<std::size_t>(id)); }
-
-  /// Work units consumed since construction (one unit per byte examined);
-  /// the simulator reads and resets this between accounting intervals.
-  std::uint64_t work_units() const { return work_units_; }
-  void reset_work_units() { work_units_ = 0; }
 
   /// A default rule corpus of malicious-payload strings for the examples
   /// and the trace-driven emulation.
@@ -54,7 +52,6 @@ class SignatureEngine {
 
   std::vector<std::string> patterns_;
   std::vector<Node> nodes_;
-  mutable std::uint64_t work_units_ = 0;
 };
 
 }  // namespace nwlb::nids

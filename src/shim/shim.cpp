@@ -1,28 +1,39 @@
+// nwlb-lint: hot-path
 #include "shim/shim.h"
+
+#include "util/check.h"
 
 namespace nwlb::shim {
 
 Decision Shim::decide(int class_id, const nids::FiveTuple& tuple,
-                      nids::Direction direction) const {
-  ++packets_seen_;
+                      nids::Direction direction, ShimStats& stats) const {
+  ++stats.packets_seen;
   const std::uint32_t h = hash_tuple(tuple, hash_seed_);
-  return Decision{config_.lookup(class_id, direction, h), h};
+  return Decision{flat_.lookup(class_id, direction, h), h};
 }
 
-Decision Shim::decide_by_source(int class_id, std::uint32_t src_ip) const {
-  ++packets_seen_;
+Decision Shim::decide_by_source(int class_id, std::uint32_t src_ip, ShimStats& stats) const {
+  ++stats.packets_seen;
   const std::uint32_t h = hash_source(src_ip, hash_seed_);
-  return Decision{config_.lookup(class_id, nids::Direction::kForward, h), h};
+  return Decision{flat_.lookup(class_id, nids::Direction::kForward, h), h};
 }
 
-void Shim::count_replicated(int mirror, std::uint64_t bytes) {
-  replicated_[mirror] += bytes;
+void Shim::decide_batch(int class_id, nids::Direction direction,
+                        std::span<const nids::FiveTuple> tuples, std::span<Decision> out,
+                        ShimStats& stats) const {
+  NWLB_CHECK_EQ(tuples.size(), out.size(), "Shim::decide_batch: size mismatch");
+  stats.packets_seen += tuples.size();
+  for (std::size_t i = 0; i < tuples.size(); ++i) {
+    const std::uint32_t h = hash_tuple(tuples[i], hash_seed_);
+    out[i] = Decision{flat_.lookup(class_id, direction, h), h};
+  }
 }
 
-std::uint64_t Shim::total_replicated_bytes() const {
-  std::uint64_t total = 0;
-  for (const auto& [mirror, bytes] : replicated_) total += bytes;
-  return total;
+void Shim::decide_hashed_batch(int class_id, nids::Direction direction,
+                               std::span<const std::uint32_t> hashes, std::span<Action> out,
+                               ShimStats& stats) const {
+  stats.packets_seen += hashes.size();
+  flat_.lookup_batch(class_id, direction, hashes, out);
 }
 
 }  // namespace nwlb::shim

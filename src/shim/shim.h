@@ -6,15 +6,21 @@
 // persistent tunnel to a mirror node, or drops it (another node is
 // responsible).  The implementation mirrors the paper's 255-line Click
 // element; tunnels are modeled as byte counters the simulator drains.
+//
+// Data-plane fast path: install() compiles the ShimConfig into a flat
+// lookup structure (see flat_table.h), and every decide() overload that
+// takes a caller-owned ShimStats is const and touches no mutable state, so
+// one shim serves any number of worker threads concurrently.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
-#include <vector>
+#include <span>
 
 #include "nids/packet.h"
 #include "shim/config.h"
+#include "shim/flat_table.h"
 #include "shim/hash.h"
+#include "shim/stats.h"
 
 namespace nwlb::shim {
 
@@ -31,35 +37,71 @@ class Shim {
 
   int node_id() const { return node_id_; }
 
-  void install(ShimConfig config) { config_ = std::move(config); }
+  /// Installs a config, compiling the flat fast-path tables.
+  void install(ShimConfig config) {
+    config_ = std::move(config);
+    flat_ = FlatConfig(config_);
+  }
   const ShimConfig& config() const { return config_; }
+  const FlatConfig& flat() const { return flat_; }
 
   /// Session-granularity decision (signature-style analyses).  The hash is
   /// over the canonical tuple, so both directions of a session map to the
   /// same hash; the direction selects which responsibility table applies.
-  Decision decide(int class_id, const nids::FiveTuple& tuple,
-                  nids::Direction direction = nids::Direction::kForward) const;
+  /// Thread-safe: counters go into the caller-owned `stats`.
+  Decision decide(int class_id, const nids::FiveTuple& tuple, nids::Direction direction,
+                  ShimStats& stats) const;
 
   /// Source-granularity decision (aggregatable analyses, e.g. Scan).
-  Decision decide_by_source(int class_id, std::uint32_t src_ip) const;
+  Decision decide_by_source(int class_id, std::uint32_t src_ip, ShimStats& stats) const;
 
-  /// Records that `bytes` were replicated to `mirror` (tunnel accounting).
-  void count_replicated(int mirror, std::uint64_t bytes);
+  /// Batch decision over one class/direction: hashes each tuple and looks
+  /// up the flat table once per entry.  `out.size()` must match.
+  void decide_batch(int class_id, nids::Direction direction,
+                    std::span<const nids::FiveTuple> tuples, std::span<Decision> out,
+                    ShimStats& stats) const;
 
-  /// Bytes pushed into the tunnel toward each mirror node.
-  const std::unordered_map<int, std::uint64_t>& replicated_bytes() const {
-    return replicated_;
+  /// Batch decision over precomputed canonical-tuple hashes — the replay
+  /// loop hashes each packet once and reuses the hash at every on-path
+  /// node instead of rehashing per node.
+  void decide_hashed_batch(int class_id, nids::Direction direction,
+                           std::span<const std::uint32_t> hashes, std::span<Action> out,
+                           ShimStats& stats) const;
+
+  /// Single-threaded convenience overloads: accumulate into the shim's own
+  /// stats (the pre-fast-path API shape).
+  Decision decide(int class_id, const nids::FiveTuple& tuple,
+                  nids::Direction direction = nids::Direction::kForward) {
+    return decide(class_id, tuple, direction, stats_);
   }
-  std::uint64_t total_replicated_bytes() const;
+  Decision decide_by_source(int class_id, std::uint32_t src_ip) {
+    return decide_by_source(class_id, src_ip, stats_);
+  }
 
-  std::uint64_t packets_seen() const { return packets_seen_; }
+  /// Records that `bytes` were replicated to `mirror` (tunnel accounting)
+  /// against the shim's own stats.
+  void count_replicated(int mirror, std::uint64_t bytes) {
+    stats_.count_replicated(mirror, bytes);
+  }
+
+  /// Folds a worker's caller-owned stats back into the shim's own, so the
+  /// aggregate accessors below stay meaningful after a parallel section.
+  void absorb(const ShimStats& stats) { stats_.merge(stats); }
+
+  /// Aggregations over the shim-owned stats (plus anything absorb()ed).
+  const ShimStats& stats() const { return stats_; }
+  std::uint64_t packets_seen() const { return stats_.packets_seen; }
+  std::uint64_t total_replicated_bytes() const { return stats_.total_replicated_bytes(); }
+  std::uint64_t replicated_bytes_to(int mirror) const {
+    return stats_.replicated_bytes_to(mirror);
+  }
 
  private:
   int node_id_;
   std::uint32_t hash_seed_;
   ShimConfig config_;
-  std::unordered_map<int, std::uint64_t> replicated_;
-  mutable std::uint64_t packets_seen_ = 0;
+  FlatConfig flat_;
+  ShimStats stats_;  // Backs the convenience overloads only.
 };
 
 }  // namespace nwlb::shim

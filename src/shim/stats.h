@@ -1,0 +1,52 @@
+// Caller-owned shim counters.
+//
+// Shim::decide is const and touches no mutable state, so one installed
+// config can serve any number of threads; every per-packet counter the old
+// implementation kept inside the Shim (a data race waiting for the first
+// parallel caller) now lives in a ShimStats the caller owns.  Workers keep
+// one ShimStats per shim and merge them deterministically at the end of a
+// parallel section.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace nwlb::shim {
+
+struct ShimStats {
+  std::uint64_t packets_seen = 0;
+
+  /// Bytes pushed into the tunnel toward each mirror node, indexed by the
+  /// mirror's processing-node id (a flat vector, not a hash map: this is
+  /// touched on the per-packet path).
+  std::vector<std::uint64_t> replicated_bytes;
+
+  void count_replicated(int mirror, std::uint64_t bytes) {
+    const auto index = static_cast<std::size_t>(mirror);
+    if (index >= replicated_bytes.size()) replicated_bytes.resize(index + 1, 0);
+    replicated_bytes[index] += bytes;
+  }
+
+  std::uint64_t replicated_bytes_to(int mirror) const {
+    const auto index = static_cast<std::size_t>(mirror);
+    return index < replicated_bytes.size() ? replicated_bytes[index] : 0;
+  }
+
+  std::uint64_t total_replicated_bytes() const {
+    std::uint64_t total = 0;
+    for (std::uint64_t bytes : replicated_bytes) total += bytes;
+    return total;
+  }
+
+  /// Adds `other` into this accumulator (order-independent).
+  void merge(const ShimStats& other) {
+    packets_seen += other.packets_seen;
+    if (other.replicated_bytes.size() > replicated_bytes.size())
+      replicated_bytes.resize(other.replicated_bytes.size(), 0);
+    for (std::size_t i = 0; i < other.replicated_bytes.size(); ++i)
+      replicated_bytes[i] += other.replicated_bytes[i];
+  }
+};
+
+}  // namespace nwlb::shim

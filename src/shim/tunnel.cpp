@@ -90,4 +90,12 @@ nids::Packet TunnelReceiver::decapsulate(std::span<const std::byte> frame) {
   return packet;
 }
 
+void TunnelReceiver::reconcile(std::uint32_t src_node, std::uint64_t frames_sent) {
+  auto& expected = expected_next_[src_node];
+  if (frames_sent > expected) {
+    lost_ += frames_sent - expected;
+    expected = frames_sent;
+  }
+}
+
 }  // namespace nwlb::shim

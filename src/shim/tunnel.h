@@ -61,6 +61,14 @@ class TunnelReceiver {
   /// Frames the sequence numbers say we should have seen but did not.
   std::uint64_t packets_lost() const { return lost_; }
 
+  /// End-of-epoch sequence sync: the sender reports how many frames it has
+  /// stamped toward this node, so trailing losses (drops after the last
+  /// frame that arrived) become detectable too.  Models the periodic
+  /// keepalive a persistent tunnel carries; it also makes loss accounting
+  /// independent of where a measurement epoch is cut, which the sharded
+  /// parallel replay relies on for deterministic merges.
+  void reconcile(std::uint32_t src_node, std::uint64_t frames_sent);
+
  private:
   int local_;
   std::uint64_t received_ = 0;

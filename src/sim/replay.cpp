@@ -1,7 +1,12 @@
 #include "sim/replay.h"
 
 #include <algorithm>
+#include <map>
 #include <stdexcept>
+#include <utility>
+
+#include "shim/hash.h"
+#include "shim/tunnel.h"
 
 namespace nwlb::sim {
 
@@ -13,14 +18,49 @@ std::vector<double> ReplayStats::normalized_work() const {
   return out;
 }
 
+/// All mutable replay state for one shard of the session list.  A shard is
+/// replayed by exactly one worker; nothing here is shared, so the workers
+/// never synchronize until the final in-order merge.
+struct ReplaySimulator::Shard {
+  std::vector<nids::NidsNode> nodes;           // One per processing node.
+  std::vector<shim::TunnelReceiver> receivers; // One per processing node.
+  std::map<std::pair<int, int>, shim::TunnelSender> senders;
+  std::vector<shim::ShimStats> shim_stats;     // One per PoP.
+  std::vector<double> link_bytes;
+  std::uint64_t packets = 0;
+  std::uint64_t matches = 0;
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_dropped = 0;
+  std::vector<std::uint64_t> bidirectional_ids;  // Sessions with both dirs.
+
+  // Reused per-direction scratch (hashes in, actions out per path node).
+  std::vector<std::uint32_t> hash_buf;
+  std::vector<shim::Action> action_buf;
+
+  Shard(const core::ProblemInput& input,
+        const std::shared_ptr<const nids::SignatureEngine>& engine) {
+    const int processing = input.num_processing_nodes();
+    const int num_pops = input.num_pops();
+    nodes.reserve(static_cast<std::size_t>(processing));
+    receivers.reserve(static_cast<std::size_t>(processing));
+    for (int id = 0; id < processing; ++id) {
+      nodes.emplace_back(id < num_pops ? input.routing->graph().name(id) : "Datacenter",
+                         engine);
+      receivers.emplace_back(id);
+    }
+    shim_stats.resize(static_cast<std::size_t>(num_pops));
+    link_bytes.assign(input.link_capacity.size(), 0.0);
+  }
+};
+
 ReplaySimulator::ReplaySimulator(const core::ProblemInput& input,
                                  const std::vector<shim::ShimConfig>& configs,
                                  ReplayOptions options)
-    : input_(&input),
-      options_(options),
-      loss_rng_(nwlb::util::derive_seed(options.seed, 0x105e)) {
+    : input_(&input), options_(options) {
   if (options.replication_loss < 0.0 || options.replication_loss > 1.0)
     throw std::invalid_argument("ReplaySimulator: loss probability out of [0,1]");
+  if (options.num_workers < 0)
+    throw std::invalid_argument("ReplaySimulator: negative worker count");
   const int num_pops = input.num_pops();
   if (static_cast<int>(configs.size()) != num_pops)
     throw std::invalid_argument("ReplaySimulator: one config per PoP required");
@@ -29,56 +69,78 @@ ReplaySimulator::ReplaySimulator(const core::ProblemInput& input,
     shims_.emplace_back(j);
     shims_.back().install(configs[static_cast<std::size_t>(j)]);
   }
-  nodes_.reserve(static_cast<std::size_t>(input.num_processing_nodes()));
-  receivers_.reserve(static_cast<std::size_t>(input.num_processing_nodes()));
-  for (int id = 0; id < input.num_processing_nodes(); ++id) {
-    nodes_.emplace_back(id < num_pops ? input.routing->graph().name(id) : "Datacenter");
-    receivers_.emplace_back(id);
-  }
+  engine_ = std::make_shared<const nids::SignatureEngine>(
+      nids::SignatureEngine::default_rules());
+  workers_ = options.num_workers == 0 ? nwlb::util::ThreadPool::default_workers()
+                                      : options.num_workers;
+  if (workers_ > 1) pool_ = std::make_unique<nwlb::util::ThreadPool>(workers_);
+  node_work_.assign(static_cast<std::size_t>(input.num_processing_nodes()), 0.0);
+  node_packets_.assign(static_cast<std::size_t>(input.num_processing_nodes()), 0);
   link_bytes_.assign(input.link_capacity.size(), 0.0);
 }
 
-void ReplaySimulator::deliver(int processing_node, const nids::Packet& packet) {
-  matches_ += nodes_[static_cast<std::size_t>(processing_node)].process(packet);
-}
-
-void ReplaySimulator::replay_direction(const SessionSpec& session,
+void ReplaySimulator::replay_direction(Shard& shard, const SessionSpec& session,
                                        const TraceGenerator& generator,
-                                       nids::Direction direction, int packets) {
+                                       nids::Direction direction, int packets,
+                                       nwlb::util::Rng& loss_rng) const {
+  if (packets <= 0) return;
   const auto& cls = input_->classes[static_cast<std::size_t>(session.class_index)];
   const topo::Path& path =
       direction == nids::Direction::kForward ? cls.fwd_path : cls.rev_path;
+  shard.packets += static_cast<std::uint64_t>(packets);
+
+  // Every packet of one session direction carries the same 5-tuple, so the
+  // canonical-tuple hash is computed once and batch-decided at each
+  // on-path shim (all replay shims use the default hash seed).
+  const nids::FiveTuple tuple =
+      direction == nids::Direction::kForward ? session.tuple : session.tuple.reversed();
+  const std::uint32_t hash = shim::hash_tuple(tuple);
+  const auto count = static_cast<std::size_t>(packets);
+  shard.hash_buf.assign(count, hash);
+  shard.action_buf.resize(path.size() * count);
+  bool any_action = false;
+  for (std::size_t p = 0; p < path.size(); ++p) {
+    const auto j = static_cast<std::size_t>(path[p]);
+    const std::span<shim::Action> out(shard.action_buf.data() + p * count, count);
+    shims_[j].decide_hashed_batch(session.class_index, direction, shard.hash_buf, out,
+                                  shard.shim_stats[j]);
+    any_action = any_action || out[0].kind != shim::Action::Kind::kIgnore;
+  }
+  // Fast path: when every on-path node ignores this session direction, the
+  // payloads influence nothing — skip materializing them.
+  if (!any_action) return;
+
   for (int k = 0; k < packets; ++k) {
     const nids::Packet packet = generator.make_packet(session, k, direction);
-    ++packets_;
-    for (topo::NodeId j : path) {
-      const shim::Decision decision =
-          shims_[static_cast<std::size_t>(j)].decide(session.class_index, packet.tuple,
-                                                     direction);
-      switch (decision.action.kind) {
+    for (std::size_t p = 0; p < path.size(); ++p) {
+      const topo::NodeId j = path[p];
+      const shim::Action action = shard.action_buf[p * count + static_cast<std::size_t>(k)];
+      switch (action.kind) {
         case shim::Action::Kind::kProcess:
-          deliver(j, packet);
+          shard.matches += shard.nodes[static_cast<std::size_t>(j)].process(packet);
           break;
         case shim::Action::Kind::kReplicate: {
-          const int mirror = decision.action.mirror;
+          const int mirror = action.mirror;
           // Real tunnel framing: encapsulate, traverse (with optional
           // injected loss), decapsulate at the mirror.
           auto [it, inserted] =
-              senders_.try_emplace({j, mirror}, shim::TunnelSender(j, mirror));
+              shard.senders.try_emplace({j, mirror}, shim::TunnelSender(j, mirror));
           const std::vector<std::byte> frame = it->second.encapsulate(packet);
-          ++frames_sent_;
+          ++shard.frames_sent;
           const auto bytes = static_cast<double>(frame.size());
-          shims_[static_cast<std::size_t>(j)].count_replicated(mirror, frame.size());
+          shard.shim_stats[static_cast<std::size_t>(j)].count_replicated(mirror,
+                                                                         frame.size());
           const topo::NodeId target_pop = input_->attach_pop_of(mirror);
           if (target_pop != j)
             for (topo::LinkId l : input_->routing->links_on_path(j, target_pop))
-              link_bytes_[static_cast<std::size_t>(l)] += bytes;
+              shard.link_bytes[static_cast<std::size_t>(l)] += bytes;
           if (options_.replication_loss > 0.0 &&
-              loss_rng_.bernoulli(options_.replication_loss)) {
-            ++frames_dropped_;
+              loss_rng.bernoulli(options_.replication_loss)) {
+            ++shard.frames_dropped;
             break;  // Frame lost: the mirror never sees this packet.
           }
-          deliver(mirror, receivers_[static_cast<std::size_t>(mirror)].decapsulate(frame));
+          shard.matches += shard.nodes[static_cast<std::size_t>(mirror)].process(
+              shard.receivers[static_cast<std::size_t>(mirror)].decapsulate(frame));
           break;
         }
         case shim::Action::Kind::kIgnore:
@@ -88,57 +150,113 @@ void ReplaySimulator::replay_direction(const SessionSpec& session,
   }
 }
 
+void ReplaySimulator::replay_session(Shard& shard, const SessionSpec& session,
+                                     const TraceGenerator& generator) const {
+  // The loss stream is derived from the session id, not drawn from a
+  // shared sequence, so drop decisions are identical for any sharding.
+  nwlb::util::Rng loss_rng(nwlb::util::derive_seed(options_.seed, session.id));
+  replay_direction(shard, session, generator, nids::Direction::kForward,
+                   session.fwd_packets, loss_rng);
+  replay_direction(shard, session, generator, nids::Direction::kReverse,
+                   session.rev_packets, loss_rng);
+  if (session.fwd_packets > 0 && session.rev_packets > 0)
+    shard.bidirectional_ids.push_back(session.id);
+}
+
+void ReplaySimulator::merge(Shard& shard) {
+  for (std::size_t id = 0; id < shard.nodes.size(); ++id) {
+    node_work_[id] += shard.nodes[id].work_units();
+    node_packets_[id] += shard.nodes[id].packets_processed();
+  }
+  for (std::size_t l = 0; l < shard.link_bytes.size(); ++l)
+    link_bytes_[l] += shard.link_bytes[l];
+  packets_ += shard.packets;
+  matches_ += shard.matches;
+  frames_sent_ += shard.frames_sent;
+  frames_dropped_ += shard.frames_dropped;
+
+  // Tunnel epoch flush: senders report their final sequence counts so
+  // trailing drops are detected no matter where the shard boundary fell.
+  for (auto& [endpoints, sender] : shard.senders)
+    shard.receivers[static_cast<std::size_t>(endpoints.second)].reconcile(
+        static_cast<std::uint32_t>(endpoints.first), sender.packets_sent());
+  for (const auto& receiver : shard.receivers) detected_lost_ += receiver.packets_lost();
+
+  // A session's packets are all replayed by its own shard, so its coverage
+  // is fully determined by this shard's engine instances.
+  for (const std::uint64_t id : shard.bidirectional_ids) {
+    bool covered = false;
+    for (const auto& node : shard.nodes) {
+      if (node.session_tracker().is_covered(id)) {
+        covered = true;
+        break;
+      }
+    }
+    (covered ? stateful_covered_ : stateful_missed_) += 1;
+  }
+
+  for (std::size_t j = 0; j < shard.shim_stats.size(); ++j)
+    shims_[j].absorb(shard.shim_stats[j]);
+}
+
 void ReplaySimulator::replay(std::span<const SessionSpec> sessions,
                              const TraceGenerator& generator) {
-  for (const SessionSpec& session : sessions) {
-    replay_direction(session, generator, nids::Direction::kForward, session.fwd_packets);
-    replay_direction(session, generator, nids::Direction::kReverse, session.rev_packets);
-    ++sessions_;
-    if (session.fwd_packets > 0 && session.rev_packets > 0)
-      bidirectional_ids_.push_back(session.id);
+  const std::size_t total = sessions.size();
+  const std::size_t shard_count =
+      std::max<std::size_t>(1, std::min<std::size_t>(static_cast<std::size_t>(workers_),
+                                                     std::max<std::size_t>(total, 1)));
+  std::vector<Shard> shards;
+  shards.reserve(shard_count);
+  for (std::size_t w = 0; w < shard_count; ++w) shards.emplace_back(*input_, engine_);
+
+  auto run_shard = [&](std::size_t w) {
+    const std::size_t begin = total * w / shard_count;
+    const std::size_t end = total * (w + 1) / shard_count;
+    for (std::size_t s = begin; s < end; ++s)
+      replay_session(shards[w], sessions[s], generator);
+  };
+  if (shard_count == 1) {
+    run_shard(0);
+  } else {
+    for (std::size_t w = 0; w < shard_count; ++w)
+      pool_->submit([&run_shard, w] { run_shard(w); });
+    pool_->wait_idle();
   }
+
+  // Deterministic merge: shard index order, every accumulated double is an
+  // integer-valued quantity, so the result is byte-identical to serial.
+  for (Shard& shard : shards) merge(shard);
+  sessions_ += total;
 }
 
 ReplayStats ReplaySimulator::stats() const {
   ReplayStats s;
-  s.node_work.reserve(nodes_.size());
-  s.node_packets.reserve(nodes_.size());
-  for (const auto& node : nodes_) {
-    s.node_work.push_back(node.work_units());
-    s.node_packets.push_back(node.packets_processed());
-  }
+  s.node_work = node_work_;
+  s.node_packets = node_packets_;
   s.link_replicated_bytes = link_bytes_;
   s.sessions_replayed = sessions_;
   s.packets_replayed = packets_;
   s.signature_matches = matches_;
   s.tunnel_frames_sent = frames_sent_;
   s.tunnel_frames_dropped = frames_dropped_;
-  for (const auto& receiver : receivers_)
-    s.tunnel_frames_detected_lost += receiver.packets_lost();
-  for (std::uint64_t id : bidirectional_ids_) {
-    bool covered = false;
-    for (const auto& node : nodes_) {
-      if (node.session_tracker().is_covered(id)) {
-        covered = true;
-        break;
-      }
-    }
-    (covered ? s.stateful_covered : s.stateful_missed) += 1;
-  }
+  s.tunnel_frames_detected_lost = detected_lost_;
+  s.stateful_covered = stateful_covered_;
+  s.stateful_missed = stateful_missed_;
   return s;
 }
 
 void ReplaySimulator::reset() {
-  for (auto& node : nodes_) node.reset_work_units();
-  // NidsNode state (scan tables, session tables) persists by design within
-  // a measurement epoch; a reset starts a new epoch.
+  std::fill(node_work_.begin(), node_work_.end(), 0.0);
+  std::fill(node_packets_.begin(), node_packets_.end(), 0);
   std::fill(link_bytes_.begin(), link_bytes_.end(), 0.0);
   sessions_ = 0;
   packets_ = 0;
   matches_ = 0;
   frames_sent_ = 0;
   frames_dropped_ = 0;
-  bidirectional_ids_.clear();
+  detected_lost_ = 0;
+  stateful_covered_ = 0;
+  stateful_missed_ = 0;
 }
 
 }  // namespace nwlb::sim

@@ -7,31 +7,48 @@
 // each on-path shim decides process/replicate/ignore per §7.2, and the
 // engines do real per-byte work, so per-node work units are an honest
 // CPU-instruction proxy.
+//
+// Parallel replay: sessions are sharded across a util::ThreadPool.  Every
+// shard owns its complete mutable state (NIDS engine instances, tunnel
+// endpoints, counters, shim stats) while the shims themselves are only
+// read; shards are merged in index order after the pool drains.  Because
+// the per-session loss RNG is derived from the session id, every per-frame
+// decision is independent of which shard replays the session, and every
+// accumulated quantity is either an integer counter or an integer-valued
+// double (the cost model charges integral work units), so floating-point
+// merges are exact — ReplayStats is byte-identical for any worker count.
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <memory>
 #include <span>
-#include <utility>
 #include <vector>
 
 #include "core/problem.h"
 #include "nids/node.h"
+#include "nids/signature.h"
 #include "shim/config.h"
 #include "shim/shim.h"
-#include "shim/tunnel.h"
 #include "sim/trace.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace nwlb::sim {
 
-/// Failure-injection knobs for the emulation.
+/// Failure-injection and execution knobs for the emulation.
 struct ReplayOptions {
   /// Probability that a replicated (tunneled) frame is lost in transit —
   /// models congestion drops on the mirror path.  Local processing is
-  /// unaffected; only offloaded work degrades.
+  /// unaffected; only offloaded work degrades.  Drops are decided by a
+  /// per-session RNG stream derived from (seed, session id), so results do
+  /// not depend on replay order or sharding.
   double replication_loss = 0.0;
   std::uint64_t seed = 0x10ad;
+
+  /// Session shards replayed concurrently.  1 = serial (default);
+  /// 0 = one per hardware thread (capped).  Any value produces the same
+  /// ReplayStats, byte for byte.
+  int num_workers = 1;
 };
 
 struct ReplayStats {
@@ -72,32 +89,48 @@ class ReplaySimulator {
                   ReplayOptions options = {});
 
   /// Replays the sessions; cumulative across calls until reset().
+  /// Stateful coverage is evaluated per call (a session's two directions
+  /// must be replayed in the same call to count as covered).
   void replay(std::span<const SessionSpec> sessions, const TraceGenerator& generator);
 
   ReplayStats stats() const;
   void reset();
 
-  const nids::NidsNode& node(int id) const { return nodes_.at(static_cast<std::size_t>(id)); }
+  /// Workers actually used (after resolving num_workers == 0).
+  int num_workers() const { return workers_; }
+
+  const shim::Shim& shim(int pop) const { return shims_.at(static_cast<std::size_t>(pop)); }
 
  private:
-  void deliver(int processing_node, const nids::Packet& packet);
-  void replay_direction(const SessionSpec& session, const TraceGenerator& generator,
-                        nids::Direction direction, int packets);
+  struct Shard;
+
+  void replay_session(Shard& shard, const SessionSpec& session,
+                      const TraceGenerator& generator) const;
+  void replay_direction(Shard& shard, const SessionSpec& session,
+                        const TraceGenerator& generator, nids::Direction direction,
+                        int packets, nwlb::util::Rng& loss_rng) const;
+  void merge(Shard& shard);
 
   const core::ProblemInput* input_;
   ReplayOptions options_;
-  std::vector<shim::Shim> shims_;      // One per PoP.
-  std::vector<nids::NidsNode> nodes_;  // One per processing node (PoPs + DC).
-  std::map<std::pair<int, int>, shim::TunnelSender> senders_;
-  std::vector<shim::TunnelReceiver> receivers_;  // One per processing node.
-  nwlb::util::Rng loss_rng_;
+  int workers_ = 1;
+  std::vector<shim::Shim> shims_;  // One per PoP; read-only during replay.
+  // One compiled automaton shared by every (shard, node) engine instance.
+  std::shared_ptr<const nids::SignatureEngine> engine_;
+  std::unique_ptr<nwlb::util::ThreadPool> pool_;  // Only when workers_ > 1.
+
+  // Cumulative accumulators (merged from shards in index order).
+  std::vector<double> node_work_;
+  std::vector<std::uint64_t> node_packets_;
   std::vector<double> link_bytes_;
-  std::vector<std::uint64_t> bidirectional_ids_;  // Sessions with both dirs.
   std::uint64_t sessions_ = 0;
   std::uint64_t packets_ = 0;
   std::uint64_t matches_ = 0;
   std::uint64_t frames_sent_ = 0;
   std::uint64_t frames_dropped_ = 0;
+  std::uint64_t detected_lost_ = 0;
+  std::uint64_t stateful_covered_ = 0;
+  std::uint64_t stateful_missed_ = 0;
 };
 
 }  // namespace nwlb::sim

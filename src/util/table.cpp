@@ -1,6 +1,8 @@
 #include "util/table.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
@@ -74,6 +76,66 @@ std::string Table::to_csv() const {
   };
   emit_row(header_);
   for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+namespace {
+
+/// True when the whole cell parses as a finite JSON-representable number.
+bool is_number(const std::string& text) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) return false;
+  // inf/nan parse via strtod but are not valid JSON literals.
+  return value == value && value <= 1.7976931348623157e308 &&
+         value >= -1.7976931348623157e308;
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string Table::to_json() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (r > 0) os << ',';
+    os << '{';
+    for (std::size_t i = 0; i < header_.size(); ++i) {
+      if (i > 0) os << ',';
+      const std::string& cell = i < rows_[r].size() ? rows_[r][i] : std::string{};
+      os << '"' << json_escape(header_[i]) << "\":";
+      if (is_number(cell))
+        os << cell;
+      else
+        os << '"' << json_escape(cell) << '"';
+    }
+    os << '}';
+  }
+  os << ']';
   return os.str();
 }
 

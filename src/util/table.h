@@ -32,6 +32,12 @@ class Table {
   /// must not put commas in cells).
   std::string to_csv() const;
 
+  /// Renders as a JSON array of row objects keyed by the header.  Cells
+  /// that parse fully as numbers are emitted unquoted, everything else as
+  /// an escaped string, so downstream tooling can consume the values
+  /// without re-parsing the text table.
+  std::string to_json() const;
+
   /// Prints the aligned table to the stream, followed by a blank line.
   void print(std::ostream& os) const;
 
@@ -45,5 +51,9 @@ class Table {
 /// Formats a double with the given precision, trimming trailing zeros is
 /// deliberately *not* done so columns stay visually aligned.
 std::string format_double(double value, int precision = 4);
+
+/// Escapes a string for inclusion inside a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string json_escape(const std::string& text);
 
 }  // namespace nwlb::util

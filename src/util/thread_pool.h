@@ -1,0 +1,57 @@
+// A small fixed-size worker pool for data-parallel sections.
+//
+// Deliberately minimal: submit() enqueues a task, wait_idle() blocks until
+// every submitted task has finished.  Callers that need deterministic
+// results shard their work up front, give each shard its own accumulator
+// state, and merge the shards in index order after wait_idle() — the pool
+// itself never imposes an ordering.  Tasks must not throw; the first
+// escaped exception is captured and rethrown from wait_idle().
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nwlb::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues one task.  Thread-safe.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is running, then rethrows
+  /// the first exception any task escaped with (if any).
+  void wait_idle();
+
+  /// A sensible worker count for this machine: hardware concurrency capped
+  /// at `cap` (hardware_concurrency() may return 0; then `fallback`).
+  static int default_workers(int cap = 8, int fallback = 4);
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t in_flight_ = 0;
+  std::exception_ptr first_error_;
+  bool stopping_ = false;
+};
+
+}  // namespace nwlb::util

@@ -54,11 +54,14 @@ TEST(SignatureEngine, BinaryPatterns) {
   EXPECT_EQ(engine.count_matches(payload), 1u);
 }
 
-TEST(SignatureEngine, WorkUnitsTrackBytes) {
+TEST(SignatureEngine, ScanningIsStateless) {
+  // The compiled automaton is immutable: repeated const scans return the
+  // same result, so one engine can be shared across worker threads (the
+  // parallel replay relies on this; work accounting lives in NidsNode).
   const SignatureEngine engine({"x"});
-  engine.count_matches("12345");
-  engine.count_matches("123");
-  EXPECT_EQ(engine.work_units(), 8u);
+  EXPECT_EQ(engine.count_matches("x1x2x"), 3u);
+  EXPECT_EQ(engine.count_matches("x1x2x"), 3u);
+  EXPECT_EQ(engine.scan("axa").size(), 1u);
 }
 
 TEST(SignatureEngine, DefaultRulesCompileAndMatch) {

@@ -1,0 +1,173 @@
+// Property tests for the compiled flat fast-path tables: FlatConfig must
+// agree with the reference RangeTable/ShimConfig lookup on every input —
+// random hashes, the extremes of the hash space, and every range edge.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "shim/config.h"
+#include "shim/flat_table.h"
+#include "shim/shim.h"
+#include "util/rng.h"
+
+namespace nwlb::shim {
+namespace {
+
+/// Builds a randomized config: a random subset of classes, each with a
+/// random partition of the hash space into process/replicate/ignore
+/// segments (explicit gaps included), sometimes with distinct per-direction
+/// tables.
+ShimConfig random_config(nwlb::util::Rng& rng) {
+  ShimConfig config;
+  const int classes = static_cast<int>(rng.range(1, 40));
+  for (int c = 0; c < classes; ++c) {
+    if (rng.bernoulli(0.2)) continue;  // Class not handled at this node.
+    const bool split_directions = rng.bernoulli(0.3);
+    const int num_dirs = split_directions ? 2 : 1;
+    for (int d = 0; d < num_dirs; ++d) {
+      RangeTable table;
+      std::uint64_t cursor = 0;
+      while (cursor < kHashSpace) {
+        // Random segment length; bias toward both tiny and huge segments.
+        const std::uint64_t max_len = kHashSpace - cursor;
+        std::uint64_t len = rng.bernoulli(0.3)
+                                ? rng.below(1024) + 1
+                                : rng.below(max_len) + 1;
+        if (len > max_len) len = max_len;
+        const double coin = rng.uniform();
+        if (coin < 0.4)
+          table.add(HashRange{cursor, cursor + len, Action::process()});
+        else if (coin < 0.7)
+          table.add(HashRange{cursor, cursor + len,
+                              Action::replicate(static_cast<int>(rng.below(16)))});
+        // else: leave a gap (implicit ignore).
+        cursor += len;
+      }
+      if (split_directions)
+        config.set_table(c, d == 0 ? nids::Direction::kForward : nids::Direction::kReverse,
+                         table);
+      else
+        config.set_table(c, table);
+    }
+  }
+  return config;
+}
+
+TEST(FlatConfig, MatchesReferenceLookupOnRandomInputs) {
+  nwlb::util::Rng rng(0xf1a7);
+  int checked = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const ShimConfig config = random_config(rng);
+    const FlatConfig flat(config);
+    const int max_class = 45;  // Beyond any installed class id.
+    for (int i = 0; i < 2500; ++i) {
+      const int class_id = static_cast<int>(rng.range(-2, max_class));
+      const auto dir =
+          rng.bernoulli(0.5) ? nids::Direction::kForward : nids::Direction::kReverse;
+      const auto hash = static_cast<std::uint32_t>(rng());
+      ASSERT_EQ(flat.lookup(class_id, dir, hash), config.lookup(class_id, dir, hash))
+          << "trial=" << trial << " class=" << class_id << " hash=" << hash;
+      ++checked;
+    }
+  }
+  EXPECT_EQ(checked, 100000);
+}
+
+TEST(FlatConfig, MatchesReferenceAtExtremesAndRangeEdges) {
+  nwlb::util::Rng rng(0xed6e);
+  for (int trial = 0; trial < 25; ++trial) {
+    const ShimConfig config = random_config(rng);
+    const FlatConfig flat(config);
+    config.for_each_table([&](int class_id, nids::Direction dir, const RangeTable& table) {
+      std::vector<std::uint32_t> probes{0u, 0xffffffffu};
+      for (const HashRange& range : table.ranges()) {
+        probes.push_back(static_cast<std::uint32_t>(range.begin));
+        if (range.begin > 0)
+          probes.push_back(static_cast<std::uint32_t>(range.begin - 1));
+        probes.push_back(static_cast<std::uint32_t>(range.end - 1));
+        if (range.end < kHashSpace)
+          probes.push_back(static_cast<std::uint32_t>(range.end));
+      }
+      for (const std::uint32_t hash : probes)
+        ASSERT_EQ(flat.lookup(class_id, dir, hash), config.lookup(class_id, dir, hash))
+            << "trial=" << trial << " class=" << class_id << " hash=" << hash;
+    });
+  }
+}
+
+TEST(FlatConfig, EmptyAndMissingClassesIgnore) {
+  const FlatConfig empty{ShimConfig{}};
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.lookup(0, nids::Direction::kForward, 123).kind, Action::Kind::kIgnore);
+
+  ShimConfig config;
+  RangeTable table;
+  table.add(HashRange{0, kHashSpace, Action::process()});
+  config.set_table(7, nids::Direction::kForward, table);
+  const FlatConfig flat(config);
+  EXPECT_FALSE(flat.empty());
+  // Installed class/direction processes; everything else ignores.
+  EXPECT_EQ(flat.lookup(7, nids::Direction::kForward, 0).kind, Action::Kind::kProcess);
+  EXPECT_EQ(flat.lookup(7, nids::Direction::kReverse, 0).kind, Action::Kind::kIgnore);
+  EXPECT_EQ(flat.lookup(6, nids::Direction::kForward, 0).kind, Action::Kind::kIgnore);
+  EXPECT_EQ(flat.lookup(-1, nids::Direction::kForward, 0).kind, Action::Kind::kIgnore);
+  EXPECT_EQ(flat.lookup(1 << 20, nids::Direction::kForward, 0).kind,
+            Action::Kind::kIgnore);
+}
+
+TEST(FlatConfig, BatchAgreesWithScalarLookups) {
+  nwlb::util::Rng rng(0xba7c);
+  const ShimConfig config = random_config(rng);
+  const FlatConfig flat(config);
+  std::vector<std::uint32_t> hashes(4096);
+  for (auto& h : hashes) h = static_cast<std::uint32_t>(rng());
+  std::vector<Action> out(hashes.size());
+  flat.lookup_batch(3, nids::Direction::kForward, hashes, out);
+  for (std::size_t i = 0; i < hashes.size(); ++i)
+    ASSERT_EQ(out[i], flat.lookup(3, nids::Direction::kForward, hashes[i]));
+}
+
+TEST(Shim, HashedBatchMatchesScalarDecideAndCountsPackets) {
+  ShimConfig config;
+  RangeTable table;
+  table.add(HashRange{0, kHashSpace / 2, Action::process()});
+  table.add(HashRange{kHashSpace / 2, kHashSpace, Action::replicate(3)});
+  config.set_table(0, table);
+  Shim shim(1);
+  shim.install(config);
+
+  nwlb::util::Rng rng(5);
+  std::vector<nids::FiveTuple> tuples(256);
+  for (auto& t : tuples) {
+    t.src_ip = static_cast<std::uint32_t>(rng());
+    t.dst_ip = static_cast<std::uint32_t>(rng());
+    t.src_port = static_cast<std::uint16_t>(rng());
+    t.dst_port = static_cast<std::uint16_t>(rng());
+    t.protocol = 6;
+  }
+
+  ShimStats batch_stats;
+  std::vector<Decision> decisions(tuples.size());
+  shim.decide_batch(0, nids::Direction::kForward, tuples, decisions, batch_stats);
+  EXPECT_EQ(batch_stats.packets_seen, tuples.size());
+
+  ShimStats hashed_stats;
+  std::vector<std::uint32_t> hashes(tuples.size());
+  for (std::size_t i = 0; i < tuples.size(); ++i) hashes[i] = hash_tuple(tuples[i]);
+  std::vector<Action> actions(tuples.size());
+  shim.decide_hashed_batch(0, nids::Direction::kForward, hashes, actions, hashed_stats);
+  EXPECT_EQ(hashed_stats.packets_seen, tuples.size());
+
+  ShimStats scalar_stats;
+  for (std::size_t i = 0; i < tuples.size(); ++i) {
+    const Decision d =
+        shim.decide(0, tuples[i], nids::Direction::kForward, scalar_stats);
+    ASSERT_EQ(decisions[i].action, d.action);
+    ASSERT_EQ(decisions[i].hash, d.hash);
+    ASSERT_EQ(actions[i], d.action);
+  }
+}
+
+}  // namespace
+}  // namespace nwlb::shim

@@ -123,7 +123,9 @@ TEST(Shim, ReplicationAccounting) {
   shim.count_replicated(3, 50);
   shim.count_replicated(7, 10);
   EXPECT_EQ(shim.total_replicated_bytes(), 160u);
-  EXPECT_EQ(shim.replicated_bytes().at(3), 150u);
+  EXPECT_EQ(shim.replicated_bytes_to(3), 150u);
+  EXPECT_EQ(shim.replicated_bytes_to(7), 10u);
+  EXPECT_EQ(shim.replicated_bytes_to(99), 0u);  // Never-used mirror.
 }
 
 TEST(SourceReport, EncodeDecodeRoundTrip) {

@@ -1,0 +1,128 @@
+// Sharded parallel replay determinism: any worker count must produce
+// ReplayStats byte-identical to the serial run — including under injected
+// tunnel loss.  This test is also run under ThreadSanitizer in CI to prove
+// the shards share no mutable state.
+#include <gtest/gtest.h>
+
+#include "core/mapper.h"
+#include "core/replication_lp.h"
+#include "core/scenario.h"
+#include "sim/replay.h"
+#include "sim/trace.h"
+#include "topo/topology.h"
+#include "traffic/matrix.h"
+
+namespace nwlb::sim {
+namespace {
+
+struct ParallelFixture {
+  topo::Topology topology = topo::make_internet2();
+  traffic::TrafficMatrix tm;
+  core::Scenario scenario;
+  core::ProblemInput input;
+  core::Assignment assignment;
+  std::vector<shim::ShimConfig> configs;
+
+  ParallelFixture()
+      : tm(traffic::gravity_matrix(topology.graph, traffic::paper_total_sessions(11))),
+        scenario(topology, tm),
+        input(scenario.problem(core::Architecture::kPathReplicate)),
+        assignment(core::ReplicationLp(input).solve()),
+        configs(core::build_shim_configs(input, assignment)) {}
+
+  ReplayStats run(int workers, double loss = 0.0, int sessions = 1200) {
+    ReplayOptions opts;
+    opts.num_workers = workers;
+    opts.replication_loss = loss;
+    ReplaySimulator sim(input, configs, opts);
+    TraceConfig tc;
+    tc.scanners = 4;
+    TraceGenerator gen(input.classes, tc, /*seed=*/41);
+    sim.replay(gen.generate(sessions), gen);
+    return sim.stats();
+  }
+};
+
+void expect_identical(const ReplayStats& a, const ReplayStats& b) {
+  // Exact comparisons, doubles included: every accumulated double is an
+  // integer-valued work/byte count, so parallel merging must be exact.
+  EXPECT_EQ(a.node_work, b.node_work);
+  EXPECT_EQ(a.node_packets, b.node_packets);
+  EXPECT_EQ(a.link_replicated_bytes, b.link_replicated_bytes);
+  EXPECT_EQ(a.sessions_replayed, b.sessions_replayed);
+  EXPECT_EQ(a.packets_replayed, b.packets_replayed);
+  EXPECT_EQ(a.signature_matches, b.signature_matches);
+  EXPECT_EQ(a.tunnel_frames_sent, b.tunnel_frames_sent);
+  EXPECT_EQ(a.tunnel_frames_dropped, b.tunnel_frames_dropped);
+  EXPECT_EQ(a.tunnel_frames_detected_lost, b.tunnel_frames_detected_lost);
+  EXPECT_EQ(a.stateful_covered, b.stateful_covered);
+  EXPECT_EQ(a.stateful_missed, b.stateful_missed);
+}
+
+TEST(ParallelReplay, FourWorkersMatchSerialExactly) {
+  ParallelFixture f;
+  const ReplayStats serial = f.run(1);
+  const ReplayStats parallel = f.run(4);
+  ASSERT_GT(serial.packets_replayed, 0u);
+  ASSERT_GT(serial.tunnel_frames_sent, 0u);
+  expect_identical(serial, parallel);
+}
+
+TEST(ParallelReplay, MatchesSerialUnderInjectedLoss) {
+  // Loss decisions come from per-session RNG streams and trailing drops
+  // are reconciled at merge time, so even the loss-detection counters are
+  // shard-invariant.
+  ParallelFixture f;
+  const ReplayStats serial = f.run(1, 0.3);
+  const ReplayStats parallel = f.run(4, 0.3);
+  ASSERT_GT(serial.tunnel_frames_dropped, 0u);
+  EXPECT_EQ(serial.tunnel_frames_detected_lost, serial.tunnel_frames_dropped);
+  expect_identical(serial, parallel);
+}
+
+TEST(ParallelReplay, OddWorkerCountsAndMoreWorkersThanSessions) {
+  ParallelFixture f;
+  const ReplayStats serial = f.run(1, 0.0, 30);
+  expect_identical(serial, f.run(3, 0.0, 30));
+  expect_identical(serial, f.run(64, 0.0, 30));  // More shards than sessions.
+}
+
+TEST(ParallelReplay, AutoWorkerCountResolves) {
+  ParallelFixture f;
+  ReplayOptions opts;
+  opts.num_workers = 0;  // Auto: one per hardware thread, capped.
+  ReplaySimulator sim(f.input, f.configs, opts);
+  EXPECT_GE(sim.num_workers(), 1);
+  TraceConfig tc;
+  TraceGenerator gen(f.input.classes, tc, 41);
+  const auto trace = gen.generate(200);
+  sim.replay(trace, gen);
+  EXPECT_EQ(sim.stats().sessions_replayed, trace.size());
+}
+
+TEST(ParallelReplay, RejectsNegativeWorkerCount) {
+  ParallelFixture f;
+  ReplayOptions opts;
+  opts.num_workers = -2;
+  EXPECT_THROW(ReplaySimulator(f.input, f.configs, opts), std::invalid_argument);
+}
+
+TEST(ParallelReplay, CumulativeAcrossCallsAndReset) {
+  ParallelFixture f;
+  ReplayOptions opts;
+  opts.num_workers = 4;
+  ReplaySimulator sim(f.input, f.configs, opts);
+  TraceConfig tc;
+  TraceGenerator gen(f.input.classes, tc, 41);
+  const auto trace = gen.generate(300);
+  sim.replay(trace, gen);
+  const ReplayStats once = sim.stats();
+  sim.replay(trace, gen);
+  EXPECT_EQ(sim.stats().packets_replayed, 2 * once.packets_replayed);
+  sim.reset();
+  EXPECT_EQ(sim.stats().packets_replayed, 0u);
+  EXPECT_EQ(sim.stats().sessions_replayed, 0u);
+}
+
+}  // namespace
+}  // namespace nwlb::sim

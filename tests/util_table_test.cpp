@@ -23,6 +23,20 @@ TEST(Table, CsvOutput) {
   EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
 }
 
+TEST(Table, JsonOutput) {
+  Table t({"name", "count", "ratio"});
+  t.row().cell("Internet2").cell(11).cell(0.25, 2);
+  t.row().cell("G\"e\\ant").cell(-3).cell("n/a");
+  EXPECT_EQ(t.to_json(),
+            "[{\"name\":\"Internet2\",\"count\":11,\"ratio\":0.25},"
+            "{\"name\":\"G\\\"e\\\\ant\",\"count\":-3,\"ratio\":\"n/a\"}]");
+}
+
+TEST(Table, JsonEscapesControlCharacters) {
+  EXPECT_EQ(json_escape("a\tb\nc"), "a\\tb\\nc");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
 TEST(Table, ErrorsOnMisuse) {
   Table t({"x"});
   EXPECT_THROW(t.cell("no row yet"), std::logic_error);

@@ -1,0 +1,63 @@
+// util::ThreadPool: execution, draining, and error propagation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+
+#include "util/thread_pool.h"
+
+namespace nwlb::util {
+namespace {
+
+TEST(ThreadPool, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i)
+    pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { ++counter; });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+  pool.submit([&counter] { ++counter; });
+  pool.submit([&counter] { ++counter; });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 3);
+}
+
+TEST(ThreadPool, PropagatesFirstTaskException) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The error is consumed: the pool keeps working afterwards.
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { ++counter; });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 16; ++i)
+      pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  EXPECT_EQ(counter.load(), 16);
+}
+
+TEST(ThreadPool, DefaultWorkersWithinBounds) {
+  const int n = ThreadPool::default_workers();
+  EXPECT_GE(n, 1);
+  EXPECT_LE(n, 8);
+  EXPECT_EQ(ThreadPool::default_workers(/*cap=*/2), std::min(2, std::max(1, n)));
+}
+
+}  // namespace
+}  // namespace nwlb::util

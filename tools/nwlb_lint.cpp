@@ -12,6 +12,9 @@
 //   reinterpret-cast   reinterpret_cast is quarantined: casting packed
 //                      wire bytes to structs is unaligned UB; every use
 //                      must carry an allow annotation after review
+//   hot-path-map       files marked `// nwlb-lint: hot-path` are per-packet
+//                      code: no std::unordered_map there (pointer-chasing
+//                      hash nodes); compile to flat arrays instead
 //
 // A finding on a line carrying `// nwlb-lint: allow(<rule>)` is
 // suppressed.  Comments and string/char literals (including raw strings)
@@ -165,6 +168,9 @@ void lint_file(const fs::path& path, std::vector<Finding>& findings) {
   buffer << in.rdbuf();
   const std::string text = buffer.str();
   const bool is_header = path.extension() == ".h" || path.extension() == ".hpp";
+  // The marker declares the whole file per-packet code (data-plane fast
+  // path); heap-hopping container lookups are banned there.
+  const bool hot_path = text.find("nwlb-lint: hot-path") != std::string::npos;
 
   std::vector<std::string> raw_lines(1);
   for (const char c : text) {
@@ -203,6 +209,11 @@ void lint_file(const fs::path& path, std::vector<Finding>& findings) {
     if (is_header && has_token(line, "using") && has_token(line, "namespace") &&
         line.find("using") < line.find("namespace"))
       report(i, "using-namespace", "no `using namespace` in headers");
+
+    if (hot_path && has_token(line, "unordered_map"))
+      report(i, "hot-path-map",
+             "std::unordered_map in a `nwlb-lint: hot-path` file; use a flat "
+             "compiled table (see shim/flat_table.h)");
 
     if (has_token(line, "reinterpret_cast"))
       report(i, "reinterpret-cast",
