@@ -1,0 +1,222 @@
+// Failure recovery: coverage dip and time-to-recover under a mid-replay
+// mirror crash, across the degradation-policy x control-response matrix.
+//
+// Setup: the replication architecture (§4) on one topology, traffic
+// replayed in fixed-size control windows.  The datacenter mirror — the
+// highest-leverage node in the deployment — crashes partway through the
+// run and recovers several windows later.  Detection is honest: no oracle
+// feed; the controller reacts only to the mirror-health verdicts the
+// tunnel sequence-gap accounting produces (down after 2 bad windows, up
+// after 2 clean ones).
+//
+// Matrix: {fail-closed, fail-open} shim policy x {none, patch, resolve}
+// controller response.  "none" is the do-nothing baseline; "patch" is the
+// tier-1 LP-free proportional rescale; "resolve" adds the tier-2 budgeted
+// warm-started LP re-solve one window after the patch.  Reported per cell:
+// pre-failure baseline coverage, worst-window dip, mean coverage across
+// the failure interval, and windows-to-recover (first window at or above
+// baseline after onset).
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/controller.h"
+#include "sim/failure.h"
+#include "sim/replay.h"
+#include "sim/trace.h"
+#include "traffic/matrix.h"
+
+namespace {
+
+using namespace nwlb;
+
+constexpr int kWindows = 12;
+constexpr int kCrashBeginWindow = 3;
+constexpr int kCrashEndWindow = 8;
+
+enum class Response { kNone, kPatch, kResolve };
+
+const char* to_string(Response r) {
+  switch (r) {
+    case Response::kNone: return "none";
+    case Response::kPatch: return "patch";
+    case Response::kResolve: return "resolve";
+  }
+  return "?";
+}
+
+struct CellResult {
+  std::vector<double> coverage;  // Per window.
+  double baseline = 0.0;         // Mean of the pre-failure windows.
+  double dip = 1.0;              // Worst window during the failure.
+  double failure_mean = 0.0;     // Mean across the failure interval.
+  int recover_windows = -1;      // Onset -> first window back at baseline.
+  std::uint64_t fail_open_packets = 0;
+  std::uint64_t degraded_skipped = 0;
+  std::uint64_t crash_skipped = 0;
+  std::uint64_t blackholed = 0;
+};
+
+bool same_nodes(std::vector<int> a, std::vector<int> b) {
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  return a == b;
+}
+
+CellResult run_cell(const topo::Topology& topology, sim::DegradePolicy policy,
+                    Response response, int window_sessions) {
+  const auto tm = traffic::gravity_matrix(
+      topology.graph, traffic::paper_total_sessions(topology.graph.num_nodes()));
+  core::ControllerOptions copts;
+  copts.architecture = core::Architecture::kPathReplicate;
+  copts.lp.max_seconds = 10.0;
+  core::Controller controller(topology, tm, copts);
+  const core::EpochResult initial = controller.epoch(tm);
+  const core::ProblemInput input = controller.scenario().problem(copts.architecture);
+
+  sim::FailureSchedule schedule;
+  sim::FailureEvent crash;
+  crash.kind = sim::FailureKind::kNodeCrash;
+  crash.target = input.datacenter_id();
+  crash.begin = static_cast<std::uint64_t>(kCrashBeginWindow) *
+                static_cast<std::uint64_t>(window_sessions);
+  crash.end = static_cast<std::uint64_t>(kCrashEndWindow) *
+              static_cast<std::uint64_t>(window_sessions);
+  schedule.add(crash);
+
+  sim::ReplayOptions ropts;
+  ropts.failures = &schedule;
+  ropts.degrade = policy;
+  ropts.fail_open_headroom = 0.5;
+  sim::ReplaySimulator simulator(input, initial.configs, ropts);
+  sim::TraceConfig trace_config;
+  trace_config.scanners = 0;
+  sim::TraceGenerator generator(input.classes, trace_config, 77);
+
+  CellResult cell;
+  std::vector<int> active;
+  bool pending_resolve = false;
+  for (int w = 0; w < kWindows; ++w) {
+    const sim::ReplayStats before = simulator.stats();
+    simulator.replay(generator.generate(window_sessions), generator);
+    const sim::ReplayStats after = simulator.stats();
+    const std::uint64_t covered = after.stateful_covered - before.stateful_covered;
+    const std::uint64_t missed = after.stateful_missed - before.stateful_missed;
+    cell.coverage.push_back(
+        covered + missed > 0
+            ? static_cast<double>(covered) / static_cast<double>(covered + missed)
+            : 0.0);
+
+    if (response == Response::kNone) continue;
+    const std::vector<int> detected = simulator.down_mirrors();
+    if (!same_nodes(detected, active)) {
+      core::FailureSet failures;
+      failures.down_nodes = detected;
+      if (!detected.empty()) {
+        // Tier 1 the moment health flips: instant LP-free patch.
+        simulator.install(controller.patch(failures).configs);
+        pending_resolve = response == Response::kResolve;
+      } else if (response == Response::kResolve) {
+        // Recovery: full re-solve back to the healthy optimum.
+        simulator.install(controller.epoch(tm).configs);
+        pending_resolve = false;
+      } else {
+        // Patch-only recovery: reinstate the last known-good plan as-is.
+        simulator.install(controller.patch({}).configs);
+      }
+      active = detected;
+    } else if (pending_resolve && !active.empty()) {
+      // Tier 2, one control period later: budgeted re-solve over survivors.
+      core::FailureSet failures;
+      failures.down_nodes = active;
+      simulator.install(controller.epoch(tm, failures).configs);
+      pending_resolve = false;
+    }
+  }
+
+  double baseline = 0.0;
+  for (int w = 0; w < kCrashBeginWindow; ++w) baseline += cell.coverage[static_cast<std::size_t>(w)];
+  cell.baseline = baseline / kCrashBeginWindow;
+  double failure_sum = 0.0;
+  for (int w = kCrashBeginWindow; w < kCrashEndWindow; ++w) {
+    const double c = cell.coverage[static_cast<std::size_t>(w)];
+    cell.dip = std::min(cell.dip, c);
+    failure_sum += c;
+  }
+  cell.failure_mean = failure_sum / (kCrashEndWindow - kCrashBeginWindow);
+  for (int w = kCrashBeginWindow; w < kWindows; ++w) {
+    if (cell.coverage[static_cast<std::size_t>(w)] >= cell.baseline - 0.02) {
+      cell.recover_windows = w - kCrashBeginWindow;
+      break;
+    }
+  }
+
+  const sim::ReplayStats final_stats = simulator.stats();
+  cell.fail_open_packets = final_stats.fail_open_packets;
+  cell.degraded_skipped = final_stats.degraded_skipped_packets;
+  cell.crash_skipped = final_stats.crash_skipped_packets;
+  cell.blackholed = final_stats.tunnel_frames_blackholed;
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  const bool fast = util::env_flag("NWLB_FAST");
+  const int window_sessions = fast ? 300 : 600;
+  const topo::Topology topology = bench::selected_topologies().front();
+
+  bench::print_header(
+      "Failure recovery: coverage dip and time-to-recover",
+      "topology=" + topology.name + "  windows=" + std::to_string(kWindows) +
+          " x " + std::to_string(window_sessions) + " sessions  crash=DC mirror @ [" +
+          std::to_string(kCrashBeginWindow) + ", " + std::to_string(kCrashEndWindow) +
+          ")  detection=mirror health (no oracle)");
+
+  const sim::DegradePolicy policies[] = {sim::DegradePolicy::kFailClosed,
+                                         sim::DegradePolicy::kFailOpen};
+  const Response responses[] = {Response::kNone, Response::kPatch, Response::kResolve};
+
+  util::Table summary({"Policy", "Response", "Baseline", "Dip", "FailureMean",
+                       "RecoverWindows", "FailOpenPkts", "DegradedSkipped"});
+  util::Table series_table({"Window", "closed/none", "closed/patch", "closed/resolve",
+                            "open/none", "open/patch", "open/resolve"});
+  std::vector<CellResult> cells;
+  for (const auto policy : policies) {
+    for (const auto response : responses) {
+      CellResult cell = run_cell(topology, policy, response, window_sessions);
+      summary.row()
+          .cell(policy == sim::DegradePolicy::kFailOpen ? "fail-open" : "fail-closed")
+          .cell(to_string(response))
+          .cell(cell.baseline, 4)
+          .cell(cell.dip, 4)
+          .cell(cell.failure_mean, 4)
+          .cell(cell.recover_windows)
+          .cell(static_cast<long long>(cell.fail_open_packets))
+          .cell(static_cast<long long>(cell.degraded_skipped));
+      cells.push_back(std::move(cell));
+    }
+  }
+  for (int w = 0; w < kWindows; ++w) {
+    util::Table& row = series_table.row().cell(w);
+    for (const CellResult& cell : cells) row.cell(cell.coverage[static_cast<std::size_t>(w)], 4);
+  }
+
+  bench::print_table(summary);
+  std::cout << "\nPer-window coverage (crash spans windows " << kCrashBeginWindow
+            << ".." << kCrashEndWindow - 1 << "):\n";
+  bench::print_table(series_table);
+
+  bench::JsonReport report("failure_recovery");
+  report.scalar("topology", topology.name)
+      .scalar("windows", static_cast<long long>(kWindows))
+      .scalar("window_sessions", static_cast<long long>(window_sessions))
+      .scalar("crash_begin_window", static_cast<long long>(kCrashBeginWindow))
+      .scalar("crash_end_window", static_cast<long long>(kCrashEndWindow))
+      .table("summary", summary)
+      .table("coverage_series", series_table);
+  report.write_if_requested();
+  return 0;
+}

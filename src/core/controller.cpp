@@ -1,11 +1,23 @@
 #include "core/controller.h"
 
+#include <exception>
+#include <utility>
+
 #include "core/replication_lp.h"
 #include "core/validate.h"
 #include "shim/validate.h"
 #include "util/check.h"
 
 namespace nwlb::core {
+
+namespace {
+
+void append_reason(std::string& reasons, const std::string& reason) {
+  if (!reasons.empty()) reasons += ';';
+  reasons += reason;
+}
+
+}  // namespace
 
 Controller::Controller(const topo::Topology& topology,
                        const traffic::TrafficMatrix& initial_tm,
@@ -16,29 +28,128 @@ Controller::Controller(const topo::Topology& topology,
                        const traffic::TrafficMatrix& initial_tm,
                        Architecture architecture, ScenarioConfig config)
     : Controller(topology, initial_tm,
-                 ControllerOptions{architecture, config, false, {}}) {}
+                 ControllerOptions{architecture, config, false, {}, {}, 2}) {}
 
 EpochResult Controller::epoch(const traffic::TrafficMatrix& tm) {
+  return epoch(tm, FailureSet{});
+}
+
+EpochResult Controller::epoch(const traffic::TrafficMatrix& tm,
+                              const FailureSet& failures) {
   scenario_.set_traffic(tm);
+  return run_epoch(failures);
+}
+
+EpochResult Controller::patch(const FailureSet& failures) {
+  if (!last_good_.has_value())
+    throw std::logic_error("Controller::patch: no known-good epoch to patch yet");
+  ProblemInput input = scenario_.problem(options_.architecture);
+  apply_failures(input, failures);
   EpochResult result;
-  const ProblemInput input = scenario_.problem(options_.architecture);
+  result.patched = true;
+  result.degraded = !failures.empty();
+  if (result.degraded) result.degraded_reason = "patch";
+  result.assignment = patch_assignment(input, *last_good_, failures);
+  result.configs = build_shim_configs(input, result.assignment);
+#if NWLB_DCHECK_ENABLED
+  {
+    // Patched plans may legitimately exceed capacity/link caps, but the
+    // compiled hash ranges must still be structurally sound.
+    shim::ConfigValidationOptions config_options;
+    config_options.num_classes = static_cast<int>(input.classes.size());
+    const auto violations = shim::validate_configs(result.configs, config_options);
+    NWLB_CHECK(violations.empty(), "patched shim configs invalid: ",
+               violations.empty() ? "" : violations.front());
+  }
+#endif
+  return result;
+}
+
+EpochResult Controller::run_epoch(const FailureSet& failures) {
+  EpochResult result;
+  ProblemInput input = scenario_.problem(options_.architecture);
+  apply_failures(input, failures);
+
+  // Serves (a patch of) the last known-good plan without consulting the
+  // LP; used while the solver is backed off and as the terminal fallback.
+  const auto fall_back = [&](const std::string& reason) {
+    result.degraded = true;
+    append_reason(result.degraded_reason, reason);
+    if (last_good_) {
+      result.assignment = patch_assignment(input, *last_good_, failures);
+      result.patched = !failures.empty();
+    } else {
+      // Nothing known-good yet: the LP-free ingress construction is always
+      // available, then patched around whatever has failed.
+      append_reason(result.degraded_reason, "no_known_good");
+      result.assignment = patch_assignment(input, ingress_assignment(input), failures);
+      result.patched = true;
+    }
+  };
+
   if (options_.architecture == Architecture::kIngress) {
-    result.assignment = ingress_assignment(input);
+    result.assignment = failures.empty()
+                            ? ingress_assignment(input)
+                            : patch_assignment(input, ingress_assignment(input), failures);
+    result.patched = !failures.empty();
+  } else if (backoff_remaining_ > 0) {
+    --backoff_remaining_;
+    fall_back("resolve_backoff:" + std::to_string(backoff_remaining_));
   } else {
     const ReplicationLp formulation(input);
     const lp::Basis* warm = warm_basis_ ? &*warm_basis_ : nullptr;
     result.warm_started = warm != nullptr;
-    result.assignment = formulation.solve({}, warm);
-    warm_basis_ = result.assignment.lp.basis;
+    ReplicationLp::SolveResult attempt = formulation.try_solve(options_.lp, warm);
+    if (attempt.status != lp::Status::kOptimal && warm != nullptr) {
+      // The warm basis may be fighting the new bounds; one cold retry with
+      // the same budget before giving up on this epoch's solve.
+      attempt = formulation.try_solve(options_.lp, nullptr);
+      result.warm_started = false;
+    }
+    result.solve_seconds += attempt.assignment.lp.solve_seconds;
+    result.iterations +=
+        attempt.assignment.lp.iterations + attempt.assignment.lp.phase1_iterations;
+    if (attempt.status == lp::Status::kOptimal) {
+      result.assignment = std::move(attempt.assignment);
+      warm_basis_ = result.assignment.lp.basis;
+      last_good_ = result.assignment;
+      backoff_remaining_ = 0;
+    } else {
+      backoff_remaining_ = options_.resolve_backoff_epochs;
+      switch (attempt.status) {
+        case lp::Status::kIterationLimit:
+        case lp::Status::kTimeLimit:
+          fall_back(std::string("lp_budget_exhausted:") + lp::to_string(attempt.status));
+          break;
+        case lp::Status::kInfeasible:
+          fall_back("lp_infeasible");
+          break;
+        default:
+          fall_back(std::string("lp_failed:") + lp::to_string(attempt.status));
+          break;
+      }
+    }
+  }
+  if (result.assignment.miss_rate > 1e-9) {
+    // Whatever produced this plan — a re-solve over the survivors, a
+    // patch, or the ingress fallback — it cannot restore full coverage:
+    // still a degraded service level even when the solve itself succeeded.
+    result.degraded = true;
+    append_reason(result.degraded_reason,
+                  "coverage_loss:" + std::to_string(result.assignment.miss_rate));
   }
   result.configs = build_shim_configs(input, result.assignment);
 #if NWLB_DCHECK_ENABLED
   {
     // Debug builds re-validate every applied assignment and the compiled
-    // shim configs before they would reach the data plane.
-    const auto assignment_violations = validate_assignment(input, result.assignment);
-    NWLB_CHECK(assignment_violations.empty(), "epoch assignment invalid: ",
-               assignment_violations.empty() ? "" : assignment_violations.front());
+    // shim configs before they would reach the data plane.  Degraded or
+    // patched plans may exceed capacity/link caps by design, so the full
+    // assignment validator only runs on healthy optima.
+    if (!result.degraded && !result.patched && failures.empty()) {
+      const auto assignment_violations = validate_assignment(input, result.assignment);
+      NWLB_CHECK(assignment_violations.empty(), "epoch assignment invalid: ",
+                 assignment_violations.empty() ? "" : assignment_violations.front());
+    }
     shim::ConfigValidationOptions config_options;
     config_options.num_classes = static_cast<int>(input.classes.size());
     const auto config_violations = shim::validate_configs(result.configs, config_options);
@@ -46,20 +157,28 @@ EpochResult Controller::epoch(const traffic::TrafficMatrix& tm) {
                config_violations.empty() ? "" : config_violations.front());
   }
 #endif
-  result.solve_seconds = result.assignment.lp.solve_seconds;
-  result.iterations =
-      result.assignment.lp.iterations + result.assignment.lp.phase1_iterations;
+  if (result.solve_seconds == 0.0) result.solve_seconds = result.assignment.lp.solve_seconds;
 
   if (options_.enable_scan_aggregation) {
     // The aggregatable analysis runs on the on-path problem (no offloads).
-    const ProblemInput scan_input = scenario_.problem(Architecture::kPathNoReplicate);
-    const AggregationLp scan_lp(scan_input, options_.aggregation);
-    const lp::Basis* warm = scan_warm_basis_ ? &*scan_warm_basis_ : nullptr;
-    Assignment scan = scan_lp.solve({}, warm);
-    scan_warm_basis_ = scan.lp.basis;
-    result.solve_seconds += scan.lp.solve_seconds;
-    result.iterations += scan.lp.iterations + scan.lp.phase1_iterations;
-    result.scan = std::move(scan);
+    // Its failure is never fatal to the epoch: the session-level plan above
+    // still ships, just without a fresh scan split.
+    try {
+      ProblemInput scan_input = scenario_.problem(Architecture::kPathNoReplicate);
+      apply_failures(scan_input, failures);
+      const AggregationLp scan_lp(scan_input, options_.aggregation);
+      const lp::Basis* warm = scan_warm_basis_ ? &*scan_warm_basis_ : nullptr;
+      Assignment scan = scan_lp.solve(options_.lp, warm);
+      scan_warm_basis_ = scan.lp.basis;
+      result.solve_seconds += scan.lp.solve_seconds;
+      result.iterations += scan.lp.iterations + scan.lp.phase1_iterations;
+      result.scan = std::move(scan);
+    } catch (const std::exception&) {
+      result.degraded = true;
+      append_reason(result.degraded_reason, "scan_lp_failed");
+      result.scan.reset();
+      scan_warm_basis_.reset();
+    }
   }
   ++epochs_;
   return result;

@@ -8,13 +8,26 @@
 // warm-start each LP from its previous basis (the model shape is identical
 // across epochs, only coefficients move), which keeps re-optimization well
 // inside the paper's "every 5 minutes" budget.
+//
+// Failure-aware operation is two-tier.  Tier 1 (patch): the moment mirror
+// health or keepalives report a failure, patch() rescales the last
+// known-good assignment onto the survivors — no LP, microseconds, bounded
+// suboptimality.  Tier 2 (epoch with a FailureSet): the next control
+// period re-solves the LP over the surviving topology, warm-started from
+// the previous basis and bounded by the configured solver budget.  A solve
+// that exhausts its budget or goes infeasible is retried once cold; if
+// that also fails the epoch falls back to the patched last known-good
+// configuration — never aborting — and reports degraded=true with a
+// machine-readable reason, then backs off the LP for a few epochs.
 #pragma once
 
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/aggregation_lp.h"
 #include "core/mapper.h"
+#include "core/patch.h"
 #include "core/scenario.h"
 
 namespace nwlb::core {
@@ -27,6 +40,15 @@ struct ControllerOptions {
   /// (§6) and reports its assignment alongside the session-level one.
   bool enable_scan_aggregation = false;
   AggregationOptions aggregation;
+
+  /// Solver budget applied to every epoch's LP solves (max_iterations /
+  /// max_seconds).  Defaults are unlimited; deployments set these so one
+  /// pathological solve degrades the epoch instead of stalling the loop.
+  lp::Options lp;
+
+  /// After a failed re-solve (budget exhausted twice, or infeasible), skip
+  /// the LP for this many epochs before trying again.
+  int resolve_backoff_epochs = 2;
 };
 
 struct EpochResult {
@@ -36,6 +58,18 @@ struct EpochResult {
   double solve_seconds = 0.0;            // Both LPs combined.
   int iterations = 0;
   bool warm_started = false;
+
+  /// True when this epoch's plan is not a fresh optimum: the LP fell back
+  /// to (a patch of) the last known-good assignment, the solve is being
+  /// backed off, or surviving capacity cannot restore full coverage.
+  bool degraded = false;
+  /// True when the plan came from the LP-free proportional patch.
+  bool patched = false;
+  /// Machine-readable cause, empty when healthy.  One of:
+  ///   "lp_budget_exhausted:<status>", "lp_infeasible", "lp_failed:<status>",
+  ///   "resolve_backoff:<epochs-left>", "coverage_loss:<miss-rate>",
+  ///   "no_known_good", "scan_lp_failed", "patch" (';'-joined when several).
+  std::string degraded_reason;
 };
 
 class Controller {
@@ -53,14 +87,32 @@ class Controller {
   /// One optimization epoch against fresh traffic data.
   EpochResult epoch(const traffic::TrafficMatrix& tm);
 
+  /// One epoch over the surviving topology (tier 2; see file comment).
+  /// Never throws on solver failure: the worst outcome is the patched last
+  /// known-good plan with degraded=true and a reason.
+  EpochResult epoch(const traffic::TrafficMatrix& tm, const FailureSet& failures);
+
+  /// Tier-1 instant response: LP-free proportional patch of the last
+  /// known-good assignment against the current traffic, compiled straight
+  /// to shim configs.  Requires at least one completed epoch.
+  EpochResult patch(const FailureSet& failures);
+
+  /// The most recent successfully solved (non-degraded) epoch's
+  /// assignment, if any.
+  const std::optional<Assignment>& last_known_good() const { return last_good_; }
+
   const Scenario& scenario() const { return scenario_; }
   int epochs_run() const { return epochs_; }
 
  private:
+  EpochResult run_epoch(const FailureSet& failures);
+
   Scenario scenario_;
   ControllerOptions options_;
   std::optional<lp::Basis> warm_basis_;
   std::optional<lp::Basis> scan_warm_basis_;
+  std::optional<Assignment> last_good_;
+  int backoff_remaining_ = 0;
   int epochs_ = 0;
 };
 

@@ -1,0 +1,99 @@
+#include "core/patch.h"
+
+#include <algorithm>
+
+namespace nwlb::core {
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+/// True when the tunnel from `from` toward processing node `to` crosses a
+/// failed directed link (frames would be black-holed in transit).
+bool tunnel_severed(const ProblemInput& input, const FailureSet& failures,
+                    int from, int to) {
+  if (failures.failed_links.empty()) return false;
+  const topo::NodeId target_pop = input.attach_pop_of(to);
+  if (target_pop == from) return false;  // Local cluster: no WAN link used.
+  for (topo::LinkId l : input.routing->links_on_path(from, target_pop))
+    if (failures.link_failed(static_cast<int>(l))) return true;
+  return false;
+}
+
+}  // namespace
+
+void apply_failures(ProblemInput& input, const FailureSet& failures) {
+  if (!failures.down_nodes.empty()) {
+    input.node_down.assign(static_cast<std::size_t>(input.num_processing_nodes()), 0);
+    for (const int n : failures.down_nodes)
+      if (n >= 0 && n < input.num_processing_nodes())
+        input.node_down[static_cast<std::size_t>(n)] = 1;
+  }
+  // A dead link carries nothing: saturating its background load makes the
+  // link row's replication budget max(mll, bg) - bg = 0 without touching
+  // the row structure (warm bases stay valid; only the RHS moves).
+  for (const int l : failures.failed_links)
+    if (l >= 0 && static_cast<std::size_t>(l) < input.background_bytes.size())
+      input.background_bytes[static_cast<std::size_t>(l)] =
+          input.link_capacity[static_cast<std::size_t>(l)];
+}
+
+Assignment patch_assignment(const ProblemInput& input, const Assignment& last,
+                            const FailureSet& failures) {
+  Assignment patched = last;
+  patched.lp = lp::Solution{};  // Not a solver product; no basis to reuse.
+  if (patched.offloads.size() < patched.process.size())
+    patched.offloads.resize(patched.process.size());
+
+  for (std::size_t c = 0; c < patched.process.size(); ++c) {
+    auto& shares = patched.process[c];
+    auto& offloads = patched.offloads[c];
+
+    // Zero every share a failed element was supplying.  Forward-direction
+    // totals stand in for both directions: the replication formulation is
+    // symmetric (offloads arrive as equal fwd/rev pairs).
+    double original = 0.0, surviving = 0.0;
+    for (ProcessShare& share : shares) {
+      original += share.fraction;
+      if (failures.node_down(share.node))
+        share.fraction = 0.0;
+      else
+        surviving += share.fraction;
+    }
+    for (Offload& offload : offloads) {
+      if (offload.direction != nids::Direction::kForward) continue;
+      original += offload.fraction;
+      if (failures.node_down(offload.from) || failures.node_down(offload.to) ||
+          tunnel_severed(input, failures, offload.from, offload.to))
+        offload.fraction = 0.0;
+      else
+        surviving += offload.fraction;
+    }
+    // Mirror the verdicts onto the reverse entries (same (from, to) pair
+    // set; fractions track the forward twins).
+    for (Offload& offload : offloads) {
+      if (offload.direction == nids::Direction::kForward) continue;
+      if (failures.node_down(offload.from) || failures.node_down(offload.to) ||
+          tunnel_severed(input, failures, offload.from, offload.to))
+        offload.fraction = 0.0;
+    }
+
+    // Proportional rescale: surviving suppliers absorb the lost share in
+    // ratio to what they already carry, up to full coverage.  Every scaled
+    // fraction stays <= 1 because the scaled totals sum to the target.
+    const double target = std::min(1.0, original);
+    if (surviving > kEps && target > surviving) {
+      const double scale = target / surviving;
+      for (ProcessShare& share : shares) share.fraction *= scale;
+      for (Offload& offload : offloads) offload.fraction *= scale;
+    }
+
+    std::erase_if(shares, [](const ProcessShare& s) { return s.fraction <= kEps; });
+    std::erase_if(offloads, [](const Offload& o) { return o.fraction <= kEps; });
+  }
+
+  refresh_metrics(input, patched);
+  return patched;
+}
+
+}  // namespace nwlb::core

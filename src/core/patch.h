@@ -1,0 +1,56 @@
+// LP-free degraded reconfiguration (tier 1 of the failure response).
+//
+// When a mirror or PoP drops out mid-epoch the controller cannot afford a
+// full re-solve before reacting: every session hashed to the failed node's
+// ranges is going uninspected *now*.  patch_assignment produces an instant
+// repair from the last known-good assignment: each failed supplier's share
+// of every class is rescaled proportionally onto the class's surviving
+// suppliers, preserving the LP's relative balance without touching the
+// solver.  The patch intentionally ignores capacity and link caps — it
+// trades bounded overload on the survivors for restored coverage, and the
+// tier-2 warm-started re-solve (Controller::epoch with failures) restores
+// optimality one control period later.
+#pragma once
+
+#include <vector>
+
+#include "core/assignment.h"
+#include "core/problem.h"
+
+namespace nwlb::core {
+
+/// The failure state the control plane has detected (from mirror health
+/// monitors, keepalive timeouts, or an injected schedule).
+struct FailureSet {
+  std::vector<int> down_nodes;    // Processing-node ids (PoPs or the DC).
+  std::vector<int> failed_links;  // Directed link ids.
+
+  bool empty() const { return down_nodes.empty() && failed_links.empty(); }
+  bool node_down(int id) const {
+    for (const int n : down_nodes)
+      if (n == id) return true;
+    return false;
+  }
+  bool link_failed(int id) const {
+    for (const int l : failed_links)
+      if (l == id) return true;
+    return false;
+  }
+};
+
+/// Applies `failures` to a problem: marks down nodes in the node_down mask
+/// and saturates failed links' background load so the link rows leave no
+/// replication budget across them.
+void apply_failures(ProblemInput& input, const FailureSet& failures);
+
+/// Proportional LP-free repair of `last` (see file comment).  Per class,
+/// shares supplied by a down node — local processing at it, offloads from
+/// it, offloads into it — are zeroed and the surviving shares rescaled so
+/// total coverage returns to min(1, previous total).  A class with no
+/// surviving supplier is left uncovered (honest: nothing can analyze it
+/// until the re-solve finds new capacity or the node returns).  Metrics
+/// are refreshed against `input`; capacity or link caps may be exceeded.
+Assignment patch_assignment(const ProblemInput& input, const Assignment& last,
+                            const FailureSet& failures);
+
+}  // namespace nwlb::core

@@ -25,6 +25,9 @@ void ProblemInput::validate() const {
     throw std::invalid_argument("ProblemInput: negative dc_access_capacity");
   if (!class_scale.empty() && class_scale.size() != classes.size())
     throw std::invalid_argument("ProblemInput: class_scale size mismatch");
+  if (!node_down.empty() &&
+      static_cast<int>(node_down.size()) > num_processing_nodes())
+    throw std::invalid_argument("ProblemInput: node_down mask larger than node set");
   const int num_graph_nodes = routing->graph().num_nodes();
   for (const auto& c : classes) {
     if (c.fwd_path.empty() || c.rev_path.empty())

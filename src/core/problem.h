@@ -51,6 +51,23 @@ struct ProblemInput {
   /// same MaxLinkLoad cap.  0 disables the constraint (uncapped access).
   double dc_access_capacity = 0.0;
 
+  /// Failure mask over processing nodes (empty = everything up).  A down
+  /// node takes no processing or offload assignment: the formulations pin
+  /// its decision variables to zero rather than removing them, so the
+  /// model shape — and therefore warm-start basis compatibility — is
+  /// identical across failure transitions.
+  std::vector<char> node_down;
+
+  bool is_down(int id) const {
+    return static_cast<std::size_t>(id) < node_down.size() &&
+           node_down[static_cast<std::size_t>(id)] != 0;
+  }
+  bool any_down() const {
+    for (const char d : node_down)
+      if (d != 0) return true;
+    return false;
+  }
+
   int num_pops() const { return routing->graph().num_nodes(); }
   bool has_datacenter() const { return datacenter.attach_pop >= 0; }
   int num_processing_nodes() const { return num_pops() + (has_datacenter() ? 1 : 0); }

@@ -4,6 +4,7 @@
 #include <map>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace nwlb::core {
 
@@ -19,14 +20,23 @@ void ReplicationLp::build() {
 
   load_cost_var_ = model_.add_variable(0.0, lp::kInf, 1.0, "LoadCost");
 
-  // Decision variables + coverage rows (Eq. 2).
+  // Decision variables + coverage rows (Eq. 2).  Variables of a failed
+  // node are created with (0,0) bounds instead of being removed: the model
+  // shape is then independent of the failure mask, so a warm basis from a
+  // healthy epoch stays structurally valid across failure transitions.
+  // Each class also carries a coverage-slack variable, enabled (bounds
+  // (0,1)) only while nodes are down, so a crash that strands a class —
+  // e.g. a single-PoP path with no surviving mirror — degrades coverage at
+  // a steep objective penalty instead of making Eq. 2 infeasible.
+  const bool degraded = in.any_down();
   for (std::size_t c = 0; c < in.classes.size(); ++c) {
     const auto& cls = in.classes[c];
     const auto path_nodes = cls.fwd_nodes();
     const lp::RowId coverage =
         model_.add_row(lp::Sense::kEqual, 1.0, "cov_c" + std::to_string(c));
     for (topo::NodeId j : path_nodes) {
-      const lp::VarId p = model_.add_variable(0.0, 1.0, 0.0);
+      const double p_ub = in.is_down(j) ? 0.0 : 1.0;
+      const lp::VarId p = model_.add_variable(0.0, p_ub, 0.0);
       model_.add_coefficient(coverage, p, 1.0);
       p_vars_.push_back(PVar{static_cast<int>(c), j, p});
       if (in.mirror_sets.empty()) continue;
@@ -35,11 +45,16 @@ void ReplicationLp::build() {
         if (mirror < in.num_pops() &&
             std::binary_search(path_nodes.begin(), path_nodes.end(), mirror))
           continue;
-        const lp::VarId o = model_.add_variable(0.0, 1.0, 0.0);
+        // A down source cannot tunnel, a down mirror cannot analyze.
+        const double o_ub = (in.is_down(j) || in.is_down(mirror)) ? 0.0 : 1.0;
+        const lp::VarId o = model_.add_variable(0.0, o_ub, 0.0);
         model_.add_coefficient(coverage, o, 1.0);
         o_vars_.push_back(OVar{static_cast<int>(c), j, mirror, o});
       }
     }
+    const lp::VarId slack = model_.add_variable(0.0, degraded ? 1.0 : 0.0,
+                                                options_.coverage_slack_penalty);
+    model_.add_coefficient(coverage, slack, 1.0);
   }
 
   // Load rows (Eq. 3 folded into Eq. 1's epigraph form):
@@ -115,10 +130,22 @@ void ReplicationLp::build() {
 }
 
 Assignment ReplicationLp::solve(const lp::Options& lp_options, const lp::Basis* warm) const {
-  const lp::Solution solution = lp::solve(model_, lp_options, warm);
-  if (solution.status != lp::Status::kOptimal)
+  SolveResult result = try_solve(lp_options, warm);
+  if (result.status != lp::Status::kOptimal)
     throw std::runtime_error("ReplicationLp::solve: solver returned " +
-                             lp::to_string(solution.status));
+                             lp::to_string(result.status));
+  return std::move(result.assignment);
+}
+
+ReplicationLp::SolveResult ReplicationLp::try_solve(const lp::Options& lp_options,
+                                                    const lp::Basis* warm) const {
+  SolveResult result;
+  const lp::Solution solution = lp::solve(model_, lp_options, warm);
+  result.status = solution.status;
+  if (solution.status != lp::Status::kOptimal) {
+    result.assignment.lp = solution;
+    return result;
+  }
   const ProblemInput& in = *input_;
   Assignment a;
   a.process.assign(in.classes.size(), {});
@@ -141,7 +168,8 @@ Assignment ReplicationLp::solve(const lp::Options& lp_options, const lp::Basis* 
   }
   refresh_metrics(in, a);
   a.lp = solution;
-  return a;
+  result.assignment = std::move(a);
+  return result;
 }
 
 }  // namespace nwlb::core

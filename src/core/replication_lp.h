@@ -29,6 +29,10 @@ struct ReplicationOptions {
   double knee = 0.8;
   double penalty_low = 0.05;
   double penalty_high = 0.5;
+  // Objective cost per unit of uncovered class fraction when nodes are
+  // down.  Far above any achievable LoadCost, so coverage is sacrificed
+  // only when the surviving topology truly cannot supply it.
+  double coverage_slack_penalty = 32.0;
 };
 
 class ReplicationLp {
@@ -39,9 +43,20 @@ class ReplicationLp {
 
   /// Solves and decodes the assignment.  Throws std::runtime_error when the
   /// solver does not reach optimality (the formulation is always feasible:
-  /// processing everything locally satisfies every constraint).
+  /// processing everything locally satisfies every constraint, and under a
+  /// failure mask per-class coverage slack keeps it so).
   Assignment solve(const lp::Options& lp_options = {},
                    const lp::Basis* warm = nullptr) const;
+
+  /// Non-throwing variant for callers with a fallback path (the degraded
+  /// control loop): `status` reports the solver outcome and `assignment`
+  /// is decoded only when it is kOptimal.
+  struct SolveResult {
+    lp::Status status = lp::Status::kIterationLimit;
+    Assignment assignment;
+  };
+  SolveResult try_solve(const lp::Options& lp_options = {},
+                        const lp::Basis* warm = nullptr) const;
 
   const lp::Model& model() const { return model_; }
   int num_process_vars() const { return static_cast<int>(p_vars_.size()); }

@@ -342,6 +342,7 @@ std::string status_name(Status s) {
     case Status::kInfeasible: return "infeasible";
     case Status::kUnbounded: return "unbounded";
     case Status::kIterationLimit: return "iteration-limit";
+    case Status::kTimeLimit: return "time-limit";
     case Status::kNumericalFailure: return "numerical-failure";
   }
   return "unknown";

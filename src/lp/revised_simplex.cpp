@@ -21,6 +21,9 @@ class Simplex {
 
   Solution solve(const Basis* warm) {
     const auto t0 = std::chrono::steady_clock::now();
+    if (opt_.max_seconds > 0.0)
+      deadline_ = t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                           std::chrono::duration<double>(opt_.max_seconds));
     build();
     Solution sol;
     if (!install_basis(warm)) {
@@ -221,8 +224,13 @@ class Simplex {
     bool bland = false;
 
     for (;;) {
-      if (sol.iterations + sol.phase1_iterations >= opt_.max_iterations)
-        return Status::kIterationLimit;
+      const int total_iterations = sol.iterations + sol.phase1_iterations;
+      if (total_iterations >= opt_.max_iterations) return Status::kIterationLimit;
+      // Wall-clock budget: checked every few iterations to keep the steady
+      // state cheap; exhaustion surfaces as a distinct, recoverable status.
+      if (deadline_ != std::chrono::steady_clock::time_point{} &&
+          (total_iterations & 15) == 0 && std::chrono::steady_clock::now() >= deadline_)
+        return Status::kTimeLimit;
       if (phase1 && infeasibility() <= opt_.feasibility_tol) return Status::kOptimal;
 
       // Duals for the current (possibly composite) basic cost vector.
@@ -482,6 +490,7 @@ class Simplex {
   std::vector<int> basic_;
   std::vector<double> work_;
   BasisFactor factor_;
+  std::chrono::steady_clock::time_point deadline_{};  // Zero = no budget.
   int num_cols_ = 0;
   int cursor_ = 0;
   int refactor_count_ = 0;
@@ -491,6 +500,7 @@ class Simplex {
 
 Solution solve_revised(const Model& model, const Options& options, const Basis* warm) {
   NWLB_CHECK_GE(options.max_iterations, 0, "solve_revised: negative iteration limit");
+  NWLB_CHECK_GE(options.max_seconds, 0.0, "solve_revised: negative time budget");
   NWLB_CHECK_GT(options.pivot_tol, 0.0, "solve_revised: nonpositive pivot tolerance");
   Simplex simplex(model, options);
   Solution sol = simplex.solve(warm);

@@ -13,6 +13,7 @@ enum class Status {
   kInfeasible,
   kUnbounded,
   kIterationLimit,
+  kTimeLimit,
   kNumericalFailure,
 };
 
@@ -56,6 +57,9 @@ struct Options {
   double optimality_tol = 1e-7;    // Reduced-cost tolerance.
   double pivot_tol = 1e-9;         // Minimum acceptable pivot magnitude.
   int max_iterations = 2'000'000;  // Across both phases.
+  double max_seconds = 0.0;        // Wall-clock budget; 0 = unlimited.  The
+                                   // controller sets this so one slow epoch
+                                   // degrades instead of stalling the loop.
   int refactor_interval = 96;      // Basis updates between refactorizations.
   int pricing_block = 4096;        // Partial-pricing window (columns).
   int stall_limit = 2000;          // Degenerate steps before Bland's rule.

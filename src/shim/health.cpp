@@ -1,0 +1,48 @@
+#include "shim/health.h"
+
+#include <stdexcept>
+
+namespace nwlb::shim {
+
+MirrorHealth::MirrorHealth(MirrorHealthOptions options) : options_(options) {
+  if (options.loss_threshold < 0.0 || options.loss_threshold > 1.0)
+    throw std::invalid_argument("MirrorHealth: loss_threshold out of [0,1]");
+  if (options.down_after < 1 || options.up_after < 1)
+    throw std::invalid_argument("MirrorHealth: hysteresis counts must be >= 1");
+}
+
+void MirrorHealth::observe_window(std::uint64_t sent, std::uint64_t lost,
+                                  bool keepalive_ok) {
+  ++windows_;
+  bool bad;
+  if (sent < options_.min_frames) {
+    bad = !keepalive_ok;
+  } else {
+    const double loss = static_cast<double>(lost) / static_cast<double>(sent);
+    bad = loss >= options_.loss_threshold;
+  }
+  if (bad) {
+    ++bad_streak_;
+    good_streak_ = 0;
+  } else {
+    ++good_streak_;
+    bad_streak_ = 0;
+  }
+  if (!down_ && bad_streak_ >= options_.down_after) {
+    down_ = true;
+    ++transitions_;
+  } else if (down_ && good_streak_ >= options_.up_after) {
+    down_ = false;
+    ++transitions_;
+  }
+}
+
+void MirrorHealth::reset() {
+  down_ = false;
+  bad_streak_ = 0;
+  good_streak_ = 0;
+  windows_ = 0;
+  transitions_ = 0;
+}
+
+}  // namespace nwlb::shim

@@ -1,0 +1,62 @@
+// Mirror-tunnel health monitoring with hysteresis.
+//
+// Every replication tunnel already carries end-of-window sequence
+// reconciliation (TunnelReceiver::reconcile), so per reconcile window the
+// control plane knows how many frames were stamped toward a mirror and how
+// many the mirror's receiver actually saw.  MirrorHealth turns that stream
+// of (sent, lost) window observations into a debounced up/down verdict: a
+// mirror is flagged down only after `down_after` consecutive windows whose
+// loss fraction exceeds `loss_threshold`, and flagged up again only after
+// `up_after` consecutive clean windows — one noisy window never flaps the
+// degradation policy.  Windows with fewer than `min_frames` frames carry a
+// keepalive verdict instead of a loss fraction (a persistent tunnel probes
+// its peer even when no traffic is offloaded), so a mirror that the shims
+// stopped using under fail_closed can still be observed recovering.
+#pragma once
+
+#include <cstdint>
+
+namespace nwlb::shim {
+
+struct MirrorHealthOptions {
+  /// Window loss fraction at or above which the window counts as bad.
+  double loss_threshold = 0.5;
+  /// Consecutive bad windows before the mirror is declared down.
+  int down_after = 2;
+  /// Consecutive good windows before a down mirror is declared up again.
+  int up_after = 2;
+  /// Windows with fewer data frames than this are judged by the keepalive
+  /// probe alone (too few frames for a meaningful loss fraction).
+  std::uint64_t min_frames = 4;
+};
+
+class MirrorHealth {
+ public:
+  MirrorHealth() = default;
+  explicit MirrorHealth(MirrorHealthOptions options);
+
+  /// Feeds one reconcile window: `sent` frames were stamped toward the
+  /// mirror, of which `lost` never arrived (sequence-gap accounting plus
+  /// end-of-window reconciliation).  `keepalive_ok` is the window's probe
+  /// verdict, consulted only when sent < min_frames.
+  void observe_window(std::uint64_t sent, std::uint64_t lost, bool keepalive_ok = true);
+
+  bool down() const { return down_; }
+  int windows_observed() const { return windows_; }
+  /// Up->down plus down->up flips so far (diagnostics; a well-tuned
+  /// hysteresis keeps this at twice the real outage count).
+  int transitions() const { return transitions_; }
+  const MirrorHealthOptions& options() const { return options_; }
+
+  void reset();
+
+ private:
+  MirrorHealthOptions options_;
+  bool down_ = false;
+  int bad_streak_ = 0;
+  int good_streak_ = 0;
+  int windows_ = 0;
+  int transitions_ = 0;
+};
+
+}  // namespace nwlb::shim

@@ -12,16 +12,27 @@ void put(std::vector<std::byte>& out, T value) {
     out.push_back(static_cast<std::byte>((static_cast<std::uint64_t>(value) >> (8 * i)) & 0xff));
 }
 
-template <typename T>
-T get(std::span<const std::byte> in, std::size_t& offset) {
-  if (offset + sizeof(T) > in.size())
-    throw std::invalid_argument("tunnel frame truncated");
-  std::uint64_t v = 0;
-  for (std::size_t i = 0; i < sizeof(T); ++i)
-    v |= static_cast<std::uint64_t>(std::to_integer<unsigned>(in[offset + i])) << (8 * i);
-  offset += sizeof(T);
-  return static_cast<T>(v);
-}
+/// Bounds-checked little-endian cursor: a read past the end flips `ok` and
+/// yields zeros instead of throwing, so the hot path can reject malformed
+/// frames without unwinding.
+struct Reader {
+  std::span<const std::byte> in;
+  std::size_t offset = 0;
+  bool ok = true;
+
+  template <typename T>
+  T get() {
+    if (!ok || offset + sizeof(T) > in.size()) {
+      ok = false;
+      return T{};
+    }
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+      v |= static_cast<std::uint64_t>(std::to_integer<unsigned>(in[offset + i])) << (8 * i);
+    offset += sizeof(T);
+    return static_cast<T>(v);
+  }
+};
 
 }  // namespace
 
@@ -54,39 +65,67 @@ std::vector<std::byte> TunnelSender::encapsulate(const nids::Packet& packet) {
   return out;
 }
 
-nids::Packet TunnelReceiver::decapsulate(std::span<const std::byte> frame) {
-  std::size_t offset = 0;
-  if (get<std::uint32_t>(frame, offset) != TunnelHeader::kMagic)
-    throw std::invalid_argument("tunnel frame: bad magic");
-  if (get<std::uint16_t>(frame, offset) != TunnelHeader::kVersion)
-    throw std::invalid_argument("tunnel frame: unsupported version");
-  (void)get<std::uint16_t>(frame, offset);  // Flags.
-  const auto src_node = get<std::uint32_t>(frame, offset);
-  const auto dst_node = get<std::uint32_t>(frame, offset);
-  if (dst_node != static_cast<std::uint32_t>(local_))
-    throw std::invalid_argument("tunnel frame: not addressed to this node");
-  const auto sequence = get<std::uint64_t>(frame, offset);
-  const auto payload_bytes = get<std::uint32_t>(frame, offset);
+std::optional<nids::Packet> TunnelReceiver::parse(std::span<const std::byte> frame,
+                                                  std::string* error) {
+  Reader r{frame};
+  if (r.get<std::uint32_t>() != TunnelHeader::kMagic) {
+    *error = "tunnel frame: bad magic";
+    return std::nullopt;
+  }
+  if (r.get<std::uint16_t>() != TunnelHeader::kVersion) {
+    *error = "tunnel frame: unsupported version";
+    return std::nullopt;
+  }
+  (void)r.get<std::uint16_t>();  // Flags.
+  const auto src_node = r.get<std::uint32_t>();
+  const auto dst_node = r.get<std::uint32_t>();
+  if (r.ok && dst_node != static_cast<std::uint32_t>(local_)) {
+    *error = "tunnel frame: not addressed to this node";
+    return std::nullopt;
+  }
+  const auto sequence = r.get<std::uint64_t>();
+  const auto payload_bytes = r.get<std::uint32_t>();
 
   nids::Packet packet;
-  packet.tuple.src_ip = get<std::uint32_t>(frame, offset);
-  packet.tuple.dst_ip = get<std::uint32_t>(frame, offset);
-  packet.tuple.src_port = get<std::uint16_t>(frame, offset);
-  packet.tuple.dst_port = get<std::uint16_t>(frame, offset);
-  packet.tuple.protocol = get<std::uint8_t>(frame, offset);
-  packet.direction = get<std::uint8_t>(frame, offset) != 0 ? nids::Direction::kReverse
-                                                           : nids::Direction::kForward;
-  packet.session_id = get<std::uint64_t>(frame, offset);
-  if (offset + payload_bytes != frame.size())
-    throw std::invalid_argument("tunnel frame: length mismatch");
+  packet.tuple.src_ip = r.get<std::uint32_t>();
+  packet.tuple.dst_ip = r.get<std::uint32_t>();
+  packet.tuple.src_port = r.get<std::uint16_t>();
+  packet.tuple.dst_port = r.get<std::uint16_t>();
+  packet.tuple.protocol = r.get<std::uint8_t>();
+  packet.direction = r.get<std::uint8_t>() != 0 ? nids::Direction::kReverse
+                                                : nids::Direction::kForward;
+  packet.session_id = r.get<std::uint64_t>();
+  if (!r.ok) {
+    *error = "tunnel frame truncated";
+    return std::nullopt;
+  }
+  if (r.offset + payload_bytes != frame.size()) {
+    *error = "tunnel frame: length mismatch";
+    return std::nullopt;
+  }
   packet.payload.resize(payload_bytes);
   for (std::size_t i = 0; i < payload_bytes; ++i)
-    packet.payload[i] = static_cast<char>(std::to_integer<unsigned>(frame[offset + i]));
+    packet.payload[i] = static_cast<char>(std::to_integer<unsigned>(frame[r.offset + i]));
 
   auto& expected = expected_next_[src_node];
   if (sequence > expected) lost_ += sequence - expected;
   if (sequence >= expected) expected = sequence + 1;
   ++received_;
+  return packet;
+}
+
+nids::Packet TunnelReceiver::decapsulate(std::span<const std::byte> frame) {
+  std::string error;
+  std::optional<nids::Packet> packet = parse(frame, &error);
+  if (!packet) throw std::invalid_argument(error);
+  return *std::move(packet);
+}
+
+std::optional<nids::Packet> TunnelReceiver::try_decapsulate(
+    std::span<const std::byte> frame) {
+  std::string error;
+  std::optional<nids::Packet> packet = parse(frame, &error);
+  if (!packet) ++malformed_;
   return packet;
 }
 

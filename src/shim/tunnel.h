@@ -9,7 +9,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -55,11 +57,19 @@ class TunnelReceiver {
 
   /// Decapsulates one frame.  Throws std::invalid_argument on a malformed
   /// frame (bad magic/version/length or a frame not addressed to us).
+  /// Convenience API for tests and tools; the replay hot path uses
+  /// try_decapsulate instead.
   nids::Packet decapsulate(std::span<const std::byte> frame);
+
+  /// Non-throwing variant for per-frame paths: a malformed frame returns
+  /// std::nullopt and bumps frames_malformed() instead of unwinding.
+  std::optional<nids::Packet> try_decapsulate(std::span<const std::byte> frame);
 
   std::uint64_t packets_received() const { return received_; }
   /// Frames the sequence numbers say we should have seen but did not.
   std::uint64_t packets_lost() const { return lost_; }
+  /// Frames rejected for bad framing (magic/version/addressing/length).
+  std::uint64_t frames_malformed() const { return malformed_; }
 
   /// End-of-epoch sequence sync: the sender reports how many frames it has
   /// stamped toward this node, so trailing losses (drops after the last
@@ -70,9 +80,14 @@ class TunnelReceiver {
   void reconcile(std::uint32_t src_node, std::uint64_t frames_sent);
 
  private:
+  /// Shared parse + sequence tracking; on failure leaves the accounting
+  /// untouched and describes the defect in *error.
+  std::optional<nids::Packet> parse(std::span<const std::byte> frame, std::string* error);
+
   int local_;
   std::uint64_t received_ = 0;
   std::uint64_t lost_ = 0;
+  std::uint64_t malformed_ = 0;
   // Highest-seen sequence per sending node (+1), -1-free via map default 0.
   std::unordered_map<std::uint32_t, std::uint64_t> expected_next_;
 };

@@ -1,0 +1,138 @@
+#include "sim/failure.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace nwlb::sim {
+
+const char* to_string(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::kNodeCrash: return "crash";
+    case FailureKind::kMirrorBlackhole: return "blackhole";
+    case FailureKind::kLinkDown: return "linkdown";
+  }
+  return "?";
+}
+
+int FailureSchedule::add(FailureEvent event) {
+  if (event.target < 0)
+    throw std::invalid_argument("FailureSchedule: negative target id");
+  if (event.end <= event.begin)
+    throw std::invalid_argument("FailureSchedule: event ends before it begins");
+  if (event.severity < 0.0 || event.severity > 1.0)
+    throw std::invalid_argument("FailureSchedule: severity out of [0,1]");
+  event.id = static_cast<int>(events_.size());
+  events_.push_back(event);
+  return event.id;
+}
+
+bool FailureSchedule::node_crashed(int node, std::uint64_t session_index) const {
+  for (const FailureEvent& e : events_)
+    if (e.kind == FailureKind::kNodeCrash && e.target == node &&
+        e.active_at(session_index))
+      return true;
+  return false;
+}
+
+const FailureEvent* FailureSchedule::blackhole_at(int mirror,
+                                                  std::uint64_t session_index) const {
+  for (const FailureEvent& e : events_)
+    if (e.kind == FailureKind::kMirrorBlackhole && e.target == mirror &&
+        e.active_at(session_index))
+      return &e;
+  return nullptr;
+}
+
+const FailureEvent* FailureSchedule::link_down_at(int link,
+                                                  std::uint64_t session_index) const {
+  for (const FailureEvent& e : events_)
+    if (e.kind == FailureKind::kLinkDown && e.target == link &&
+        e.active_at(session_index))
+      return &e;
+  return nullptr;
+}
+
+std::vector<int> FailureSchedule::failed_nodes_at(std::uint64_t session_index) const {
+  std::vector<int> nodes;
+  for (const FailureEvent& e : events_) {
+    if (e.kind == FailureKind::kLinkDown || !e.active_at(session_index)) continue;
+    bool seen = false;
+    for (int n : nodes) seen = seen || n == e.target;
+    if (!seen) nodes.push_back(e.target);
+  }
+  return nodes;
+}
+
+bool FailureSchedule::any_active_at(std::uint64_t session_index) const {
+  for (const FailureEvent& e : events_)
+    if (e.active_at(session_index)) return true;
+  return false;
+}
+
+FailureSchedule FailureSchedule::parse(const std::string& spec) {
+  FailureSchedule schedule;
+  std::string normalized = spec;
+  for (char& c : normalized)
+    if (c == ';') c = '\n';
+  std::istringstream lines(normalized);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    if (const std::size_t hash = line.find('#'); hash != std::string::npos)
+      line.erase(hash);
+    std::istringstream fields(line);
+    std::string kind_name;
+    if (!(fields >> kind_name)) continue;  // Blank / comment-only line.
+
+    FailureEvent event;
+    if (kind_name == "crash") {
+      event.kind = FailureKind::kNodeCrash;
+    } else if (kind_name == "blackhole") {
+      event.kind = FailureKind::kMirrorBlackhole;
+    } else if (kind_name == "linkdown") {
+      event.kind = FailureKind::kLinkDown;
+    } else {
+      throw std::invalid_argument("FailureSchedule: line " + std::to_string(line_no) +
+                                  ": unknown event kind '" + kind_name + "'");
+    }
+    std::string end_token;
+    if (!(fields >> event.target >> event.begin >> end_token))
+      throw std::invalid_argument("FailureSchedule: line " + std::to_string(line_no) +
+                                  ": expected '<kind> <target> <begin> <end|->'");
+    if (end_token == "-" || end_token == "inf") {
+      event.end = FailureEvent::kNever;
+    } else {
+      try {
+        event.end = std::stoull(end_token);
+      } catch (const std::exception&) {
+        throw std::invalid_argument("FailureSchedule: line " + std::to_string(line_no) +
+                                    ": bad end index '" + end_token + "'");
+      }
+    }
+    if (double severity = 1.0; fields >> severity) event.severity = severity;
+    try {
+      schedule.add(event);
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument("FailureSchedule: line " + std::to_string(line_no) +
+                                  ": " + e.what());
+    }
+  }
+  return schedule;
+}
+
+std::string FailureSchedule::to_string() const {
+  std::ostringstream out;
+  for (const FailureEvent& e : events_) {
+    out << sim::to_string(e.kind) << ' ' << e.target << ' ' << e.begin << ' ';
+    if (e.end == FailureEvent::kNever)
+      out << '-';
+    else
+      out << e.end;
+    if (e.severity < 1.0) out << ' ' << e.severity;
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace nwlb::sim

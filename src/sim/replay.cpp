@@ -1,3 +1,4 @@
+// nwlb-lint: hot-path
 #include "sim/replay.h"
 
 #include <algorithm>
@@ -31,6 +32,10 @@ struct ReplaySimulator::Shard {
   std::uint64_t matches = 0;
   std::uint64_t frames_sent = 0;
   std::uint64_t frames_dropped = 0;
+  std::uint64_t frames_blackholed = 0;
+  std::uint64_t crash_skipped = 0;
+  std::uint64_t fail_open = 0;
+  std::uint64_t degraded_skipped = 0;
   std::vector<std::uint64_t> bidirectional_ids;  // Sessions with both dirs.
 
   // Reused per-direction scratch (hashes in, actions out per path node).
@@ -58,28 +63,57 @@ ReplaySimulator::ReplaySimulator(const core::ProblemInput& input,
                                  ReplayOptions options)
     : input_(&input), options_(options) {
   if (options.replication_loss < 0.0 || options.replication_loss > 1.0)
+    // nwlb-lint: allow(no-throw-hot-path) -- construction, not replay.
     throw std::invalid_argument("ReplaySimulator: loss probability out of [0,1]");
   if (options.num_workers < 0)
+    // nwlb-lint: allow(no-throw-hot-path) -- construction, not replay.
     throw std::invalid_argument("ReplaySimulator: negative worker count");
+  if (options.fail_open_headroom < 0.0 || options.fail_open_headroom > 1.0)
+    // nwlb-lint: allow(no-throw-hot-path) -- construction, not replay.
+    throw std::invalid_argument("ReplaySimulator: fail-open headroom out of [0,1]");
   const int num_pops = input.num_pops();
-  if (static_cast<int>(configs.size()) != num_pops)
-    throw std::invalid_argument("ReplaySimulator: one config per PoP required");
   shims_.reserve(static_cast<std::size_t>(num_pops));
-  for (int j = 0; j < num_pops; ++j) {
-    shims_.emplace_back(j);
-    shims_.back().install(configs[static_cast<std::size_t>(j)]);
-  }
+  for (int j = 0; j < num_pops; ++j) shims_.emplace_back(j);
+
+  const auto processing = static_cast<std::size_t>(input.num_processing_nodes());
+  health_.assign(processing, shim::MirrorHealth(options.health));
+  mirror_down_.assign(processing, 0);
+  mirror_target_.assign(processing, 0);
+  window_mirror_sent_.assign(processing, 0);
+  window_mirror_lost_.assign(processing, 0);
+  install(configs);
+
   engine_ = std::make_shared<const nids::SignatureEngine>(
       nids::SignatureEngine::default_rules());
   workers_ = options.num_workers == 0 ? nwlb::util::ThreadPool::default_workers()
                                       : options.num_workers;
   if (workers_ > 1) pool_ = std::make_unique<nwlb::util::ThreadPool>(workers_);
-  node_work_.assign(static_cast<std::size_t>(input.num_processing_nodes()), 0.0);
-  node_packets_.assign(static_cast<std::size_t>(input.num_processing_nodes()), 0);
+  node_work_.assign(processing, 0.0);
+  node_packets_.assign(processing, 0);
   link_bytes_.assign(input.link_capacity.size(), 0.0);
 }
 
+void ReplaySimulator::install(const std::vector<shim::ShimConfig>& configs) {
+  if (static_cast<int>(configs.size()) != input_->num_pops())
+    // nwlb-lint: allow(no-throw-hot-path) -- control-plane entry point.
+    throw std::invalid_argument("ReplaySimulator: one config per PoP required");
+  for (std::size_t j = 0; j < configs.size(); ++j) shims_[j].install(configs[j]);
+  // Sticky across installs: a degraded reconfiguration that stops using a
+  // mirror must not stop probing it — the persistent tunnel's keepalive is
+  // exactly how the control plane observes the mirror recovering.
+  for (const shim::ShimConfig& config : configs)
+    config.for_each_table([&](int, nids::Direction, const shim::RangeTable& table) {
+      for (const shim::HashRange& range : table.ranges())
+        if (range.action.kind == shim::Action::Kind::kReplicate &&
+            range.action.mirror >= 0 &&
+            static_cast<std::size_t>(range.action.mirror) < mirror_target_.size())
+          mirror_target_[static_cast<std::size_t>(range.action.mirror)] = 1;
+    });
+}
+
 void ReplaySimulator::replay_direction(Shard& shard, const SessionSpec& session,
+                                       std::uint64_t session_index,
+                                       bool fail_open_admitted,
                                        const TraceGenerator& generator,
                                        nids::Direction direction, int packets,
                                        nwlb::util::Rng& loss_rng) const {
@@ -88,6 +122,7 @@ void ReplaySimulator::replay_direction(Shard& shard, const SessionSpec& session,
   const topo::Path& path =
       direction == nids::Direction::kForward ? cls.fwd_path : cls.rev_path;
   shard.packets += static_cast<std::uint64_t>(packets);
+  const FailureSchedule* failures = options_.failures;
 
   // Every packet of one session direction carries the same 5-tuple, so the
   // canonical-tuple hash is computed once and batch-decided at each
@@ -102,8 +137,15 @@ void ReplaySimulator::replay_direction(Shard& shard, const SessionSpec& session,
   for (std::size_t p = 0; p < path.size(); ++p) {
     const auto j = static_cast<std::size_t>(path[p]);
     const std::span<shim::Action> out(shard.action_buf.data() + p * count, count);
-    shims_[j].decide_hashed_batch(session.class_index, direction, shard.hash_buf, out,
-                                  shard.shim_stats[j]);
+    if (failures && failures->node_crashed(path[p], session_index)) {
+      // Crashed node: the shim makes no decisions and the engine does no
+      // work — this direction's packets pass it un-inspected.
+      std::fill(out.begin(), out.end(), shim::Action::ignore());
+      shard.crash_skipped += static_cast<std::uint64_t>(packets);
+    } else {
+      shims_[j].decide_hashed_batch(session.class_index, direction, shard.hash_buf, out,
+                                    shard.shim_stats[j]);
+    }
     any_action = any_action || out[0].kind != shim::Action::Kind::kIgnore;
   }
   // Fast path: when every on-path node ignores this session direction, the
@@ -121,6 +163,24 @@ void ReplaySimulator::replay_direction(Shard& shard, const SessionSpec& session,
           break;
         case shim::Action::Kind::kReplicate: {
           const int mirror = action.mirror;
+          // Degraded operation: the health monitor flagged this mirror down
+          // in an earlier reconcile window, so the shim stops tunneling to
+          // it.  Fail-open absorbs admitted sessions locally (up to the
+          // headroom cap); otherwise the range goes dark.
+          if (mirror_down_[static_cast<std::size_t>(mirror)] != 0) {
+            if (options_.degrade == DegradePolicy::kFailOpen && fail_open_admitted) {
+              shard.matches += shard.nodes[static_cast<std::size_t>(j)].process(packet);
+              ++shard.fail_open;
+            } else {
+              ++shard.degraded_skipped;
+            }
+            break;
+          }
+          // Distinguishes every frame of a session for partial-severity
+          // failure draws (direction bit | path position | packet index).
+          const std::uint64_t frame_tag =
+              (direction == nids::Direction::kReverse ? 1ULL << 63 : 0ULL) |
+              (static_cast<std::uint64_t>(p) << 32) | static_cast<std::uint64_t>(k);
           // Real tunnel framing: encapsulate, traverse (with optional
           // injected loss), decapsulate at the mirror.
           auto [it, inserted] =
@@ -131,16 +191,47 @@ void ReplaySimulator::replay_direction(Shard& shard, const SessionSpec& session,
           shard.shim_stats[static_cast<std::size_t>(j)].count_replicated(mirror,
                                                                          frame.size());
           const topo::NodeId target_pop = input_->attach_pop_of(mirror);
-          if (target_pop != j)
-            for (topo::LinkId l : input_->routing->links_on_path(j, target_pop))
+          bool link_eaten = false;
+          if (target_pop != j) {
+            for (topo::LinkId l : input_->routing->links_on_path(j, target_pop)) {
+              if (link_eaten) break;  // Dropped upstream: never reaches l.
               shard.link_bytes[static_cast<std::size_t>(l)] += bytes;
+              if (failures) {
+                if (const FailureEvent* e =
+                        failures->link_down_at(static_cast<int>(l), session_index);
+                    e && FailureSchedule::drops_frame(*e, options_.seed, session.id,
+                                                      frame_tag))
+                  link_eaten = true;
+              }
+            }
+          }
           if (options_.replication_loss > 0.0 &&
               loss_rng.bernoulli(options_.replication_loss)) {
             ++shard.frames_dropped;
             break;  // Frame lost: the mirror never sees this packet.
           }
-          shard.matches += shard.nodes[static_cast<std::size_t>(mirror)].process(
-              shard.receivers[static_cast<std::size_t>(mirror)].decapsulate(frame));
+          if (link_eaten) {
+            ++shard.frames_blackholed;
+            break;
+          }
+          if (failures) {
+            // A crashed mirror eats frames outright; a blackholed one eats
+            // the event's severity fraction via stateless per-frame draws.
+            if (failures->node_crashed(mirror, session_index)) {
+              ++shard.frames_blackholed;
+              break;
+            }
+            if (const FailureEvent* bh = failures->blackhole_at(mirror, session_index);
+                bh && FailureSchedule::drops_frame(*bh, options_.seed, session.id,
+                                                   frame_tag)) {
+              ++shard.frames_blackholed;
+              break;
+            }
+          }
+          if (auto delivered =
+                  shard.receivers[static_cast<std::size_t>(mirror)].try_decapsulate(frame))
+            shard.matches +=
+                shard.nodes[static_cast<std::size_t>(mirror)].process(*delivered);
           break;
         }
         case shim::Action::Kind::kIgnore:
@@ -151,14 +242,26 @@ void ReplaySimulator::replay_direction(Shard& shard, const SessionSpec& session,
 }
 
 void ReplaySimulator::replay_session(Shard& shard, const SessionSpec& session,
+                                     std::uint64_t session_index,
                                      const TraceGenerator& generator) const {
   // The loss stream is derived from the session id, not drawn from a
   // shared sequence, so drop decisions are identical for any sharding.
   nwlb::util::Rng loss_rng(nwlb::util::derive_seed(options_.seed, session.id));
-  replay_direction(shard, session, generator, nids::Direction::kForward,
-                   session.fwd_packets, loss_rng);
-  replay_direction(shard, session, generator, nids::Direction::kReverse,
-                   session.rev_packets, loss_rng);
+  // Fail-open admission is one stateless per-session draw: the expected
+  // fraction of degraded sessions absorbed locally equals the headroom cap,
+  // independent of replay order.
+  bool fail_open_admitted = false;
+  if (options_.degrade == DegradePolicy::kFailOpen) {
+    std::uint64_t s = nwlb::util::derive_seed(
+        nwlb::util::derive_seed(options_.seed, 0xADB17ULL), session.id);
+    const double u =
+        static_cast<double>(nwlb::util::splitmix64(s) >> 11) * 0x1.0p-53;
+    fail_open_admitted = u < options_.fail_open_headroom;
+  }
+  replay_direction(shard, session, session_index, fail_open_admitted, generator,
+                   nids::Direction::kForward, session.fwd_packets, loss_rng);
+  replay_direction(shard, session, session_index, fail_open_admitted, generator,
+                   nids::Direction::kReverse, session.rev_packets, loss_rng);
   if (session.fwd_packets > 0 && session.rev_packets > 0)
     shard.bidirectional_ids.push_back(session.id);
 }
@@ -174,13 +277,26 @@ void ReplaySimulator::merge(Shard& shard) {
   matches_ += shard.matches;
   frames_sent_ += shard.frames_sent;
   frames_dropped_ += shard.frames_dropped;
+  frames_blackholed_ += shard.frames_blackholed;
+  crash_skipped_ += shard.crash_skipped;
+  fail_open_ += shard.fail_open;
+  degraded_skipped_ += shard.degraded_skipped;
 
   // Tunnel epoch flush: senders report their final sequence counts so
   // trailing drops are detected no matter where the shard boundary fell.
-  for (auto& [endpoints, sender] : shard.senders)
+  // The per-mirror (sent, lost) totals also feed this window's health
+  // observations.
+  for (auto& [endpoints, sender] : shard.senders) {
     shard.receivers[static_cast<std::size_t>(endpoints.second)].reconcile(
         static_cast<std::uint32_t>(endpoints.first), sender.packets_sent());
-  for (const auto& receiver : shard.receivers) detected_lost_ += receiver.packets_lost();
+    window_mirror_sent_[static_cast<std::size_t>(endpoints.second)] +=
+        sender.packets_sent();
+  }
+  for (std::size_t m = 0; m < shard.receivers.size(); ++m) {
+    detected_lost_ += shard.receivers[m].packets_lost();
+    window_mirror_lost_[m] += shard.receivers[m].packets_lost();
+    frames_malformed_ += shard.receivers[m].frames_malformed();
+  }
 
   // A session's packets are all replayed by its own shard, so its coverage
   // is fully determined by this shard's engine instances.
@@ -199,9 +315,30 @@ void ReplaySimulator::merge(Shard& shard) {
     shims_[j].absorb(shard.shim_stats[j]);
 }
 
+void ReplaySimulator::update_health(std::uint64_t window_last_index) {
+  const FailureSchedule* failures = options_.failures;
+  for (std::size_t m = 0; m < health_.size(); ++m) {
+    // Only mirror targets maintain a keepalive stream; a node no config
+    // replicates to (and that saw no frames) has nothing to observe.
+    if (mirror_target_[m] == 0 && window_mirror_sent_[m] == 0) continue;
+    bool keepalive_ok = true;
+    if (failures) {
+      const int node = static_cast<int>(m);
+      keepalive_ok = !failures->node_crashed(node, window_last_index) &&
+                     failures->blackhole_at(node, window_last_index) == nullptr;
+    }
+    health_[m].observe_window(window_mirror_sent_[m], window_mirror_lost_[m],
+                              keepalive_ok);
+    mirror_down_[m] = health_[m].down() ? 1 : 0;
+  }
+}
+
 void ReplaySimulator::replay(std::span<const SessionSpec> sessions,
                              const TraceGenerator& generator) {
   const std::size_t total = sessions.size();
+  const std::uint64_t base_index = next_index_;
+  std::fill(window_mirror_sent_.begin(), window_mirror_sent_.end(), 0);
+  std::fill(window_mirror_lost_.begin(), window_mirror_lost_.end(), 0);
   const std::size_t shard_count =
       std::max<std::size_t>(1, std::min<std::size_t>(static_cast<std::size_t>(workers_),
                                                      std::max<std::size_t>(total, 1)));
@@ -213,7 +350,7 @@ void ReplaySimulator::replay(std::span<const SessionSpec> sessions,
     const std::size_t begin = total * w / shard_count;
     const std::size_t end = total * (w + 1) / shard_count;
     for (std::size_t s = begin; s < end; ++s)
-      replay_session(shards[w], sessions[s], generator);
+      replay_session(shards[w], sessions[s], base_index + s, generator);
   };
   if (shard_count == 1) {
     run_shard(0);
@@ -227,6 +364,11 @@ void ReplaySimulator::replay(std::span<const SessionSpec> sessions,
   // integer-valued quantity, so the result is byte-identical to serial.
   for (Shard& shard : shards) merge(shard);
   sessions_ += total;
+  next_index_ += total;
+  // One replay call = one reconcile window: verdicts computed here steer
+  // the degradation policy from the next call on (the snapshot the shards
+  // read is frozen for the duration of a call — sharding-safe).
+  if (total > 0) update_health(base_index + total - 1);
 }
 
 ReplayStats ReplaySimulator::stats() const {
@@ -239,10 +381,22 @@ ReplayStats ReplaySimulator::stats() const {
   s.signature_matches = matches_;
   s.tunnel_frames_sent = frames_sent_;
   s.tunnel_frames_dropped = frames_dropped_;
+  s.tunnel_frames_blackholed = frames_blackholed_;
   s.tunnel_frames_detected_lost = detected_lost_;
+  s.tunnel_frames_malformed = frames_malformed_;
+  s.crash_skipped_packets = crash_skipped_;
+  s.fail_open_packets = fail_open_;
+  s.degraded_skipped_packets = degraded_skipped_;
   s.stateful_covered = stateful_covered_;
   s.stateful_missed = stateful_missed_;
   return s;
+}
+
+std::vector<int> ReplaySimulator::down_mirrors() const {
+  std::vector<int> down;
+  for (std::size_t m = 0; m < mirror_down_.size(); ++m)
+    if (mirror_down_[m] != 0) down.push_back(static_cast<int>(m));
+  return down;
 }
 
 void ReplaySimulator::reset() {
@@ -254,9 +408,17 @@ void ReplaySimulator::reset() {
   matches_ = 0;
   frames_sent_ = 0;
   frames_dropped_ = 0;
+  frames_blackholed_ = 0;
+  frames_malformed_ = 0;
   detected_lost_ = 0;
+  crash_skipped_ = 0;
+  fail_open_ = 0;
+  degraded_skipped_ = 0;
   stateful_covered_ = 0;
   stateful_missed_ = 0;
+  next_index_ = 0;
+  for (shim::MirrorHealth& h : health_) h.reset();
+  std::fill(mirror_down_.begin(), mirror_down_.end(), 0);
 }
 
 }  // namespace nwlb::sim

@@ -17,6 +17,14 @@
 // accumulated quantity is either an integer counter or an integer-valued
 // double (the cost model charges integral work units), so floating-point
 // merges are exact — ReplayStats is byte-identical for any worker count.
+//
+// Failure injection: a FailureSchedule times node crashes, mirror
+// blackholes, and link outages in global-session-index space, so the set
+// of failures a session observes is a pure function of its position in
+// the stream — shard-invariant by construction.  Mirror health is updated
+// only *between* replay() calls (one call = one reconcile window), so the
+// degradation policy the shards consult is frozen for the duration of a
+// call and serial/parallel equivalence holds under any schedule.
 #pragma once
 
 #include <cstdint>
@@ -28,12 +36,21 @@
 #include "nids/node.h"
 #include "nids/signature.h"
 #include "shim/config.h"
+#include "shim/health.h"
 #include "shim/shim.h"
+#include "sim/failure.h"
 #include "sim/trace.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
 namespace nwlb::sim {
+
+/// What a shim does with traffic it would replicate to a mirror that the
+/// health monitor has flagged down (§7.2 degraded operation).
+enum class DegradePolicy {
+  kFailClosed,  // Ignore: the hash range goes dark, counted as missed coverage.
+  kFailOpen,    // Process locally, admitting sessions up to a headroom cap.
+};
 
 /// Failure-injection and execution knobs for the emulation.
 struct ReplayOptions {
@@ -49,6 +66,20 @@ struct ReplayOptions {
   /// 0 = one per hardware thread (capped).  Any value produces the same
   /// ReplayStats, byte for byte.
   int num_workers = 1;
+
+  /// Timed crash/blackhole/link events; must outlive the simulator.
+  /// Null = no injected failures.
+  const FailureSchedule* failures = nullptr;
+
+  /// Behaviour toward health-flagged mirrors.
+  DegradePolicy degrade = DegradePolicy::kFailClosed;
+  /// Fail-open headroom: the fraction of sessions bound for a down mirror
+  /// that the shim absorbs locally (per-session stateless admission draw),
+  /// modelling a cap on emergency local processing.
+  double fail_open_headroom = 0.5;
+
+  /// Hysteresis knobs for the per-mirror tunnel health monitors.
+  shim::MirrorHealthOptions health;
 };
 
 struct ReplayStats {
@@ -59,8 +90,16 @@ struct ReplayStats {
   std::uint64_t sessions_replayed = 0;
   std::uint64_t packets_replayed = 0;
   std::uint64_t tunnel_frames_sent = 0;
-  std::uint64_t tunnel_frames_dropped = 0;   // Injected losses.
+  std::uint64_t tunnel_frames_dropped = 0;   // Injected congestion losses.
+  std::uint64_t tunnel_frames_blackholed = 0;  // Eaten by failure events.
   std::uint64_t tunnel_frames_detected_lost = 0;  // Receiver-side gap count.
+  std::uint64_t tunnel_frames_malformed = 0;      // Rejected framing.
+
+  // Failure-path accounting.
+  std::uint64_t crash_skipped_packets = 0;  // Decisions dropped: shim down.
+  std::uint64_t fail_open_packets = 0;      // Absorbed locally (fail-open).
+  std::uint64_t degraded_skipped_packets = 0;  // Dark ranges (fail-closed /
+                                               // over fail-open headroom).
 
   // Stateful (both-directions) coverage, network-wide: a session counts as
   // covered when at least one engine instance saw both of its directions.
@@ -69,13 +108,28 @@ struct ReplayStats {
 
   std::uint64_t signature_matches = 0;
 
+  // Every ratio accessor is guarded against a zero denominator (an empty
+  // trace reports 0, never NaN).
   double miss_rate() const {
-    const double total = static_cast<double>(stateful_covered + stateful_missed);
-    return total > 0.0 ? static_cast<double>(stateful_missed) / total : 0.0;
+    return ratio(stateful_missed, stateful_covered + stateful_missed);
+  }
+  double coverage() const {
+    return ratio(stateful_covered, stateful_covered + stateful_missed);
+  }
+  double tunnel_drop_rate() const {
+    return ratio(tunnel_frames_dropped + tunnel_frames_blackholed, tunnel_frames_sent);
+  }
+  double detected_loss_rate() const {
+    return ratio(tunnel_frames_detected_lost, tunnel_frames_sent);
   }
 
   /// Work normalized by the most loaded node's work (shape comparisons).
   std::vector<double> normalized_work() const;
+
+ private:
+  static double ratio(std::uint64_t num, std::uint64_t den) {
+    return den > 0 ? static_cast<double>(num) / static_cast<double>(den) : 0.0;
+  }
 };
 
 class ReplaySimulator {
@@ -88,9 +142,17 @@ class ReplaySimulator {
                   const std::vector<shim::ShimConfig>& configs,
                   ReplayOptions options = {});
 
+  /// Reinstalls fresh per-PoP configs between replay() calls — the path a
+  /// controller uses to push a patched or re-optimized configuration into
+  /// a running deployment.  Stats, health state, and the global session
+  /// index all persist across the swap.
+  void install(const std::vector<shim::ShimConfig>& configs);
+
   /// Replays the sessions; cumulative across calls until reset().
   /// Stateful coverage is evaluated per call (a session's two directions
-  /// must be replayed in the same call to count as covered).
+  /// must be replayed in the same call to count as covered).  One call is
+  /// also one tunnel reconcile window: mirror health verdicts update at
+  /// the end of the call and apply from the next call on.
   void replay(std::span<const SessionSpec> sessions, const TraceGenerator& generator);
 
   ReplayStats stats() const;
@@ -101,15 +163,32 @@ class ReplaySimulator {
 
   const shim::Shim& shim(int pop) const { return shims_.at(static_cast<std::size_t>(pop)); }
 
+  /// Health verdicts as of the last completed reconcile window.
+  const shim::MirrorHealth& mirror_health(int node) const {
+    return health_.at(static_cast<std::size_t>(node));
+  }
+  bool mirror_down(int node) const {
+    return mirror_down_.at(static_cast<std::size_t>(node)) != 0;
+  }
+  /// Processing nodes currently flagged down by their health monitors.
+  std::vector<int> down_mirrors() const;
+
+  /// Global index the next replayed session will get (failure-schedule
+  /// timestamps count in this space).
+  std::uint64_t next_session_index() const { return next_index_; }
+
  private:
   struct Shard;
 
   void replay_session(Shard& shard, const SessionSpec& session,
-                      const TraceGenerator& generator) const;
+                      std::uint64_t session_index, const TraceGenerator& generator) const;
   void replay_direction(Shard& shard, const SessionSpec& session,
+                        std::uint64_t session_index, bool fail_open_admitted,
                         const TraceGenerator& generator, nids::Direction direction,
                         int packets, nwlb::util::Rng& loss_rng) const;
   void merge(Shard& shard);
+  void recompute_mirror_targets();
+  void update_health(std::uint64_t window_last_index);
 
   const core::ProblemInput* input_;
   ReplayOptions options_;
@@ -118,6 +197,17 @@ class ReplaySimulator {
   // One compiled automaton shared by every (shard, node) engine instance.
   std::shared_ptr<const nids::SignatureEngine> engine_;
   std::unique_ptr<nwlb::util::ThreadPool> pool_;  // Only when workers_ > 1.
+
+  // Health state, one monitor per processing node; mirror_down_ is the
+  // frozen snapshot the shards consult during a replay call.
+  std::vector<shim::MirrorHealth> health_;
+  std::vector<char> mirror_down_;
+  std::vector<char> mirror_target_;  // Appears as a replicate target.
+  std::uint64_t next_index_ = 0;     // Global session index cursor.
+
+  // Per-window scratch (filled by merge, consumed by update_health).
+  std::vector<std::uint64_t> window_mirror_sent_;
+  std::vector<std::uint64_t> window_mirror_lost_;
 
   // Cumulative accumulators (merged from shards in index order).
   std::vector<double> node_work_;
@@ -128,7 +218,12 @@ class ReplaySimulator {
   std::uint64_t matches_ = 0;
   std::uint64_t frames_sent_ = 0;
   std::uint64_t frames_dropped_ = 0;
+  std::uint64_t frames_blackholed_ = 0;
+  std::uint64_t frames_malformed_ = 0;
   std::uint64_t detected_lost_ = 0;
+  std::uint64_t crash_skipped_ = 0;
+  std::uint64_t fail_open_ = 0;
+  std::uint64_t degraded_skipped_ = 0;
   std::uint64_t stateful_covered_ = 0;
   std::uint64_t stateful_missed_ = 0;
 };

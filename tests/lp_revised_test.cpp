@@ -169,6 +169,21 @@ TEST(RevisedSimplex, WarmStartWithWrongShapeFallsBack) {
   EXPECT_NEAR(s.objective, -1.0, 1e-9);
 }
 
+TEST(RevisedSimplex, TimeLimitReported) {
+  // A sub-nanosecond wall-clock budget expires before the first iteration
+  // completes; the solver must report kTimeLimit, not spin or throw.
+  Model m;
+  const VarId x = m.add_variable(0, kInf, 1);
+  const VarId y = m.add_variable(0, kInf, 1);
+  const RowId r = m.add_row(Sense::kEqual, 3);
+  m.add_coefficient(r, x, 1);
+  m.add_coefficient(r, y, 2);
+  Options opt;
+  opt.max_seconds = 1e-12;
+  EXPECT_EQ(solve_revised(m, opt).status, Status::kTimeLimit);
+  EXPECT_THROW(solve_revised(m, Options{.max_seconds = -1.0}), std::exception);
+}
+
 TEST(RevisedSimplex, IterationLimitReported) {
   Model m;
   const VarId x = m.add_variable(0, kInf, 1);

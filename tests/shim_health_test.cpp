@@ -1,0 +1,102 @@
+// MirrorHealth: debounced up/down verdicts from tunnel reconcile windows.
+#include "shim/health.h"
+
+#include <gtest/gtest.h>
+
+namespace nwlb::shim {
+namespace {
+
+MirrorHealthOptions fast_options() {
+  MirrorHealthOptions o;
+  o.loss_threshold = 0.5;
+  o.down_after = 2;
+  o.up_after = 2;
+  o.min_frames = 4;
+  return o;
+}
+
+TEST(MirrorHealth, StartsUpAndStaysUpOnCleanWindows) {
+  MirrorHealth health(fast_options());
+  EXPECT_FALSE(health.down());
+  for (int i = 0; i < 5; ++i) health.observe_window(100, 0);
+  EXPECT_FALSE(health.down());
+  EXPECT_EQ(health.windows_observed(), 5);
+  EXPECT_EQ(health.transitions(), 0);
+}
+
+TEST(MirrorHealth, OneBadWindowNeverFlaps) {
+  MirrorHealth health(fast_options());
+  health.observe_window(100, 100);  // 100% loss, but only one window.
+  EXPECT_FALSE(health.down());
+  health.observe_window(100, 0);  // Clean again: the streak resets.
+  health.observe_window(100, 100);
+  EXPECT_FALSE(health.down());
+  EXPECT_EQ(health.transitions(), 0);
+}
+
+TEST(MirrorHealth, GoesDownAfterConsecutiveBadWindows) {
+  MirrorHealth health(fast_options());
+  health.observe_window(100, 80);
+  health.observe_window(100, 80);
+  EXPECT_TRUE(health.down());
+  EXPECT_EQ(health.transitions(), 1);
+}
+
+TEST(MirrorHealth, RecoversOnlyAfterConsecutiveCleanWindows) {
+  MirrorHealth health(fast_options());
+  health.observe_window(100, 100);
+  health.observe_window(100, 100);
+  ASSERT_TRUE(health.down());
+  health.observe_window(100, 0);
+  EXPECT_TRUE(health.down()) << "one clean window must not flap";
+  health.observe_window(100, 100);  // Relapse: the good streak resets.
+  health.observe_window(100, 0);
+  EXPECT_TRUE(health.down());
+  health.observe_window(100, 0);
+  EXPECT_FALSE(health.down());
+  EXPECT_EQ(health.transitions(), 2);
+}
+
+TEST(MirrorHealth, LossThresholdIsABoundary) {
+  MirrorHealth health(fast_options());
+  // 49% loss twice: below the 50% threshold, still healthy.
+  health.observe_window(100, 49);
+  health.observe_window(100, 49);
+  EXPECT_FALSE(health.down());
+  // At the threshold the window counts as bad.
+  health.observe_window(100, 50);
+  health.observe_window(100, 50);
+  EXPECT_TRUE(health.down());
+}
+
+TEST(MirrorHealth, SparseWindowsJudgedByKeepalive) {
+  MirrorHealth health(fast_options());
+  // Below min_frames the loss fraction is meaningless (1 of 2 frames lost
+  // is 50% "loss"); the keepalive verdict decides instead.
+  health.observe_window(2, 1, /*keepalive_ok=*/true);
+  health.observe_window(2, 1, /*keepalive_ok=*/true);
+  EXPECT_FALSE(health.down());
+  // A dead keepalive on an idle tunnel is how a fail-closed shim that
+  // stopped sending data still detects the outage...
+  health.observe_window(0, 0, /*keepalive_ok=*/false);
+  health.observe_window(0, 0, /*keepalive_ok=*/false);
+  EXPECT_TRUE(health.down());
+  // ...and a live keepalive on the idle tunnel is how it sees recovery.
+  health.observe_window(0, 0, /*keepalive_ok=*/true);
+  health.observe_window(0, 0, /*keepalive_ok=*/true);
+  EXPECT_FALSE(health.down());
+}
+
+TEST(MirrorHealth, ResetClearsVerdictAndCounters) {
+  MirrorHealth health(fast_options());
+  health.observe_window(100, 100);
+  health.observe_window(100, 100);
+  ASSERT_TRUE(health.down());
+  health.reset();
+  EXPECT_FALSE(health.down());
+  EXPECT_EQ(health.windows_observed(), 0);
+  EXPECT_EQ(health.transitions(), 0);
+}
+
+}  // namespace
+}  // namespace nwlb::shim

@@ -78,6 +78,54 @@ TEST(Tunnel, RejectsMalformedFrames) {
   EXPECT_THROW(TunnelSender(4, 4), std::invalid_argument);
 }
 
+TEST(Tunnel, TryDecapsulateRoundTrips) {
+  TunnelSender sender(3, 9);
+  TunnelReceiver receiver(9);
+  const nids::Packet original = sample_packet();
+  const auto decoded = receiver.try_decapsulate(sender.encapsulate(original));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->tuple, original.tuple);
+  EXPECT_EQ(decoded->direction, original.direction);
+  EXPECT_EQ(decoded->session_id, original.session_id);
+  EXPECT_EQ(decoded->payload, original.payload);
+  EXPECT_EQ(receiver.packets_received(), 1u);
+  EXPECT_EQ(receiver.frames_malformed(), 0u);
+}
+
+TEST(Tunnel, TryDecapsulateCountsMalformedInsteadOfThrowing) {
+  TunnelSender sender(1, 2);
+  TunnelReceiver receiver(2);
+  const auto frame = sender.encapsulate(sample_packet());
+
+  // Wrong recipient.
+  TunnelReceiver other(3);
+  EXPECT_FALSE(other.try_decapsulate(frame).has_value());
+  EXPECT_EQ(other.frames_malformed(), 1u);
+
+  // Corrupted magic.
+  auto bad = frame;
+  bad[0] = static_cast<std::byte>(0);
+  EXPECT_FALSE(receiver.try_decapsulate(bad).has_value());
+
+  // Truncated below the header size.
+  auto truncated = frame;
+  truncated.resize(3);
+  EXPECT_FALSE(receiver.try_decapsulate(truncated).has_value());
+
+  // Payload length field disagreeing with the frame size.
+  auto short_payload = frame;
+  short_payload.resize(short_payload.size() - 2);
+  EXPECT_FALSE(receiver.try_decapsulate(short_payload).has_value());
+
+  EXPECT_EQ(receiver.frames_malformed(), 3u);
+  // Malformed frames never perturb the sequence/loss accounting: a good
+  // frame after the garbage still arrives loss-free.
+  EXPECT_EQ(receiver.packets_received(), 0u);
+  ASSERT_TRUE(receiver.try_decapsulate(frame).has_value());
+  EXPECT_EQ(receiver.packets_received(), 1u);
+  EXPECT_EQ(receiver.packets_lost(), 0u);
+}
+
 TEST(Tunnel, ByteAccounting) {
   TunnelSender sender(1, 2);
   const auto frame = sender.encapsulate(sample_packet());

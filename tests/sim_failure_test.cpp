@@ -1,9 +1,14 @@
-// Failure injection: replication-tunnel loss and its detection impact.
+// Failure injection: replication-tunnel loss and its detection impact,
+// plus the FailureSchedule fault model (crash / blackhole / link-down),
+// mirror-health-driven degradation, and recovery behaviour.
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "core/mapper.h"
 #include "core/replication_lp.h"
 #include "core/scenario.h"
+#include "sim/failure.h"
 #include "sim/replay.h"
 #include "sim/trace.h"
 #include "topo/topology.h"
@@ -107,6 +112,370 @@ TEST(FailureInjection, RejectsBadProbability) {
   LossFixture f;
   ReplayOptions opts;
   opts.replication_loss = 1.5;
+  EXPECT_THROW(ReplaySimulator(f.input, f.configs, opts), std::invalid_argument);
+}
+
+TEST(FailureInjection, EmptyTraceRatiosAreZeroNotNaN) {
+  // Regression: every ratio accessor must guard its denominator.  A fresh
+  // simulator (and a replay of zero sessions) reports 0.0, never NaN.
+  const ReplayStats fresh;
+  EXPECT_EQ(fresh.miss_rate(), 0.0);
+  EXPECT_EQ(fresh.coverage(), 0.0);
+  EXPECT_EQ(fresh.tunnel_drop_rate(), 0.0);
+  EXPECT_EQ(fresh.detected_loss_rate(), 0.0);
+
+  LossFixture f;
+  ReplaySimulator sim(f.input, f.configs, {});
+  TraceConfig tc;
+  TraceGenerator gen(f.input.classes, tc, 1);
+  const std::vector<SessionSpec> empty;
+  sim.replay(empty, gen);
+  const ReplayStats stats = sim.stats();
+  EXPECT_EQ(stats.sessions_replayed, 0u);
+  EXPECT_FALSE(std::isnan(stats.miss_rate()));
+  EXPECT_FALSE(std::isnan(stats.coverage()));
+  EXPECT_FALSE(std::isnan(stats.tunnel_drop_rate()));
+  EXPECT_FALSE(std::isnan(stats.detected_loss_rate()));
+  EXPECT_EQ(stats.miss_rate(), 0.0);
+  EXPECT_EQ(stats.coverage(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// FailureSchedule: the parse grammar and event validation.
+
+TEST(FailureScheduleSpec, ParseRoundTrips) {
+  const FailureSchedule parsed = FailureSchedule::parse(
+      "crash 3 1600 4000\n"
+      "blackhole 11 2400 - 0.5\n"
+      "# comment line\n"
+      "linkdown 7 0 100");
+  ASSERT_EQ(parsed.events().size(), 3u);
+  EXPECT_EQ(parsed.events()[0].kind, FailureKind::kNodeCrash);
+  EXPECT_EQ(parsed.events()[0].target, 3);
+  EXPECT_EQ(parsed.events()[0].begin, 1600u);
+  EXPECT_EQ(parsed.events()[0].end, 4000u);
+  EXPECT_EQ(parsed.events()[1].kind, FailureKind::kMirrorBlackhole);
+  EXPECT_EQ(parsed.events()[1].end, FailureEvent::kNever);
+  EXPECT_DOUBLE_EQ(parsed.events()[1].severity, 0.5);
+  EXPECT_EQ(parsed.events()[2].kind, FailureKind::kLinkDown);
+
+  // to_string re-parses to the same event list.
+  const FailureSchedule again = FailureSchedule::parse(parsed.to_string());
+  ASSERT_EQ(again.events().size(), parsed.events().size());
+  for (std::size_t i = 0; i < parsed.events().size(); ++i) {
+    EXPECT_EQ(again.events()[i].kind, parsed.events()[i].kind);
+    EXPECT_EQ(again.events()[i].target, parsed.events()[i].target);
+    EXPECT_EQ(again.events()[i].begin, parsed.events()[i].begin);
+    EXPECT_EQ(again.events()[i].end, parsed.events()[i].end);
+    EXPECT_DOUBLE_EQ(again.events()[i].severity, parsed.events()[i].severity);
+  }
+
+  // Semicolons separate events like newlines (the --failures inline form).
+  EXPECT_EQ(FailureSchedule::parse("crash 1 0 10; crash 2 5 15").events().size(), 2u);
+}
+
+TEST(FailureScheduleSpec, ParseRejectsBadInput) {
+  EXPECT_THROW(FailureSchedule::parse("explode 3 0 10"), std::invalid_argument);
+  EXPECT_THROW(FailureSchedule::parse("crash 3"), std::invalid_argument);
+  EXPECT_THROW(FailureSchedule::parse("crash 3 10 5"), std::invalid_argument);   // end < begin
+  EXPECT_THROW(FailureSchedule::parse("crash 3 0 10 2.0"), std::invalid_argument);  // severity > 1
+  EXPECT_THROW(FailureSchedule::parse("crash -1 0 10"), std::invalid_argument);  // bad target
+}
+
+TEST(FailureScheduleSpec, ActivityQueries) {
+  FailureSchedule schedule;
+  FailureEvent crash;
+  crash.kind = FailureKind::kNodeCrash;
+  crash.target = 4;
+  crash.begin = 100;
+  crash.end = 200;
+  schedule.add(crash);
+  EXPECT_FALSE(schedule.node_crashed(4, 99));
+  EXPECT_TRUE(schedule.node_crashed(4, 100));
+  EXPECT_TRUE(schedule.node_crashed(4, 199));
+  EXPECT_FALSE(schedule.node_crashed(4, 200));  // Recovery index is exclusive.
+  EXPECT_FALSE(schedule.node_crashed(5, 150));
+  EXPECT_EQ(schedule.failed_nodes_at(150), std::vector<int>{4});
+  EXPECT_TRUE(schedule.failed_nodes_at(0).empty());
+}
+
+TEST(FailureScheduleSpec, DropsFrameIsStatelessAndMatchesSeverity) {
+  FailureEvent event;
+  event.id = 2;
+  event.severity = 0.3;
+  int dropped = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    const bool a = FailureSchedule::drops_frame(event, 9, 77, static_cast<std::uint64_t>(i));
+    const bool b = FailureSchedule::drops_frame(event, 9, 77, static_cast<std::uint64_t>(i));
+    EXPECT_EQ(a, b);  // Pure function of its inputs.
+    dropped += a ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(dropped) / kDraws, 0.3, 0.02);
+  event.severity = 1.0;
+  EXPECT_TRUE(FailureSchedule::drops_frame(event, 9, 77, 0));
+  event.severity = 0.0;
+  EXPECT_FALSE(FailureSchedule::drops_frame(event, 9, 77, 0));
+}
+
+// ---------------------------------------------------------------------------
+// Scheduled failures driving the replay.
+
+struct ScheduleFixture : LossFixture {
+  ReplayStats run_schedule(const FailureSchedule& schedule, int workers = 1,
+                           DegradePolicy policy = DegradePolicy::kFailClosed,
+                           int sessions = 900, double loss = 0.0) {
+    ReplayOptions opts;
+    opts.num_workers = workers;
+    opts.failures = &schedule;
+    opts.degrade = policy;
+    opts.replication_loss = loss;
+    ReplaySimulator sim(input, configs, opts);
+    TraceConfig tc;
+    tc.scanners = 0;
+    TraceGenerator gen(input.classes, tc, 77);
+    sim.replay(gen.generate(sessions), gen);
+    return sim.stats();
+  }
+};
+
+void expect_identical_with_failures(const ReplayStats& a, const ReplayStats& b) {
+  EXPECT_EQ(a.node_work, b.node_work);
+  EXPECT_EQ(a.node_packets, b.node_packets);
+  EXPECT_EQ(a.link_replicated_bytes, b.link_replicated_bytes);
+  EXPECT_EQ(a.sessions_replayed, b.sessions_replayed);
+  EXPECT_EQ(a.packets_replayed, b.packets_replayed);
+  EXPECT_EQ(a.signature_matches, b.signature_matches);
+  EXPECT_EQ(a.tunnel_frames_sent, b.tunnel_frames_sent);
+  EXPECT_EQ(a.tunnel_frames_dropped, b.tunnel_frames_dropped);
+  EXPECT_EQ(a.tunnel_frames_blackholed, b.tunnel_frames_blackholed);
+  EXPECT_EQ(a.tunnel_frames_detected_lost, b.tunnel_frames_detected_lost);
+  EXPECT_EQ(a.tunnel_frames_malformed, b.tunnel_frames_malformed);
+  EXPECT_EQ(a.crash_skipped_packets, b.crash_skipped_packets);
+  EXPECT_EQ(a.fail_open_packets, b.fail_open_packets);
+  EXPECT_EQ(a.degraded_skipped_packets, b.degraded_skipped_packets);
+  EXPECT_EQ(a.stateful_covered, b.stateful_covered);
+  EXPECT_EQ(a.stateful_missed, b.stateful_missed);
+}
+
+TEST(ScheduledFailures, NodeCrashSkipsWorkAndCostsCoverage) {
+  ScheduleFixture f;
+  const ReplayStats clean = f.run_schedule(FailureSchedule{});
+  ASSERT_NEAR(clean.miss_rate(), 0.0, 1e-12);
+
+  FailureSchedule schedule;
+  FailureEvent crash;
+  crash.kind = FailureKind::kNodeCrash;
+  crash.target = 0;  // A PoP: its shim stops making decisions entirely.
+  crash.begin = 200;
+  crash.end = 700;
+  schedule.add(crash);
+  const ReplayStats stats = f.run_schedule(schedule);
+  EXPECT_GT(stats.crash_skipped_packets, 0u);
+  EXPECT_GT(stats.miss_rate(), 0.0);
+  EXPECT_LT(stats.node_work[0], clean.node_work[0]);
+  // Sessions outside [begin, end) are untouched, so most coverage survives.
+  EXPECT_LT(stats.miss_rate(), 0.9);
+}
+
+TEST(ScheduledFailures, MirrorBlackholeEatsFramesSilently) {
+  ScheduleFixture f;
+  FailureSchedule schedule;
+  FailureEvent hole;
+  hole.kind = FailureKind::kMirrorBlackhole;
+  hole.target = f.input.datacenter_id();
+  hole.begin = 0;  // Permanent.
+  schedule.add(hole);
+  const ReplayStats stats = f.run_schedule(schedule);
+  EXPECT_GT(stats.tunnel_frames_blackholed, 0u);
+  // The mirror does no work on eaten frames, and sessions that depended on
+  // replication lose a direction.
+  EXPECT_EQ(stats.node_work[static_cast<std::size_t>(f.input.datacenter_id())], 0.0);
+  EXPECT_GT(stats.miss_rate(), 0.0);
+  // Blackholed frames count into the tunnel drop rate.
+  EXPECT_GT(stats.tunnel_drop_rate(), 0.0);
+}
+
+TEST(ScheduledFailures, PartialSeverityEatsAFraction) {
+  ScheduleFixture f;
+  FailureSchedule schedule;
+  FailureEvent hole;
+  hole.kind = FailureKind::kMirrorBlackhole;
+  hole.target = f.input.datacenter_id();
+  hole.begin = 0;
+  hole.severity = 0.5;
+  schedule.add(hole);
+  const ReplayStats half = f.run_schedule(schedule);
+  ASSERT_GT(half.tunnel_frames_sent, 0u);
+  EXPECT_GT(half.tunnel_frames_blackholed, 0u);
+  EXPECT_LT(half.tunnel_frames_blackholed, half.tunnel_frames_sent);
+  // Deterministic: the stateless hash draws reproduce exactly.
+  expect_identical_with_failures(half, f.run_schedule(schedule));
+}
+
+TEST(ScheduledFailures, ParallelReplayByteIdenticalUnderEverySchedule) {
+  // The acceptance bar for the fault model: for each failure kind — and a
+  // combined schedule with congestion loss on top — sharded replay must
+  // produce stats byte-identical to serial, including every failure
+  // counter.  (Also exercised under TSan in CI.)
+  ScheduleFixture f;
+  const int dc = f.input.datacenter_id();
+
+  FailureSchedule crash;
+  crash.add(FailureSchedule::parse("crash 2 100 600").events()[0]);
+
+  FailureSchedule blackhole;
+  blackhole.add(FailureSchedule::parse("blackhole " + std::to_string(dc) + " 0 - 0.6").events()[0]);
+
+  FailureSchedule linkdown;
+  linkdown.add(FailureSchedule::parse("linkdown 3 50 800").events()[0]);
+
+  FailureSchedule combined = FailureSchedule::parse(
+      "crash 1 100 400; blackhole " + std::to_string(dc) + " 200 700 0.5; linkdown 5 0 -");
+
+  for (const FailureSchedule* schedule : {&crash, &blackhole, &linkdown, &combined}) {
+    for (const DegradePolicy policy : {DegradePolicy::kFailClosed, DegradePolicy::kFailOpen}) {
+      const ReplayStats serial = f.run_schedule(*schedule, 1, policy, 900, 0.2);
+      const ReplayStats parallel = f.run_schedule(*schedule, 4, policy, 900, 0.2);
+      ASSERT_GT(serial.packets_replayed, 0u);
+      expect_identical_with_failures(serial, parallel);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Mirror health detection and degraded operation across reconcile windows.
+
+struct WindowFixture : LossFixture {
+  // Replays `windows` windows of `per_window` sessions each against one
+  // persistent simulator; returns per-window stateful coverage.
+  std::vector<double> run_windows(ReplaySimulator& sim, int windows, int per_window) {
+    TraceConfig tc;
+    tc.scanners = 0;
+    TraceGenerator gen(input.classes, tc, 77);
+    std::vector<double> coverage;
+    for (int w = 0; w < windows; ++w) {
+      const ReplayStats before = sim.stats();
+      sim.replay(gen.generate(per_window), gen);
+      const ReplayStats after = sim.stats();
+      const std::uint64_t covered = after.stateful_covered - before.stateful_covered;
+      const std::uint64_t missed = after.stateful_missed - before.stateful_missed;
+      coverage.push_back(covered + missed > 0
+                             ? static_cast<double>(covered) /
+                                   static_cast<double>(covered + missed)
+                             : 0.0);
+    }
+    return coverage;
+  }
+};
+
+TEST(MirrorHealthReplay, DetectsCrashWithHysteresisAndObservesRecovery) {
+  WindowFixture f;
+  constexpr int kPerWindow = 250;
+  FailureSchedule schedule;
+  FailureEvent crash;
+  crash.kind = FailureKind::kNodeCrash;
+  crash.target = f.input.datacenter_id();
+  crash.begin = 1 * kPerWindow;
+  crash.end = 3 * kPerWindow;  // Crash spans windows 1 and 2.
+  schedule.add(crash);
+
+  ReplayOptions opts;
+  opts.failures = &schedule;
+  opts.health.down_after = 2;
+  opts.health.up_after = 2;
+  ReplaySimulator sim(f.input, f.configs, opts);
+
+  TraceConfig tc;
+  tc.scanners = 0;
+  TraceGenerator gen(f.input.classes, tc, 77);
+  const int dc = f.input.datacenter_id();
+
+  sim.replay(gen.generate(kPerWindow), gen);  // Window 0: healthy.
+  EXPECT_FALSE(sim.mirror_down(dc));
+  sim.replay(gen.generate(kPerWindow), gen);  // Window 1: first bad window.
+  EXPECT_FALSE(sim.mirror_down(dc)) << "one bad window must not flap";
+  sim.replay(gen.generate(kPerWindow), gen);  // Window 2: second bad window.
+  EXPECT_TRUE(sim.mirror_down(dc));
+  EXPECT_EQ(sim.down_mirrors(), std::vector<int>{dc});
+  sim.replay(gen.generate(kPerWindow), gen);  // Window 3: crash over, 1st clean.
+  EXPECT_TRUE(sim.mirror_down(dc)) << "one clean window must not flap";
+  sim.replay(gen.generate(kPerWindow), gen);  // Window 4: second clean window.
+  EXPECT_FALSE(sim.mirror_down(dc));
+  EXPECT_TRUE(sim.down_mirrors().empty());
+  EXPECT_EQ(sim.mirror_health(dc).transitions(), 2);
+  EXPECT_EQ(sim.next_session_index(), 5u * kPerWindow);
+}
+
+TEST(MirrorHealthReplay, CoverageReturnsToBaselineAfterRecovery) {
+  // Fail-closed, no reconfiguration: coverage dips while the crash (and
+  // then the health verdict) holds, and returns to the pre-failure level
+  // within one window of the health monitor clearing.
+  WindowFixture f;
+  constexpr int kPerWindow = 250;
+  FailureSchedule schedule;
+  FailureEvent crash;
+  crash.kind = FailureKind::kNodeCrash;
+  crash.target = f.input.datacenter_id();
+  crash.begin = 1 * kPerWindow;
+  crash.end = 2 * kPerWindow;  // Crash spans window 1 only.
+  schedule.add(crash);
+
+  ReplayOptions opts;
+  opts.failures = &schedule;
+  opts.health.down_after = 1;  // Aggressive detection for a short test.
+  opts.health.up_after = 1;
+  ReplaySimulator sim(f.input, f.configs, opts);
+  const std::vector<double> coverage = f.run_windows(sim, 5, kPerWindow);
+
+  EXPECT_NEAR(coverage[0], 1.0, 1e-12) << "healthy baseline";
+  EXPECT_LT(coverage[1], 1.0) << "crash window";
+  EXPECT_LT(coverage[2], 1.0) << "health verdict still down (snapshot lag)";
+  // Window 3 replays with the end-of-window-2 verdict; by the end of
+  // window 3 the keepalive has been clean for up_after=1 windows, so
+  // window 4 — one window after recovery was observable — is back at the
+  // pre-failure level.
+  EXPECT_NEAR(coverage[4], coverage[0], 1e-12);
+  EXPECT_GT(sim.stats().degraded_skipped_packets, 0u);
+}
+
+TEST(MirrorHealthReplay, FailOpenKeepsCoverageAboveFailClosed) {
+  WindowFixture f;
+  constexpr int kPerWindow = 250;
+  FailureSchedule schedule;
+  FailureEvent hole;
+  hole.kind = FailureKind::kMirrorBlackhole;
+  hole.target = f.input.datacenter_id();
+  hole.begin = 0;  // Permanent: every window is degraded once detected.
+  schedule.add(hole);
+
+  auto run_policy = [&](DegradePolicy policy, double headroom) {
+    ReplayOptions opts;
+    opts.failures = &schedule;
+    opts.degrade = policy;
+    opts.fail_open_headroom = headroom;
+    opts.health.down_after = 1;
+    ReplaySimulator sim(f.input, f.configs, opts);
+    f.run_windows(sim, 4, kPerWindow);
+    return sim.stats();
+  };
+
+  const ReplayStats closed = run_policy(DegradePolicy::kFailClosed, 0.5);
+  const ReplayStats open = run_policy(DegradePolicy::kFailOpen, 1.0);
+  EXPECT_GT(closed.degraded_skipped_packets, 0u);
+  EXPECT_EQ(closed.fail_open_packets, 0u);
+  EXPECT_GT(open.fail_open_packets, 0u);
+  EXPECT_GT(open.coverage(), closed.coverage());
+
+  // Headroom 0 admits nothing: fail-open degenerates to fail-closed.
+  const ReplayStats choked = run_policy(DegradePolicy::kFailOpen, 0.0);
+  EXPECT_EQ(choked.fail_open_packets, 0u);
+}
+
+TEST(MirrorHealthReplay, RejectsBadHeadroom) {
+  LossFixture f;
+  ReplayOptions opts;
+  opts.fail_open_headroom = 1.5;
   EXPECT_THROW(ReplaySimulator(f.input, f.configs, opts), std::invalid_argument);
 }
 

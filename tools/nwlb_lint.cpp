@@ -15,6 +15,11 @@
 //   hot-path-map       files marked `// nwlb-lint: hot-path` are per-packet
 //                      code: no std::unordered_map there (pointer-chasing
 //                      hash nodes); compile to flat arrays instead
+//   no-throw-hot-path  no `throw` in hot-path files: per-packet code must
+//                      not unwind (a malformed frame is data, not an
+//                      exception) — return std::optional or bump an error
+//                      counter instead.  Cold-path setup code in the same
+//                      file carries an explicit allow annotation.
 //
 // A finding on a line carrying `// nwlb-lint: allow(<rule>)` is
 // suppressed.  Comments and string/char literals (including raw strings)
@@ -214,6 +219,13 @@ void lint_file(const fs::path& path, std::vector<Finding>& findings) {
       report(i, "hot-path-map",
              "std::unordered_map in a `nwlb-lint: hot-path` file; use a flat "
              "compiled table (see shim/flat_table.h)");
+
+    if (hot_path && has_token(line, "throw"))
+      report(i, "no-throw-hot-path",
+             "`throw` in a `nwlb-lint: hot-path` file; per-packet code must not "
+             "unwind — return std::optional / count the error (try_decapsulate "
+             "pattern), or annotate cold-path setup with "
+             "`// nwlb-lint: allow(no-throw-hot-path)`");
 
     if (has_token(line, "reinterpret_cast"))
       report(i, "reinterpret-cast",

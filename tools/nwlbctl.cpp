@@ -10,12 +10,15 @@
 //   nwlbctl --list-topologies
 //   nwlbctl --topology Geant --arch replicate --dump-mps model.mps
 //           --dump-dot net.dot --show-configs
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "core/controller.h"
 #include "core/mapper.h"
 #include "core/replication_lp.h"
 #include "core/scenario.h"
@@ -23,6 +26,9 @@
 #include "lp/mps.h"
 #include "lp/validate.h"
 #include "shim/validate.h"
+#include "sim/failure.h"
+#include "sim/replay.h"
+#include "sim/trace.h"
 #include "topo/io.h"
 #include "topo/metrics.h"
 #include "topo/validate.h"
@@ -46,6 +52,14 @@ struct CliOptions {
   bool list_topologies = false;
   std::string dump_mps;
   std::string dump_dot;
+
+  // Failure-recovery runner (--failures).
+  std::string failures;  // Inline schedule spec or a schedule file path.
+  int sessions = 800;    // Sessions replayed per control window.
+  int epochs = 8;        // Control windows simulated.
+  bool fail_open = false;
+  double headroom = 0.5;
+  int workers = 1;
 };
 
 void print_usage() {
@@ -68,6 +82,26 @@ Options:
   --dump-dot <path>       Write the topology as Graphviz DOT
   --list-topologies       List built-in topologies and exit
   --help                  This text
+
+Failure-recovery runner:
+  --failures <spec|file>  Run the failure-aware control loop against a fault
+                          schedule instead of a one-shot solve.  Events, one
+                          per line or ';'-separated, timed in global session
+                          indices:
+                            crash <node> <begin> <end|-> [severity]
+                            blackhole <mirror> <begin> <end|-> [severity]
+                            linkdown <link> <begin> <end|-> [severity]
+  --sessions <n>          Sessions replayed per control window (default 800)
+  --epochs <n>            Control windows to simulate        (default 8)
+  --fail-open             Degraded shims absorb offloaded classes locally
+                          (default: fail-closed — ranges go dark)
+  --headroom <x>          Fail-open local admission cap in [0,1] (default 0.5)
+  --workers <n>           Parallel replay workers; 0 = all cores (default 1)
+
+Example:
+  nwlbctl --topology Internet2 --arch replicate \
+          --failures "crash 3 1600 4000; blackhole 11 2400 -" \
+          --fail-open --epochs 10
 )";
 }
 
@@ -91,6 +125,13 @@ std::optional<CliOptions> parse(int argc, char** argv) {
     else if (arg == "--dump-mps") opt.dump_mps = value();
     else if (arg == "--dump-dot") opt.dump_dot = value();
     else if (arg == "--list-topologies") opt.list_topologies = true;
+    else if (arg == "--failures") opt.failures = value();
+    else if (arg == "--sessions") opt.sessions = std::stoi(value());
+    else if (arg == "--epochs") opt.epochs = std::stoi(value());
+    else if (arg == "--fail-open") opt.fail_open = true;
+    else if (arg == "--fail-closed") opt.fail_open = false;
+    else if (arg == "--headroom") opt.headroom = std::stod(value());
+    else if (arg == "--workers") opt.workers = std::stoi(value());
     else if (arg == "--help" || arg == "-h") {
       print_usage();
       return std::nullopt;
@@ -128,6 +169,125 @@ void emit(const util::Table& table, bool csv) {
   }
 }
 
+/// `--failures` accepts the schedule inline or as a file path.
+sim::FailureSchedule load_schedule(const std::string& spec) {
+  if (std::ifstream file(spec); file) {
+    std::ostringstream text;
+    text << file.rdbuf();
+    return sim::FailureSchedule::parse(text.str());
+  }
+  return sim::FailureSchedule::parse(spec);
+}
+
+bool same_failures(const core::FailureSet& a, const core::FailureSet& b) {
+  auto sorted = [](std::vector<int> v) {
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  return sorted(a.down_nodes) == sorted(b.down_nodes) &&
+         sorted(a.failed_links) == sorted(b.failed_links);
+}
+
+/// The failure-aware control loop (§3 under faults): replay one control
+/// window, read the mirror-health verdicts and keepalive reports, respond
+/// tier-1 (instant LP-free patch) the window a failure appears, tier-2
+/// (budgeted warm-started re-solve over the survivors) the window after,
+/// and re-solve back to the healthy optimum on recovery.
+int run_failures(const CliOptions& opt, const topo::Topology& topology) {
+  if (opt.sessions <= 0 || opt.epochs <= 0)
+    throw std::invalid_argument("--sessions and --epochs must be positive");
+  const auto tm = traffic::gravity_matrix(
+      topology.graph, traffic::paper_total_sessions(topology.graph.num_nodes()));
+  core::ControllerOptions copts;
+  copts.architecture = parse_arch(opt.arch);
+  copts.scenario.max_link_load = opt.mll;
+  copts.scenario.dc_factor = opt.dc;
+  copts.scenario.placement = parse_placement(opt.placement);
+  copts.lp.max_seconds = 10.0;  // One runaway solve degrades, never stalls.
+  core::Controller controller(topology, tm, copts);
+  const core::EpochResult initial = controller.epoch(tm);
+  const core::ProblemInput input = controller.scenario().problem(copts.architecture);
+
+  const sim::FailureSchedule schedule = load_schedule(opt.failures);
+  sim::ReplayOptions ropts;
+  ropts.failures = &schedule;
+  ropts.degrade = opt.fail_open ? sim::DegradePolicy::kFailOpen
+                                : sim::DegradePolicy::kFailClosed;
+  ropts.fail_open_headroom = opt.headroom;
+  ropts.num_workers = opt.workers;
+  sim::ReplaySimulator simulator(input, initial.configs, ropts);
+  sim::TraceConfig trace_config;
+  trace_config.scanners = 0;
+  sim::TraceGenerator generator(input.classes, trace_config, 77);
+
+  std::cout << "topology=" << topology.name << " arch=" << opt.arch << " policy="
+            << (opt.fail_open ? "fail-open" : "fail-closed") << " schedule={"
+            << "\n" << schedule.to_string() << "}\n\n";
+
+  util::Table table({"Window", "Sessions", "Coverage", "DownMirrors", "Action"});
+  core::FailureSet active;
+  bool pending_resolve = false;
+  for (int w = 0; w < opt.epochs; ++w) {
+    const sim::ReplayStats before = simulator.stats();
+    simulator.replay(generator.generate(opt.sessions), generator);
+    const sim::ReplayStats after = simulator.stats();
+    const std::uint64_t covered = after.stateful_covered - before.stateful_covered;
+    const std::uint64_t missed = after.stateful_missed - before.stateful_missed;
+    const double coverage =
+        covered + missed > 0
+            ? static_cast<double>(covered) / static_cast<double>(covered + missed)
+            : 0.0;
+
+    // Control-plane view of the failure state: tunnel health verdicts plus
+    // keepalive reports (the schedule's crash/blackhole set at the index
+    // the next window starts from).
+    core::FailureSet detected;
+    detected.down_nodes = simulator.down_mirrors();
+    for (const int node : schedule.failed_nodes_at(simulator.next_session_index()))
+      if (!detected.node_down(node)) detected.down_nodes.push_back(node);
+
+    std::string action = "none";
+    if (!same_failures(detected, active)) {
+      if (!detected.empty()) {
+        simulator.install(controller.patch(detected).configs);
+        action = "patch";
+        pending_resolve = true;  // Tier 2 lands next control period.
+      } else {
+        const core::EpochResult recovered = controller.epoch(tm);
+        simulator.install(recovered.configs);
+        action = "resolve:recovered";
+        pending_resolve = false;
+      }
+      active = detected;
+    } else if (pending_resolve && !detected.empty()) {
+      const core::EpochResult resolved = controller.epoch(tm, detected);
+      simulator.install(resolved.configs);
+      action = resolved.degraded ? "resolve:" + resolved.degraded_reason : "resolve";
+      pending_resolve = false;
+    }
+
+    std::string down;
+    for (const int node : detected.down_nodes)
+      down += (down.empty() ? "" : " ") + std::to_string(node);
+    table.row()
+        .cell(w)
+        .cell(static_cast<long long>(after.sessions_replayed - before.sessions_replayed))
+        .cell(coverage, 4)
+        .cell(down.empty() ? "-" : down)
+        .cell(action);
+  }
+  emit(table, opt.csv);
+
+  const sim::ReplayStats final_stats = simulator.stats();
+  std::cout << "\nsessions=" << final_stats.sessions_replayed
+            << " coverage=" << final_stats.coverage()
+            << " frames_blackholed=" << final_stats.tunnel_frames_blackholed
+            << " crash_skipped=" << final_stats.crash_skipped_packets
+            << " fail_open=" << final_stats.fail_open_packets
+            << " degraded_skipped=" << final_stats.degraded_skipped_packets << "\n";
+  return 0;
+}
+
 int run(const CliOptions& opt) {
   if (opt.list_topologies) {
     util::Table table({"Name", "PoPs", "Links", "Diameter"});
@@ -149,6 +309,8 @@ int run(const CliOptions& opt) {
     }
     return topo::topology_by_name(opt.topology);
   }();
+
+  if (!opt.failures.empty()) return run_failures(opt, topology);
 
   const auto tm = traffic::gravity_matrix(
       topology.graph, traffic::paper_total_sessions(topology.graph.num_nodes()));
