@@ -10,6 +10,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "topo/topology.h"
 #include "util/env.h"
 #include "util/table.h"
@@ -61,6 +63,12 @@ class JsonReport {
   }
   JsonReport& table(const std::string& key, const util::Table& t) {
     entries_.emplace_back(key, t.to_json());
+    return *this;
+  }
+  /// Embeds a metrics registry's full exposition (metrics + trace) under
+  /// the "metrics" key — the bench-side view of `nwlbctl --metrics-out`.
+  JsonReport& metrics(const obs::Registry& registry) {
+    entries_.emplace_back("metrics", obs::to_json(registry));
     return *this;
   }
 

@@ -23,6 +23,7 @@
 
 #include "bench_common.h"
 #include "core/controller.h"
+#include "obs/metrics.h"
 #include "sim/failure.h"
 #include "sim/replay.h"
 #include "sim/trace.h"
@@ -66,12 +67,14 @@ bool same_nodes(std::vector<int> a, std::vector<int> b) {
 }
 
 CellResult run_cell(const topo::Topology& topology, sim::DegradePolicy policy,
-                    Response response, int window_sessions) {
+                    Response response, int window_sessions,
+                    obs::Registry& registry) {
   const auto tm = traffic::gravity_matrix(
       topology.graph, traffic::paper_total_sessions(topology.graph.num_nodes()));
   core::ControllerOptions copts;
   copts.architecture = core::Architecture::kPathReplicate;
   copts.lp.max_seconds = 10.0;
+  copts.metrics = &registry;
   core::Controller controller(topology, tm, copts);
   const core::EpochResult initial = controller.epoch(tm);
   const core::ProblemInput input = controller.scenario().problem(copts.architecture);
@@ -158,6 +161,9 @@ CellResult run_cell(const topo::Topology& topology, sim::DegradePolicy policy,
   cell.degraded_skipped = final_stats.degraded_skipped_packets;
   cell.crash_skipped = final_stats.crash_skipped_packets;
   cell.blackholed = final_stats.tunnel_frames_blackholed;
+  // Counters sum across the six matrix cells; gauges end up reflecting the
+  // final cell — both deterministic, so the JSON artifact is reproducible.
+  simulator.export_metrics(registry);
   return cell;
 }
 
@@ -184,9 +190,11 @@ int main() {
   util::Table series_table({"Window", "closed/none", "closed/patch", "closed/resolve",
                             "open/none", "open/patch", "open/resolve"});
   std::vector<CellResult> cells;
+  nwlb::obs::Registry registry;
   for (const auto policy : policies) {
     for (const auto response : responses) {
-      CellResult cell = run_cell(topology, policy, response, window_sessions);
+      CellResult cell =
+          run_cell(topology, policy, response, window_sessions, registry);
       summary.row()
           .cell(policy == sim::DegradePolicy::kFailOpen ? "fail-open" : "fail-closed")
           .cell(to_string(response))
@@ -217,6 +225,7 @@ int main() {
       .scalar("crash_end_window", static_cast<long long>(kCrashEndWindow))
       .table("summary", summary)
       .table("coverage_series", series_table);
+  report.metrics(registry);
   report.write_if_requested();
   return 0;
 }

@@ -57,15 +57,17 @@ int main() {
         warm = a.lp.basis;
         costs.push_back(a.load_cost);
       }
-      const util::BoxStats box = util::box_stats(costs);
+      // A cell can legitimately hold zero samples (NWLB_RUNS=0); the
+      // harness reports zeros for it instead of aborting on box_stats's
+      // throw-on-empty contract.
       table.row()
           .cell(topology.name)
           .cell(labels[k])
-          .cell(box.min, 3)
-          .cell(box.q25, 3)
-          .cell(box.median, 3)
-          .cell(box.q75, 3)
-          .cell(box.max, 3);
+          .cell(util::quantile_or(costs, 0.00, 0.0), 3)
+          .cell(util::quantile_or(costs, 0.25, 0.0), 3)
+          .cell(util::quantile_or(costs, 0.50, 0.0), 3)
+          .cell(util::quantile_or(costs, 0.75, 0.0), 3)
+          .cell(util::quantile_or(costs, 1.00, 0.0), 3);
     }
   }
   bench::print_table(table);

@@ -70,14 +70,19 @@ int main() {
       }
     }
 
+    // An all-idle load vector is perfectly balanced; max_over_mean would
+    // throw on its zero mean and abort the harness.
+    const auto balance = [](const std::vector<double>& loads) {
+      return util::sum(loads) > 0.0 ? util::max_over_mean(loads) : 1.0;
+    };
     const core::Assignment ingress = core::ingress_assignment(input);
-    const double before = util::max_over_mean(cpu_loads(ingress));
-    const double after = util::max_over_mean(cpu_loads(sweep[best]));
+    const double before = balance(cpu_loads(ingress));
+    const double after = balance(cpu_loads(sweep[best]));
     table.row()
         .cell(topology.name)
         .cell(before, 2)
         .cell(after, 2)
-        .cell(before / after, 2)
+        .cell(after > 0.0 ? before / after : 0.0, 2)
         .cell(betas[best], 4);
   }
   bench::print_table(table);

@@ -5,6 +5,7 @@
 
 #include "core/replication_lp.h"
 #include "core/validate.h"
+#include "obs/metrics.h"
 #include "shim/validate.h"
 #include "util/check.h"
 
@@ -15,6 +16,14 @@ namespace {
 void append_reason(std::string& reasons, const std::string& reason) {
   if (!reasons.empty()) reasons += ';';
   reasons += reason;
+}
+
+/// Epoch solve wall time, seconds.  The paper's budget is "every 5
+/// minutes"; the top bucket is well past any sane per-epoch solve.
+const std::vector<double>& solve_seconds_bounds() {
+  static const std::vector<double> bounds = {1e-4, 1e-3, 5e-3, 0.01, 0.05,
+                                             0.1,  0.5,  1.0,  5.0,  30.0};
+  return bounds;
 }
 
 }  // namespace
@@ -51,6 +60,17 @@ EpochResult Controller::patch(const FailureSet& failures) {
   if (result.degraded) result.degraded_reason = "patch";
   result.assignment = patch_assignment(input, *last_good_, failures);
   result.configs = build_shim_configs(input, result.assignment);
+  if (options_.metrics != nullptr) {
+    obs::Registry& metrics = *options_.metrics;
+    metrics
+        .counter("nwlb_controller_patches_total", {},
+                 "Tier-1 LP-free proportional patches applied")
+        .inc();
+    metrics.trace().push(
+        "controller", "patch", static_cast<double>(failures.down_nodes.size()),
+        "down_nodes=" + std::to_string(failures.down_nodes.size()) +
+            " failed_links=" + std::to_string(failures.failed_links.size()));
+  }
 #if NWLB_DCHECK_ENABLED
   {
     // Patched plans may legitimately exceed capacity/link caps, but the
@@ -67,6 +87,9 @@ EpochResult Controller::patch(const FailureSet& failures) {
 
 EpochResult Controller::run_epoch(const FailureSet& failures) {
   EpochResult result;
+  // How this epoch's plan was produced, exported as the {status=...} label
+  // on nwlb_controller_epoch_outcomes_total.
+  std::string solve_status = "ingress";
   ProblemInput input = scenario_.problem(options_.architecture);
   apply_failures(input, failures);
 
@@ -94,6 +117,7 @@ EpochResult Controller::run_epoch(const FailureSet& failures) {
     result.patched = !failures.empty();
   } else if (backoff_remaining_ > 0) {
     --backoff_remaining_;
+    solve_status = "backoff";
     fall_back("resolve_backoff:" + std::to_string(backoff_remaining_));
   } else {
     const ReplicationLp formulation(input);
@@ -109,6 +133,7 @@ EpochResult Controller::run_epoch(const FailureSet& failures) {
     result.solve_seconds += attempt.assignment.lp.solve_seconds;
     result.iterations +=
         attempt.assignment.lp.iterations + attempt.assignment.lp.phase1_iterations;
+    solve_status = lp::to_string(attempt.status);
     if (attempt.status == lp::Status::kOptimal) {
       result.assignment = std::move(attempt.assignment);
       warm_basis_ = result.assignment.lp.basis;
@@ -181,7 +206,63 @@ EpochResult Controller::run_epoch(const FailureSet& failures) {
     }
   }
   ++epochs_;
+  if (options_.metrics != nullptr) record_epoch(result, solve_status, failures);
   return result;
+}
+
+void Controller::record_epoch(const EpochResult& result,
+                              const std::string& solve_status,
+                              const FailureSet& failures) const {
+  obs::Registry& metrics = *options_.metrics;
+  metrics
+      .counter("nwlb_controller_epochs_total", {},
+               "Optimization epochs run by the controller")
+      .inc();
+  metrics
+      .counter("nwlb_controller_epoch_outcomes_total", {{"status", solve_status}},
+               "Epochs by how the plan was produced (LP status, backoff, ingress)")
+      .inc();
+  if (result.degraded)
+    metrics
+        .counter("nwlb_controller_epochs_degraded_total", {},
+                 "Epochs whose plan is not a fresh optimum")
+        .inc();
+  if (result.patched)
+    metrics
+        .counter("nwlb_controller_epochs_patched_total", {},
+                 "Epochs served from the LP-free proportional patch")
+        .inc();
+  if (result.warm_started)
+    metrics
+        .counter("nwlb_controller_epochs_warm_started_total", {},
+                 "Epochs whose LP solve reused the previous basis")
+        .inc();
+  metrics
+      .counter("nwlb_controller_lp_iterations_total", {},
+               "Simplex iterations across all epoch solves (both LPs)")
+      .inc(static_cast<std::uint64_t>(result.iterations > 0 ? result.iterations : 0));
+  metrics
+      .histogram("nwlb_controller_solve_seconds", solve_seconds_bounds(), {},
+                 "Per-epoch LP solve wall time, seconds")
+      .observe(result.solve_seconds);
+  metrics
+      .gauge("nwlb_controller_backoff_epochs_remaining", {},
+             "Epochs left before the controller retries the LP")
+      .set(static_cast<double>(backoff_remaining_));
+  metrics
+      .gauge("nwlb_controller_miss_rate", {},
+             "Traffic fraction the current plan leaves uncovered")
+      .set(result.assignment.miss_rate);
+  metrics.trace().push(
+      "controller", "epoch", result.solve_seconds,
+      "epoch=" + std::to_string(epochs_) + " status=" + solve_status +
+          " warm=" + (result.warm_started ? "1" : "0") +
+          " degraded=" + (result.degraded ? "1" : "0") +
+          " patched=" + (result.patched ? "1" : "0") +
+          " iterations=" + std::to_string(result.iterations) +
+          " down_nodes=" + std::to_string(failures.down_nodes.size()) +
+          (result.degraded_reason.empty() ? std::string()
+                                          : " reason=" + result.degraded_reason));
 }
 
 }  // namespace nwlb::core

@@ -30,6 +30,10 @@
 #include "core/patch.h"
 #include "core/scenario.h"
 
+namespace nwlb::obs {
+class Registry;
+}
+
 namespace nwlb::core {
 
 struct ControllerOptions {
@@ -49,6 +53,11 @@ struct ControllerOptions {
   /// After a failed re-solve (budget exhausted twice, or infeasible), skip
   /// the LP for this many epochs before trying again.
   int resolve_backoff_epochs = 2;
+
+  /// When set, every epoch and patch records nwlb_controller_* metrics and
+  /// pushes one structured event into the registry's trace ring (see
+  /// DESIGN.md §9).  Must outlive the controller.  Null = no telemetry.
+  obs::Registry* metrics = nullptr;
 };
 
 struct EpochResult {
@@ -106,6 +115,8 @@ class Controller {
 
  private:
   EpochResult run_epoch(const FailureSet& failures);
+  void record_epoch(const EpochResult& result, const std::string& solve_status,
+                    const FailureSet& failures) const;
 
   Scenario scenario_;
   ControllerOptions options_;

@@ -1,0 +1,170 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace nwlb::obs {
+
+namespace {
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':';
+  };
+  auto tail = [&](char c) { return head(c) || (c >= '0' && c <= '9'); };
+  if (!head(name.front())) return false;
+  return std::all_of(name.begin() + 1, name.end(), tail);
+}
+
+bool valid_label_name(const std::string& name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+  };
+  auto tail = [&](char c) { return head(c) || (c >= '0' && c <= '9'); };
+  if (!head(name.front())) return false;
+  return std::all_of(name.begin() + 1, name.end(), tail);
+}
+
+/// Canonical map key: name, then sorted label pairs, using unit separators
+/// (label names cannot contain control characters, values are length-framed
+/// by the separators' positions only within one key — collisions would need
+/// a '\x1f' in a label string, which the contract below rejects).
+std::string make_key(const std::string& name, const Labels& labels) {
+  std::string key = name;
+  for (const auto& [label, value] : labels) {
+    key += '\x1f';
+    key += label;
+    key += '\x1e';
+    key += value;
+  }
+  return key;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      // Value-initialized: every bucket (including +Inf) starts at zero.
+      buckets_(std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1)) {}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+
+Registry::Entry& Registry::find_or_register(const std::string& name,
+                                            const Labels& labels,
+                                            const std::string& help,
+                                            Sample::Kind kind,
+                                            const std::vector<double>* bounds) {
+  NWLB_CHECK(valid_metric_name(name), "obs::Registry: bad metric name '", name, "'");
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    NWLB_CHECK(valid_label_name(sorted[i].first),
+               "obs::Registry: bad label name '", sorted[i].first, "' on ", name);
+    NWLB_CHECK(sorted[i].second.find('\x1f') == std::string::npos &&
+                   sorted[i].second.find('\x1e') == std::string::npos,
+               "obs::Registry: control separator in label value on ", name);
+    NWLB_CHECK(i == 0 || sorted[i - 1].first != sorted[i].first,
+               "obs::Registry: duplicate label '", sorted[i].first, "' on ", name);
+  }
+  if (bounds != nullptr) {
+    NWLB_CHECK(!bounds->empty(), "obs::Registry: empty histogram bounds on ", name);
+    for (std::size_t i = 1; i < bounds->size(); ++i)
+      NWLB_CHECK_LT((*bounds)[i - 1], (*bounds)[i],
+                    "obs::Registry: histogram bounds not increasing on ", name);
+  }
+
+  const std::string key = make_key(name, sorted);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    Entry& entry = *it->second;
+    NWLB_CHECK(entry.kind == kind, "obs::Registry: '", name,
+               "' re-registered under a different metric kind");
+    if (bounds != nullptr)
+      NWLB_CHECK(entry.histogram->bounds() == *bounds, "obs::Registry: '", name,
+                 "' re-registered with different histogram bounds");
+    return entry;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->labels = std::move(sorted);
+  entry->help = help;
+  entry->kind = kind;
+  switch (kind) {
+    case Sample::Kind::kCounter: entry->counter = std::make_unique<Counter>(); break;
+    case Sample::Kind::kGauge: entry->gauge = std::make_unique<Gauge>(); break;
+    case Sample::Kind::kHistogram:
+      entry->histogram = std::make_unique<Histogram>(*bounds);
+      break;
+  }
+  Entry& ref = *entry;
+  entries_.emplace(key, std::move(entry));
+  return ref;
+}
+
+Counter& Registry::counter(const std::string& name, const Labels& labels,
+                           const std::string& help) {
+  return *find_or_register(name, labels, help, Sample::Kind::kCounter, nullptr)
+              .counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const Labels& labels,
+                       const std::string& help) {
+  return *find_or_register(name, labels, help, Sample::Kind::kGauge, nullptr).gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name, std::vector<double> bounds,
+                               const Labels& labels, const std::string& help) {
+  return *find_or_register(name, labels, help, Sample::Kind::kHistogram, &bounds)
+              .histogram;
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot snap;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  snap.samples.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    Sample sample;
+    sample.name = entry->name;
+    sample.labels = entry->labels;
+    sample.help = entry->help;
+    sample.kind = entry->kind;
+    switch (entry->kind) {
+      case Sample::Kind::kCounter:
+        sample.counter_value = entry->counter->value();
+        break;
+      case Sample::Kind::kGauge:
+        sample.gauge_value = entry->gauge->value();
+        break;
+      case Sample::Kind::kHistogram:
+        sample.bounds = entry->histogram->bounds();
+        sample.bucket_counts = entry->histogram->bucket_counts();
+        sample.sum = entry->histogram->sum();
+        sample.count = entry->histogram->count();
+        break;
+    }
+    snap.samples.push_back(std::move(sample));
+  }
+  return snap;
+}
+
+std::size_t Registry::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+}  // namespace nwlb::obs

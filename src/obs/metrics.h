@@ -1,0 +1,186 @@
+// nwlb-lint: hot-path
+//
+// Observability core: a small, thread-safe metrics subsystem.
+//
+// Three metric kinds, all with wait-free write paths (relaxed atomics, no
+// locks, no allocation, no unwinding — this header is per-packet-adjacent
+// code and carries the hot-path lint marker):
+//
+//   Counter    monotonic uint64 (events, packets, bytes)
+//   Gauge      double last-write-wins (levels: mirrors down, backoff left)
+//   Histogram  fixed upper-bound buckets + sum + count (latency-style)
+//
+// A Registry owns metrics keyed by (name, sorted labels).  Registration is
+// cold-path (mutex + ordered map — deterministic exposition order falls
+// out of the key order); callers hold the returned reference and increment
+// it lock-free afterwards.  snapshot() copies current values into plain
+// structs for the exporters in obs/export.h.  Snapshots taken concurrently
+// with writers are per-value consistent (each load is atomic) but not a
+// cross-metric transaction: a histogram's count can momentarily disagree
+// with the sum of its buckets by in-flight observations.
+//
+// Determinism note: parallel replay shards never share one of these hot —
+// the simulator merges its own plain per-shard counters deterministically
+// (see sim/replay.h) and exports the merged totals into a Registry at
+// reconcile time, so exported metrics are byte-identical for any worker
+// count.  Live shared Counters are for control-plane code (the Controller,
+// tools) where cross-thread increment order does not affect totals.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace nwlb::obs {
+
+/// Label set for one metric instance, e.g. {{"status", "optimal"}}.
+/// Registered labels are stored sorted by key so the (name, labels)
+/// identity and the exposition order are canonical.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonic event counter.  inc() is wait-free.
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins level.  set()/add() are lock-free.
+class Gauge {
+ public:
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void add(double delta) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: bounds are upper edges (inclusive), an implicit
+/// +Inf bucket catches the rest.  observe() is lock-free and allocation-free.
+class Histogram {
+ public:
+  /// `bounds` must be strictly increasing and non-empty (checked by the
+  /// Registry at registration).
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double value) {
+    std::size_t bucket = 0;
+    while (bucket < bounds_.size() && value > bounds_[bucket]) ++bucket;
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    double sum = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(sum, sum + value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Per-bucket (non-cumulative) counts; size() == bounds().size() + 1,
+  /// the final entry being the +Inf bucket.
+  std::vector<std::uint64_t> bucket_counts() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// One exported value, decoupled from the live metric objects.
+struct Sample {
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  std::string name;
+  Labels labels;
+  std::string help;
+  Kind kind = Kind::kCounter;
+
+  std::uint64_t counter_value = 0;             // kCounter
+  double gauge_value = 0.0;                    // kGauge
+  std::vector<double> bounds;                  // kHistogram
+  std::vector<std::uint64_t> bucket_counts;    // kHistogram (+Inf last)
+  double sum = 0.0;                            // kHistogram
+  std::uint64_t count = 0;                     // kHistogram
+};
+
+/// A point-in-time copy of every registered metric, in canonical
+/// (name, labels) order — the exporters' input.
+struct Snapshot {
+  std::vector<Sample> samples;
+};
+
+/// Owner of metrics and the process's epoch trace ring.  Thread-safe;
+/// returned references stay valid for the Registry's lifetime.  Metric
+/// names must match [a-zA-Z_:][a-zA-Z0-9_:]* and label names
+/// [a-zA-Z_][a-zA-Z0-9_]* (contract-checked at registration); re-registering
+/// an existing (name, labels) returns the same object, and re-registering
+/// under a different kind or histogram bounds is a contract violation.
+class Registry {
+ public:
+  explicit Registry(std::size_t trace_capacity = 256) : trace_(trace_capacity) {}
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& counter(const std::string& name, const Labels& labels = {},
+                   const std::string& help = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {},
+               const std::string& help = {});
+  Histogram& histogram(const std::string& name, std::vector<double> bounds,
+                       const Labels& labels = {}, const std::string& help = {});
+
+  /// The registry's structured-event ring (epoch traces and the like).
+  TraceRing& trace() { return trace_; }
+  const TraceRing& trace() const { return trace_; }
+
+  Snapshot snapshot() const;
+  std::size_t size() const;
+
+  /// Process-wide default registry for code without an injected one.
+  static Registry& global();
+
+ private:
+  // Complete here (not forward-declared): std::map does not support
+  // incomplete value types, and the member below instantiates it.
+  struct Entry {
+    std::string name;
+    Labels labels;
+    std::string help;
+    Sample::Kind kind = Sample::Kind::kCounter;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& find_or_register(const std::string& name, const Labels& labels,
+                          const std::string& help, Sample::Kind kind,
+                          const std::vector<double>* bounds);
+
+  mutable std::mutex mutex_;
+  // Key: name + '\x1f' + canonical label serialization; std::map so that
+  // snapshots (and thus expositions) come out in one deterministic order.
+  std::map<std::string, std::unique_ptr<Entry>> entries_;
+  TraceRing trace_;
+};
+
+}  // namespace nwlb::obs

@@ -1,0 +1,44 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace nwlb::obs {
+
+TraceRing::TraceRing(std::size_t capacity) : capacity_(capacity) {
+  NWLB_CHECK_GT(capacity, 0u, "TraceRing: capacity must be positive");
+  ring_.reserve(std::min<std::size_t>(capacity, 1024));
+}
+
+void TraceRing::push(std::string scope, std::string name, double value,
+                     std::string detail) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  TraceEvent event{next_sequence_++, std::move(scope), std::move(name), value,
+                   std::move(detail)};
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+  } else {
+    ring_[next_slot_] = std::move(event);
+    next_slot_ = (next_slot_ + 1) % capacity_;
+  }
+}
+
+std::vector<TraceEvent> TraceRing::events() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  // Before the first eviction next_slot_ is 0 and the ring is in push
+  // order; afterwards next_slot_ points at the oldest retained event.
+  for (std::size_t i = 0; i < ring_.size(); ++i)
+    out.push_back(ring_[(next_slot_ + i) % ring_.size()]);
+  return out;
+}
+
+std::uint64_t TraceRing::total_pushed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return next_sequence_;
+}
+
+}  // namespace nwlb::obs

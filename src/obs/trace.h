@@ -1,0 +1,59 @@
+// Epoch trace ring: a bounded buffer of structured control-plane events.
+//
+// Metrics answer "how much"; the trace answers "what happened, in order".
+// Every controller epoch, patch, and mirror-health transition pushes one
+// TraceEvent; the ring keeps the most recent `capacity` of them and the
+// exporters dump them next to the metric samples.  Events carry a
+// monotonic sequence number (not a wall-clock timestamp) so traces stay
+// byte-identical across runs — determinism is a repo-wide invariant the
+// parallel-replay tests rely on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace nwlb::obs {
+
+/// One structured event.  `scope` names the subsystem ("controller",
+/// "health"), `name` the event kind ("epoch", "patch", "mirror_down"),
+/// `value` one headline number (solve seconds, window index), and `detail`
+/// a small "k=v k=v" string for everything else.
+struct TraceEvent {
+  std::uint64_t sequence = 0;
+  std::string scope;
+  std::string name;
+  double value = 0.0;
+  std::string detail;
+};
+
+/// Fixed-capacity ring of TraceEvents.  Thread-safe; push() is mutex-guarded
+/// (control-plane rate — epochs, not packets).
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity = 256);
+
+  /// Appends one event, assigning the next sequence number; the oldest
+  /// event is evicted when the ring is full.
+  void push(std::string scope, std::string name, double value = 0.0,
+            std::string detail = {});
+
+  /// Events currently retained, oldest first.
+  std::vector<TraceEvent> events() const;
+
+  /// Total events ever pushed (>= events().size()).
+  std::uint64_t total_pushed() const;
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::vector<TraceEvent> ring_;   // Circular once full.
+  std::size_t next_slot_ = 0;      // Write position when ring_ is full.
+  std::uint64_t next_sequence_ = 0;
+};
+
+}  // namespace nwlb::obs

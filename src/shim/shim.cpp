@@ -5,17 +5,36 @@
 
 namespace nwlb::shim {
 
+namespace {
+
+/// Per-verdict tally; a two-way branch on an enum the predictor has
+/// already resolved for the lookup itself.
+inline void count_action(ShimStats& stats, Action::Kind kind) {
+  if (kind == Action::Kind::kProcess)
+    ++stats.decided_process;
+  else if (kind == Action::Kind::kReplicate)
+    ++stats.decided_replicate;
+  else
+    ++stats.decided_ignore;
+}
+
+}  // namespace
+
 Decision Shim::decide(int class_id, const nids::FiveTuple& tuple,
                       nids::Direction direction, ShimStats& stats) const {
   ++stats.packets_seen;
   const std::uint32_t h = hash_tuple(tuple, hash_seed_);
-  return Decision{flat_.lookup(class_id, direction, h), h};
+  const Action action = flat_.lookup(class_id, direction, h);
+  count_action(stats, action.kind);
+  return Decision{action, h};
 }
 
 Decision Shim::decide_by_source(int class_id, std::uint32_t src_ip, ShimStats& stats) const {
   ++stats.packets_seen;
   const std::uint32_t h = hash_source(src_ip, hash_seed_);
-  return Decision{flat_.lookup(class_id, nids::Direction::kForward, h), h};
+  const Action action = flat_.lookup(class_id, nids::Direction::kForward, h);
+  count_action(stats, action.kind);
+  return Decision{action, h};
 }
 
 void Shim::decide_batch(int class_id, nids::Direction direction,
@@ -26,6 +45,7 @@ void Shim::decide_batch(int class_id, nids::Direction direction,
   for (std::size_t i = 0; i < tuples.size(); ++i) {
     const std::uint32_t h = hash_tuple(tuples[i], hash_seed_);
     out[i] = Decision{flat_.lookup(class_id, direction, h), h};
+    count_action(stats, out[i].action.kind);
   }
 }
 
@@ -34,6 +54,7 @@ void Shim::decide_hashed_batch(int class_id, nids::Direction direction,
                                ShimStats& stats) const {
   stats.packets_seen += hashes.size();
   flat_.lookup_batch(class_id, direction, hashes, out);
+  for (const Action& action : out) count_action(stats, action.kind);
 }
 
 }  // namespace nwlb::shim

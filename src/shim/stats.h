@@ -5,17 +5,26 @@
 // implementation kept inside the Shim (a data race waiting for the first
 // parallel caller) now lives in a ShimStats the caller owns.  Workers keep
 // one ShimStats per shim and merge them deterministically at the end of a
-// parallel section.
+// parallel section; the observability layer exports the merged totals
+// (obs::Registry) at reconcile time, never sharing a counter hot.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
+#include "util/check.h"
+
 namespace nwlb::shim {
 
 struct ShimStats {
   std::uint64_t packets_seen = 0;
+
+  /// Decisions by verdict (one per packet decided; crash-skipped packets
+  /// never reach the shim and are counted by the simulator instead).
+  std::uint64_t decided_process = 0;
+  std::uint64_t decided_replicate = 0;
+  std::uint64_t decided_ignore = 0;
 
   /// Bytes pushed into the tunnel toward each mirror node, indexed by the
   /// mirror's processing-node id (a flat vector, not a hash map: this is
@@ -23,12 +32,17 @@ struct ShimStats {
   std::vector<std::uint64_t> replicated_bytes;
 
   void count_replicated(int mirror, std::uint64_t bytes) {
+    // A negative mirror id cast straight to size_t would become a huge
+    // index and drive an unbounded resize (OOM) on the per-packet path;
+    // reject it loudly at the trust boundary instead.
+    NWLB_CHECK_GE(mirror, 0, "ShimStats::count_replicated: bad mirror id");
     const auto index = static_cast<std::size_t>(mirror);
     if (index >= replicated_bytes.size()) replicated_bytes.resize(index + 1, 0);
     replicated_bytes[index] += bytes;
   }
 
   std::uint64_t replicated_bytes_to(int mirror) const {
+    if (mirror < 0) return 0;
     const auto index = static_cast<std::size_t>(mirror);
     return index < replicated_bytes.size() ? replicated_bytes[index] : 0;
   }
@@ -42,6 +56,9 @@ struct ShimStats {
   /// Adds `other` into this accumulator (order-independent).
   void merge(const ShimStats& other) {
     packets_seen += other.packets_seen;
+    decided_process += other.decided_process;
+    decided_replicate += other.decided_replicate;
+    decided_ignore += other.decided_ignore;
     if (other.replicated_bytes.size() > replicated_bytes.size())
       replicated_bytes.resize(other.replicated_bytes.size(), 0);
     for (std::size_t i = 0; i < other.replicated_bytes.size(); ++i)

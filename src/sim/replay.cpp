@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "shim/hash.h"
 #include "shim/tunnel.h"
 
@@ -389,7 +390,95 @@ ReplayStats ReplaySimulator::stats() const {
   s.degraded_skipped_packets = degraded_skipped_;
   s.stateful_covered = stateful_covered_;
   s.stateful_missed = stateful_missed_;
+  for (const shim::Shim& shim : shims_) {
+    s.decisions_process += shim.stats().decided_process;
+    s.decisions_replicate += shim.stats().decided_replicate;
+    s.decisions_ignore += shim.stats().decided_ignore;
+  }
+  for (const shim::MirrorHealth& h : health_)
+    s.mirror_flaps += static_cast<std::uint64_t>(h.transitions());
   return s;
+}
+
+void ReplaySimulator::export_metrics(obs::Registry& registry) const {
+  const ReplayStats s = stats();
+  const auto counter = [&registry](const char* name, std::uint64_t value,
+                                   const char* help) {
+    registry.counter(name, {}, help).inc(value);
+  };
+  counter("nwlb_replay_sessions_total", s.sessions_replayed, "Sessions replayed");
+  counter("nwlb_replay_packets_total", s.packets_replayed,
+          "Packets walked along their paths");
+  counter("nwlb_replay_signature_matches_total", s.signature_matches,
+          "Signature-engine matches across every node");
+  counter("nwlb_replay_crash_skipped_packets_total", s.crash_skipped_packets,
+          "Per-node decisions skipped because the shim's node was crashed");
+  counter("nwlb_replay_fail_open_packets_total", s.fail_open_packets,
+          "Packets absorbed locally under the fail-open degrade policy");
+  counter("nwlb_replay_degraded_skipped_packets_total", s.degraded_skipped_packets,
+          "Packets whose hash range went dark (fail-closed or over headroom)");
+  counter("nwlb_replay_sessions_covered_total", s.stateful_covered,
+          "Bidirectional sessions with both directions seen by one engine");
+  counter("nwlb_replay_sessions_missed_total", s.stateful_missed,
+          "Bidirectional sessions no engine saw both directions of");
+  counter("nwlb_tunnel_frames_sent_total", s.tunnel_frames_sent,
+          "Frames encapsulated toward a mirror");
+  counter("nwlb_tunnel_frames_dropped_total", s.tunnel_frames_dropped,
+          "Frames lost to injected congestion drops");
+  counter("nwlb_tunnel_frames_blackholed_total", s.tunnel_frames_blackholed,
+          "Frames eaten by crash/blackhole/link failure events");
+  counter("nwlb_tunnel_frames_detected_lost_total", s.tunnel_frames_detected_lost,
+          "Receiver-side sequence-gap detections");
+  counter("nwlb_tunnel_frames_malformed_total", s.tunnel_frames_malformed,
+          "Frames rejected by tunnel framing validation");
+  counter("nwlb_mirror_flaps_total", s.mirror_flaps,
+          "Mirror health up/down verdict transitions");
+
+  static const char* kDecisionsHelp = "Shim decisions by verdict";
+  registry.counter("nwlb_shim_decisions_total", {{"verdict", "process"}}, kDecisionsHelp)
+      .inc(s.decisions_process);
+  registry.counter("nwlb_shim_decisions_total", {{"verdict", "replicate"}}, kDecisionsHelp)
+      .inc(s.decisions_replicate);
+  registry.counter("nwlb_shim_decisions_total", {{"verdict", "ignore"}}, kDecisionsHelp)
+      .inc(s.decisions_ignore);
+
+  // Per-mirror tunnel bytes, summed over every sending shim.  Only mirrors
+  // that received bytes get a series (totals are merge-deterministic, so
+  // the emitted set is identical for any worker count).
+  std::vector<std::uint64_t> per_mirror;
+  for (const shim::Shim& shim : shims_) {
+    const std::vector<std::uint64_t>& bytes = shim.stats().replicated_bytes;
+    if (bytes.size() > per_mirror.size()) per_mirror.resize(bytes.size(), 0);
+    for (std::size_t m = 0; m < bytes.size(); ++m) per_mirror[m] += bytes[m];
+  }
+  for (std::size_t m = 0; m < per_mirror.size(); ++m)
+    if (per_mirror[m] > 0)
+      registry
+          .counter("nwlb_shim_replicated_bytes_total",
+                   {{"mirror", std::to_string(m)}},
+                   "Tunnel payload bytes pushed toward each mirror node")
+          .inc(per_mirror[m]);
+
+  registry
+      .gauge("nwlb_mirrors_down", {},
+             "Processing nodes currently flagged down by mirror health")
+      .set(static_cast<double>(down_mirrors().size()));
+  registry
+      .gauge("nwlb_replay_miss_rate", {},
+             "Fraction of bidirectional sessions without stateful coverage")
+      .set(s.miss_rate());
+
+  for (std::size_t id = 0; id < node_work_.size(); ++id) {
+    const obs::Labels labels = {{"node", std::to_string(id)}};
+    registry
+        .gauge("nwlb_replay_node_work_units", labels,
+               "Cumulative engine work units per processing node")
+        .set(node_work_[id]);
+    registry
+        .counter("nwlb_replay_node_packets_total", labels,
+                 "Packets processed per node (local + tunneled)")
+        .inc(node_packets_[id]);
+  }
 }
 
 std::vector<int> ReplaySimulator::down_mirrors() const {

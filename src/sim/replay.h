@@ -43,6 +43,10 @@
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
+namespace nwlb::obs {
+class Registry;
+}
+
 namespace nwlb::sim {
 
 /// What a shim does with traffic it would replicate to a mirror that the
@@ -108,6 +112,15 @@ struct ReplayStats {
 
   std::uint64_t signature_matches = 0;
 
+  // Shim decisions by verdict, summed over every PoP (crash-skipped
+  // packets never reach a shim and appear in crash_skipped_packets only).
+  std::uint64_t decisions_process = 0;
+  std::uint64_t decisions_replicate = 0;
+  std::uint64_t decisions_ignore = 0;
+
+  /// Up/down verdict transitions across every mirror health monitor.
+  std::uint64_t mirror_flaps = 0;
+
   // Every ratio accessor is guarded against a zero denominator (an empty
   // trace reports 0, never NaN).
   double miss_rate() const {
@@ -157,6 +170,13 @@ class ReplaySimulator {
 
   ReplayStats stats() const;
   void reset();
+
+  /// Exports the merged cumulative totals as nwlb_replay_* / nwlb_tunnel_* /
+  /// nwlb_shim_* metrics.  Counters are *added* to whatever the registry
+  /// already holds, so call this once per registry (typically a fresh one at
+  /// reconcile/report time).  Because it reads only deterministically merged
+  /// accumulators, the exposition is byte-identical for any worker count.
+  void export_metrics(obs::Registry& registry) const;
 
   /// Workers actually used (after resolving num_workers == 0).
   int num_workers() const { return workers_; }

@@ -44,6 +44,11 @@ double quantile(std::span<const double> xs, double q) {
   return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
 }
 
+double quantile_or(std::span<const double> xs, double q, double fallback) {
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile_or: q out of [0,1]");
+  return xs.empty() ? fallback : quantile(xs, q);
+}
+
 double median(std::span<const double> xs) { return quantile(xs, 0.5); }
 
 BoxStats box_stats(std::span<const double> xs) {

@@ -32,6 +32,12 @@ double stddev(std::span<const double> xs);
 /// q must be in [0, 1]; input need not be sorted. Throws on empty input.
 double quantile(std::span<const double> xs, double q);
 
+/// Total variant of quantile for series that can legitimately be empty
+/// (e.g. a recovery-time matrix cell with zero samples): returns
+/// `fallback` instead of throwing.  Still throws on q outside [0, 1] —
+/// that is a caller bug, not a data condition.
+double quantile_or(std::span<const double> xs, double q, double fallback);
+
 double median(std::span<const double> xs);
 
 /// Computes the five-number summary. Throws on empty input.

@@ -1,12 +1,14 @@
 // Hash, range-table, shim-decision, and aggregation-transport tests.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
 
 #include "shim/aggregation.h"
 #include "shim/config.h"
 #include "shim/hash.h"
 #include "shim/shim.h"
+#include "util/check.h"
 #include "util/rng.h"
 
 namespace nwlb::shim {
@@ -126,6 +128,64 @@ TEST(Shim, ReplicationAccounting) {
   EXPECT_EQ(shim.replicated_bytes_to(3), 150u);
   EXPECT_EQ(shim.replicated_bytes_to(7), 10u);
   EXPECT_EQ(shim.replicated_bytes_to(99), 0u);  // Never-used mirror.
+}
+
+TEST(ShimStatsContract, NegativeMirrorIdIsRejectedNotResized) {
+  // Regression: a negative mirror id cast to size_t becomes a ~2^64 index;
+  // before the contract guard, count_replicated would try to resize the
+  // byte vector to that length (unbounded allocation) instead of failing.
+  ShimStats stats;
+  EXPECT_THROW(stats.count_replicated(-1, 100), nwlb::util::CheckError);
+  EXPECT_THROW(stats.count_replicated(std::numeric_limits<int>::min(), 1),
+               nwlb::util::CheckError);
+  EXPECT_TRUE(stats.replicated_bytes.empty());  // Nothing grew.
+  EXPECT_EQ(stats.replicated_bytes_to(-1), 0u);  // Reads stay total.
+  stats.count_replicated(0, 5);  // Boundary id is valid.
+  EXPECT_EQ(stats.replicated_bytes_to(0), 5u);
+}
+
+TEST(ShimStats, DecisionCountersMergeAcrossWorkers) {
+  ShimStats a, b;
+  a.packets_seen = 10;
+  a.decided_process = 4;
+  a.decided_replicate = 5;
+  a.decided_ignore = 1;
+  a.count_replicated(2, 100);
+  b.packets_seen = 3;
+  b.decided_ignore = 3;
+  b.count_replicated(5, 7);
+  a.merge(b);
+  EXPECT_EQ(a.packets_seen, 13u);
+  EXPECT_EQ(a.decided_process, 4u);
+  EXPECT_EQ(a.decided_replicate, 5u);
+  EXPECT_EQ(a.decided_ignore, 4u);
+  EXPECT_EQ(a.replicated_bytes_to(2), 100u);
+  EXPECT_EQ(a.replicated_bytes_to(5), 7u);
+}
+
+TEST(Shim, DecisionVerdictCountersTrackLookups) {
+  ShimConfig config;
+  RangeTable table;
+  table.add(HashRange{0, kHashSpace / 2, Action::process()});
+  table.add(HashRange{kHashSpace / 2, kHashSpace, Action::replicate(9)});
+  config.set_table(0, table);
+  Shim shim(1);
+  shim.install(config);
+  nwlb::util::Rng rng(7);
+  ShimStats stats;
+  for (int i = 0; i < 200; ++i) {
+    nids::FiveTuple t{static_cast<std::uint32_t>(rng()),
+                      static_cast<std::uint32_t>(rng()),
+                      static_cast<std::uint16_t>(rng()),
+                      static_cast<std::uint16_t>(rng()), 6};
+    shim.decide(0, t, nids::Direction::kForward, stats);
+    shim.decide(1, t, nids::Direction::kForward, stats);  // No table: ignore.
+  }
+  EXPECT_EQ(stats.decided_process + stats.decided_replicate + stats.decided_ignore,
+            stats.packets_seen);
+  EXPECT_EQ(stats.decided_ignore, 200u);  // The un-tabled class.
+  EXPECT_GT(stats.decided_process, 0u);
+  EXPECT_GT(stats.decided_replicate, 0u);
 }
 
 TEST(SourceReport, EncodeDecodeRoundTrip) {

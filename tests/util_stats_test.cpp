@@ -24,6 +24,20 @@ TEST(Stats, QuantileInterpolates) {
   EXPECT_THROW(quantile(xs, 1.5), std::invalid_argument);
 }
 
+TEST(Stats, QuantileOrFallsBackOnEmptyOnly) {
+  const std::vector<double> xs{4, 1, 3, 2};
+  // Non-empty input: identical to quantile().
+  EXPECT_DOUBLE_EQ(quantile_or(xs, 0.5, -1.0), quantile(xs, 0.5));
+  EXPECT_DOUBLE_EQ(quantile_or(xs, 0.0, -1.0), 1.0);
+  // Empty input returns the fallback instead of throwing — the contract
+  // the bench harnesses rely on under NWLB_RUNS=0.
+  EXPECT_DOUBLE_EQ(quantile_or(std::vector<double>{}, 0.5, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile_or(std::vector<double>{}, 0.5, 7.5), 7.5);
+  // A bad q is still a programming error, empty input or not.
+  EXPECT_THROW(quantile_or(xs, 1.5, 0.0), std::invalid_argument);
+  EXPECT_THROW(quantile_or(std::vector<double>{}, -0.1, 0.0), std::invalid_argument);
+}
+
 TEST(Stats, BoxStatsFiveNumbers) {
   const std::vector<double> xs{1, 2, 3, 4, 5};
   const BoxStats b = box_stats(xs);

@@ -35,6 +35,20 @@ TEST(Table, JsonOutput) {
 TEST(Table, JsonEscapesControlCharacters) {
   EXPECT_EQ(json_escape("a\tb\nc"), "a\\tb\\nc");
   EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(json_escape("\r"), "\\r");
+  EXPECT_EQ(json_escape(std::string(1, '\x1f')), "\\u001f");
+  EXPECT_EQ(json_escape(std::string(1, '\x7f')), std::string(1, '\x7f'));  // Not < 0x20.
+}
+
+TEST(Table, ToJsonWithControlCharCellsStaysParseable) {
+  // Regression for the exposition pipeline: a cell holding raw control
+  // characters must round-trip through to_json as escaped JSON, never as
+  // raw bytes inside the string literal.
+  Table t({"k"});
+  t.row().cell(std::string("a\x02") + "\n\"b");
+  const std::string json = t.to_json();
+  EXPECT_EQ(json, "[{\"k\":\"a\\u0002\\n\\\"b\"}]");
+  EXPECT_EQ(json.find('\n'), std::string::npos);
 }
 
 TEST(Table, ErrorsOnMisuse) {

@@ -1,0 +1,55 @@
+// nwlb_metrics_check — validates metric exposition artifacts before CI
+// archives them.  Files ending in .json go through the strict JSON syntax
+// check; everything else is treated as Prometheus text exposition and run
+// through the grammar validator.
+//
+//   nwlb_metrics_check metrics.prom metrics.json BENCH_failure_recovery.json
+//
+// Exit status: 0 when every file is well-formed, 1 on any violation (each
+// printed as "file: message"), 2 on unreadable input.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/export.h"
+
+namespace {
+
+bool ends_with(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: nwlb_metrics_check <file>...\n"
+                 "  *.json -> strict JSON syntax check\n"
+                 "  others -> Prometheus text exposition grammar check\n";
+    return 2;
+  }
+  int violations = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string path = argv[i];
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << path << ": cannot open\n";
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+    const std::vector<std::string> errors = ends_with(path, ".json")
+                                                ? nwlb::obs::validate_json(text)
+                                                : nwlb::obs::validate_prometheus_text(text);
+    for (const std::string& error : errors) {
+      std::cerr << path << ": " << error << "\n";
+      ++violations;
+    }
+    if (errors.empty()) std::cout << path << ": OK\n";
+  }
+  return violations == 0 ? 0 : 1;
+}

@@ -20,6 +20,8 @@
 
 #include "core/controller.h"
 #include "core/mapper.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "core/replication_lp.h"
 #include "core/scenario.h"
 #include "core/validate.h"
@@ -52,6 +54,7 @@ struct CliOptions {
   bool list_topologies = false;
   std::string dump_mps;
   std::string dump_dot;
+  std::string metrics_out;  // Base path: writes <base>.prom + <base>.json.
 
   // Failure-recovery runner (--failures).
   std::string failures;  // Inline schedule spec or a schedule file path.
@@ -80,6 +83,8 @@ Options:
                           invariant validators; exit 2 on any violation
   --dump-mps <path>       Write the LP in MPS format
   --dump-dot <path>       Write the topology as Graphviz DOT
+  --metrics-out <base>    Write <base>.prom (Prometheus text) and <base>.json
+                          covering the solve / control loop / replay counters
   --list-topologies       List built-in topologies and exit
   --help                  This text
 
@@ -124,6 +129,7 @@ std::optional<CliOptions> parse(int argc, char** argv) {
     else if (arg == "--validate") opt.validate = true;
     else if (arg == "--dump-mps") opt.dump_mps = value();
     else if (arg == "--dump-dot") opt.dump_dot = value();
+    else if (arg == "--metrics-out") opt.metrics_out = value();
     else if (arg == "--list-topologies") opt.list_topologies = true;
     else if (arg == "--failures") opt.failures = value();
     else if (arg == "--sessions") opt.sessions = std::stoi(value());
@@ -179,6 +185,17 @@ sim::FailureSchedule load_schedule(const std::string& spec) {
   return sim::FailureSchedule::parse(spec);
 }
 
+/// Writes <base>.prom + <base>.json; nonzero (with a message) on failure.
+int write_metrics(const obs::Registry& registry, const std::string& base) {
+  if (const std::string error = obs::write_exposition_files(registry, base);
+      !error.empty()) {
+    std::cerr << "nwlbctl: " << error << "\n";
+    return 1;
+  }
+  std::cout << "wrote metrics to " << base << ".prom and " << base << ".json\n";
+  return 0;
+}
+
 bool same_failures(const core::FailureSet& a, const core::FailureSet& b) {
   auto sorted = [](std::vector<int> v) {
     std::sort(v.begin(), v.end());
@@ -204,6 +221,8 @@ int run_failures(const CliOptions& opt, const topo::Topology& topology) {
   copts.scenario.dc_factor = opt.dc;
   copts.scenario.placement = parse_placement(opt.placement);
   copts.lp.max_seconds = 10.0;  // One runaway solve degrades, never stalls.
+  obs::Registry registry;
+  copts.metrics = &registry;
   core::Controller controller(topology, tm, copts);
   const core::EpochResult initial = controller.epoch(tm);
   const core::ProblemInput input = controller.scenario().problem(copts.architecture);
@@ -285,6 +304,10 @@ int run_failures(const CliOptions& opt, const topo::Topology& topology) {
             << " crash_skipped=" << final_stats.crash_skipped_packets
             << " fail_open=" << final_stats.fail_open_packets
             << " degraded_skipped=" << final_stats.degraded_skipped_packets << "\n";
+  if (!opt.metrics_out.empty()) {
+    simulator.export_metrics(registry);
+    return write_metrics(registry, opt.metrics_out);
+  }
   return 0;
 }
 
@@ -397,6 +420,26 @@ int run(const CliOptions& opt) {
     std::ofstream out(opt.dump_dot);
     topo::write_dot(topology, out);
     std::cout << "wrote DOT to " << opt.dump_dot << "\n";
+  }
+  if (!opt.metrics_out.empty()) {
+    obs::Registry registry;
+    registry
+        .gauge("nwlb_solve_seconds", {}, "One-shot LP solve wall time, seconds")
+        .set(assignment.lp.solve_seconds);
+    registry
+        .counter("nwlb_solve_lp_iterations_total", {},
+                 "Simplex iterations for the one-shot solve")
+        .inc(static_cast<std::uint64_t>(assignment.lp.iterations +
+                                        assignment.lp.phase1_iterations));
+    registry.gauge("nwlb_solve_max_load", {}, "Most-loaded node's compute load")
+        .set(assignment.load_cost);
+    registry
+        .gauge("nwlb_solve_miss_rate", {},
+               "Traffic fraction the assignment leaves uncovered")
+        .set(assignment.miss_rate);
+    registry.trace().push("nwlbctl", "solve", assignment.lp.solve_seconds,
+                          "topology=" + topology.name + " arch=" + opt.arch);
+    return write_metrics(registry, opt.metrics_out);
   }
   return 0;
 }
