@@ -89,7 +89,8 @@ int main() {
     const core::ProblemInput input = scenario.problem(core::Architecture::kPathReplicate);
     const core::ReplicationLp formulation(input);
     const core::Assignment assignment = formulation.solve();
-    const auto configs = core::build_shim_configs(input, assignment);
+    const shim::ConfigBundle bundle = core::build_bundle(input, assignment);
+    const auto& configs = bundle.configs;
     lp_table.row()
         .cell(topology.name)
         .cell(assignment.lp.solve_seconds, 4)
@@ -149,7 +150,7 @@ int main() {
 
     sim::ReplayOptions serial_opts;
     serial_opts.num_workers = 1;
-    sim::ReplaySimulator serial(input, configs, serial_opts);
+    sim::ReplaySimulator serial(input, bundle, serial_opts);
     const auto serial_start = std::chrono::steady_clock::now();
     serial.replay(trace, generator);
     const double serial_sec = seconds_since(serial_start);
@@ -157,7 +158,7 @@ int main() {
 
     sim::ReplayOptions parallel_opts;
     parallel_opts.num_workers = workers;
-    sim::ReplaySimulator parallel(input, configs, parallel_opts);
+    sim::ReplaySimulator parallel(input, bundle, parallel_opts);
     const auto parallel_start = std::chrono::steady_clock::now();
     parallel.replay(trace, generator);
     const double parallel_sec = seconds_since(parallel_start);

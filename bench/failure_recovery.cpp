@@ -76,7 +76,7 @@ CellResult run_cell(const topo::Topology& topology, sim::DegradePolicy policy,
   copts.lp.max_seconds = 10.0;
   copts.metrics = &registry;
   core::Controller controller(topology, tm, copts);
-  const core::EpochResult initial = controller.epoch(tm);
+  const core::EpochResult initial = controller.run({.tm = &tm});
   const core::ProblemInput input = controller.scenario().problem(copts.architecture);
 
   sim::FailureSchedule schedule;
@@ -93,7 +93,7 @@ CellResult run_cell(const topo::Topology& topology, sim::DegradePolicy policy,
   ropts.failures = &schedule;
   ropts.degrade = policy;
   ropts.fail_open_headroom = 0.5;
-  sim::ReplaySimulator simulator(input, initial.configs, ropts);
+  sim::ReplaySimulator simulator(input, initial.bundle, ropts);
   sim::TraceConfig trace_config;
   trace_config.scanners = 0;
   sim::TraceGenerator generator(input.classes, trace_config, 77);
@@ -119,22 +119,24 @@ CellResult run_cell(const topo::Topology& topology, sim::DegradePolicy policy,
       failures.down_nodes = detected;
       if (!detected.empty()) {
         // Tier 1 the moment health flips: instant LP-free patch.
-        simulator.install(controller.patch(failures).configs);
+        simulator.install_bundle(
+            controller.run({.failures = failures, .force_patch = true}).bundle);
         pending_resolve = response == Response::kResolve;
       } else if (response == Response::kResolve) {
         // Recovery: full re-solve back to the healthy optimum.
-        simulator.install(controller.epoch(tm).configs);
+        simulator.install_bundle(controller.run({.tm = &tm}).bundle);
         pending_resolve = false;
       } else {
         // Patch-only recovery: reinstate the last known-good plan as-is.
-        simulator.install(controller.patch({}).configs);
+        simulator.install_bundle(controller.run({.force_patch = true}).bundle);
       }
       active = detected;
     } else if (pending_resolve && !active.empty()) {
       // Tier 2, one control period later: budgeted re-solve over survivors.
       core::FailureSet failures;
       failures.down_nodes = active;
-      simulator.install(controller.epoch(tm, failures).configs);
+      simulator.install_bundle(
+          controller.run({.tm = &tm, .failures = failures}).bundle);
       pending_resolve = false;
     }
   }

@@ -26,8 +26,8 @@ sim::ReplayStats run_architecture(const core::Scenario& scenario,
                                   core::Architecture arch, int sessions) {
   const core::ProblemInput input = scenario.problem(arch);
   const core::Assignment assignment = core::ReplicationLp(input).solve();
-  const auto configs = core::build_shim_configs(input, assignment);
-  sim::ReplaySimulator simulator(input, configs);
+  const shim::ConfigBundle bundle = core::build_bundle(input, assignment);
+  sim::ReplaySimulator simulator(input, bundle);
   sim::TraceConfig tc;
   tc.scanners = 6;
   sim::TraceGenerator generator(input.classes, tc, /*seed=*/2012);

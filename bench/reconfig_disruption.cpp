@@ -1,0 +1,176 @@
+// Reconfiguration disruption under the online control loop (DESIGN.md §10).
+//
+// One live run: the estimator-driven loop replays fixed-size control
+// intervals, re-optimizes from measured counters only, and rolls every
+// fresh bundle out make-before-break.  Against it, a reference run replays
+// the *identical* trace under the frozen bootstrap configuration.  The
+// harness then checks the hitless-rollout contract the hard way:
+//
+//   * zero dropped / double-processed sessions — the generation-conservation
+//     invariant (current + draining == replayed, unassigned == 0) and the
+//     decision-volume identity vs the reference run (total shim decisions
+//     are a pure function of the trace, so any rollout-induced drop or
+//     double-processing shows up as a difference);
+//   * churn per rollout — the hash-space fraction each install moved;
+//   * estimator accuracy — TV error vs the oracle matrix, and the live
+//     plan's max load vs the oracle-fed plan (ISSUE bound: within 10%).
+//
+// A contract violation fails the process (exit 1) so CI catches it.
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/controller.h"
+#include "obs/metrics.h"
+#include "online/estimator.h"
+#include "online/loop.h"
+#include "sim/replay.h"
+#include "sim/trace.h"
+#include "traffic/matrix.h"
+
+namespace {
+
+using namespace nwlb;
+
+std::uint64_t decisions_total(const sim::ReplayStats& s) {
+  return s.decisions_process + s.decisions_replicate + s.decisions_ignore +
+         s.crash_skipped_packets;
+}
+
+}  // namespace
+
+int main() {
+  const bool fast = util::env_flag("NWLB_FAST");
+  const int window_sessions = fast ? 800 : 2000;
+  const int intervals = fast ? 4 : 6;
+  const std::uint64_t drain = static_cast<std::uint64_t>(window_sessions) / 4;
+  const topo::Topology topology = bench::selected_topologies().front();
+
+  bench::print_header(
+      "Reconfiguration disruption: hitless rollout under the online loop",
+      "topology=" + topology.name + "  intervals=" + std::to_string(intervals) +
+          " x " + std::to_string(window_sessions) + " sessions  drain=" +
+          std::to_string(drain) + " sessions  estimation=measured counters only");
+
+  const auto tm = traffic::gravity_matrix(
+      topology.graph, traffic::paper_total_sessions(topology.graph.num_nodes()));
+  core::ControllerOptions copts;
+  copts.architecture = core::Architecture::kPathReplicate;
+  copts.lp.max_seconds = 10.0;
+  obs::Registry registry;
+  copts.metrics = &registry;
+  core::Controller controller(topology, tm, copts);
+  const core::EpochResult bootstrap = controller.run({.tm = &tm});
+  const double oracle_load = bootstrap.assignment.load_cost;
+  const core::ProblemInput input = controller.scenario().problem(copts.architecture);
+
+  sim::ReplaySimulator live(input, bootstrap.bundle);
+  sim::ReplaySimulator reference(input, bootstrap.bundle);
+  sim::TraceConfig trace_config;
+  trace_config.scanners = 0;
+  sim::TraceGenerator generator(input.classes, trace_config, 77);
+  const std::vector<sim::SessionSpec> trace =
+      generator.generate(intervals * window_sessions);
+
+  online::ControlLoopOptions lopts;
+  lopts.estimator.scale_to_total = tm.total();
+  lopts.rollout.drain_sessions = drain;
+  lopts.metrics = &registry;
+  online::ControlLoop loop(controller, live, bootstrap.bundle, lopts);
+
+  util::Table per_interval({"Interval", "Gen", "Rollout", "Churn", "PopsChanged",
+                            "EstError", "MaxLoad", "Epoch"});
+  double live_load = oracle_load;
+  for (int w = 0; w < intervals; ++w) {
+    const auto window = std::span(trace).subspan(
+        static_cast<std::size_t>(w) * static_cast<std::size_t>(window_sessions),
+        static_cast<std::size_t>(window_sessions));
+    const online::IntervalReport report = loop.run_interval(window, generator);
+    reference.replay(window, generator);
+    live_load = report.epoch.assignment.load_cost;
+    per_interval.row()
+        .cell(w)
+        .cell(static_cast<long long>(report.rollout.generation))
+        .cell(report.rollout.installed ? "install" : "skip")
+        .cell(report.rollout.churn.moved_fraction, 4)
+        .cell(report.rollout.churn.pops_changed)
+        .cell(online::estimation_error(loop.estimator().estimate(), tm), 4)
+        .cell(live_load, 4)
+        .cell(report.epoch.degraded
+                  ? "degraded:" + core::to_string(report.epoch.degraded_reasons)
+                  : "ok");
+  }
+  bench::print_table(per_interval);
+
+  // --- The hitless contract. ---
+  const sim::ReplayStats live_stats = live.stats();
+  const sim::ReplayStats ref_stats = reference.stats();
+  const sim::RolloutStats rollout = live.rollout_stats();
+  const std::uint64_t assigned =
+      rollout.sessions_current_generation + rollout.sessions_draining_generation;
+  const long long dropped =
+      static_cast<long long>(live_stats.sessions_replayed) -
+      static_cast<long long>(assigned);
+  const long long decision_delta =
+      static_cast<long long>(decisions_total(live_stats)) -
+      static_cast<long long>(decisions_total(ref_stats));
+  const double estimator_error =
+      online::estimation_error(loop.estimator().estimate(), tm);
+  const double load_ratio = oracle_load > 0.0 ? live_load / oracle_load : 0.0;
+
+  std::cout << "\nsessions=" << live_stats.sessions_replayed
+            << " rollouts_installed=" << rollout.rollouts_installed
+            << " skipped=" << loop.rollout().skipped()
+            << " generations_retired=" << rollout.generations_retired
+            << "\ndropped_sessions=" << dropped
+            << " unassigned=" << rollout.sessions_unassigned
+            << " decision_delta_vs_reference=" << decision_delta
+            << "\nestimator_error=" << estimator_error
+            << " oracle_max_load=" << oracle_load << " live_max_load=" << live_load
+            << " load_ratio=" << load_ratio << "\n";
+
+  live.export_metrics(registry);
+
+  bench::JsonReport report("reconfig_disruption");
+  report.scalar("topology", topology.name)
+      .scalar("intervals", static_cast<long long>(intervals))
+      .scalar("window_sessions", static_cast<long long>(window_sessions))
+      .scalar("drain_sessions", static_cast<long long>(drain))
+      .scalar("sessions_replayed", static_cast<long long>(live_stats.sessions_replayed))
+      .scalar("rollouts_installed", static_cast<long long>(rollout.rollouts_installed))
+      .scalar("rollouts_skipped", static_cast<long long>(loop.rollout().skipped()))
+      .scalar("generations_retired", static_cast<long long>(rollout.generations_retired))
+      .scalar("sessions_draining", static_cast<long long>(rollout.sessions_draining_generation))
+      .scalar("dropped_sessions", dropped)
+      .scalar("unassigned_sessions", static_cast<long long>(rollout.sessions_unassigned))
+      .scalar("decision_delta_vs_reference", decision_delta)
+      .scalar("estimator_error", estimator_error)
+      .scalar("oracle_max_load", oracle_load)
+      .scalar("live_max_load", live_load)
+      .scalar("load_ratio", load_ratio)
+      .table("per_interval", per_interval);
+  report.metrics(registry);
+  report.write_if_requested();
+
+  bool ok = true;
+  if (dropped != 0 || rollout.sessions_unassigned != 0) {
+    std::cerr << "FAIL: rollout dropped sessions (dropped=" << dropped
+              << " unassigned=" << rollout.sessions_unassigned << ")\n";
+    ok = false;
+  }
+  if (decision_delta != 0) {
+    std::cerr << "FAIL: decision volume diverged from the reference run ("
+              << decision_delta << ") — a session was dropped or double-processed\n";
+    ok = false;
+  }
+  if (load_ratio > 1.10 || load_ratio < 0.90) {
+    std::cerr << "FAIL: estimator-driven max load " << live_load
+              << " outside 10% of oracle " << oracle_load << "\n";
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

@@ -51,7 +51,7 @@ void BM_ShimDecide(benchmark::State& state) {
   table.add(shim::HashRange{third, 2 * third, shim::Action::replicate(7)});
   config.set_table(0, table);
   shim::Shim shim(0);
-  shim.install(std::move(config));
+  shim.install(std::move(config));  // nwlb-lint: allow(raw-shim-install)
   const auto tuples = make_tuples(4096);
   std::size_t i = 0;
   for (auto _ : state) {
@@ -70,7 +70,7 @@ void BM_ShimDecideManyClasses(benchmark::State& state) {
     config.set_table(c, std::move(table));
   }
   shim::Shim shim(0);
-  shim.install(std::move(config));
+  shim.install(std::move(config));  // nwlb-lint: allow(raw-shim-install)
   const auto tuples = make_tuples(4096);
   std::size_t i = 0;
   for (auto _ : state) {

@@ -60,8 +60,8 @@ int main() {
 
     // Execute the decision: shim configs + trace replay with a real
     // stateful session tracker at every node.
-    const auto configs = core::build_shim_configs(input, assignment);
-    sim::ReplaySimulator simulator(input, configs);
+    const shim::ConfigBundle bundle = core::build_bundle(input, assignment);
+    sim::ReplaySimulator simulator(input, bundle);
     sim::TraceConfig tc;
     tc.scanners = 0;
     sim::TraceGenerator gen(input.classes, tc, 99);

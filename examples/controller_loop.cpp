@@ -32,9 +32,9 @@ int main() {
   util::Table table({"Epoch", "MaxLoad", "Solve(ms)", "Iterations", "WarmStart",
                      "RangesInstalled"});
   for (std::size_t e = 0; e < epochs.size(); ++e) {
-    const core::EpochResult result = controller.epoch(epochs[e]);
+    const core::EpochResult result = controller.run({.tm = &epochs[e]});
     std::size_t ranges = 0;
-    for (const auto& config : result.configs) ranges += config.num_tables();
+    for (const auto& config : result.bundle.configs) ranges += config.num_tables();
     table.row()
         .cell(static_cast<long long>(e + 1))
         .cell(result.assignment.load_cost, 3)

@@ -59,11 +59,12 @@ int main() {
   }
   loads.print(std::cout);
 
-  // 4. LP fractions -> per-node hash-range shim configs (§7.1).
-  const auto configs = core::build_shim_configs(input, assignment);
+  // 4. LP fractions -> a generation-tagged bundle of per-node hash-range
+  // shim configs (§7.1).
+  const shim::ConfigBundle bundle = core::build_bundle(input, assignment);
 
   // 5. Replay a synthetic full-payload trace through the deployment.
-  sim::ReplaySimulator simulator(input, configs);
+  sim::ReplaySimulator simulator(input, bundle);
   sim::TraceGenerator generator(input.classes, {}, /*seed=*/1);
   simulator.replay(generator.generate(5000), generator);
   const sim::ReplayStats stats = simulator.stats();

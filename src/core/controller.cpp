@@ -1,6 +1,7 @@
 #include "core/controller.h"
 
 #include <exception>
+#include <stdexcept>
 #include <utility>
 
 #include "core/replication_lp.h"
@@ -13,11 +14,6 @@ namespace nwlb::core {
 
 namespace {
 
-void append_reason(std::string& reasons, const std::string& reason) {
-  if (!reasons.empty()) reasons += ';';
-  reasons += reason;
-}
-
 /// Epoch solve wall time, seconds.  The paper's budget is "every 5
 /// minutes"; the top bucket is well past any sane per-epoch solve.
 const std::vector<double>& solve_seconds_bounds() {
@@ -26,7 +22,35 @@ const std::vector<double>& solve_seconds_bounds() {
   return bounds;
 }
 
+void add_reason(EpochResult& result, DegradedReason reason) {
+  result.degraded = true;
+  if (!result.has_reason(reason)) result.degraded_reasons.push_back(reason);
+}
+
 }  // namespace
+
+const char* to_string(DegradedReason reason) {
+  switch (reason) {
+    case DegradedReason::kPatch: return "patch";
+    case DegradedReason::kLpBudgetExhausted: return "lp_budget_exhausted";
+    case DegradedReason::kLpInfeasible: return "lp_infeasible";
+    case DegradedReason::kLpFailed: return "lp_failed";
+    case DegradedReason::kResolveBackoff: return "resolve_backoff";
+    case DegradedReason::kCoverageLoss: return "coverage_loss";
+    case DegradedReason::kNoKnownGood: return "no_known_good";
+    case DegradedReason::kScanLpFailed: return "scan_lp_failed";
+  }
+  return "unknown";
+}
+
+std::string to_string(const std::vector<DegradedReason>& reasons) {
+  std::string joined;
+  for (const DegradedReason reason : reasons) {
+    if (!joined.empty()) joined += ';';
+    joined += to_string(reason);
+  }
+  return joined;
+}
 
 Controller::Controller(const topo::Topology& topology,
                        const traffic::TrafficMatrix& initial_tm,
@@ -39,27 +63,32 @@ Controller::Controller(const topo::Topology& topology,
     : Controller(topology, initial_tm,
                  ControllerOptions{architecture, config, false, {}, {}, 2}) {}
 
-EpochResult Controller::epoch(const traffic::TrafficMatrix& tm) {
-  return epoch(tm, FailureSet{});
+EpochResult Controller::run(const EpochRequest& request) {
+  if (request.force_patch) return run_patch(request.failures);
+  if (request.tm == nullptr)
+    throw std::invalid_argument("Controller::run: request without traffic matrix");
+  scenario_.set_traffic(*request.tm);
+  return run_epoch(request.failures);
 }
 
-EpochResult Controller::epoch(const traffic::TrafficMatrix& tm,
-                              const FailureSet& failures) {
-  scenario_.set_traffic(tm);
-  return run_epoch(failures);
+shim::ConfigBundle Controller::make_bundle(const ProblemInput& input,
+                                           const Assignment& assignment) {
+  shim::ConfigBundle bundle;
+  bundle.generation = ++generation_;
+  bundle.configs = build_shim_configs(input, assignment);
+  return bundle;
 }
 
-EpochResult Controller::patch(const FailureSet& failures) {
+EpochResult Controller::run_patch(const FailureSet& failures) {
   if (!last_good_.has_value())
-    throw std::logic_error("Controller::patch: no known-good epoch to patch yet");
+    throw std::logic_error("Controller::run: no known-good epoch to patch yet");
   ProblemInput input = scenario_.problem(options_.architecture);
   apply_failures(input, failures);
   EpochResult result;
   result.patched = true;
-  result.degraded = !failures.empty();
-  if (result.degraded) result.degraded_reason = "patch";
+  if (!failures.empty()) add_reason(result, DegradedReason::kPatch);
   result.assignment = patch_assignment(input, *last_good_, failures);
-  result.configs = build_shim_configs(input, result.assignment);
+  result.bundle = make_bundle(input, result.assignment);
   if (options_.metrics != nullptr) {
     obs::Registry& metrics = *options_.metrics;
     metrics
@@ -69,7 +98,8 @@ EpochResult Controller::patch(const FailureSet& failures) {
     metrics.trace().push(
         "controller", "patch", static_cast<double>(failures.down_nodes.size()),
         "down_nodes=" + std::to_string(failures.down_nodes.size()) +
-            " failed_links=" + std::to_string(failures.failed_links.size()));
+            " failed_links=" + std::to_string(failures.failed_links.size()) +
+            " generation=" + std::to_string(result.bundle.generation));
   }
 #if NWLB_DCHECK_ENABLED
   {
@@ -77,7 +107,7 @@ EpochResult Controller::patch(const FailureSet& failures) {
     // compiled hash ranges must still be structurally sound.
     shim::ConfigValidationOptions config_options;
     config_options.num_classes = static_cast<int>(input.classes.size());
-    const auto violations = shim::validate_configs(result.configs, config_options);
+    const auto violations = shim::validate_configs(result.bundle.configs, config_options);
     NWLB_CHECK(violations.empty(), "patched shim configs invalid: ",
                violations.empty() ? "" : violations.front());
   }
@@ -95,16 +125,15 @@ EpochResult Controller::run_epoch(const FailureSet& failures) {
 
   // Serves (a patch of) the last known-good plan without consulting the
   // LP; used while the solver is backed off and as the terminal fallback.
-  const auto fall_back = [&](const std::string& reason) {
-    result.degraded = true;
-    append_reason(result.degraded_reason, reason);
+  const auto fall_back = [&](DegradedReason reason) {
+    add_reason(result, reason);
     if (last_good_) {
       result.assignment = patch_assignment(input, *last_good_, failures);
       result.patched = !failures.empty();
     } else {
       // Nothing known-good yet: the LP-free ingress construction is always
       // available, then patched around whatever has failed.
-      append_reason(result.degraded_reason, "no_known_good");
+      add_reason(result, DegradedReason::kNoKnownGood);
       result.assignment = patch_assignment(input, ingress_assignment(input), failures);
       result.patched = true;
     }
@@ -118,7 +147,7 @@ EpochResult Controller::run_epoch(const FailureSet& failures) {
   } else if (backoff_remaining_ > 0) {
     --backoff_remaining_;
     solve_status = "backoff";
-    fall_back("resolve_backoff:" + std::to_string(backoff_remaining_));
+    fall_back(DegradedReason::kResolveBackoff);
   } else {
     const ReplicationLp formulation(input);
     const lp::Basis* warm = warm_basis_ ? &*warm_basis_ : nullptr;
@@ -144,13 +173,13 @@ EpochResult Controller::run_epoch(const FailureSet& failures) {
       switch (attempt.status) {
         case lp::Status::kIterationLimit:
         case lp::Status::kTimeLimit:
-          fall_back(std::string("lp_budget_exhausted:") + lp::to_string(attempt.status));
+          fall_back(DegradedReason::kLpBudgetExhausted);
           break;
         case lp::Status::kInfeasible:
-          fall_back("lp_infeasible");
+          fall_back(DegradedReason::kLpInfeasible);
           break;
         default:
-          fall_back(std::string("lp_failed:") + lp::to_string(attempt.status));
+          fall_back(DegradedReason::kLpFailed);
           break;
       }
     }
@@ -159,11 +188,9 @@ EpochResult Controller::run_epoch(const FailureSet& failures) {
     // Whatever produced this plan — a re-solve over the survivors, a
     // patch, or the ingress fallback — it cannot restore full coverage:
     // still a degraded service level even when the solve itself succeeded.
-    result.degraded = true;
-    append_reason(result.degraded_reason,
-                  "coverage_loss:" + std::to_string(result.assignment.miss_rate));
+    add_reason(result, DegradedReason::kCoverageLoss);
   }
-  result.configs = build_shim_configs(input, result.assignment);
+  result.bundle = make_bundle(input, result.assignment);
 #if NWLB_DCHECK_ENABLED
   {
     // Debug builds re-validate every applied assignment and the compiled
@@ -177,7 +204,8 @@ EpochResult Controller::run_epoch(const FailureSet& failures) {
     }
     shim::ConfigValidationOptions config_options;
     config_options.num_classes = static_cast<int>(input.classes.size());
-    const auto config_violations = shim::validate_configs(result.configs, config_options);
+    const auto config_violations =
+        shim::validate_configs(result.bundle.configs, config_options);
     NWLB_CHECK(config_violations.empty(), "epoch shim configs invalid: ",
                config_violations.empty() ? "" : config_violations.front());
   }
@@ -199,8 +227,7 @@ EpochResult Controller::run_epoch(const FailureSet& failures) {
       result.iterations += scan.lp.iterations + scan.lp.phase1_iterations;
       result.scan = std::move(scan);
     } catch (const std::exception&) {
-      result.degraded = true;
-      append_reason(result.degraded_reason, "scan_lp_failed");
+      add_reason(result, DegradedReason::kScanLpFailed);
       result.scan.reset();
       scan_warm_basis_.reset();
     }
@@ -226,6 +253,12 @@ void Controller::record_epoch(const EpochResult& result,
     metrics
         .counter("nwlb_controller_epochs_degraded_total", {},
                  "Epochs whose plan is not a fresh optimum")
+        .inc();
+  for (const DegradedReason reason : result.degraded_reasons)
+    metrics
+        .counter("nwlb_controller_degraded_reasons_total",
+                 {{"reason", to_string(reason)}},
+                 "Degraded epochs by typed cause")
         .inc();
   if (result.patched)
     metrics
@@ -253,6 +286,11 @@ void Controller::record_epoch(const EpochResult& result,
       .gauge("nwlb_controller_miss_rate", {},
              "Traffic fraction the current plan leaves uncovered")
       .set(result.assignment.miss_rate);
+  metrics
+      .gauge("nwlb_controller_generation", {},
+             "Generation of the most recently emitted config bundle")
+      .set(static_cast<double>(result.bundle.generation));
+  const std::string reasons = to_string(result.degraded_reasons);
   metrics.trace().push(
       "controller", "epoch", result.solve_seconds,
       "epoch=" + std::to_string(epochs_) + " status=" + solve_status +
@@ -260,9 +298,9 @@ void Controller::record_epoch(const EpochResult& result,
           " degraded=" + (result.degraded ? "1" : "0") +
           " patched=" + (result.patched ? "1" : "0") +
           " iterations=" + std::to_string(result.iterations) +
+          " generation=" + std::to_string(result.bundle.generation) +
           " down_nodes=" + std::to_string(failures.down_nodes.size()) +
-          (result.degraded_reason.empty() ? std::string()
-                                          : " reason=" + result.degraded_reason));
+          (reasons.empty() ? std::string() : " reason=" + reasons));
 }
 
 }  // namespace nwlb::core

@@ -3,22 +3,24 @@
 // The controller owns the long-lived state (topology, routing, provisioned
 // capacities, datacenter placement), receives periodic traffic-matrix
 // feeds, re-runs the optimizations — session-level replication and,
-// optionally, the aggregatable Scan split — and emits per-node shim
-// configurations plus the scan reporting schema.  Successive epochs
+// optionally, the aggregatable Scan split — and emits a generation-tagged
+// shim::ConfigBundle plus the scan reporting schema.  Successive epochs
 // warm-start each LP from its previous basis (the model shape is identical
 // across epochs, only coefficients move), which keeps re-optimization well
 // inside the paper's "every 5 minutes" budget.
 //
-// Failure-aware operation is two-tier.  Tier 1 (patch): the moment mirror
-// health or keepalives report a failure, patch() rescales the last
-// known-good assignment onto the survivors — no LP, microseconds, bounded
-// suboptimality.  Tier 2 (epoch with a FailureSet): the next control
-// period re-solves the LP over the surviving topology, warm-started from
-// the previous basis and bounded by the configured solver budget.  A solve
-// that exhausts its budget or goes infeasible is retried once cold; if
-// that also fails the epoch falls back to the patched last known-good
-// configuration — never aborting — and reports degraded=true with a
-// machine-readable reason, then backs off the LP for a few epochs.
+// One entry point serves every control-plane interaction:
+// run(EpochRequest).  A request carries the fresh traffic matrix, the
+// failure set reported by mirror health / keepalives, and a force_patch
+// flag selecting the tier-1 instant response.  Tier 1 (force_patch): the
+// moment a failure is detected, the last known-good assignment is rescaled
+// onto the survivors — no LP, microseconds, bounded suboptimality.  Tier 2
+// (a normal request with failures): the next control period re-solves the
+// LP over the surviving topology, warm-started and bounded by the solver
+// budget.  A solve that exhausts its budget or goes infeasible is retried
+// once cold; if that also fails the epoch falls back to the patched last
+// known-good configuration — never aborting — and reports degraded=true
+// with typed reasons, then backs off the LP for a few epochs.
 #pragma once
 
 #include <optional>
@@ -29,6 +31,7 @@
 #include "core/mapper.h"
 #include "core/patch.h"
 #include "core/scenario.h"
+#include "shim/bundle.h"
 
 namespace nwlb::obs {
 class Registry;
@@ -60,11 +63,43 @@ struct ControllerOptions {
   obs::Registry* metrics = nullptr;
 };
 
+/// One control-plane request: the single entry point's input.
+struct EpochRequest {
+  /// Fresh traffic data for this epoch.  Required unless force_patch is
+  /// set (a patch reuses the last known-good plan and ignores traffic).
+  const traffic::TrafficMatrix* tm = nullptr;
+
+  /// Failure state reported by mirror health / keepalives; empty = healthy.
+  FailureSet failures;
+
+  /// Tier-1 instant response: skip the LP entirely and proportionally
+  /// rescale the last known-good assignment onto the survivors.  Requires
+  /// at least one completed epoch (throws std::logic_error otherwise).
+  bool force_patch = false;
+};
+
+/// Machine-readable causes of a degraded epoch.
+enum class DegradedReason : unsigned char {
+  kPatch,              // Plan is the LP-free proportional patch (tier 1).
+  kLpBudgetExhausted,  // Iteration/time budget ran out (warm and cold).
+  kLpInfeasible,       // Surviving topology admits no feasible plan.
+  kLpFailed,           // Any other non-optimal solver status.
+  kResolveBackoff,     // LP skipped while backing off after a failure.
+  kCoverageLoss,       // Plan cannot restore full coverage (miss_rate > 0).
+  kNoKnownGood,        // Fallback bottomed out at the ingress construction.
+  kScanLpFailed,       // Scan split failed; session-level plan still ships.
+};
+
+const char* to_string(DegradedReason reason);
+
+/// ';'-joined reason list ("" when empty) — the exposition/trace form.
+std::string to_string(const std::vector<DegradedReason>& reasons);
+
 struct EpochResult {
-  Assignment assignment;                 // Session-level (replication) plan.
-  std::vector<shim::ShimConfig> configs; // One per PoP.
-  std::optional<Assignment> scan;        // Scan split, when enabled.
-  double solve_seconds = 0.0;            // Both LPs combined.
+  Assignment assignment;      // Session-level (replication) plan.
+  shim::ConfigBundle bundle;  // Generation-tagged per-PoP configs.
+  std::optional<Assignment> scan;  // Scan split, when enabled.
+  double solve_seconds = 0.0;      // Both LPs combined.
   int iterations = 0;
   bool warm_started = false;
 
@@ -74,11 +109,14 @@ struct EpochResult {
   bool degraded = false;
   /// True when the plan came from the LP-free proportional patch.
   bool patched = false;
-  /// Machine-readable cause, empty when healthy.  One of:
-  ///   "lp_budget_exhausted:<status>", "lp_infeasible", "lp_failed:<status>",
-  ///   "resolve_backoff:<epochs-left>", "coverage_loss:<miss-rate>",
-  ///   "no_known_good", "scan_lp_failed", "patch" (';'-joined when several).
-  std::string degraded_reason;
+  /// Typed causes, empty when healthy (to_string joins them for display).
+  std::vector<DegradedReason> degraded_reasons;
+
+  bool has_reason(DegradedReason reason) const {
+    for (const DegradedReason r : degraded_reasons)
+      if (r == reason) return true;
+    return false;
+  }
 };
 
 class Controller {
@@ -93,18 +131,12 @@ class Controller {
              Architecture architecture = Architecture::kPathReplicate,
              ScenarioConfig config = {});
 
-  /// One optimization epoch against fresh traffic data.
-  EpochResult epoch(const traffic::TrafficMatrix& tm);
-
-  /// One epoch over the surviving topology (tier 2; see file comment).
-  /// Never throws on solver failure: the worst outcome is the patched last
-  /// known-good plan with degraded=true and a reason.
-  EpochResult epoch(const traffic::TrafficMatrix& tm, const FailureSet& failures);
-
-  /// Tier-1 instant response: LP-free proportional patch of the last
-  /// known-good assignment against the current traffic, compiled straight
-  /// to shim configs.  Requires at least one completed epoch.
-  EpochResult patch(const FailureSet& failures);
+  /// The single control-plane entry point (see file comment).  Never
+  /// throws on solver failure: the worst outcome is the patched last
+  /// known-good plan with degraded=true and typed reasons.  Throws
+  /// std::logic_error for a force_patch before any completed epoch and
+  /// std::invalid_argument for a non-patch request without traffic.
+  EpochResult run(const EpochRequest& request);
 
   /// The most recent successfully solved (non-degraded) epoch's
   /// assignment, if any.
@@ -113,8 +145,14 @@ class Controller {
   const Scenario& scenario() const { return scenario_; }
   int epochs_run() const { return epochs_; }
 
+  /// Generation the next emitted bundle will carry.
+  std::uint64_t next_generation() const { return generation_ + 1; }
+
  private:
+  EpochResult run_patch(const FailureSet& failures);
   EpochResult run_epoch(const FailureSet& failures);
+  shim::ConfigBundle make_bundle(const ProblemInput& input,
+                                 const Assignment& assignment);
   void record_epoch(const EpochResult& result, const std::string& solve_status,
                     const FailureSet& failures) const;
 
@@ -125,6 +163,7 @@ class Controller {
   std::optional<Assignment> last_good_;
   int backoff_remaining_ = 0;
   int epochs_ = 0;
+  std::uint64_t generation_ = 0;
 };
 
 }  // namespace nwlb::core

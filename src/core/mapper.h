@@ -14,6 +14,7 @@
 
 #include "core/assignment.h"
 #include "core/problem.h"
+#include "shim/bundle.h"
 #include "shim/config.h"
 
 namespace nwlb::core {
@@ -22,6 +23,15 @@ namespace nwlb::core {
 /// needs no config: it processes whatever arrives on its tunnels.
 std::vector<shim::ShimConfig> build_shim_configs(const ProblemInput& input,
                                                  const Assignment& assignment);
+
+/// Same, wrapped as the generation-tagged install currency.  The
+/// Controller stamps generations from its own monotonic counter; direct
+/// (oracle-driven) users pick any tag — 1 marks "first install".
+inline shim::ConfigBundle build_bundle(const ProblemInput& input,
+                                       const Assignment& assignment,
+                                       std::uint64_t generation = 1) {
+  return shim::ConfigBundle{generation, build_shim_configs(input, assignment)};
+}
 
 /// Validation helper: the fraction of hash space class `c` maps to each
 /// action across all per-PoP configs in the given direction, as

@@ -1,0 +1,97 @@
+#include "online/estimator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nwlb::online {
+
+TrafficEstimator::TrafficEstimator(const std::vector<traffic::TrafficClass>& classes,
+                                   int num_pops, EstimatorOptions options)
+    : options_(options), num_pops_(num_pops) {
+  if (options.window < 1)
+    throw std::invalid_argument("TrafficEstimator: window must be >= 1");
+  if (options.scale_to_total < 0.0)
+    throw std::invalid_argument("TrafficEstimator: negative scale target");
+  if (options.support_floor < 0.0 || options.support_floor >= 1.0)
+    throw std::invalid_argument("TrafficEstimator: support floor out of [0,1)");
+  if (num_pops < 1) throw std::invalid_argument("TrafficEstimator: no PoPs");
+  alpha_ = 2.0 / (static_cast<double>(options.window) + 1.0);
+  pairs_.reserve(classes.size());
+  for (const traffic::TrafficClass& cls : classes) {
+    if (cls.ingress < 0 || cls.ingress >= num_pops || cls.egress < 0 ||
+        cls.egress >= num_pops)
+      throw std::invalid_argument("TrafficEstimator: class pair outside PoP range");
+    pairs_.push_back({cls.ingress, cls.egress});
+  }
+  ewma_sessions_.assign(pairs_.size(), 0.0);
+  ewma_bytes_.assign(pairs_.size(), 0.0);
+}
+
+void TrafficEstimator::observe(std::span<const std::uint64_t> class_sessions,
+                               std::span<const std::uint64_t> class_bytes) {
+  if (class_sessions.size() != pairs_.size() || class_bytes.size() != pairs_.size())
+    throw std::invalid_argument("TrafficEstimator: counter span size mismatch");
+  for (std::size_t c = 0; c < pairs_.size(); ++c) {
+    const auto sessions = static_cast<double>(class_sessions[c]);
+    const auto bytes = static_cast<double>(class_bytes[c]);
+    if (intervals_ == 0) {
+      // First window seeds the EWMA directly — no warm-up bias toward the
+      // all-zero initial state.
+      ewma_sessions_[c] = sessions;
+      ewma_bytes_[c] = bytes;
+    } else {
+      ewma_sessions_[c] = alpha_ * sessions + (1.0 - alpha_) * ewma_sessions_[c];
+      ewma_bytes_[c] = alpha_ * bytes + (1.0 - alpha_) * ewma_bytes_[c];
+    }
+  }
+  ++intervals_;
+}
+
+double TrafficEstimator::bytes_per_session(std::size_t class_index) const {
+  const double sessions = ewma_sessions_.at(class_index);
+  return sessions > 0.0 ? ewma_bytes_.at(class_index) / sessions : 0.0;
+}
+
+traffic::TrafficMatrix TrafficEstimator::estimate() const {
+  traffic::TrafficMatrix tm(num_pops_);
+  double total = 0.0;
+  for (const double s : ewma_sessions_) total += s;
+  // Class-support floor: every pair the deployment was built with keeps a
+  // sliver of demand so the LP model shape never changes between epochs.
+  const double mean =
+      pairs_.empty() ? 0.0 : std::max(total / static_cast<double>(pairs_.size()), 1.0);
+  const double floor = options_.support_floor * mean;
+  for (std::size_t c = 0; c < pairs_.size(); ++c) {
+    const double volume = std::max(ewma_sessions_[c], floor);
+    if (pairs_[c].ingress != pairs_[c].egress)
+      tm.set_volume(pairs_[c].ingress, pairs_[c].egress,
+                    tm.volume(pairs_[c].ingress, pairs_[c].egress) + volume);
+  }
+  if (options_.scale_to_total > 0.0) {
+    const double raw = tm.total();
+    if (raw > 0.0) tm.scale(options_.scale_to_total / raw);
+  }
+  return tm;
+}
+
+double estimation_error(const traffic::TrafficMatrix& estimate,
+                        const traffic::TrafficMatrix& oracle) {
+  if (estimate.num_nodes() != oracle.num_nodes())
+    throw std::invalid_argument("estimation_error: matrix size mismatch");
+  const double et = estimate.total();
+  const double ot = oracle.total();
+  // Total-variation distance on unit-normalized matrices: half the L1
+  // difference of the two distributions.
+  double l1 = 0.0;
+  const int n = estimate.num_nodes();
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double e = et > 0.0 ? estimate.volume(i, j) / et : 0.0;
+      const double o = ot > 0.0 ? oracle.volume(i, j) / ot : 0.0;
+      l1 += e > o ? e - o : o - e;
+    }
+  return 0.5 * l1;
+}
+
+}  // namespace nwlb::online

@@ -1,0 +1,95 @@
+// Streaming traffic-matrix estimation (DESIGN.md §10).
+//
+// The paper's controller re-optimizes from a periodic traffic-matrix feed;
+// in a live deployment nobody hands the controller an oracle matrix — it
+// must be *measured*.  The shims already observe every session at its
+// ingress (the per-class window counters the replay data plane exports),
+// so the estimator folds those sketches into a TrafficMatrix each control
+// interval: one EWMA per traffic class (alpha = 2/(window+1)), mapped back
+// onto the class's ordered (ingress, egress) PoP pair.
+//
+// Two guards keep the estimate LP-compatible:
+//
+//   * Class-support floor.  build_classes() creates one class per ordered
+//     pair with *positive* demand, and the controller warm-starts every
+//     epoch from the previous basis, which requires the model shape to be
+//     identical across epochs.  A pair that happens to see zero sessions
+//     in a window must therefore not vanish from the matrix: every class
+//     known at construction keeps a small positive floor.
+//
+//   * Scale anchoring.  Window counters are "sessions this interval", not
+//     "provisioned sessions"; scale_to_total renormalizes the estimate to
+//     the deployment's provisioned volume so LP load fractions stay
+//     comparable with the oracle-fed path.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "traffic/classes.h"
+#include "traffic/matrix.h"
+
+namespace nwlb::online {
+
+struct EstimatorOptions {
+  /// EWMA window, in control intervals (alpha = 2 / (window + 1)).
+  /// 1 = no smoothing: each estimate is the latest window alone.
+  int window = 4;
+
+  /// Renormalize every estimate so the matrix totals this many sessions
+  /// (the deployment's provisioned volume).  0 = keep raw window counts.
+  double scale_to_total = 0.0;
+
+  /// Floor for a known class pair as a fraction of the mean per-class
+  /// volume — keeps the LP model shape fixed (see file comment).
+  double support_floor = 1e-3;
+};
+
+class TrafficEstimator {
+ public:
+  /// `classes` fixes the estimator's shape: one EWMA per class, mapped to
+  /// its (ingress, egress) pair; `num_pops` sizes the emitted matrix.
+  TrafficEstimator(const std::vector<traffic::TrafficClass>& classes, int num_pops,
+                   EstimatorOptions options = {});
+
+  /// Folds one control interval's data-plane observations (indexed like
+  /// the construction-time class list; sizes must match).
+  void observe(std::span<const std::uint64_t> class_sessions,
+               std::span<const std::uint64_t> class_bytes);
+
+  /// The current estimate (see file comment for floor + scaling).  Valid
+  /// after the first observe(); before that it is the flat floor matrix.
+  traffic::TrafficMatrix estimate() const;
+
+  /// Smoothed sessions-per-interval for one class.
+  double class_rate(std::size_t class_index) const {
+    return ewma_sessions_.at(class_index);
+  }
+  /// Smoothed payload bytes per session for one class (0 until observed).
+  double bytes_per_session(std::size_t class_index) const;
+
+  int intervals_observed() const { return intervals_; }
+  const EstimatorOptions& options() const { return options_; }
+
+ private:
+  struct Pair {
+    int ingress;
+    int egress;
+  };
+  EstimatorOptions options_;
+  int num_pops_;
+  double alpha_;
+  std::vector<Pair> pairs_;              // Per class.
+  std::vector<double> ewma_sessions_;    // Per class.
+  std::vector<double> ewma_bytes_;       // Per class (payload bytes/interval).
+  int intervals_ = 0;
+};
+
+/// Total-variation distance between the two matrices after normalizing
+/// each to unit mass: 0 = identical shape, 1 = disjoint support.  The
+/// bench's "estimator error vs oracle" metric.
+double estimation_error(const traffic::TrafficMatrix& estimate,
+                        const traffic::TrafficMatrix& oracle);
+
+}  // namespace nwlb::online

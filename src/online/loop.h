@@ -1,0 +1,87 @@
+// The online control loop (DESIGN.md §10): estimate -> epoch -> rollout.
+//
+// One ControlLoop::run_interval() is one control period of a live
+// deployment, with no oracle anywhere in the path:
+//
+//   1. the data plane replays the interval's sessions under the currently
+//      installed configuration generations;
+//   2. the estimator folds the data plane's per-class ingress counters
+//      into a fresh TrafficMatrix (EWMA-smoothed, scale-anchored);
+//   3. mirror health verdicts become the epoch's FailureSet — the same
+//      signal a real controller gets from its keepalive streams;
+//   4. the controller re-optimizes (warm-started, budget-bounded, with
+//      the full two-tier degraded fallback ladder) and emits the next
+//      generation-tagged ConfigBundle;
+//   5. the rollout engine diffs, reports churn, and installs the bundle
+//      make-before-break — or skips it untouched when nothing changed.
+//
+// Everything observable is exported as nwlb_online_* metrics when a
+// registry is attached.  nwlbctl --live drives this loop end to end.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/controller.h"
+#include "online/estimator.h"
+#include "online/rollout.h"
+#include "sim/replay.h"
+#include "sim/trace.h"
+
+namespace nwlb::obs {
+class Registry;
+}
+
+namespace nwlb::online {
+
+struct ControlLoopOptions {
+  EstimatorOptions estimator;
+  RolloutOptions rollout;
+
+  /// Feed the data plane's mirror-health verdicts into each epoch request
+  /// as the FailureSet (the live replacement for operator-supplied
+  /// failure reports).
+  bool report_mirror_failures = true;
+
+  /// When set, every interval records nwlb_online_* metrics.  Must outlive
+  /// the loop.  Null = no telemetry.
+  obs::Registry* metrics = nullptr;
+};
+
+/// What one control interval did.
+struct IntervalReport {
+  core::EpochResult epoch;
+  RolloutReport rollout;
+  double estimate_total = 0.0;        // Estimated matrix mass (sessions).
+  std::uint64_t sessions_replayed = 0;  // This interval's window.
+  int failures_reported = 0;          // Mirror-health nodes fed to the epoch.
+};
+
+class ControlLoop {
+ public:
+  /// `controller` and `sim` must outlive the loop; `sim` must already run
+  /// a bundle emitted by `controller` (the bootstrap epoch).  The rollout
+  /// engine's diff baseline is `initial` — pass that bootstrap bundle.
+  ControlLoop(core::Controller& controller, sim::ReplaySimulator& sim,
+              shim::ConfigBundle initial, ControlLoopOptions options = {});
+
+  /// Runs one full control interval (see file comment).
+  IntervalReport run_interval(std::span<const sim::SessionSpec> sessions,
+                              const sim::TraceGenerator& generator);
+
+  const TrafficEstimator& estimator() const { return estimator_; }
+  const RolloutEngine& rollout() const { return rollout_; }
+  int intervals_run() const { return intervals_; }
+
+ private:
+  void record_interval(const IntervalReport& report) const;
+
+  core::Controller* controller_;
+  sim::ReplaySimulator* sim_;
+  ControlLoopOptions options_;
+  TrafficEstimator estimator_;
+  RolloutEngine rollout_;
+  int intervals_ = 0;
+};
+
+}  // namespace nwlb::online

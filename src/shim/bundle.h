@@ -1,0 +1,56 @@
+// Versioned shim configuration bundles (the rollout currency).
+//
+// A ConfigBundle is one complete data-plane configuration: a monotonic
+// generation number plus one ShimConfig per PoP.  The controller emits a
+// fresh bundle per epoch; the rollout engine diffs it against the
+// previously installed bundle (churn_between) and installs it
+// make-before-break — both generations coexist during a drain window and
+// every session is classified to exactly one of them by its sticky
+// generation tag, so a mid-replay swap never drops or double-processes a
+// session (DESIGN.md §10).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "shim/config.h"
+
+namespace nwlb::shim {
+
+struct ConfigBundle {
+  /// Monotonic configuration version.  Generation 0 is reserved for the
+  /// bootstrap bundle a deployment starts from.
+  std::uint64_t generation = 0;
+  std::vector<ShimConfig> configs;  // One per PoP, indexed by PoP id.
+
+  friend bool operator==(const ConfigBundle&, const ConfigBundle&) = default;
+};
+
+/// How much of the hash space a rollout moves.
+struct ChurnReport {
+  /// Fraction of hash space whose action changed, averaged over every
+  /// (PoP, class, direction) table present in either bundle.  0 = the
+  /// bundles are behaviourally identical; 1 = every decision moved.
+  double moved_fraction = 0.0;
+
+  /// Per-PoP moved fraction (same averaging, restricted to one PoP).
+  std::vector<double> pop_moved;
+
+  /// PoPs whose config changed at all (moved fraction > 0).
+  int pops_changed = 0;
+
+  /// Tables compared across the bundle pair.
+  int tables_compared = 0;
+};
+
+/// Fraction of the hash space on which `a` and `b` disagree (a missing
+/// table acts as all-ignore, matching RangeTable gap semantics).
+double moved_fraction(const RangeTable* a, const RangeTable* b);
+
+/// Diffs two bundles' per-PoP configs action-by-action over the hash
+/// space.  Bundle sizes may differ (a PoP present in only one side is
+/// compared against an empty config).  Generations are not consulted:
+/// churn is a property of the data-plane behaviour, not the version tag.
+ChurnReport churn_between(const ConfigBundle& previous, const ConfigBundle& next);
+
+}  // namespace nwlb::shim

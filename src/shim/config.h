@@ -39,6 +39,8 @@ struct HashRange {
   double fraction() const {
     return static_cast<double>(end - begin) / static_cast<double>(kHashSpace);
   }
+
+  friend bool operator==(const HashRange&, const HashRange&) = default;
 };
 
 /// Ordered, non-overlapping ranges for one traffic class at one node.
@@ -58,6 +60,8 @@ class RangeTable {
 
   const std::vector<HashRange>& ranges() const { return ranges_; }
   bool empty() const { return ranges_.empty(); }
+
+  friend bool operator==(const RangeTable&, const RangeTable&) = default;
 
  private:
   std::vector<HashRange> ranges_;
@@ -92,6 +96,13 @@ class ShimConfig {
           key % 2 == 1 ? nids::Direction::kReverse : nids::Direction::kForward;
       f(class_id, direction, table);
     }
+  }
+
+  /// Structural equality: same (class, direction) keys mapping to equal
+  /// range tables.  Backs the install fast path (Shim::install skips the
+  /// flat-table recompile on an identical config) and rollout diffing.
+  friend bool operator==(const ShimConfig& a, const ShimConfig& b) {
+    return a.tables_ == b.tables_;
   }
 
  private:

@@ -37,13 +37,30 @@ class Shim {
 
   int node_id() const { return node_id_; }
 
-  /// Installs a config, compiling the flat fast-path tables.
-  void install(ShimConfig config) {
+  /// Installs a config, compiling the flat fast-path tables.  When the
+  /// incoming config is structurally identical to the installed one, only
+  /// the generation tag is adopted — the flat tables are not recompiled
+  /// (the rollout engine re-pushes unchanged configs every control
+  /// interval; recompiling them would be pure waste).
+  void install(ShimConfig config, std::uint64_t generation = 0) {
+    if (installed_ && config == config_) {
+      generation_ = generation;
+      return;
+    }
     config_ = std::move(config);
     flat_ = FlatConfig(config_);
+    generation_ = generation;
+    installed_ = true;
+    ++compiles_;
   }
   const ShimConfig& config() const { return config_; }
   const FlatConfig& flat() const { return flat_; }
+
+  /// Generation tag of the installed config (0 until the first install).
+  std::uint64_t generation() const { return generation_; }
+  /// Flat-table compilations performed (regression guard: an identical
+  /// re-install must not bump this).
+  int compiles() const { return compiles_; }
 
   /// Session-granularity decision (signature-style analyses).  The hash is
   /// over the canonical tuple, so both directions of a session map to the
@@ -101,6 +118,9 @@ class Shim {
   std::uint32_t hash_seed_;
   ShimConfig config_;
   FlatConfig flat_;
+  std::uint64_t generation_ = 0;
+  bool installed_ = false;
+  int compiles_ = 0;
   ShimStats stats_;  // Backs the convenience overloads only.
 };
 

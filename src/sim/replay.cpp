@@ -37,6 +37,10 @@ struct ReplaySimulator::Shard {
   std::uint64_t crash_skipped = 0;
   std::uint64_t fail_open = 0;
   std::uint64_t degraded_skipped = 0;
+  std::uint64_t unassigned = 0;                  // Defensive; stays 0.
+  std::vector<std::uint64_t> gen_sessions;       // Sessions per generation slot.
+  std::vector<std::uint64_t> class_sessions;     // Per traffic class.
+  std::vector<std::uint64_t> class_bytes;        // Payload bytes per class.
   std::vector<std::uint64_t> bidirectional_ids;  // Sessions with both dirs.
 
   // Reused per-direction scratch (hashes in, actions out per path node).
@@ -44,7 +48,8 @@ struct ReplaySimulator::Shard {
   std::vector<shim::Action> action_buf;
 
   Shard(const core::ProblemInput& input,
-        const std::shared_ptr<const nids::SignatureEngine>& engine) {
+        const std::shared_ptr<const nids::SignatureEngine>& engine,
+        std::size_t num_generations) {
     const int processing = input.num_processing_nodes();
     const int num_pops = input.num_pops();
     nodes.reserve(static_cast<std::size_t>(processing));
@@ -56,11 +61,14 @@ struct ReplaySimulator::Shard {
     }
     shim_stats.resize(static_cast<std::size_t>(num_pops));
     link_bytes.assign(input.link_capacity.size(), 0.0);
+    gen_sessions.assign(num_generations, 0);
+    class_sessions.assign(input.classes.size(), 0);
+    class_bytes.assign(input.classes.size(), 0);
   }
 };
 
 ReplaySimulator::ReplaySimulator(const core::ProblemInput& input,
-                                 const std::vector<shim::ShimConfig>& configs,
+                                 const shim::ConfigBundle& bundle,
                                  ReplayOptions options)
     : input_(&input), options_(options) {
   if (options.replication_loss < 0.0 || options.replication_loss > 1.0)
@@ -72,9 +80,9 @@ ReplaySimulator::ReplaySimulator(const core::ProblemInput& input,
   if (options.fail_open_headroom < 0.0 || options.fail_open_headroom > 1.0)
     // nwlb-lint: allow(no-throw-hot-path) -- construction, not replay.
     throw std::invalid_argument("ReplaySimulator: fail-open headroom out of [0,1]");
-  const int num_pops = input.num_pops();
-  shims_.reserve(static_cast<std::size_t>(num_pops));
-  for (int j = 0; j < num_pops; ++j) shims_.emplace_back(j);
+  if (static_cast<int>(bundle.configs.size()) != input.num_pops())
+    // nwlb-lint: allow(no-throw-hot-path) -- construction, not replay.
+    throw std::invalid_argument("ReplaySimulator: one config per PoP required");
 
   const auto processing = static_cast<std::size_t>(input.num_processing_nodes());
   health_.assign(processing, shim::MirrorHealth(options.health));
@@ -82,7 +90,23 @@ ReplaySimulator::ReplaySimulator(const core::ProblemInput& input,
   mirror_target_.assign(processing, 0);
   window_mirror_sent_.assign(processing, 0);
   window_mirror_lost_.assign(processing, 0);
-  install(configs);
+  window_class_sessions_.assign(input.classes.size(), 0);
+  window_class_bytes_.assign(input.classes.size(), 0);
+  pop_stats_.resize(static_cast<std::size_t>(input.num_pops()));
+
+  // Bootstrap generation: owns every session until the first rollout.
+  Generation boot;
+  boot.generation = bundle.generation;
+  boot.first_session = 0;
+  boot.shims.reserve(bundle.configs.size());
+  for (int j = 0; j < input.num_pops(); ++j) {
+    boot.shims.emplace_back(j);
+    // nwlb-lint: allow(raw-shim-install)
+    boot.shims.back().install(bundle.configs[static_cast<std::size_t>(j)],
+                              bundle.generation);
+  }
+  generations_.push_back(std::move(boot));
+  mark_mirror_targets(bundle.configs);
 
   engine_ = std::make_shared<const nids::SignatureEngine>(
       nids::SignatureEngine::default_rules());
@@ -94,11 +118,53 @@ ReplaySimulator::ReplaySimulator(const core::ProblemInput& input,
   link_bytes_.assign(input.link_capacity.size(), 0.0);
 }
 
-void ReplaySimulator::install(const std::vector<shim::ShimConfig>& configs) {
-  if (static_cast<int>(configs.size()) != input_->num_pops())
+void ReplaySimulator::install_bundle(const shim::ConfigBundle& bundle) {
+  install_bundle(bundle, next_index_);
+}
+
+void ReplaySimulator::install_bundle(const shim::ConfigBundle& bundle,
+                                     std::uint64_t activate_at) {
+  if (static_cast<int>(bundle.configs.size()) != input_->num_pops())
     // nwlb-lint: allow(no-throw-hot-path) -- control-plane entry point.
     throw std::invalid_argument("ReplaySimulator: one config per PoP required");
-  for (std::size_t j = 0; j < configs.size(); ++j) shims_[j].install(configs[j]);
+  if (activate_at < next_index_)
+    // nwlb-lint: allow(no-throw-hot-path) -- control-plane entry point.
+    throw std::invalid_argument(
+        "ReplaySimulator: rollout cannot activate before the session cursor");
+  for (const Generation& g : generations_)
+    if (bundle.generation <= g.generation)
+      // nwlb-lint: allow(no-throw-hot-path) -- control-plane entry point.
+      throw std::invalid_argument(
+          "ReplaySimulator: bundle generation must exceed every installed one");
+
+  // A staged-but-not-yet-activated generation that this bundle supersedes
+  // (its activation point is at or past ours) would never serve a session:
+  // drop it outright.  Anything still serving sessions stays — that is the
+  // make-before-break coexistence window; it drains naturally.
+  while (generations_.size() > 1 &&
+         generations_.back().first_session >= std::max(activate_at, next_index_) &&
+         generations_.back().first_session >= next_index_) {
+    generations_.pop_back();
+  }
+
+  // New generation's shims start as copies of the newest installed ones, so
+  // an unchanged per-PoP config skips the flat-table recompile (the
+  // equality check in Shim::install) — a rollout that moves 3% of the hash
+  // space recompiles only the PoPs it touches.
+  Generation next;
+  next.generation = bundle.generation;
+  next.first_session = activate_at;
+  next.shims = generations_.back().shims;
+  for (std::size_t j = 0; j < bundle.configs.size(); ++j)
+    // nwlb-lint: allow(raw-shim-install)
+    next.shims[j].install(bundle.configs[j], bundle.generation);
+  generations_.push_back(std::move(next));
+  mark_mirror_targets(bundle.configs);
+  ++rollouts_installed_;
+  retire_drained_generations();
+}
+
+void ReplaySimulator::mark_mirror_targets(const std::vector<shim::ShimConfig>& configs) {
   // Sticky across installs: a degraded reconfiguration that stops using a
   // mirror must not stop probing it — the persistent tunnel's keepalive is
   // exactly how the control plane observes the mirror recovering.
@@ -112,7 +178,18 @@ void ReplaySimulator::install(const std::vector<shim::ShimConfig>& configs) {
     });
 }
 
-void ReplaySimulator::replay_direction(Shard& shard, const SessionSpec& session,
+std::size_t ReplaySimulator::generation_slot(std::uint64_t session_index) const {
+  // Generations are ascending in first_session; a session belongs to the
+  // newest one whose activation point it has reached.  Pure function of the
+  // global index over state frozen for the whole replay() call, so the
+  // mapping is identical for any sharding.
+  for (std::size_t s = generations_.size(); s-- > 0;)
+    if (generations_[s].first_session <= session_index) return s;
+  return generations_.size();  // Unreachable: slot 0 activates at 0.
+}
+
+void ReplaySimulator::replay_direction(Shard& shard, const std::vector<shim::Shim>& shims,
+                                       const SessionSpec& session,
                                        std::uint64_t session_index,
                                        bool fail_open_admitted,
                                        const TraceGenerator& generator,
@@ -144,8 +221,8 @@ void ReplaySimulator::replay_direction(Shard& shard, const SessionSpec& session,
       std::fill(out.begin(), out.end(), shim::Action::ignore());
       shard.crash_skipped += static_cast<std::uint64_t>(packets);
     } else {
-      shims_[j].decide_hashed_batch(session.class_index, direction, shard.hash_buf, out,
-                                    shard.shim_stats[j]);
+      shims[j].decide_hashed_batch(session.class_index, direction, shard.hash_buf, out,
+                                   shard.shim_stats[j]);
     }
     any_action = any_action || out[0].kind != shim::Action::Kind::kIgnore;
   }
@@ -245,6 +322,26 @@ void ReplaySimulator::replay_direction(Shard& shard, const SessionSpec& session,
 void ReplaySimulator::replay_session(Shard& shard, const SessionSpec& session,
                                      std::uint64_t session_index,
                                      const TraceGenerator& generator) const {
+  // Sticky generation tag: the newest generation whose activation point
+  // this session has reached decides every one of its packets, in both
+  // directions — exactly one generation processes each session.
+  const std::size_t slot = generation_slot(session_index);
+  if (slot >= generations_.size()) {
+    ++shard.unassigned;  // Defensive: cannot happen (slot 0 activates at 0).
+    return;
+  }
+  ++shard.gen_sessions[slot];
+  const std::vector<shim::Shim>& shims = generations_[slot].shims;
+
+  // Ingress observation counters for the traffic estimator: sessions and
+  // payload bytes per class, attributed whether or not any shim acts.
+  const auto ci = static_cast<std::size_t>(session.class_index);
+  ++shard.class_sessions[ci];
+  shard.class_bytes[ci] +=
+      static_cast<std::uint64_t>(session.payload_bytes) *
+      static_cast<std::uint64_t>(std::max(session.fwd_packets, 0) +
+                                 std::max(session.rev_packets, 0));
+
   // The loss stream is derived from the session id, not drawn from a
   // shared sequence, so drop decisions are identical for any sharding.
   nwlb::util::Rng loss_rng(nwlb::util::derive_seed(options_.seed, session.id));
@@ -259,9 +356,9 @@ void ReplaySimulator::replay_session(Shard& shard, const SessionSpec& session,
         static_cast<double>(nwlb::util::splitmix64(s) >> 11) * 0x1.0p-53;
     fail_open_admitted = u < options_.fail_open_headroom;
   }
-  replay_direction(shard, session, session_index, fail_open_admitted, generator,
+  replay_direction(shard, shims, session, session_index, fail_open_admitted, generator,
                    nids::Direction::kForward, session.fwd_packets, loss_rng);
-  replay_direction(shard, session, session_index, fail_open_admitted, generator,
+  replay_direction(shard, shims, session, session_index, fail_open_admitted, generator,
                    nids::Direction::kReverse, session.rev_packets, loss_rng);
   if (session.fwd_packets > 0 && session.rev_packets > 0)
     shard.bidirectional_ids.push_back(session.id);
@@ -282,6 +379,20 @@ void ReplaySimulator::merge(Shard& shard) {
   crash_skipped_ += shard.crash_skipped;
   fail_open_ += shard.fail_open;
   degraded_skipped_ += shard.degraded_skipped;
+  sessions_unassigned_ += shard.unassigned;
+
+  // Rollout drain accounting: a session that rode any generation other
+  // than the newest installed one was in a make-before-break drain window.
+  for (std::size_t s = 0; s < shard.gen_sessions.size(); ++s) {
+    if (s + 1 == shard.gen_sessions.size())
+      sessions_current_gen_ += shard.gen_sessions[s];
+    else
+      sessions_draining_gen_ += shard.gen_sessions[s];
+  }
+  for (std::size_t c = 0; c < shard.class_sessions.size(); ++c) {
+    window_class_sessions_[c] += shard.class_sessions[c];
+    window_class_bytes_[c] += shard.class_bytes[c];
+  }
 
   // Tunnel epoch flush: senders report their final sequence counts so
   // trailing drops are detected no matter where the shard boundary fell.
@@ -312,8 +423,10 @@ void ReplaySimulator::merge(Shard& shard) {
     (covered ? stateful_covered_ : stateful_missed_) += 1;
   }
 
+  // Decision counters are owned per PoP by the simulator — configuration
+  // generations come and go during rollouts, the counters persist.
   for (std::size_t j = 0; j < shard.shim_stats.size(); ++j)
-    shims_[j].absorb(shard.shim_stats[j]);
+    pop_stats_[j].merge(shard.shim_stats[j]);
 }
 
 void ReplaySimulator::update_health(std::uint64_t window_last_index) {
@@ -334,18 +447,32 @@ void ReplaySimulator::update_health(std::uint64_t window_last_index) {
   }
 }
 
+void ReplaySimulator::retire_drained_generations() {
+  // Once the session cursor has reached a generation's successor's
+  // activation point, no future session can map to it: its drain window is
+  // over and it is dropped (its decision counters already live in
+  // pop_stats_, so nothing is lost).
+  while (generations_.size() > 1 && generations_[1].first_session <= next_index_) {
+    generations_.erase(generations_.begin());
+    ++generations_retired_;
+  }
+}
+
 void ReplaySimulator::replay(std::span<const SessionSpec> sessions,
                              const TraceGenerator& generator) {
   const std::size_t total = sessions.size();
   const std::uint64_t base_index = next_index_;
   std::fill(window_mirror_sent_.begin(), window_mirror_sent_.end(), 0);
   std::fill(window_mirror_lost_.begin(), window_mirror_lost_.end(), 0);
+  std::fill(window_class_sessions_.begin(), window_class_sessions_.end(), 0);
+  std::fill(window_class_bytes_.begin(), window_class_bytes_.end(), 0);
   const std::size_t shard_count =
       std::max<std::size_t>(1, std::min<std::size_t>(static_cast<std::size_t>(workers_),
                                                      std::max<std::size_t>(total, 1)));
   std::vector<Shard> shards;
   shards.reserve(shard_count);
-  for (std::size_t w = 0; w < shard_count; ++w) shards.emplace_back(*input_, engine_);
+  for (std::size_t w = 0; w < shard_count; ++w)
+    shards.emplace_back(*input_, engine_, generations_.size());
 
   auto run_shard = [&](std::size_t w) {
     const std::size_t begin = total * w / shard_count;
@@ -370,6 +497,16 @@ void ReplaySimulator::replay(std::span<const SessionSpec> sessions,
   // the degradation policy from the next call on (the snapshot the shards
   // read is frozen for the duration of a call — sharding-safe).
   if (total > 0) update_health(base_index + total - 1);
+  retire_drained_generations();
+}
+
+const shim::Shim& ReplaySimulator::shim(int pop) const {
+  const Generation& g = generations_[generation_slot(next_index_)];
+  return g.shims.at(static_cast<std::size_t>(pop));
+}
+
+std::uint64_t ReplaySimulator::active_generation() const {
+  return generations_[generation_slot(next_index_)].generation;
 }
 
 ReplayStats ReplaySimulator::stats() const {
@@ -390,18 +527,32 @@ ReplayStats ReplaySimulator::stats() const {
   s.degraded_skipped_packets = degraded_skipped_;
   s.stateful_covered = stateful_covered_;
   s.stateful_missed = stateful_missed_;
-  for (const shim::Shim& shim : shims_) {
-    s.decisions_process += shim.stats().decided_process;
-    s.decisions_replicate += shim.stats().decided_replicate;
-    s.decisions_ignore += shim.stats().decided_ignore;
+  for (const shim::ShimStats& stats : pop_stats_) {
+    s.decisions_process += stats.decided_process;
+    s.decisions_replicate += stats.decided_replicate;
+    s.decisions_ignore += stats.decided_ignore;
   }
   for (const shim::MirrorHealth& h : health_)
     s.mirror_flaps += static_cast<std::uint64_t>(h.transitions());
   return s;
 }
 
+RolloutStats ReplaySimulator::rollout_stats() const {
+  RolloutStats r;
+  r.active_generation = active_generation();
+  for (const Generation& g : generations_)
+    if (g.first_session > next_index_) ++r.staged_generations;
+  r.rollouts_installed = rollouts_installed_;
+  r.generations_retired = generations_retired_;
+  r.sessions_current_generation = sessions_current_gen_;
+  r.sessions_draining_generation = sessions_draining_gen_;
+  r.sessions_unassigned = sessions_unassigned_;
+  return r;
+}
+
 void ReplaySimulator::export_metrics(obs::Registry& registry) const {
   const ReplayStats s = stats();
+  const RolloutStats r = rollout_stats();
   const auto counter = [&registry](const char* name, std::uint64_t value,
                                    const char* help) {
     registry.counter(name, {}, help).inc(value);
@@ -434,6 +585,20 @@ void ReplaySimulator::export_metrics(obs::Registry& registry) const {
   counter("nwlb_mirror_flaps_total", s.mirror_flaps,
           "Mirror health up/down verdict transitions");
 
+  // Rollout lifecycle: how sessions rode configuration generations.
+  counter("nwlb_rollout_installs_total", r.rollouts_installed,
+          "Configuration bundles installed after bootstrap");
+  counter("nwlb_rollout_generations_retired_total", r.generations_retired,
+          "Generations fully drained and dropped");
+  counter("nwlb_rollout_sessions_draining_total", r.sessions_draining_generation,
+          "Sessions that rode a superseded generation during its drain window");
+  counter("nwlb_rollout_sessions_unassigned_total", r.sessions_unassigned,
+          "Sessions no generation claimed (must stay 0)");
+  registry
+      .gauge("nwlb_rollout_active_generation", {},
+             "Generation tag new sessions currently ride")
+      .set(static_cast<double>(r.active_generation));
+
   static const char* kDecisionsHelp = "Shim decisions by verdict";
   registry.counter("nwlb_shim_decisions_total", {{"verdict", "process"}}, kDecisionsHelp)
       .inc(s.decisions_process);
@@ -446,8 +611,8 @@ void ReplaySimulator::export_metrics(obs::Registry& registry) const {
   // that received bytes get a series (totals are merge-deterministic, so
   // the emitted set is identical for any worker count).
   std::vector<std::uint64_t> per_mirror;
-  for (const shim::Shim& shim : shims_) {
-    const std::vector<std::uint64_t>& bytes = shim.stats().replicated_bytes;
+  for (const shim::ShimStats& stats : pop_stats_) {
+    const std::vector<std::uint64_t>& bytes = stats.replicated_bytes;
     if (bytes.size() > per_mirror.size()) per_mirror.resize(bytes.size(), 0);
     for (std::size_t m = 0; m < bytes.size(); ++m) per_mirror[m] += bytes[m];
   }
@@ -492,6 +657,9 @@ void ReplaySimulator::reset() {
   std::fill(node_work_.begin(), node_work_.end(), 0.0);
   std::fill(node_packets_.begin(), node_packets_.end(), 0);
   std::fill(link_bytes_.begin(), link_bytes_.end(), 0.0);
+  std::fill(window_class_sessions_.begin(), window_class_sessions_.end(), 0);
+  std::fill(window_class_bytes_.begin(), window_class_bytes_.end(), 0);
+  for (shim::ShimStats& stats : pop_stats_) stats = shim::ShimStats{};
   sessions_ = 0;
   packets_ = 0;
   matches_ = 0;
@@ -505,7 +673,18 @@ void ReplaySimulator::reset() {
   degraded_skipped_ = 0;
   stateful_covered_ = 0;
   stateful_missed_ = 0;
+  // The session cursor rewinds to 0, so only one generation can be
+  // coherent: keep the one serving the cursor, activate it at 0.
+  const std::size_t keep = generation_slot(next_index_);
+  if (keep > 0) generations_.erase(generations_.begin(), generations_.begin() + static_cast<std::ptrdiff_t>(keep));
+  if (generations_.size() > 1) generations_.erase(generations_.begin() + 1, generations_.end());
+  generations_.front().first_session = 0;
   next_index_ = 0;
+  rollouts_installed_ = 0;
+  generations_retired_ = 0;
+  sessions_current_gen_ = 0;
+  sessions_draining_gen_ = 0;
+  sessions_unassigned_ = 0;
   for (shim::MirrorHealth& h : health_) h.reset();
   std::fill(mirror_down_.begin(), mirror_down_.end(), 0);
 }

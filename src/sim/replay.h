@@ -25,6 +25,16 @@
 // only *between* replay() calls (one call = one reconcile window), so the
 // degradation policy the shards consult is frozen for the duration of a
 // call and serial/parallel equivalence holds under any schedule.
+//
+// Hitless rollout (DESIGN.md §10): configuration is installed as a
+// generation-tagged shim::ConfigBundle.  install_bundle() stages the new
+// generation make-before-break — the old and new generations' shims
+// coexist, and every session carries a sticky generation tag (a pure
+// function of its global index and the staged activation point), so
+// exactly one generation decides it: a mid-replay swap never drops or
+// double-processes a session, and the sharded replay stays byte-identical
+// to serial.  A superseded generation is retired once the session cursor
+// passes its successor's activation index (the drain is complete).
 #pragma once
 
 #include <cstdint>
@@ -35,6 +45,7 @@
 #include "core/problem.h"
 #include "nids/node.h"
 #include "nids/signature.h"
+#include "shim/bundle.h"
 #include "shim/config.h"
 #include "shim/health.h"
 #include "shim/shim.h"
@@ -145,21 +156,43 @@ struct ReplayStats {
   }
 };
 
+/// Rollout accounting: how configuration generations moved through the
+/// data plane.  Every session maps to exactly one generation, so
+/// sessions_current + sessions_draining == sessions_replayed and
+/// sessions_unassigned stays 0 — the bench asserts both.
+struct RolloutStats {
+  std::uint64_t active_generation = 0;   // Generation new sessions ride now.
+  std::uint64_t staged_generations = 0;  // Installed but not yet activated.
+  std::uint64_t rollouts_installed = 0;  // install_bundle() calls accepted.
+  std::uint64_t generations_retired = 0; // Fully drained and dropped.
+  std::uint64_t sessions_current_generation = 0;
+  std::uint64_t sessions_draining_generation = 0;  // Rode a superseded
+                                                   // generation (drain window).
+  std::uint64_t sessions_unassigned = 0;  // Defensive; must stay 0.
+};
+
 class ReplaySimulator {
  public:
-  /// `input` supplies topology/paths/datacenter; `configs` are the per-PoP
-  /// shim configurations from core::build_shim_configs.  Both must outlive
-  /// the simulator.  Replicated packets travel through real tunnel framing
-  /// (encapsulate -> optional injected loss -> decapsulate).
-  ReplaySimulator(const core::ProblemInput& input,
-                  const std::vector<shim::ShimConfig>& configs,
+  /// `input` supplies topology/paths/datacenter; `bundle` is the bootstrap
+  /// configuration (generation-tagged, one ShimConfig per PoP, typically
+  /// from a Controller epoch).  `input` must outlive the simulator.
+  /// Replicated packets travel through real tunnel framing (encapsulate ->
+  /// optional injected loss -> decapsulate).
+  ReplaySimulator(const core::ProblemInput& input, const shim::ConfigBundle& bundle,
                   ReplayOptions options = {});
 
-  /// Reinstalls fresh per-PoP configs between replay() calls — the path a
-  /// controller uses to push a patched or re-optimized configuration into
-  /// a running deployment.  Stats, health state, and the global session
-  /// index all persist across the swap.
-  void install(const std::vector<shim::ShimConfig>& configs);
+  /// Installs a fresh bundle, activating it for the next replayed session
+  /// — the path a controller uses to push a patched or re-optimized
+  /// configuration between control windows.  Stats, health state, and the
+  /// global session index all persist across the swap.
+  void install_bundle(const shim::ConfigBundle& bundle);
+
+  /// Make-before-break install: the bundle activates when the global
+  /// session cursor reaches `activate_at` (>= next_session_index(), or
+  /// std::invalid_argument).  Until then both generations coexist and
+  /// in-flight sessions keep their sticky generation; `bundle.generation`
+  /// must exceed every installed generation's.
+  void install_bundle(const shim::ConfigBundle& bundle, std::uint64_t activate_at);
 
   /// Replays the sessions; cumulative across calls until reset().
   /// Stateful coverage is evaluated per call (a session's two directions
@@ -169,6 +202,7 @@ class ReplaySimulator {
   void replay(std::span<const SessionSpec> sessions, const TraceGenerator& generator);
 
   ReplayStats stats() const;
+  RolloutStats rollout_stats() const;
   void reset();
 
   /// Exports the merged cumulative totals as nwlb_replay_* / nwlb_tunnel_* /
@@ -181,7 +215,24 @@ class ReplaySimulator {
   /// Workers actually used (after resolving num_workers == 0).
   int num_workers() const { return workers_; }
 
-  const shim::Shim& shim(int pop) const { return shims_.at(static_cast<std::size_t>(pop)); }
+  /// The shim of `pop` in the generation new sessions currently ride.
+  const shim::Shim& shim(int pop) const;
+
+  /// Generation serving the next replayed session.
+  std::uint64_t active_generation() const;
+  /// Installed generations currently coexisting (1 outside a drain window).
+  std::size_t num_generations() const { return generations_.size(); }
+
+  /// Sessions and payload bytes observed per traffic class during the most
+  /// recent replay() call — the data-plane counters the online
+  /// traffic-matrix estimator folds each control interval.  Indexed like
+  /// ProblemInput::classes; deterministically merged across shards.
+  const std::vector<std::uint64_t>& window_class_sessions() const {
+    return window_class_sessions_;
+  }
+  const std::vector<std::uint64_t>& window_class_bytes() const {
+    return window_class_bytes_;
+  }
 
   /// Health verdicts as of the last completed reconcile window.
   const shim::MirrorHealth& mirror_health(int node) const {
@@ -194,26 +245,37 @@ class ReplaySimulator {
   std::vector<int> down_mirrors() const;
 
   /// Global index the next replayed session will get (failure-schedule
-  /// timestamps count in this space).
+  /// timestamps and rollout activation points count in this space).
   std::uint64_t next_session_index() const { return next_index_; }
 
  private:
   struct Shard;
 
+  /// One installed configuration generation.  Sessions with global index
+  /// >= first_session (and below the next generation's) belong to it.
+  struct Generation {
+    std::uint64_t generation = 0;
+    std::uint64_t first_session = 0;
+    std::vector<shim::Shim> shims;  // One per PoP; read-only during replay.
+  };
+
+  std::size_t generation_slot(std::uint64_t session_index) const;
   void replay_session(Shard& shard, const SessionSpec& session,
                       std::uint64_t session_index, const TraceGenerator& generator) const;
-  void replay_direction(Shard& shard, const SessionSpec& session,
-                        std::uint64_t session_index, bool fail_open_admitted,
-                        const TraceGenerator& generator, nids::Direction direction,
-                        int packets, nwlb::util::Rng& loss_rng) const;
+  void replay_direction(Shard& shard, const std::vector<shim::Shim>& shims,
+                        const SessionSpec& session, std::uint64_t session_index,
+                        bool fail_open_admitted, const TraceGenerator& generator,
+                        nids::Direction direction, int packets,
+                        nwlb::util::Rng& loss_rng) const;
   void merge(Shard& shard);
-  void recompute_mirror_targets();
+  void mark_mirror_targets(const std::vector<shim::ShimConfig>& configs);
   void update_health(std::uint64_t window_last_index);
+  void retire_drained_generations();
 
   const core::ProblemInput* input_;
   ReplayOptions options_;
   int workers_ = 1;
-  std::vector<shim::Shim> shims_;  // One per PoP; read-only during replay.
+  std::vector<Generation> generations_;  // Ascending first_session.
   // One compiled automaton shared by every (shard, node) engine instance.
   std::shared_ptr<const nids::SignatureEngine> engine_;
   std::unique_ptr<nwlb::util::ThreadPool> pool_;  // Only when workers_ > 1.
@@ -229,7 +291,14 @@ class ReplaySimulator {
   std::vector<std::uint64_t> window_mirror_sent_;
   std::vector<std::uint64_t> window_mirror_lost_;
 
-  // Cumulative accumulators (merged from shards in index order).
+  // Per-window per-class observations (the estimator's input).
+  std::vector<std::uint64_t> window_class_sessions_;
+  std::vector<std::uint64_t> window_class_bytes_;
+
+  // Cumulative accumulators (merged from shards in index order).  Shim
+  // decision counters are owned per PoP by the simulator — generations
+  // come and go, the counters persist.
+  std::vector<shim::ShimStats> pop_stats_;
   std::vector<double> node_work_;
   std::vector<std::uint64_t> node_packets_;
   std::vector<double> link_bytes_;
@@ -246,6 +315,13 @@ class ReplaySimulator {
   std::uint64_t degraded_skipped_ = 0;
   std::uint64_t stateful_covered_ = 0;
   std::uint64_t stateful_missed_ = 0;
+
+  // Rollout accounting (see RolloutStats).
+  std::uint64_t rollouts_installed_ = 0;
+  std::uint64_t generations_retired_ = 0;
+  std::uint64_t sessions_current_gen_ = 0;
+  std::uint64_t sessions_draining_gen_ = 0;
+  std::uint64_t sessions_unassigned_ = 0;
 };
 
 }  // namespace nwlb::sim

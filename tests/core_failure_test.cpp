@@ -115,28 +115,40 @@ TEST(Controller, PatchBeforeAnyEpochThrows) {
   Controller controller(f.topology, f.tm, Architecture::kPathReplicate);
   FailureSet failures;
   failures.down_nodes = {0};
-  EXPECT_THROW(controller.patch(failures), std::logic_error);
+  EXPECT_THROW(controller.run({.failures = failures, .force_patch = true}),
+               std::logic_error);
+}
+
+TEST(Controller, RunWithoutTrafficThrows) {
+  FailureFixture f;
+  Controller controller(f.topology, f.tm, Architecture::kPathReplicate);
+  EXPECT_THROW(controller.run(EpochRequest{}), std::invalid_argument);
 }
 
 TEST(Controller, PatchIsInstantAndMarkedDegraded) {
   FailureFixture f;
   Controller controller(f.topology, f.tm, Architecture::kPathReplicate);
-  const EpochResult healthy = controller.epoch(f.tm);
+  const EpochResult healthy = controller.run({.tm = &f.tm});
   EXPECT_FALSE(healthy.degraded);
-  EXPECT_TRUE(healthy.degraded_reason.empty());
+  EXPECT_TRUE(healthy.degraded_reasons.empty());
   ASSERT_TRUE(controller.last_known_good().has_value());
 
   FailureSet failures;
   failures.down_nodes = {f.input.datacenter_id()};
-  const EpochResult patched = controller.patch(failures);
+  const EpochResult patched =
+      controller.run({.failures = failures, .force_patch = true});
   EXPECT_TRUE(patched.patched);
   EXPECT_TRUE(patched.degraded);
-  EXPECT_EQ(patched.degraded_reason, "patch");
-  EXPECT_EQ(patched.configs.size(), static_cast<std::size_t>(f.input.num_pops()));
+  EXPECT_TRUE(patched.has_reason(DegradedReason::kPatch));
+  EXPECT_EQ(to_string(patched.degraded_reasons), "patch");
+  EXPECT_EQ(patched.bundle.configs.size(),
+            static_cast<std::size_t>(f.input.num_pops()));
+  // Every emitted bundle advances the generation counter.
+  EXPECT_GT(patched.bundle.generation, healthy.bundle.generation);
   EXPECT_FALSE(touches_node(patched.assignment, f.input.datacenter_id()));
 
   // An empty failure set reinstates the last known-good plan unchanged.
-  const EpochResult reinstated = controller.patch(FailureSet{});
+  const EpochResult reinstated = controller.run({.force_patch = true});
   EXPECT_TRUE(reinstated.patched);
   EXPECT_FALSE(reinstated.degraded);
   EXPECT_NEAR(reinstated.assignment.miss_rate,
@@ -146,24 +158,26 @@ TEST(Controller, PatchIsInstantAndMarkedDegraded) {
 TEST(Controller, ResolvesOverSurvivingTopology) {
   FailureFixture f;
   Controller controller(f.topology, f.tm, Architecture::kPathReplicate);
-  controller.epoch(f.tm);
+  controller.run({.tm = &f.tm});
 
   FailureSet failures;
   failures.down_nodes = {f.input.datacenter_id()};
   EpochResult degraded;
-  ASSERT_NO_THROW(degraded = controller.epoch(f.tm, failures));
-  // The solve itself succeeded (no lp_* reason): the plan routes nothing
-  // to the failed mirror, and any residual coverage loss is reported as
-  // such rather than failing the epoch.
-  EXPECT_EQ(degraded.degraded_reason.find("lp_"), std::string::npos);
+  ASSERT_NO_THROW(degraded = controller.run({.tm = &f.tm, .failures = failures}));
+  // The solve itself succeeded (no lp-class reason): the plan routes
+  // nothing to the failed mirror, and any residual coverage loss is
+  // reported as such rather than failing the epoch.
+  EXPECT_FALSE(degraded.has_reason(DegradedReason::kLpBudgetExhausted));
+  EXPECT_FALSE(degraded.has_reason(DegradedReason::kLpInfeasible));
+  EXPECT_FALSE(degraded.has_reason(DegradedReason::kLpFailed));
   EXPECT_FALSE(touches_node(degraded.assignment, f.input.datacenter_id()));
   if (degraded.assignment.miss_rate > 1e-9) {
     EXPECT_TRUE(degraded.degraded);
-    EXPECT_NE(degraded.degraded_reason.find("coverage_loss:"), std::string::npos);
+    EXPECT_TRUE(degraded.has_reason(DegradedReason::kCoverageLoss));
   }
 
   // Once the node returns, the next healthy epoch restores the optimum.
-  const EpochResult recovered = controller.epoch(f.tm);
+  const EpochResult recovered = controller.run({.tm = &f.tm});
   EXPECT_FALSE(recovered.degraded);
   EXPECT_NEAR(recovered.assignment.miss_rate, 0.0, 1e-6);
 }
@@ -177,22 +191,23 @@ TEST(Controller, BudgetExhaustionNeverAbortsAnEpoch) {
   Controller controller(f.topology, f.tm, copts);
 
   EpochResult result;
-  ASSERT_NO_THROW(result = controller.epoch(f.tm));
+  ASSERT_NO_THROW(result = controller.run({.tm = &f.tm}));
   EXPECT_TRUE(result.degraded);
-  EXPECT_NE(result.degraded_reason.find("lp_budget_exhausted:"), std::string::npos);
+  EXPECT_TRUE(result.has_reason(DegradedReason::kLpBudgetExhausted));
   // No prior epoch ever solved, so the fallback chain bottoms out at the
   // LP-free ingress construction and says so.
-  EXPECT_NE(result.degraded_reason.find("no_known_good"), std::string::npos);
+  EXPECT_TRUE(result.has_reason(DegradedReason::kNoKnownGood));
   EXPECT_FALSE(controller.last_known_good().has_value());
   // The epoch still ships a complete, installable plan.
-  EXPECT_EQ(result.configs.size(), static_cast<std::size_t>(f.input.num_pops()));
+  EXPECT_EQ(result.bundle.configs.size(),
+            static_cast<std::size_t>(f.input.num_pops()));
   EXPECT_FALSE(result.assignment.process.empty());
 
   // The next epochs back the solver off instead of re-burning the budget.
   EpochResult backed_off;
-  ASSERT_NO_THROW(backed_off = controller.epoch(f.tm));
+  ASSERT_NO_THROW(backed_off = controller.run({.tm = &f.tm}));
   EXPECT_TRUE(backed_off.degraded);
-  EXPECT_NE(backed_off.degraded_reason.find("resolve_backoff:"), std::string::npos);
+  EXPECT_TRUE(backed_off.has_reason(DegradedReason::kResolveBackoff));
   EXPECT_EQ(backed_off.iterations, 0);
 }
 
@@ -202,9 +217,9 @@ TEST(Controller, BudgetedEpochStillSolvesWhenBudgetSuffices) {
   copts.architecture = Architecture::kPathReplicate;
   copts.lp.max_seconds = 30.0;  // Generous: a real deployment budget.
   Controller controller(f.topology, f.tm, copts);
-  const EpochResult result = controller.epoch(f.tm);
+  const EpochResult result = controller.run({.tm = &f.tm});
   EXPECT_FALSE(result.degraded);
-  EXPECT_TRUE(result.degraded_reason.empty());
+  EXPECT_TRUE(result.degraded_reasons.empty());
   EXPECT_NEAR(result.assignment.miss_rate, 0.0, 1e-6);
 }
 

@@ -32,8 +32,8 @@ struct MetricsFixture {
 TEST(ControllerMetrics, HealthyEpochsAreCounted) {
   MetricsFixture f;
   Controller controller(f.topology, f.tm, f.options());
-  controller.epoch(f.tm);
-  controller.epoch(f.tm);
+  controller.run({.tm = &f.tm});
+  controller.run({.tm = &f.tm});
   EXPECT_EQ(f.registry.counter("nwlb_controller_epochs_total").value(), 2u);
   EXPECT_EQ(f.registry.counter("nwlb_controller_epoch_outcomes_total",
                                {{"status", "optimal"}})
@@ -57,8 +57,8 @@ TEST(ControllerMetrics, BudgetExhaustionCountsDegradedAndBackoff) {
   opts.lp.max_iterations = 1;  // Guaranteed budget exhaustion.
   opts.resolve_backoff_epochs = 2;
   Controller controller(f.topology, f.tm, opts);
-  controller.epoch(f.tm);  // Fails, enters backoff.
-  controller.epoch(f.tm);  // Served during backoff.
+  controller.run({.tm = &f.tm});  // Fails, enters backoff.
+  controller.run({.tm = &f.tm});  // Served during backoff.
   EXPECT_EQ(f.registry.counter("nwlb_controller_epochs_total").value(), 2u);
   EXPECT_EQ(f.registry.counter("nwlb_controller_epochs_degraded_total").value(), 2u);
   EXPECT_EQ(f.registry.counter("nwlb_controller_epoch_outcomes_total",
@@ -75,30 +75,52 @@ TEST(ControllerMetrics, BudgetExhaustionCountsDegradedAndBackoff) {
 TEST(ControllerMetrics, PatchesAreCountedSeparately) {
   MetricsFixture f;
   Controller controller(f.topology, f.tm, f.options());
-  controller.epoch(f.tm);
+  controller.run({.tm = &f.tm});
   FailureSet failures;
   failures.down_nodes = {2};
-  controller.patch(failures);
+  controller.run({.failures = failures, .force_patch = true});
   EXPECT_EQ(f.registry.counter("nwlb_controller_patches_total").value(), 1u);
-  // patch() is tier 1, not an epoch.
+  // A force_patch request is tier 1, not an epoch.
   EXPECT_EQ(f.registry.counter("nwlb_controller_epochs_total").value(), 1u);
   const auto events = f.registry.trace().events();
   ASSERT_GE(events.size(), 2u);
   EXPECT_EQ(events.back().name, "patch");
 }
 
+TEST(ControllerMetrics, TypedReasonsAndGenerationAreExported) {
+  MetricsFixture f;
+  ControllerOptions opts = f.options();
+  opts.lp.max_iterations = 1;  // Guaranteed budget exhaustion.
+  Controller controller(f.topology, f.tm, opts);
+  controller.run({.tm = &f.tm});
+  EXPECT_GE(f.registry
+                .counter("nwlb_controller_degraded_reasons_total",
+                         {{"reason", "lp_budget_exhausted"}})
+                .value(),
+            1u);
+  EXPECT_EQ(f.registry
+                .counter("nwlb_controller_degraded_reasons_total",
+                         {{"reason", "no_known_good"}})
+                .value(),
+            1u);
+  // The generation gauge tracks the monotonic bundle counter.
+  EXPECT_EQ(f.registry.gauge("nwlb_controller_generation").value(), 1.0);
+  controller.run({.tm = &f.tm});
+  EXPECT_EQ(f.registry.gauge("nwlb_controller_generation").value(), 2.0);
+}
+
 TEST(ControllerMetrics, NullRegistryRecordsNothing) {
   MetricsFixture f;
   Controller controller(f.topology, f.tm, Architecture::kPathReplicate);
-  controller.epoch(f.tm);  // Must not crash without a registry.
+  controller.run({.tm = &f.tm});  // Must not crash without a registry.
   EXPECT_EQ(f.registry.size(), 0u);
 }
 
 TEST(ControllerMetrics, SolveSecondsHistogramObservesEveryEpoch) {
   MetricsFixture f;
   Controller controller(f.topology, f.tm, f.options());
-  controller.epoch(f.tm);
-  controller.epoch(f.tm);
+  controller.run({.tm = &f.tm});
+  controller.run({.tm = &f.tm});
   const obs::Snapshot snap = f.registry.snapshot();
   bool found = false;
   for (const obs::Sample& sample : snap.samples) {

@@ -101,12 +101,13 @@ TEST(Controller, EpochsProduceConfigsAndWarmStarts) {
   const traffic::VariabilityModel model(traffic::abilene_like_factor_cdf());
   const auto tms = model.sample_many(f.tm, 3, 17);
 
-  const EpochResult first = controller.epoch(tms[0]);
+  const EpochResult first = controller.run({.tm = &tms[0]});
   EXPECT_FALSE(first.warm_started);
-  EXPECT_EQ(first.configs.size(), 11u);
+  EXPECT_EQ(first.bundle.configs.size(), 11u);
+  EXPECT_EQ(first.bundle.generation, 1u);
   EXPECT_GT(first.iterations, 0);
 
-  const EpochResult second = controller.epoch(tms[1]);
+  const EpochResult second = controller.run({.tm = &tms[1]});
   EXPECT_TRUE(second.warm_started);
   EXPECT_LE(second.iterations, first.iterations);
   EXPECT_EQ(controller.epochs_run(), 2);
@@ -122,7 +123,7 @@ TEST(Controller, ScanAggregationEpochs) {
   options.enable_scan_aggregation = true;
   options.aggregation.beta = 0.05;
   Controller controller(f.topology, f.tm, options);
-  const EpochResult first = controller.epoch(f.tm);
+  const EpochResult first = controller.run({.tm = &f.tm});
   ASSERT_TRUE(first.scan.has_value());
   EXPECT_GT(first.scan->comm_cost, -1e-9);
   // Scan coverage is complete every epoch.
@@ -131,7 +132,7 @@ TEST(Controller, ScanAggregationEpochs) {
     for (const auto& share : first.scan->process[c]) total += share.fraction;
     EXPECT_NEAR(total, 1.0, 1e-6);
   }
-  const EpochResult second = controller.epoch(f.tm);
+  const EpochResult second = controller.run({.tm = &f.tm});
   EXPECT_TRUE(second.warm_started);
   ASSERT_TRUE(second.scan.has_value());
 }
@@ -139,7 +140,7 @@ TEST(Controller, ScanAggregationEpochs) {
 TEST(Controller, IngressControllerNeedsNoLp) {
   ScenarioFixture f;
   Controller controller(f.topology, f.tm, Architecture::kIngress);
-  const EpochResult result = controller.epoch(f.tm);
+  const EpochResult result = controller.run({.tm = &f.tm});
   EXPECT_EQ(result.iterations, 0);
   EXPECT_NEAR(result.assignment.load_cost, 1.0, 1e-9);
 }

@@ -38,10 +38,10 @@ TEST_P(FullPipeline, OptimizeCompileReplay) {
   const auto violations = core::validate_assignment(input, assignment, vopts);
   EXPECT_TRUE(violations.empty()) << violations.front();
 
-  // Compile to shim configs and replay a small trace.
-  const auto configs = core::build_shim_configs(input, assignment);
-  ASSERT_EQ(static_cast<int>(configs.size()), topology.graph.num_nodes());
-  sim::ReplaySimulator simulator(input, configs);
+  // Compile to a config bundle and replay a small trace.
+  const shim::ConfigBundle bundle = core::build_bundle(input, assignment);
+  ASSERT_EQ(static_cast<int>(bundle.configs.size()), topology.graph.num_nodes());
+  sim::ReplaySimulator simulator(input, bundle);
   sim::TraceConfig tc;
   tc.scanners = 0;
   sim::TraceGenerator generator(input.classes, tc, 8);

@@ -1,0 +1,179 @@
+// Streaming traffic-matrix estimation: EWMA convergence to a static
+// matrix, the class-support floor that keeps the LP model shape fixed,
+// scale anchoring, and the estimator-error metric.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "core/scenario.h"
+#include "online/estimator.h"
+#include "topo/topology.h"
+#include "traffic/classes.h"
+#include "traffic/matrix.h"
+
+namespace nwlb::online {
+namespace {
+
+struct EstimatorFixture {
+  topo::Topology topology = topo::make_internet2();
+  traffic::TrafficMatrix tm;
+  core::Scenario scenario;
+
+  EstimatorFixture()
+      : tm(traffic::gravity_matrix(topology.graph, traffic::paper_total_sessions(11))),
+        scenario(topology, tm) {}
+
+  int num_pops() const { return topology.graph.num_nodes(); }
+
+  /// One interval's data-plane counters, exactly proportional to the
+  /// provisioned per-class volumes (a noiseless static-traffic window).
+  std::vector<std::uint64_t> window_sessions(double scale = 1e-3) const {
+    std::vector<std::uint64_t> out;
+    out.reserve(scenario.classes().size());
+    for (const traffic::TrafficClass& cls : scenario.classes())
+      out.push_back(static_cast<std::uint64_t>(std::llround(cls.sessions * scale)));
+    return out;
+  }
+  std::vector<std::uint64_t> window_bytes(double scale = 1e-3) const {
+    // Derived from the *rounded* session counts so bytes/sessions stays
+    // exactly the per-class mean session size.
+    std::vector<std::uint64_t> out = window_sessions(scale);
+    for (std::size_t c = 0; c < out.size(); ++c)
+      out[c] = static_cast<std::uint64_t>(
+          static_cast<double>(out[c]) * scenario.classes()[c].bytes_per_session);
+    return out;
+  }
+};
+
+TEST(TrafficEstimator, ConvergesToStaticMatrix) {
+  EstimatorFixture f;
+  EstimatorOptions opts;
+  opts.scale_to_total = f.tm.total();
+  TrafficEstimator estimator(f.scenario.classes(), f.num_pops(), opts);
+  const auto sessions = f.window_sessions();
+  const auto bytes = f.window_bytes();
+  for (int i = 0; i < 6; ++i) estimator.observe(sessions, bytes);
+  EXPECT_EQ(estimator.intervals_observed(), 6);
+
+  const traffic::TrafficMatrix est = estimator.estimate();
+  // Scale anchoring: the estimate totals the provisioned volume.
+  EXPECT_NEAR(est.total(), f.tm.total(), 1e-6 * f.tm.total());
+  // Shape: within rounding noise of the oracle (the ISSUE acceptance
+  // tolerance is 10%; a noiseless feed should land far inside it).
+  EXPECT_LT(estimation_error(est, f.tm), 0.02);
+}
+
+TEST(TrafficEstimator, FirstWindowSeedsWithoutWarmupBias) {
+  EstimatorFixture f;
+  TrafficEstimator estimator(f.scenario.classes(), f.num_pops());
+  const auto sessions = f.window_sessions();
+  const auto bytes = f.window_bytes();
+  estimator.observe(sessions, bytes);
+  // No decay toward the all-zero initial state: the first window is taken
+  // verbatim, so one interval already reproduces the static shape.
+  for (std::size_t c = 0; c < sessions.size(); ++c)
+    EXPECT_DOUBLE_EQ(estimator.class_rate(c), static_cast<double>(sessions[c]));
+}
+
+TEST(TrafficEstimator, EwmaSmoothsAStepChange) {
+  EstimatorFixture f;
+  EstimatorOptions opts;
+  opts.window = 4;  // alpha = 0.4
+  TrafficEstimator estimator(f.scenario.classes(), f.num_pops(), opts);
+  const auto low = f.window_sessions(1e-3);
+  const auto high = f.window_sessions(2e-3);
+  estimator.observe(low, f.window_bytes(1e-3));
+  estimator.observe(high, f.window_bytes(2e-3));
+  // One interval after the step the estimate sits strictly between the
+  // old and new rates: alpha*high + (1-alpha)*low.
+  const double expected =
+      0.4 * static_cast<double>(high[0]) + 0.6 * static_cast<double>(low[0]);
+  EXPECT_NEAR(estimator.class_rate(0), expected, 1e-9 * expected + 1e-9);
+}
+
+TEST(TrafficEstimator, SupportFloorKeepsEveryKnownPairPositive) {
+  EstimatorFixture f;
+  TrafficEstimator estimator(f.scenario.classes(), f.num_pops());
+  // A window in which class 0 goes completely dark.
+  auto sessions = f.window_sessions();
+  auto bytes = f.window_bytes();
+  sessions[0] = 0;
+  bytes[0] = 0;
+  for (int i = 0; i < 8; ++i) estimator.observe(sessions, bytes);
+
+  const traffic::TrafficMatrix est = estimator.estimate();
+  const traffic::TrafficClass& dark = f.scenario.classes()[0];
+  // The pair must not vanish from the matrix: build_classes() would drop
+  // it and the warm-started LP model shape would change between epochs.
+  EXPECT_GT(est.volume(dark.ingress, dark.egress), 0.0);
+  for (const traffic::TrafficClass& cls : f.scenario.classes())
+    EXPECT_GT(est.volume(cls.ingress, cls.egress), 0.0) << "class " << cls.id;
+}
+
+TEST(TrafficEstimator, EstimateBeforeAnyObservationIsTheFloorMatrix) {
+  EstimatorFixture f;
+  TrafficEstimator estimator(f.scenario.classes(), f.num_pops());
+  const traffic::TrafficMatrix est = estimator.estimate();
+  // Flat floor: every known pair positive, every pair equal.
+  const traffic::TrafficClass& first = f.scenario.classes().front();
+  const double floor = est.volume(first.ingress, first.egress);
+  EXPECT_GT(floor, 0.0);
+  for (const traffic::TrafficClass& cls : f.scenario.classes())
+    EXPECT_DOUBLE_EQ(est.volume(cls.ingress, cls.egress), floor);
+}
+
+TEST(TrafficEstimator, BytesPerSessionTracksTheFeed) {
+  EstimatorFixture f;
+  TrafficEstimator estimator(f.scenario.classes(), f.num_pops());
+  estimator.observe(f.window_sessions(), f.window_bytes());
+  const traffic::TrafficClass& cls = f.scenario.classes().front();
+  // Rounding on both counters, so allow 1% slack.
+  EXPECT_NEAR(estimator.bytes_per_session(0), cls.bytes_per_session,
+              0.01 * cls.bytes_per_session);
+}
+
+TEST(TrafficEstimator, RejectsInvalidOptionsAndMismatchedSpans) {
+  EstimatorFixture f;
+  EstimatorOptions bad_window;
+  bad_window.window = 0;
+  EXPECT_THROW(TrafficEstimator(f.scenario.classes(), f.num_pops(), bad_window),
+               std::invalid_argument);
+  EstimatorOptions bad_floor;
+  bad_floor.support_floor = 1.0;
+  EXPECT_THROW(TrafficEstimator(f.scenario.classes(), f.num_pops(), bad_floor),
+               std::invalid_argument);
+  EXPECT_THROW(TrafficEstimator(f.scenario.classes(), 0), std::invalid_argument);
+
+  TrafficEstimator estimator(f.scenario.classes(), f.num_pops());
+  const std::vector<std::uint64_t> wrong(f.scenario.classes().size() + 1, 1);
+  EXPECT_THROW(estimator.observe(wrong, wrong), std::invalid_argument);
+}
+
+TEST(EstimationError, IdenticalMatricesScoreZero) {
+  EstimatorFixture f;
+  EXPECT_DOUBLE_EQ(estimation_error(f.tm, f.tm), 0.0);
+  // Scale-invariant: TV distance compares normalized shapes.
+  traffic::TrafficMatrix scaled = f.tm;
+  scaled.scale(7.5);
+  EXPECT_NEAR(estimation_error(scaled, f.tm), 0.0, 1e-12);
+}
+
+TEST(EstimationError, DisjointSupportScoresOne) {
+  traffic::TrafficMatrix a(4);
+  traffic::TrafficMatrix b(4);
+  a.set_volume(0, 1, 10.0);
+  b.set_volume(2, 3, 3.0);
+  EXPECT_NEAR(estimation_error(a, b), 1.0, 1e-12);
+}
+
+TEST(EstimationError, RejectsSizeMismatch) {
+  traffic::TrafficMatrix a(4);
+  traffic::TrafficMatrix b(5);
+  EXPECT_THROW(estimation_error(a, b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nwlb::online

@@ -135,7 +135,7 @@ TEST(Shim, HashedBatchMatchesScalarDecideAndCountsPackets) {
   table.add(HashRange{kHashSpace / 2, kHashSpace, Action::replicate(3)});
   config.set_table(0, table);
   Shim shim(1);
-  shim.install(config);
+  shim.install(config);  // nwlb-lint: allow(raw-shim-install)
 
   nwlb::util::Rng rng(5);
   std::vector<nids::FiveTuple> tuples(256);

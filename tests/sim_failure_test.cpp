@@ -23,19 +23,19 @@ struct LossFixture {
   core::Scenario scenario;
   core::ProblemInput input;
   core::Assignment assignment;
-  std::vector<shim::ShimConfig> configs;
+  shim::ConfigBundle bundle;
 
   LossFixture()
       : tm(traffic::gravity_matrix(topology.graph, traffic::paper_total_sessions(11))),
         scenario(topology, tm),
         input(scenario.problem(core::Architecture::kPathReplicate)),
         assignment(core::ReplicationLp(input).solve()),
-        configs(core::build_shim_configs(input, assignment)) {}
+        bundle(core::build_bundle(input, assignment)) {}
 
   ReplayStats run(double loss, std::uint64_t trace_seed = 77) {
     ReplayOptions opts;
     opts.replication_loss = loss;
-    ReplaySimulator sim(input, configs, opts);
+    ReplaySimulator sim(input, bundle, opts);
     TraceConfig tc;
     tc.scanners = 0;
     TraceGenerator gen(input.classes, tc, trace_seed);
@@ -91,7 +91,7 @@ TEST(FailureInjection, DeterministicInSeed) {
   opts.replication_loss = 0.2;
   opts.seed = 9;
   auto run_with = [&](ReplayOptions o) {
-    ReplaySimulator sim(f.input, f.configs, o);
+    ReplaySimulator sim(f.input, f.bundle, o);
     TraceConfig tc;
     tc.scanners = 0;
     TraceGenerator gen(f.input.classes, tc, 3);
@@ -112,7 +112,7 @@ TEST(FailureInjection, RejectsBadProbability) {
   LossFixture f;
   ReplayOptions opts;
   opts.replication_loss = 1.5;
-  EXPECT_THROW(ReplaySimulator(f.input, f.configs, opts), std::invalid_argument);
+  EXPECT_THROW(ReplaySimulator(f.input, f.bundle, opts), std::invalid_argument);
 }
 
 TEST(FailureInjection, EmptyTraceRatiosAreZeroNotNaN) {
@@ -125,7 +125,7 @@ TEST(FailureInjection, EmptyTraceRatiosAreZeroNotNaN) {
   EXPECT_EQ(fresh.detected_loss_rate(), 0.0);
 
   LossFixture f;
-  ReplaySimulator sim(f.input, f.configs, {});
+  ReplaySimulator sim(f.input, f.bundle, {});
   TraceConfig tc;
   TraceGenerator gen(f.input.classes, tc, 1);
   const std::vector<SessionSpec> empty;
@@ -230,7 +230,7 @@ struct ScheduleFixture : LossFixture {
     opts.failures = &schedule;
     opts.degrade = policy;
     opts.replication_loss = loss;
-    ReplaySimulator sim(input, configs, opts);
+    ReplaySimulator sim(input, bundle, opts);
     TraceConfig tc;
     tc.scanners = 0;
     TraceGenerator gen(input.classes, tc, 77);
@@ -384,7 +384,7 @@ TEST(MirrorHealthReplay, DetectsCrashWithHysteresisAndObservesRecovery) {
   opts.failures = &schedule;
   opts.health.down_after = 2;
   opts.health.up_after = 2;
-  ReplaySimulator sim(f.input, f.configs, opts);
+  ReplaySimulator sim(f.input, f.bundle, opts);
 
   TraceConfig tc;
   tc.scanners = 0;
@@ -425,7 +425,7 @@ TEST(MirrorHealthReplay, CoverageReturnsToBaselineAfterRecovery) {
   opts.failures = &schedule;
   opts.health.down_after = 1;  // Aggressive detection for a short test.
   opts.health.up_after = 1;
-  ReplaySimulator sim(f.input, f.configs, opts);
+  ReplaySimulator sim(f.input, f.bundle, opts);
   const std::vector<double> coverage = f.run_windows(sim, 5, kPerWindow);
 
   EXPECT_NEAR(coverage[0], 1.0, 1e-12) << "healthy baseline";
@@ -455,7 +455,7 @@ TEST(MirrorHealthReplay, FailOpenKeepsCoverageAboveFailClosed) {
     opts.degrade = policy;
     opts.fail_open_headroom = headroom;
     opts.health.down_after = 1;
-    ReplaySimulator sim(f.input, f.configs, opts);
+    ReplaySimulator sim(f.input, f.bundle, opts);
     f.run_windows(sim, 4, kPerWindow);
     return sim.stats();
   };
@@ -476,7 +476,7 @@ TEST(MirrorHealthReplay, RejectsBadHeadroom) {
   LossFixture f;
   ReplayOptions opts;
   opts.fail_open_headroom = 1.5;
-  EXPECT_THROW(ReplaySimulator(f.input, f.configs, opts), std::invalid_argument);
+  EXPECT_THROW(ReplaySimulator(f.input, f.bundle, opts), std::invalid_argument);
 }
 
 }  // namespace

@@ -26,20 +26,20 @@ struct ParallelFixture {
   core::Scenario scenario;
   core::ProblemInput input;
   core::Assignment assignment;
-  std::vector<shim::ShimConfig> configs;
+  shim::ConfigBundle bundle;
 
   ParallelFixture()
       : tm(traffic::gravity_matrix(topology.graph, traffic::paper_total_sessions(11))),
         scenario(topology, tm),
         input(scenario.problem(core::Architecture::kPathReplicate)),
         assignment(core::ReplicationLp(input).solve()),
-        configs(core::build_shim_configs(input, assignment)) {}
+        bundle(core::build_bundle(input, assignment)) {}
 
   ReplayStats run(int workers, double loss = 0.0, int sessions = 1200) {
     ReplayOptions opts;
     opts.num_workers = workers;
     opts.replication_loss = loss;
-    ReplaySimulator sim(input, configs, opts);
+    ReplaySimulator sim(input, bundle, opts);
     TraceConfig tc;
     tc.scanners = 4;
     TraceGenerator gen(input.classes, tc, /*seed=*/41);
@@ -54,7 +54,7 @@ struct ParallelFixture {
     ReplayOptions opts;
     opts.num_workers = workers;
     opts.replication_loss = loss;
-    ReplaySimulator sim(input, configs, opts);
+    ReplaySimulator sim(input, bundle, opts);
     TraceConfig tc;
     tc.scanners = 4;
     TraceGenerator gen(input.classes, tc, /*seed=*/41);
@@ -117,7 +117,7 @@ TEST(ParallelReplay, AutoWorkerCountResolves) {
   ParallelFixture f;
   ReplayOptions opts;
   opts.num_workers = 0;  // Auto: one per hardware thread, capped.
-  ReplaySimulator sim(f.input, f.configs, opts);
+  ReplaySimulator sim(f.input, f.bundle, opts);
   EXPECT_GE(sim.num_workers(), 1);
   TraceConfig tc;
   TraceGenerator gen(f.input.classes, tc, 41);
@@ -160,14 +160,14 @@ TEST(ParallelReplay, RejectsNegativeWorkerCount) {
   ParallelFixture f;
   ReplayOptions opts;
   opts.num_workers = -2;
-  EXPECT_THROW(ReplaySimulator(f.input, f.configs, opts), std::invalid_argument);
+  EXPECT_THROW(ReplaySimulator(f.input, f.bundle, opts), std::invalid_argument);
 }
 
 TEST(ParallelReplay, CumulativeAcrossCallsAndReset) {
   ParallelFixture f;
   ReplayOptions opts;
   opts.num_workers = 4;
-  ReplaySimulator sim(f.input, f.configs, opts);
+  ReplaySimulator sim(f.input, f.bundle, opts);
   TraceConfig tc;
   TraceGenerator gen(f.input.classes, tc, 41);
   const auto trace = gen.generate(300);

@@ -96,8 +96,7 @@ TEST(ReplaySimulator, SingleOwnerPerPacket) {
   SimFixture f;
   const core::ProblemInput input = f.scenario.problem(core::Architecture::kPathReplicate);
   const core::Assignment a = core::ReplicationLp(input).solve();
-  const auto configs = core::build_shim_configs(input, a);
-  ReplaySimulator sim(input, configs);
+  ReplaySimulator sim(input, core::build_bundle(input, a));
   TraceConfig tc;
   tc.scanners = 0;
   TraceGenerator gen(input.classes, tc, 11);
@@ -113,8 +112,7 @@ TEST(ReplaySimulator, WorkTracksLpLoads) {
   SimFixture f;
   const core::ProblemInput input = f.scenario.problem(core::Architecture::kPathReplicate);
   const core::Assignment a = core::ReplicationLp(input).solve();
-  const auto configs = core::build_shim_configs(input, a);
-  ReplaySimulator sim(input, configs);
+  ReplaySimulator sim(input, core::build_bundle(input, a));
   TraceConfig tc;
   tc.scanners = 0;
   tc.max_packets_per_direction = 4;
@@ -145,8 +143,7 @@ TEST(ReplaySimulator, StatefulCoverageFullUnderSymmetricRouting) {
   SimFixture f;
   const core::ProblemInput input = f.scenario.problem(core::Architecture::kPathReplicate);
   const core::Assignment a = core::ReplicationLp(input).solve();
-  const auto configs = core::build_shim_configs(input, a);
-  ReplaySimulator sim(input, configs);
+  ReplaySimulator sim(input, core::build_bundle(input, a));
   TraceConfig tc;
   tc.scanners = 0;
   TraceGenerator gen(input.classes, tc, 17);
@@ -170,14 +167,14 @@ TEST(ReplaySimulator, AsymmetryCausesMissesOnPathButNotWithDc) {
   core::SplitOptions path_opts;
   path_opts.mode = core::SplitMode::kOnPathOnly;
   const core::Assignment path_assign = core::SplitTrafficLp(input, path_opts).solve();
-  ReplaySimulator path_sim(input, core::build_shim_configs(input, path_assign));
+  ReplaySimulator path_sim(input, core::build_bundle(input, path_assign));
   TraceGenerator gen1(input.classes, tc, 29);
   path_sim.replay(gen1.generate(800), gen1);
   const double path_miss = path_sim.stats().miss_rate();
 
   // With DC replication: near-zero misses.
   const core::Assignment dc_assign = core::SplitTrafficLp(input).solve();
-  ReplaySimulator dc_sim(input, core::build_shim_configs(input, dc_assign));
+  ReplaySimulator dc_sim(input, core::build_bundle(input, dc_assign));
   TraceGenerator gen2(input.classes, tc, 29);
   dc_sim.replay(gen2.generate(800), gen2);
   const double dc_miss = dc_sim.stats().miss_rate();
@@ -195,8 +192,7 @@ TEST(ReplaySimulator, SignatureDetectionSurvivesDistribution) {
   SimFixture f;
   const core::ProblemInput input = f.scenario.problem(core::Architecture::kPathReplicate);
   const core::Assignment a = core::ReplicationLp(input).solve();
-  const auto configs = core::build_shim_configs(input, a);
-  ReplaySimulator sim(input, configs);
+  ReplaySimulator sim(input, core::build_bundle(input, a));
   TraceConfig tc;
   tc.scanners = 0;
   tc.malicious_fraction = 0.5;

@@ -20,6 +20,13 @@
 //                      exception) — return std::optional or bump an error
 //                      counter instead.  Cold-path setup code in the same
 //                      file carries an explicit allow annotation.
+//   raw-shim-install   direct Shim::install is reserved for the rollout
+//                      machinery: everyone else pushes configuration as a
+//                      generation-tagged shim::ConfigBundle through
+//                      ReplaySimulator::install_bundle (or the
+//                      online::RolloutEngine), so generations stay
+//                      monotonic and rollouts hitless.  Shim-level unit
+//                      tests carry an explicit allow annotation.
 //
 // A finding on a line carrying `// nwlb-lint: allow(<rule>)` is
 // suppressed.  Comments and string/char literals (including raw strings)
@@ -226,6 +233,15 @@ void lint_file(const fs::path& path, std::vector<Finding>& findings) {
              "unwind — return std::optional / count the error (try_decapsulate "
              "pattern), or annotate cold-path setup with "
              "`// nwlb-lint: allow(no-throw-hot-path)`");
+
+    if (line.find(".install(") != std::string::npos ||
+        line.find("->install(") != std::string::npos)
+      report(i, "raw-shim-install",
+             "direct Shim::install outside the rollout engine; push configs as "
+             "a generation-tagged shim::ConfigBundle "
+             "(ReplaySimulator::install_bundle / online::RolloutEngine), or "
+             "annotate a shim-level unit test with "
+             "`// nwlb-lint: allow(raw-shim-install)`");
 
     if (has_token(line, "reinterpret_cast"))
       report(i, "reinterpret-cast",

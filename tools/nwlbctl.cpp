@@ -22,6 +22,7 @@
 #include "core/mapper.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "online/loop.h"
 #include "core/replication_lp.h"
 #include "core/scenario.h"
 #include "core/validate.h"
@@ -63,6 +64,12 @@ struct CliOptions {
   bool fail_open = false;
   double headroom = 0.5;
   int workers = 1;
+
+  // Online control loop (--live): estimator-driven epochs + hitless
+  // versioned rollouts, no oracle traffic matrix after bootstrap.
+  bool live = false;
+  int estimator_window = 4;     // EWMA window, in control intervals.
+  std::uint64_t drain = 0;      // Make-before-break drain, in sessions.
 };
 
 void print_usage() {
@@ -103,10 +110,24 @@ Failure-recovery runner:
   --headroom <x>          Fail-open local admission cap in [0,1] (default 0.5)
   --workers <n>           Parallel replay workers; 0 = all cores (default 1)
 
-Example:
+Online control loop:
+  --live                  Run the estimate -> epoch -> rollout loop: each
+                          interval replays traffic, folds the shims' ingress
+                          counters into an EWMA traffic-matrix estimate,
+                          re-optimizes, and installs the new generation-tagged
+                          config bundle make-before-break (no oracle matrix
+                          after bootstrap).  Combines with --failures to
+                          inject faults under the live loop.
+  --window <n>            Estimator EWMA window, in intervals   (default 4)
+  --drain <n>             Rollout drain window, in sessions     (default 0)
+                          (--sessions/--epochs/--workers apply as above)
+
+Examples:
   nwlbctl --topology Internet2 --arch replicate \
           --failures "crash 3 1600 4000; blackhole 11 2400 -" \
           --fail-open --epochs 10
+  nwlbctl --topology Internet2 --arch replicate --live \
+          --epochs 12 --sessions 1000 --drain 100
 )";
 }
 
@@ -138,6 +159,9 @@ std::optional<CliOptions> parse(int argc, char** argv) {
     else if (arg == "--fail-closed") opt.fail_open = false;
     else if (arg == "--headroom") opt.headroom = std::stod(value());
     else if (arg == "--workers") opt.workers = std::stoi(value());
+    else if (arg == "--live") opt.live = true;
+    else if (arg == "--window") opt.estimator_window = std::stoi(value());
+    else if (arg == "--drain") opt.drain = std::stoull(value());
     else if (arg == "--help" || arg == "-h") {
       print_usage();
       return std::nullopt;
@@ -224,7 +248,7 @@ int run_failures(const CliOptions& opt, const topo::Topology& topology) {
   obs::Registry registry;
   copts.metrics = &registry;
   core::Controller controller(topology, tm, copts);
-  const core::EpochResult initial = controller.epoch(tm);
+  const core::EpochResult initial = controller.run({.tm = &tm});
   const core::ProblemInput input = controller.scenario().problem(copts.architecture);
 
   const sim::FailureSchedule schedule = load_schedule(opt.failures);
@@ -234,7 +258,7 @@ int run_failures(const CliOptions& opt, const topo::Topology& topology) {
                                 : sim::DegradePolicy::kFailClosed;
   ropts.fail_open_headroom = opt.headroom;
   ropts.num_workers = opt.workers;
-  sim::ReplaySimulator simulator(input, initial.configs, ropts);
+  sim::ReplaySimulator simulator(input, initial.bundle, ropts);
   sim::TraceConfig trace_config;
   trace_config.scanners = 0;
   sim::TraceGenerator generator(input.classes, trace_config, 77);
@@ -268,20 +292,24 @@ int run_failures(const CliOptions& opt, const topo::Topology& topology) {
     std::string action = "none";
     if (!same_failures(detected, active)) {
       if (!detected.empty()) {
-        simulator.install(controller.patch(detected).configs);
+        simulator.install_bundle(
+            controller.run({.failures = detected, .force_patch = true}).bundle);
         action = "patch";
         pending_resolve = true;  // Tier 2 lands next control period.
       } else {
-        const core::EpochResult recovered = controller.epoch(tm);
-        simulator.install(recovered.configs);
+        const core::EpochResult recovered = controller.run({.tm = &tm});
+        simulator.install_bundle(recovered.bundle);
         action = "resolve:recovered";
         pending_resolve = false;
       }
       active = detected;
     } else if (pending_resolve && !detected.empty()) {
-      const core::EpochResult resolved = controller.epoch(tm, detected);
-      simulator.install(resolved.configs);
-      action = resolved.degraded ? "resolve:" + resolved.degraded_reason : "resolve";
+      const core::EpochResult resolved =
+          controller.run({.tm = &tm, .failures = detected});
+      simulator.install_bundle(resolved.bundle);
+      action = resolved.degraded
+                   ? "resolve:" + core::to_string(resolved.degraded_reasons)
+                   : "resolve";
       pending_resolve = false;
     }
 
@@ -311,6 +339,95 @@ int run_failures(const CliOptions& opt, const topo::Topology& topology) {
   return 0;
 }
 
+/// The online control loop (--live): after the bootstrap epoch the oracle
+/// matrix is never consulted again — each interval the loop replays
+/// traffic, folds the data plane's ingress counters into an EWMA estimate,
+/// re-optimizes, and rolls the fresh generation out make-before-break.
+int run_live(const CliOptions& opt, const topo::Topology& topology) {
+  if (opt.sessions <= 0 || opt.epochs <= 0)
+    throw std::invalid_argument("--sessions and --epochs must be positive");
+  const auto tm = traffic::gravity_matrix(
+      topology.graph, traffic::paper_total_sessions(topology.graph.num_nodes()));
+  core::ControllerOptions copts;
+  copts.architecture = parse_arch(opt.arch);
+  copts.scenario.max_link_load = opt.mll;
+  copts.scenario.dc_factor = opt.dc;
+  copts.scenario.placement = parse_placement(opt.placement);
+  copts.lp.max_seconds = 10.0;  // One runaway solve degrades, never stalls.
+  obs::Registry registry;
+  copts.metrics = &registry;
+  core::Controller controller(topology, tm, copts);
+  const core::EpochResult initial = controller.run({.tm = &tm});
+  const core::ProblemInput input = controller.scenario().problem(copts.architecture);
+
+  // --failures composes with --live: faults fire while the estimator-driven
+  // loop is in charge of both detection (mirror health) and response.
+  std::optional<sim::FailureSchedule> schedule;
+  if (!opt.failures.empty()) schedule = load_schedule(opt.failures);
+  sim::ReplayOptions ropts;
+  if (schedule) ropts.failures = &*schedule;
+  ropts.degrade = opt.fail_open ? sim::DegradePolicy::kFailOpen
+                                : sim::DegradePolicy::kFailClosed;
+  ropts.fail_open_headroom = opt.headroom;
+  ropts.num_workers = opt.workers;
+  sim::ReplaySimulator simulator(input, initial.bundle, ropts);
+  sim::TraceConfig trace_config;
+  trace_config.scanners = 0;
+  sim::TraceGenerator generator(input.classes, trace_config, 77);
+
+  online::ControlLoopOptions lopts;
+  lopts.estimator.window = opt.estimator_window;
+  lopts.estimator.scale_to_total = tm.total();
+  lopts.rollout.drain_sessions = opt.drain;
+  lopts.metrics = &registry;
+  online::ControlLoop loop(controller, simulator, initial.bundle, lopts);
+
+  std::cout << "topology=" << topology.name << " arch=" << opt.arch
+            << " live window=" << opt.estimator_window << " drain=" << opt.drain
+            << (schedule ? " schedule={\n" + schedule->to_string() + "}" : "")
+            << "\n\n";
+
+  util::Table table(
+      {"Interval", "Sessions", "EstTotal", "Gen", "Rollout", "Churn", "Epoch"});
+  for (int w = 0; w < opt.epochs; ++w) {
+    const online::IntervalReport report =
+        loop.run_interval(generator.generate(opt.sessions), generator);
+    table.row()
+        .cell(w)
+        .cell(static_cast<long long>(report.sessions_replayed))
+        .cell(report.estimate_total, 0)
+        .cell(static_cast<long long>(report.rollout.generation))
+        .cell(report.rollout.installed ? "install" : "skip")
+        .cell(report.rollout.churn.moved_fraction, 4)
+        .cell(report.epoch.degraded
+                  ? "degraded:" + core::to_string(report.epoch.degraded_reasons)
+                  : "ok");
+  }
+  emit(table, opt.csv);
+
+  const sim::ReplayStats final_stats = simulator.stats();
+  const sim::RolloutStats rollout = simulator.rollout_stats();
+  std::cout << "\nsessions=" << final_stats.sessions_replayed
+            << " coverage=" << final_stats.coverage()
+            << " active_generation=" << rollout.active_generation
+            << " rollouts=" << rollout.rollouts_installed
+            << " retired=" << rollout.generations_retired
+            << " draining_sessions=" << rollout.sessions_draining_generation
+            << " unassigned=" << rollout.sessions_unassigned << "\n";
+  // Hitless invariant: every session rode exactly one generation.
+  if (rollout.sessions_current_generation + rollout.sessions_draining_generation !=
+          final_stats.sessions_replayed ||
+      rollout.sessions_unassigned != 0) {
+    std::cerr << "nwlbctl: rollout conservation violated\n";
+    return 2;
+  }
+  if (!opt.metrics_out.empty()) {
+    simulator.export_metrics(registry);
+    return write_metrics(registry, opt.metrics_out);
+  }
+  return 0;
+}
+
 int run(const CliOptions& opt) {
   if (opt.list_topologies) {
     util::Table table({"Name", "PoPs", "Links", "Diameter"});
@@ -333,6 +450,7 @@ int run(const CliOptions& opt) {
     return topo::topology_by_name(opt.topology);
   }();
 
+  if (opt.live) return run_live(opt, topology);
   if (!opt.failures.empty()) return run_failures(opt, topology);
 
   const auto tm = traffic::gravity_matrix(
