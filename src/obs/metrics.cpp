@@ -83,7 +83,7 @@ Registry::Entry& Registry::find_or_register(const std::string& name,
   }
 
   const std::string key = make_key(name, sorted);
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     Entry& entry = *it->second;
@@ -130,7 +130,7 @@ Histogram& Registry::histogram(const std::string& name, std::vector<double> boun
 
 Snapshot Registry::snapshot() const {
   Snapshot snap;
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   snap.samples.reserve(entries_.size());
   for (const auto& [key, entry] : entries_) {
     Sample sample;
@@ -158,7 +158,7 @@ Snapshot Registry::snapshot() const {
 }
 
 std::size_t Registry::size() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return entries_.size();
 }
 

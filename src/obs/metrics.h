@@ -31,12 +31,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "obs/trace.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace nwlb::obs {
 
@@ -63,7 +64,11 @@ class Gauge {
   void set(double value) { value_.store(value, std::memory_order_relaxed); }
   void add(double delta) {
     double current = value_.load(std::memory_order_relaxed);
+    // Success and failure orders named explicitly (atomic-order rule):
+    // relaxed is enough — the CAS loop only needs atomicity of the
+    // read-modify-write, exporters tolerate torn cross-metric timing.
     while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed,
                                          std::memory_order_relaxed)) {
     }
   }
@@ -87,7 +92,9 @@ class Histogram {
     buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);
     double sum = sum_.load(std::memory_order_relaxed);
+    // Explicit success/failure orders; relaxed suffices (see Gauge::add).
     while (!sum_.compare_exchange_weak(sum, sum + value,
+                                       std::memory_order_relaxed,
                                        std::memory_order_relaxed)) {
     }
   }
@@ -143,18 +150,19 @@ class Registry {
   Registry& operator=(const Registry&) = delete;
 
   Counter& counter(const std::string& name, const Labels& labels = {},
-                   const std::string& help = {});
+                   const std::string& help = {}) NWLB_EXCLUDES(mutex_);
   Gauge& gauge(const std::string& name, const Labels& labels = {},
-               const std::string& help = {});
+               const std::string& help = {}) NWLB_EXCLUDES(mutex_);
   Histogram& histogram(const std::string& name, std::vector<double> bounds,
-                       const Labels& labels = {}, const std::string& help = {});
+                       const Labels& labels = {}, const std::string& help = {})
+      NWLB_EXCLUDES(mutex_);
 
   /// The registry's structured-event ring (epoch traces and the like).
   TraceRing& trace() { return trace_; }
   const TraceRing& trace() const { return trace_; }
 
-  Snapshot snapshot() const;
-  std::size_t size() const;
+  Snapshot snapshot() const NWLB_EXCLUDES(mutex_);
+  std::size_t size() const NWLB_EXCLUDES(mutex_);
 
   /// Process-wide default registry for code without an injected one.
   static Registry& global();
@@ -174,12 +182,14 @@ class Registry {
 
   Entry& find_or_register(const std::string& name, const Labels& labels,
                           const std::string& help, Sample::Kind kind,
-                          const std::vector<double>* bounds);
+                          const std::vector<double>* bounds) NWLB_EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
+  // Registration/snapshot are cold-path; the metric write paths above
+  // never touch this lock.  // nwlb-analyze: allow(hot-path-purity)
+  mutable util::Mutex mutex_;
   // Key: name + '\x1f' + canonical label serialization; std::map so that
   // snapshots (and thus expositions) come out in one deterministic order.
-  std::map<std::string, std::unique_ptr<Entry>> entries_;
+  std::map<std::string, std::unique_ptr<Entry>> entries_ NWLB_GUARDED_BY(mutex_);
   TraceRing trace_;
 };
 

@@ -14,7 +14,7 @@ TraceRing::TraceRing(std::size_t capacity) : capacity_(capacity) {
 
 void TraceRing::push(std::string scope, std::string name, double value,
                      std::string detail) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   TraceEvent event{next_sequence_++, std::move(scope), std::move(name), value,
                    std::move(detail)};
   if (ring_.size() < capacity_) {
@@ -26,7 +26,7 @@ void TraceRing::push(std::string scope, std::string name, double value,
 }
 
 std::vector<TraceEvent> TraceRing::events() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   std::vector<TraceEvent> out;
   out.reserve(ring_.size());
   // Before the first eviction next_slot_ is 0 and the ring is in push
@@ -37,7 +37,7 @@ std::vector<TraceEvent> TraceRing::events() const {
 }
 
 std::uint64_t TraceRing::total_pushed() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return next_sequence_;
 }
 

@@ -11,9 +11,11 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace nwlb::obs {
 
@@ -38,22 +40,23 @@ class TraceRing {
   /// Appends one event, assigning the next sequence number; the oldest
   /// event is evicted when the ring is full.
   void push(std::string scope, std::string name, double value = 0.0,
-            std::string detail = {});
+            std::string detail = {}) NWLB_EXCLUDES(mutex_);
 
   /// Events currently retained, oldest first.
-  std::vector<TraceEvent> events() const;
+  std::vector<TraceEvent> events() const NWLB_EXCLUDES(mutex_);
 
   /// Total events ever pushed (>= events().size()).
-  std::uint64_t total_pushed() const;
+  std::uint64_t total_pushed() const NWLB_EXCLUDES(mutex_);
 
   std::size_t capacity() const { return capacity_; }
 
  private:
-  mutable std::mutex mutex_;
-  std::size_t capacity_;
-  std::vector<TraceEvent> ring_;   // Circular once full.
-  std::size_t next_slot_ = 0;      // Write position when ring_ is full.
-  std::uint64_t next_sequence_ = 0;
+  mutable util::Mutex mutex_;
+  std::size_t capacity_;  // Immutable after construction; never guarded.
+  std::vector<TraceEvent> ring_ NWLB_GUARDED_BY(mutex_);   // Circular once full.
+  std::size_t next_slot_ NWLB_GUARDED_BY(mutex_) = 0;      // Write position when
+                                                           // ring_ is full.
+  std::uint64_t next_sequence_ NWLB_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace nwlb::obs

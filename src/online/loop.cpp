@@ -18,6 +18,7 @@ ControlLoop::ControlLoop(core::Controller& controller, sim::ReplaySimulator& sim
 
 IntervalReport ControlLoop::run_interval(std::span<const sim::SessionSpec> sessions,
                                          const sim::TraceGenerator& generator) {
+  const util::RoleGuard control(control_);
   IntervalReport report;
   report.sessions_replayed = sessions.size();
 

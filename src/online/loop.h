@@ -27,6 +27,8 @@
 #include "online/rollout.h"
 #include "sim/replay.h"
 #include "sim/trace.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace nwlb::obs {
 class Registry;
@@ -69,9 +71,18 @@ class ControlLoop {
   IntervalReport run_interval(std::span<const sim::SessionSpec> sessions,
                               const sim::TraceGenerator& generator);
 
-  const TrafficEstimator& estimator() const { return estimator_; }
-  const RolloutEngine& rollout() const { return rollout_; }
-  int intervals_run() const { return intervals_; }
+  const TrafficEstimator& estimator() const {
+    control_.assert_held();  // Single control thread owns the loop.
+    return estimator_;
+  }
+  const RolloutEngine& rollout() const {
+    control_.assert_held();  // Single control thread owns the loop.
+    return rollout_;
+  }
+  int intervals_run() const {
+    control_.assert_held();  // Single control thread owns the loop.
+    return intervals_;
+  }
 
  private:
   void record_interval(const IntervalReport& report) const;
@@ -79,9 +90,15 @@ class ControlLoop {
   core::Controller* controller_;
   sim::ReplaySimulator* sim_;
   ControlLoopOptions options_;
-  TrafficEstimator estimator_;
-  RolloutEngine rollout_;
-  int intervals_ = 0;
+
+  // The control loop is a strictly single-threaded state machine: one
+  // thread at a time walks replay -> estimate -> epoch -> rollout.  The
+  // role capability (DESIGN.md §11) makes clang enforce that every touch
+  // of the loop's mutable state happens inside that discipline.
+  util::ThreadRole control_;
+  TrafficEstimator estimator_ NWLB_GUARDED_BY(control_);
+  RolloutEngine rollout_ NWLB_GUARDED_BY(control_);
+  int intervals_ NWLB_GUARDED_BY(control_) = 0;
 };
 
 }  // namespace nwlb::online

@@ -108,10 +108,13 @@ ReplaySimulator::ReplaySimulator(const core::ProblemInput& input,
   generations_.push_back(std::move(boot));
   mark_mirror_targets(bundle.configs);
 
+  // Cold path: constructor-time setup, runs once per simulator.
+  // nwlb-analyze: allow(hot-path-purity)
   engine_ = std::make_shared<const nids::SignatureEngine>(
       nids::SignatureEngine::default_rules());
   workers_ = options.num_workers == 0 ? nwlb::util::ThreadPool::default_workers()
                                       : options.num_workers;
+  // nwlb-analyze: allow(hot-path-purity)
   if (workers_ > 1) pool_ = std::make_unique<nwlb::util::ThreadPool>(workers_);
   node_work_.assign(processing, 0.0);
   node_packets_.assign(processing, 0);
@@ -124,6 +127,8 @@ void ReplaySimulator::install_bundle(const shim::ConfigBundle& bundle) {
 
 void ReplaySimulator::install_bundle(const shim::ConfigBundle& bundle,
                                      std::uint64_t activate_at) {
+  // Installs happen between replay windows, on the control thread.
+  const nwlb::util::RoleGuard reconcile(reconcile_);
   if (static_cast<int>(bundle.configs.size()) != input_->num_pops())
     // nwlb-lint: allow(no-throw-hot-path) -- control-plane entry point.
     throw std::invalid_argument("ReplaySimulator: one config per PoP required");
@@ -460,6 +465,11 @@ void ReplaySimulator::retire_drained_generations() {
 
 void ReplaySimulator::replay(std::span<const SessionSpec> sessions,
                              const TraceGenerator& generator) {
+  // The reconcile role spans the whole call: the window scratch is zeroed
+  // before the shards launch and the merged accumulators are only written
+  // after the pool drains — shard code never touches guarded state (it
+  // works on its own Shard), which -Wthread-safety proves.
+  const nwlb::util::RoleGuard reconcile(reconcile_);
   const std::size_t total = sessions.size();
   const std::uint64_t base_index = next_index_;
   std::fill(window_mirror_sent_.begin(), window_mirror_sent_.end(), 0);
@@ -510,6 +520,7 @@ std::uint64_t ReplaySimulator::active_generation() const {
 }
 
 ReplayStats ReplaySimulator::stats() const {
+  reconcile_.assert_held();  // Readers run between replay windows.
   ReplayStats s;
   s.node_work = node_work_;
   s.node_packets = node_packets_;
@@ -538,6 +549,7 @@ ReplayStats ReplaySimulator::stats() const {
 }
 
 RolloutStats ReplaySimulator::rollout_stats() const {
+  reconcile_.assert_held();  // Readers run between replay windows.
   RolloutStats r;
   r.active_generation = active_generation();
   for (const Generation& g : generations_)
@@ -551,6 +563,7 @@ RolloutStats ReplaySimulator::rollout_stats() const {
 }
 
 void ReplaySimulator::export_metrics(obs::Registry& registry) const {
+  reconcile_.assert_held();  // Exports run between replay windows.
   const ReplayStats s = stats();
   const RolloutStats r = rollout_stats();
   const auto counter = [&registry](const char* name, std::uint64_t value,
@@ -654,6 +667,7 @@ std::vector<int> ReplaySimulator::down_mirrors() const {
 }
 
 void ReplaySimulator::reset() {
+  const nwlb::util::RoleGuard reconcile(reconcile_);
   std::fill(node_work_.begin(), node_work_.end(), 0.0);
   std::fill(node_packets_.begin(), node_packets_.end(), 0);
   std::fill(link_bytes_.begin(), link_bytes_.end(), 0.0);

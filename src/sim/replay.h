@@ -51,7 +51,9 @@
 #include "shim/shim.h"
 #include "sim/failure.h"
 #include "sim/trace.h"
+#include "util/mutex.h"
 #include "util/rng.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace nwlb::obs {
@@ -228,9 +230,11 @@ class ReplaySimulator {
   /// traffic-matrix estimator folds each control interval.  Indexed like
   /// ProblemInput::classes; deterministically merged across shards.
   const std::vector<std::uint64_t>& window_class_sessions() const {
+    reconcile_.assert_held();  // Caller runs between replay windows.
     return window_class_sessions_;
   }
   const std::vector<std::uint64_t>& window_class_bytes() const {
+    reconcile_.assert_held();  // Caller runs between replay windows.
     return window_class_bytes_;
   }
 
@@ -267,10 +271,10 @@ class ReplaySimulator {
                         bool fail_open_admitted, const TraceGenerator& generator,
                         nids::Direction direction, int packets,
                         nwlb::util::Rng& loss_rng) const;
-  void merge(Shard& shard);
+  void merge(Shard& shard) NWLB_REQUIRES(reconcile_);
   void mark_mirror_targets(const std::vector<shim::ShimConfig>& configs);
-  void update_health(std::uint64_t window_last_index);
-  void retire_drained_generations();
+  void update_health(std::uint64_t window_last_index) NWLB_REQUIRES(reconcile_);
+  void retire_drained_generations() NWLB_REQUIRES(reconcile_);
 
   const core::ProblemInput* input_;
   ReplayOptions options_;
@@ -287,41 +291,52 @@ class ReplaySimulator {
   std::vector<char> mirror_target_;  // Appears as a replicate target.
   std::uint64_t next_index_ = 0;     // Global session index cursor.
 
+  // Reconcile-phase capability (compile-time only, DESIGN.md §11): the
+  // merged accumulators below are touched exclusively by the caller's
+  // thread while no shard is in flight — replay() merge/health sections,
+  // install_bundle(), reset(), and the stats readers.  Guarding them with
+  // this role makes clang's -Wthread-safety prove that discipline: shard
+  // code (replay_session / replay_direction) cannot reach them.  State
+  // shards *do* read during a window (generations_, mirror_down_,
+  // health_, next_index_) is deliberately unguarded — it is frozen for
+  // the duration of a replay call instead.
+  util::ThreadRole reconcile_;
+
   // Per-window scratch (filled by merge, consumed by update_health).
-  std::vector<std::uint64_t> window_mirror_sent_;
-  std::vector<std::uint64_t> window_mirror_lost_;
+  std::vector<std::uint64_t> window_mirror_sent_ NWLB_GUARDED_BY(reconcile_);
+  std::vector<std::uint64_t> window_mirror_lost_ NWLB_GUARDED_BY(reconcile_);
 
   // Per-window per-class observations (the estimator's input).
-  std::vector<std::uint64_t> window_class_sessions_;
-  std::vector<std::uint64_t> window_class_bytes_;
+  std::vector<std::uint64_t> window_class_sessions_ NWLB_GUARDED_BY(reconcile_);
+  std::vector<std::uint64_t> window_class_bytes_ NWLB_GUARDED_BY(reconcile_);
 
   // Cumulative accumulators (merged from shards in index order).  Shim
   // decision counters are owned per PoP by the simulator — generations
   // come and go, the counters persist.
-  std::vector<shim::ShimStats> pop_stats_;
-  std::vector<double> node_work_;
-  std::vector<std::uint64_t> node_packets_;
-  std::vector<double> link_bytes_;
-  std::uint64_t sessions_ = 0;
-  std::uint64_t packets_ = 0;
-  std::uint64_t matches_ = 0;
-  std::uint64_t frames_sent_ = 0;
-  std::uint64_t frames_dropped_ = 0;
-  std::uint64_t frames_blackholed_ = 0;
-  std::uint64_t frames_malformed_ = 0;
-  std::uint64_t detected_lost_ = 0;
-  std::uint64_t crash_skipped_ = 0;
-  std::uint64_t fail_open_ = 0;
-  std::uint64_t degraded_skipped_ = 0;
-  std::uint64_t stateful_covered_ = 0;
-  std::uint64_t stateful_missed_ = 0;
+  std::vector<shim::ShimStats> pop_stats_ NWLB_GUARDED_BY(reconcile_);
+  std::vector<double> node_work_ NWLB_GUARDED_BY(reconcile_);
+  std::vector<std::uint64_t> node_packets_ NWLB_GUARDED_BY(reconcile_);
+  std::vector<double> link_bytes_ NWLB_GUARDED_BY(reconcile_);
+  std::uint64_t sessions_ NWLB_GUARDED_BY(reconcile_) = 0;
+  std::uint64_t packets_ NWLB_GUARDED_BY(reconcile_) = 0;
+  std::uint64_t matches_ NWLB_GUARDED_BY(reconcile_) = 0;
+  std::uint64_t frames_sent_ NWLB_GUARDED_BY(reconcile_) = 0;
+  std::uint64_t frames_dropped_ NWLB_GUARDED_BY(reconcile_) = 0;
+  std::uint64_t frames_blackholed_ NWLB_GUARDED_BY(reconcile_) = 0;
+  std::uint64_t frames_malformed_ NWLB_GUARDED_BY(reconcile_) = 0;
+  std::uint64_t detected_lost_ NWLB_GUARDED_BY(reconcile_) = 0;
+  std::uint64_t crash_skipped_ NWLB_GUARDED_BY(reconcile_) = 0;
+  std::uint64_t fail_open_ NWLB_GUARDED_BY(reconcile_) = 0;
+  std::uint64_t degraded_skipped_ NWLB_GUARDED_BY(reconcile_) = 0;
+  std::uint64_t stateful_covered_ NWLB_GUARDED_BY(reconcile_) = 0;
+  std::uint64_t stateful_missed_ NWLB_GUARDED_BY(reconcile_) = 0;
 
   // Rollout accounting (see RolloutStats).
-  std::uint64_t rollouts_installed_ = 0;
-  std::uint64_t generations_retired_ = 0;
-  std::uint64_t sessions_current_gen_ = 0;
-  std::uint64_t sessions_draining_gen_ = 0;
-  std::uint64_t sessions_unassigned_ = 0;
+  std::uint64_t rollouts_installed_ NWLB_GUARDED_BY(reconcile_) = 0;
+  std::uint64_t generations_retired_ NWLB_GUARDED_BY(reconcile_) = 0;
+  std::uint64_t sessions_current_gen_ NWLB_GUARDED_BY(reconcile_) = 0;
+  std::uint64_t sessions_draining_gen_ NWLB_GUARDED_BY(reconcile_) = 0;
+  std::uint64_t sessions_unassigned_ NWLB_GUARDED_BY(reconcile_) = 0;
 };
 
 }  // namespace nwlb::sim

@@ -1,0 +1,78 @@
+// Clang Thread Safety Analysis attribute macros (DESIGN.md §11).
+//
+// These wrap clang's `-Wthread-safety` capability attributes so lock
+// discipline is checked at compile time: a member annotated
+// NWLB_GUARDED_BY(mutex_) can only be touched while mutex_ is held, a
+// function annotated NWLB_REQUIRES(mutex_) can only be called with it
+// held, and violations are hard compile errors under the CI
+// `clang++ -Wthread-safety -Werror` job.  On every other compiler (the
+// default g++ build included) the macros expand to nothing — the
+// annotations are free documentation there.
+//
+// The annotated capability types live in util/mutex.h (util::Mutex and
+// the no-op util::ThreadRole for phase-discipline capabilities); raw
+// std::mutex cannot carry these attributes because libstdc++ does not
+// declare it as a capability.
+//
+// Naming follows the clang documentation's canonical mutex.h, prefixed
+// NWLB_ per repo convention.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define NWLB_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef NWLB_THREAD_ANNOTATION
+#define NWLB_THREAD_ANNOTATION(x)  // Not clang: annotations compile away.
+#endif
+
+/// Declares a class to be a capability (lockable) type.  `x` is the
+/// capability kind shown in diagnostics, e.g. "mutex" or "role".
+#define NWLB_CAPABILITY(x) NWLB_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII class whose constructor acquires and destructor
+/// releases a capability (std::lock_guard-shaped).
+#define NWLB_SCOPED_CAPABILITY NWLB_THREAD_ANNOTATION(scoped_lockable)
+
+/// The annotated member may only be read or written while holding the
+/// given capability.
+#define NWLB_GUARDED_BY(x) NWLB_THREAD_ANNOTATION(guarded_by(x))
+
+/// The data *pointed to* by the annotated pointer member is protected by
+/// the given capability (the pointer itself is not).
+#define NWLB_PT_GUARDED_BY(x) NWLB_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// The function may only be called while holding the listed capabilities
+/// exclusively; it neither acquires nor releases them.
+#define NWLB_REQUIRES(...) NWLB_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Shared (reader) flavour of NWLB_REQUIRES.
+#define NWLB_REQUIRES_SHARED(...) \
+  NWLB_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the listed capabilities (default: `this`) and
+/// holds them on return.
+#define NWLB_ACQUIRE(...) NWLB_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// The function releases the listed capabilities (default: `this`).
+#define NWLB_RELEASE(...) NWLB_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// The function attempts the acquisition; the first argument is the
+/// return value that signals success.
+#define NWLB_TRY_ACQUIRE(...) NWLB_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// The caller must NOT hold the listed capabilities (guards against
+/// self-deadlock on a non-recursive mutex).
+#define NWLB_EXCLUDES(...) NWLB_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Asserts (as a fact the analysis accepts, not a runtime check) that the
+/// calling thread already holds the capability (default: `this`).
+#define NWLB_ASSERT_CAPABILITY(...) NWLB_THREAD_ANNOTATION(assert_capability(__VA_ARGS__))
+
+/// The function returns a reference to the given capability.
+#define NWLB_RETURN_CAPABILITY(x) NWLB_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the function body is exempt from the analysis.  Every
+/// use needs a comment saying why the discipline cannot be expressed.
+#define NWLB_NO_THREAD_SAFETY_ANALYSIS NWLB_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -15,7 +15,7 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     stopping_ = true;
   }
   task_ready_.notify_all();
@@ -24,29 +24,31 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     queue_.push_back(std::move(task));
   }
   task_ready_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
-  if (first_error_ != nullptr) {
-    std::exception_ptr error = first_error_;
+  std::exception_ptr error;
+  {
+    const MutexLock lock(mutex_);
+    // Explicit wait loop (not the predicate overload): the guarded reads
+    // stay in this annotated scope, where the analysis can see the lock.
+    while (!(queue_.empty() && in_flight_ == 0)) all_done_.wait(mutex_);
+    error = first_error_;
     first_error_ = nullptr;
-    lock.unlock();
-    std::rethrow_exception(error);
   }
+  if (error != nullptr) std::rethrow_exception(error);
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      task_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      const MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) task_ready_.wait(mutex_);
       if (queue_.empty()) return;  // stopping_ and drained.
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -55,11 +57,11 @@ void ThreadPool::worker_loop() {
     try {
       task();
     } catch (...) {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       if (first_error_ == nullptr) first_error_ = std::current_exception();
     }
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       --in_flight_;
       if (queue_.empty() && in_flight_ == 0) all_done_.notify_all();
     }

@@ -8,14 +8,15 @@
 // escaped exception is captured and rethrown from wait_idle().
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace nwlb::util {
 
@@ -31,27 +32,27 @@ class ThreadPool {
   int size() const { return static_cast<int>(workers_.size()); }
 
   /// Enqueues one task.  Thread-safe.
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) NWLB_EXCLUDES(mutex_);
 
   /// Blocks until the queue is empty and no task is running, then rethrows
   /// the first exception any task escaped with (if any).
-  void wait_idle();
+  void wait_idle() NWLB_EXCLUDES(mutex_);
 
   /// A sensible worker count for this machine: hardware concurrency capped
   /// at `cap` (hardware_concurrency() may return 0; then `fallback`).
   static int default_workers(int cap = 8, int fallback = 4);
 
  private:
-  void worker_loop();
+  void worker_loop() NWLB_EXCLUDES(mutex_);
 
-  std::mutex mutex_;
-  std::condition_variable task_ready_;
-  std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
+  Mutex mutex_;
+  CondVar task_ready_;
+  CondVar all_done_;
+  std::deque<std::function<void()>> queue_ NWLB_GUARDED_BY(mutex_);
   std::vector<std::thread> workers_;
-  std::size_t in_flight_ = 0;
-  std::exception_ptr first_error_;
-  bool stopping_ = false;
+  std::size_t in_flight_ NWLB_GUARDED_BY(mutex_) = 0;
+  std::exception_ptr first_error_ NWLB_GUARDED_BY(mutex_);
+  bool stopping_ NWLB_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace nwlb::util

@@ -117,11 +117,11 @@ TEST(ObsThreadPoolTest, ConcurrentWritersAndSnapshotReader) {
         hist.observe(static_cast<double>(i % 4) * 0.25);
         reg.gauge("nwlb_stress_level").set(static_cast<double>(i));
       }
-      done.fetch_add(1);
+      done.fetch_add(1, std::memory_order_relaxed);
     });
   }
   // Snapshot concurrently with the writers: values are per-sample atomic.
-  while (done.load() < kWorkers) {
+  while (done.load(std::memory_order_relaxed) < kWorkers) {
     const Snapshot snap = reg.snapshot();
     EXPECT_LE(snap.samples.size(), 2u + 1u + kWorkers);
   }

@@ -16,7 +16,7 @@ TEST(ThreadPool, RunsAllSubmittedTasks) {
   for (int i = 0; i < 100; ++i)
     pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
   pool.wait_idle();
-  EXPECT_EQ(counter.load(), 100);
+  EXPECT_EQ(counter.load(std::memory_order_relaxed), 100);
 }
 
 TEST(ThreadPool, WaitIdleIsReusable) {
@@ -24,11 +24,11 @@ TEST(ThreadPool, WaitIdleIsReusable) {
   std::atomic<int> counter{0};
   pool.submit([&counter] { ++counter; });
   pool.wait_idle();
-  EXPECT_EQ(counter.load(), 1);
+  EXPECT_EQ(counter.load(std::memory_order_relaxed), 1);
   pool.submit([&counter] { ++counter; });
   pool.submit([&counter] { ++counter; });
   pool.wait_idle();
-  EXPECT_EQ(counter.load(), 3);
+  EXPECT_EQ(counter.load(std::memory_order_relaxed), 3);
 }
 
 TEST(ThreadPool, PropagatesFirstTaskException) {
@@ -39,7 +39,7 @@ TEST(ThreadPool, PropagatesFirstTaskException) {
   std::atomic<int> counter{0};
   pool.submit([&counter] { ++counter; });
   pool.wait_idle();
-  EXPECT_EQ(counter.load(), 1);
+  EXPECT_EQ(counter.load(std::memory_order_relaxed), 1);
 }
 
 TEST(ThreadPool, DestructorDrainsQueue) {
@@ -49,7 +49,7 @@ TEST(ThreadPool, DestructorDrainsQueue) {
     for (int i = 0; i < 16; ++i)
       pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
   }
-  EXPECT_EQ(counter.load(), 16);
+  EXPECT_EQ(counter.load(std::memory_order_relaxed), 16);
 }
 
 TEST(ThreadPool, DefaultWorkersWithinBounds) {

@@ -1,0 +1,127 @@
+// nwlb_analyze CLI — the repo's static analysis gate.
+//
+//   nwlb_analyze [options] <dir-or-file>...
+//
+//   --json=FILE         write the JSON report to FILE
+//   --sarif=FILE        write the SARIF 2.1.0 report to FILE
+//   --disable=r1,r2     disable the named rules
+//   --enable-only=r1,r2 enable only the named rules
+//   --list-rules        print the rule set and exit
+//
+// Exit status: 0 clean, 1 findings, 2 usage or I/O error.  Reports are
+// written even when findings exist — CI uploads the SARIF artifact from
+// a failing run.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze/analyze.h"
+
+namespace {
+
+std::vector<std::string> split_list(const std::string& list) {
+  std::vector<std::string> items;
+  std::istringstream parts(list);
+  std::string item;
+  while (std::getline(parts, item, ','))
+    if (!item.empty()) items.push_back(item);
+  return items;
+}
+
+bool write_file(const std::string& path, const std::string& contents) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << contents;
+  return static_cast<bool>(out);
+}
+
+int usage() {
+  std::cerr << "usage: nwlb_analyze [--json=FILE] [--sarif=FILE] "
+               "[--disable=r1,r2] [--enable-only=r1,r2] [--list-rules] "
+               "<dir-or-file>...\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::string sarif_path;
+  std::vector<std::string> disabled;
+  std::vector<std::string> only;
+  bool list_rules = false;
+  std::vector<std::string> roots;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg.rfind("--sarif=", 0) == 0) {
+      sarif_path = arg.substr(8);
+    } else if (arg.rfind("--disable=", 0) == 0) {
+      const auto items = split_list(arg.substr(10));
+      disabled.insert(disabled.end(), items.begin(), items.end());
+    } else if (arg.rfind("--enable-only=", 0) == 0) {
+      const auto items = split_list(arg.substr(14));
+      only.insert(only.end(), items.begin(), items.end());
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "nwlb_analyze: unknown option " << arg << "\n";
+      return usage();
+    } else {
+      roots.push_back(arg);
+    }
+  }
+
+  nwlb::analyze::Analyzer analyzer;
+  if (!only.empty()) {
+    if (!analyzer.enable_only(only)) {
+      std::cerr << "nwlb_analyze: --enable-only names an unknown rule\n";
+      return 2;
+    }
+  }
+  for (const std::string& rule : disabled) {
+    if (!analyzer.disable(rule)) {
+      std::cerr << "nwlb_analyze: --disable names unknown rule `" << rule
+                << "`\n";
+      return 2;
+    }
+  }
+
+  if (list_rules) {
+    // Run over an empty corpus purely to materialize the rule table.
+    const nwlb::analyze::Result empty = analyzer.run(nwlb::analyze::Corpus{});
+    for (const nwlb::analyze::RuleInfo& rule : empty.rules)
+      std::cout << rule.name << (rule.enabled ? "" : " (disabled)") << "\n    "
+                << rule.description << "\n";
+    return 0;
+  }
+
+  if (roots.empty()) return usage();
+
+  nwlb::analyze::Corpus corpus;
+  std::string error;
+  if (!nwlb::analyze::load_corpus(roots, corpus, error)) {
+    std::cerr << "nwlb_analyze: " << error << "\n";
+    return 2;
+  }
+
+  const nwlb::analyze::Result result = analyzer.run(corpus);
+  std::cout << nwlb::analyze::render_text(result);
+
+  if (!json_path.empty() &&
+      !write_file(json_path, nwlb::analyze::render_json(result))) {
+    std::cerr << "nwlb_analyze: cannot write " << json_path << "\n";
+    return 2;
+  }
+  if (!sarif_path.empty() &&
+      !write_file(sarif_path, nwlb::analyze::render_sarif(result))) {
+    std::cerr << "nwlb_analyze: cannot write " << sarif_path << "\n";
+    return 2;
+  }
+
+  return result.findings.empty() ? 0 : 1;
+}

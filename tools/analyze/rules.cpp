@@ -1,0 +1,14 @@
+#include "analyze/rules.h"
+
+namespace nwlb::analyze {
+
+std::vector<std::unique_ptr<Rule>> default_rules() {
+  std::vector<std::unique_ptr<Rule>> rules;
+  detail::append_token_rules(rules);
+  detail::append_include_graph_rules(rules);
+  detail::append_atomics_rules(rules);
+  detail::append_hot_path_rules(rules);
+  return rules;
+}
+
+}  // namespace nwlb::analyze

@@ -1,0 +1,17 @@
+// Internal registry glue: each rule translation unit exports an append
+// function; default_rules() (rules.cpp) stitches them together.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "analyze/analyze.h"
+
+namespace nwlb::analyze::detail {
+
+void append_token_rules(std::vector<std::unique_ptr<Rule>>& rules);
+void append_include_graph_rules(std::vector<std::unique_ptr<Rule>>& rules);
+void append_atomics_rules(std::vector<std::unique_ptr<Rule>>& rules);
+void append_hot_path_rules(std::vector<std::unique_ptr<Rule>>& rules);
+
+}  // namespace nwlb::analyze::detail
