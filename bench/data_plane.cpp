@@ -11,19 +11,35 @@
 //   2. packets/sec — ReplaySimulator serial (1 worker) vs sharded parallel
 //      replay, verifying the two produce byte-identical ReplayStats.
 //
+//   3. signature engine ns/byte — the baseline node-per-state Aho–Corasick
+//      vs the flat premultiplied table, single-stream and 4-lane batch
+//      (the form the data plane drives); the batch must be >= 2x baseline.
+//   4. run-to-completion headline — sessions/sec and payload bytes/sec of
+//      the arena/SPSC-ring replay on a probe-heavy trace (16 B payloads,
+//      one packet per direction), with a worker-scaling table.  The
+//      serial/parallel byte-identity check is enforced unconditionally
+//      (mismatch = exit 1); NWLB_BENCH_ENFORCE=1 additionally fails the
+//      run when the headline misses target_sessions_per_sec (1M) or the
+//      batch signature speedup misses 2x.
+//
 // Output: human-readable tables, plus a JSON report (NWLB_BENCH_JSON=path)
 // for CI artifacts.  Knobs: NWLB_FAST, NWLB_TOPO, NWLB_SESSIONS,
-// NWLB_WORKERS (default 4), NWLB_LOOKUPS (decide samples).
+// NWLB_WORKERS (default 4), NWLB_LOOKUPS (decide samples),
+// NWLB_HEADLINE_SESSIONS, NWLB_AC_REPS, NWLB_BENCH_ENFORCE.
 #include "bench_common.h"
 
 #include <chrono>
 #include <cstdint>
+#include <optional>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 #include "core/mapper.h"
 #include "core/replication_lp.h"
 #include "core/scenario.h"
+#include "nids/signature.h"
+#include "nids/signature_baseline.h"
 #include "shim/flat_table.h"
 #include "sim/replay.h"
 #include "sim/trace.h"
@@ -81,6 +97,74 @@ int main() {
                             "Identical"});
   util::Table lp_table({"Topology", "LpSolveSec", "LpIters"});
   std::uint64_t checksum = 0;  // Defeats dead-code elimination of the loops.
+
+  // --- 0. Signature engine ns/byte: baseline nodes vs flat table vs
+  // 4-lane batch (the shape the replay drives the engine in). ---
+  util::Table ac_table({"PayloadB", "BaselineNsB", "FlatNsB", "BatchNsB", "FlatX",
+                        "BatchX"});
+  double ac_speedup = 0.0;  // Baseline time / batch time over all bytes.
+  {
+    const std::vector<std::string> rules = nids::SignatureEngine::default_rules();
+    const nids::SignatureEngine flat_engine(rules);
+    const nids::BaselineSignatureEngine baseline_engine(rules);
+    const int ac_reps =
+        util::env_int("NWLB_AC_REPS", util::env_flag("NWLB_FAST") ? 80 : 250);
+    util::Rng rng(0xac);
+    double baseline_total_sec = 0.0, batch_total_sec = 0.0;
+    for (const std::size_t payload_bytes : {64u, 160u, 256u}) {
+      constexpr std::size_t kPayloads = 512;
+      std::vector<std::string> payloads(kPayloads);
+      std::vector<std::string_view> views(kPayloads);
+      for (std::size_t i = 0; i < kPayloads; ++i) {
+        payloads[i].resize(payload_bytes);
+        // Benign filler matching the trace generator's alphabet.
+        for (auto& ch : payloads[i]) ch = static_cast<char>('a' + rng.below(17));
+        views[i] = payloads[i];
+      }
+      std::vector<std::size_t> counts(kPayloads);
+      const double total_bytes =
+          static_cast<double>(payload_bytes) * static_cast<double>(kPayloads) * ac_reps;
+
+      const auto baseline_start = std::chrono::steady_clock::now();
+      for (int r = 0; r < ac_reps; ++r)
+        for (const std::string_view payload : views)
+          checksum += baseline_engine.count_matches(payload);
+      const double baseline_sec = seconds_since(baseline_start);
+
+      const auto flat_start = std::chrono::steady_clock::now();
+      for (int r = 0; r < ac_reps; ++r)
+        for (const std::string_view payload : views)
+          checksum += flat_engine.count_matches(payload);
+      const double flat_sec = seconds_since(flat_start);
+
+      const auto batch_start = std::chrono::steady_clock::now();
+      for (int r = 0; r < ac_reps; ++r) {
+        flat_engine.count_matches_batch(views.data(), counts.data(), kPayloads);
+        checksum += counts[kPayloads - 1];
+      }
+      const double batch_sec = seconds_since(batch_start);
+
+      // Cross-check the kernels against each other on this corpus.
+      for (std::size_t i = 0; i < kPayloads; ++i) {
+        if (counts[i] != baseline_engine.count_matches(views[i]) ||
+            counts[i] != flat_engine.count_matches(views[i])) {
+          std::cerr << "FAIL: signature engines disagree on payload " << i << "\n";
+          return 1;
+        }
+      }
+
+      baseline_total_sec += baseline_sec;
+      batch_total_sec += batch_sec;
+      ac_table.row()
+          .cell(payload_bytes)
+          .cell(baseline_sec * 1e9 / total_bytes, 2)
+          .cell(flat_sec * 1e9 / total_bytes, 2)
+          .cell(batch_sec * 1e9 / total_bytes, 2)
+          .cell(baseline_sec / flat_sec, 2)
+          .cell(baseline_sec / batch_sec, 2);
+    }
+    ac_speedup = baseline_total_sec / batch_total_sec;
+  }
 
   for (const auto& topology : bench::selected_topologies()) {
     const auto tm = traffic::gravity_matrix(
@@ -178,10 +262,81 @@ int main() {
         .cell(stats_identical(serial_stats, parallel_stats) ? "yes" : "NO");
   }
 
+  // --- 3. Run-to-completion headline: end-to-end sessions/sec through the
+  // full sharded data plane (decide -> payload -> engines -> tunnels) on a
+  // probe-heavy trace, targeting >= 1M sessions/sec. ---
+  util::Table rtc_table({"Workers", "Sessions", "Packets", "Sec", "SessionsPerSec",
+                         "BytesPerSec", "Identical"});
+  double headline_sps = 0.0, headline_bps = 0.0;
+  bool identity_ok = true;
+  {
+    const topo::Topology topology = bench::selected_topologies().front();
+    const auto tm = traffic::gravity_matrix(
+        topology.graph, traffic::paper_total_sessions(topology.graph.num_nodes()));
+    const core::Scenario scenario(topology, tm);
+    const core::ProblemInput input = scenario.problem(core::Architecture::kPathReplicate);
+    const shim::ConfigBundle bundle =
+        core::build_bundle(input, core::ReplicationLp(input).solve());
+
+    // Probe trace: minimum payloads, one packet per direction — the
+    // session-rate stress shape (per-session overheads dominate, exactly
+    // what a "sessions per second" headline should measure).
+    sim::TraceConfig tc;
+    tc.scanners = 0;
+    tc.min_payload = 16;
+    tc.max_payload = 16;
+    tc.max_packets_per_direction = 1;
+    const int headline_sessions = util::env_int(
+        "NWLB_HEADLINE_SESSIONS", util::env_flag("NWLB_FAST") ? 150'000 : 300'000);
+    sim::TraceGenerator generator(input.classes, tc, /*seed=*/0x10ad);
+    const std::vector<sim::SessionSpec> trace = generator.generate(headline_sessions);
+    double payload_bytes_total = 0.0;
+    for (const sim::SessionSpec& s : trace)
+      payload_bytes_total += static_cast<double>(s.payload_bytes) *
+                             static_cast<double>(s.fwd_packets + s.rev_packets);
+
+    std::optional<sim::ReplayStats> serial_stats;
+    for (const int w : {1, 2, 4, 8}) {
+      sim::ReplayOptions opts;
+      opts.run_to_completion = true;
+      opts.num_workers = w;
+      sim::ReplaySimulator rtc(input, bundle, opts);
+      const auto start = std::chrono::steady_clock::now();
+      rtc.replay(trace, generator);
+      const double sec = seconds_since(start);
+      const sim::ReplayStats stats = rtc.stats();
+      const double sps = static_cast<double>(trace.size()) / sec;
+      const double bps = payload_bytes_total / sec;
+      bool identical = true;
+      if (!serial_stats) {
+        serial_stats = stats;
+      } else {
+        identical = stats_identical(*serial_stats, stats);
+        identity_ok = identity_ok && identical;
+      }
+      if (sps > headline_sps) {
+        headline_sps = sps;
+        headline_bps = bps;
+      }
+      rtc_table.row()
+          .cell(w)
+          .cell(trace.size())
+          .cell(stats.packets_replayed)
+          .cell(sec, 3)
+          .cell(sps, 0)
+          .cell(bps, 0)
+          .cell(identical ? "yes" : "NO");
+    }
+  }
+
+  std::cout << "-- signature engine ns/byte (BatchX must be >= 2) --\n";
+  bench::print_table(ac_table);
   std::cout << "-- decide latency (lower FlatNs is better) --\n";
   bench::print_table(decide_table);
   std::cout << "-- replay throughput (Identical must be yes) --\n";
   bench::print_table(replay_table);
+  std::cout << "-- run-to-completion headline (SessionsPerSec vs 1M target) --\n";
+  bench::print_table(rtc_table);
   std::cout << "-- LP solve (context for the configs above) --\n";
   bench::print_table(lp_table);
 
@@ -193,10 +348,35 @@ int main() {
       .scalar("hw_threads",
               static_cast<long long>(std::thread::hardware_concurrency()))
       .scalar("decide_samples", static_cast<long long>(lookups))
+      .scalar("sessions_per_sec", headline_sps)
+      .scalar("bytes_per_sec", headline_bps)
+      .scalar("target_sessions_per_sec", 1'000'000.0)
+      .scalar("rtc_identity_ok", identity_ok ? std::string("yes") : std::string("no"))
+      .scalar("ac_count_matches_speedup", ac_speedup)
       .scalar("checksum", static_cast<long long>(checksum & 0x7fffffff))
+      .table("signature_ns_per_byte", ac_table)
       .table("decide_ns", decide_table)
       .table("replay_throughput", replay_table)
+      .table("rtc_scaling", rtc_table)
       .table("lp_solve", lp_table);
   report.write_if_requested();
+
+  // The byte-identity invariant is a correctness property, not a perf
+  // target: a mismatch fails the bench no matter what was requested.
+  if (!identity_ok) {
+    std::cerr << "FAIL: run-to-completion serial/parallel ReplayStats mismatch\n";
+    return 1;
+  }
+  if (util::env_flag("NWLB_BENCH_ENFORCE")) {
+    if (headline_sps < 1'000'000.0) {
+      std::cerr << "FAIL: sessions_per_sec " << headline_sps
+                << " below target 1000000\n";
+      return 1;
+    }
+    if (ac_speedup < 2.0) {
+      std::cerr << "FAIL: ac_count_matches_speedup " << ac_speedup << " below 2.0\n";
+      return 1;
+    }
+  }
   return 0;
 }

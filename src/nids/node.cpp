@@ -12,7 +12,7 @@ NidsNode::NidsNode(std::string name, std::shared_ptr<const SignatureEngine> engi
                    CostModel cost)
     : name_(std::move(name)), signatures_(std::move(engine)), cost_(cost) {}
 
-std::size_t NidsNode::process(const Packet& packet) {
+std::size_t NidsNode::process(const PacketView& packet) {
   const std::size_t matches = signatures_->count_matches(packet.payload);
   // Scan detection counts initiator -> responder contacts; reverse-direction
   // packets are attributed to the session's initiator.
@@ -24,6 +24,12 @@ std::size_t NidsNode::process(const Packet& packet) {
            cost_.per_scan_update + cost_.per_session_update;
   ++packets_;
   return matches;
+}
+
+void NidsNode::reserve(std::size_t expected_sessions) {
+  sessions_.reserve(expected_sessions);
+  // Heuristic: scans dominate distinct pairs; sources are a subset.
+  scan_.reserve(expected_sessions, expected_sessions);
 }
 
 void NidsNode::reset_work_units() {

@@ -39,7 +39,13 @@ class NidsNode {
 
   /// Full analysis of one packet (signature + scan + session tracking).
   /// Returns the number of signature matches in the payload.
-  std::size_t process(const Packet& packet);
+  std::size_t process(const PacketView& packet);
+  std::size_t process(const Packet& packet) { return process(PacketView(packet)); }
+
+  /// Pre-sizes the detector state for the expected epoch volume so the
+  /// per-packet path never rehashes (run-to-completion shards call this
+  /// once per epoch).
+  void reserve(std::size_t expected_sessions);
 
   const std::string& name() const { return name_; }
 

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace nwlb::nids {
@@ -46,6 +47,33 @@ struct Packet {
   std::string payload;
 
   std::size_t wire_bytes() const { return payload.size() + 40; }  // + headers.
+};
+
+/// Non-owning view of a packet: the same header fields, with the payload
+/// referencing caller-owned bytes (a staging buffer, a tunnel-frame slot).
+/// This is the allocation-free currency of the run-to-completion replay
+/// path — a Packet can be viewed, and a view can be materialized wherever
+/// an owning Packet is still needed.
+struct PacketView {
+  FiveTuple tuple;
+  Direction direction = Direction::kForward;
+  std::uint64_t session_id = 0;
+  std::string_view payload;
+
+  PacketView() = default;
+  PacketView(const FiveTuple& t, Direction d, std::uint64_t id, std::string_view p)
+      : tuple(t), direction(d), session_id(id), payload(p) {}
+  explicit PacketView(const Packet& packet)
+      : tuple(packet.tuple),
+        direction(packet.direction),
+        session_id(packet.session_id),
+        payload(packet.payload) {}
+
+  std::size_t wire_bytes() const { return payload.size() + 40; }  // + headers.
+
+  Packet materialize() const {
+    return Packet{tuple, direction, session_id, std::string(payload)};
+  }
 };
 
 }  // namespace nwlb::nids

@@ -5,15 +5,21 @@
 namespace nwlb::nids {
 
 void ScanDetector::observe(std::uint32_t src_ip, std::uint32_t dst_ip) {
-  table_[src_ip].insert(dst_ip);
+  const std::uint64_t pair = (static_cast<std::uint64_t>(src_ip) << 32) | dst_ip;
+  unsigned char& seen = pairs_[pair];
+  if (!seen) {
+    seen = 1;
+    ++counts_[src_ip];
+  }
   ++work_units_;
 }
 
 std::vector<ScanRecord> ScanDetector::report() const {
   std::vector<ScanRecord> out;
-  out.reserve(table_.size());
-  for (const auto& [src, dsts] : table_)
-    out.push_back(ScanRecord{src, static_cast<std::uint32_t>(dsts.size())});
+  out.reserve(counts_.size());
+  counts_.for_each([&](std::uint64_t src, std::uint32_t distinct) {
+    out.push_back(ScanRecord{static_cast<std::uint32_t>(src), distinct});
+  });
   std::sort(out.begin(), out.end(),
             [](const ScanRecord& a, const ScanRecord& b) { return a.source < b.source; });
   return out;
@@ -26,6 +32,9 @@ std::vector<ScanRecord> ScanDetector::alerts(std::uint32_t k) const {
   return out;
 }
 
-void ScanDetector::clear() { table_.clear(); }
+void ScanDetector::clear() {
+  pairs_.clear();
+  counts_.clear();
+}
 
 }  // namespace nwlb::nids

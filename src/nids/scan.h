@@ -8,11 +8,10 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "nids/packet.h"
+#include "util/flat_hash.h"
 
 namespace nwlb::nids {
 
@@ -42,7 +41,7 @@ class ScanDetector {
   /// i.e. report() itself).
   std::vector<ScanRecord> alerts(std::uint32_t k) const;
 
-  std::size_t num_sources() const { return table_.size(); }
+  std::size_t num_sources() const { return counts_.size(); }
 
   /// Work units: one per observe() call (set insertion cost proxy).
   std::uint64_t work_units() const { return work_units_; }
@@ -50,8 +49,21 @@ class ScanDetector {
 
   void clear();
 
+  /// Pre-sizes both tables so the per-packet observe() path never rehashes
+  /// mid-epoch.
+  void reserve(std::size_t expected_pairs, std::size_t expected_sources) {
+    pairs_.reserve(expected_pairs);
+    counts_.reserve(expected_sources);
+  }
+
  private:
-  std::unordered_map<std::uint32_t, std::unordered_set<std::uint32_t>> table_;
+  // Flat open-addressing tables replacing the map-of-sets: observe() runs
+  // per packet, and the node-based containers paid one or two heap
+  // allocations per new (source, destination) pair on that path.  pairs_
+  // is the exact distinct-pair membership set (key (src << 32) | dst);
+  // counts_ carries the per-source distinct-destination tally.
+  util::U64FlatMap<unsigned char> pairs_;
+  util::U64FlatMap<std::uint32_t> counts_;
   std::uint64_t work_units_ = 0;
 };
 

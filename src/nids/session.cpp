@@ -11,8 +11,9 @@ void SessionTracker::observe(std::uint64_t session_id, Direction direction) {
 
 std::size_t SessionTracker::covered_sessions() const {
   std::size_t count = 0;
-  for (const auto& [id, bits] : state_)
+  state_.for_each([&](std::uint64_t, unsigned char bits) {
     if (bits == 0x3) ++count;
+  });
   return count;
 }
 
@@ -21,14 +22,15 @@ std::size_t SessionTracker::half_open_sessions() const {
 }
 
 bool SessionTracker::is_covered(std::uint64_t session_id) const {
-  const auto it = state_.find(session_id);
-  return it != state_.end() && it->second == 0x3;
+  const unsigned char* bits = state_.find(session_id);
+  return bits != nullptr && *bits == 0x3;
 }
 
 std::vector<std::uint64_t> SessionTracker::covered_ids() const {
   std::vector<std::uint64_t> out;
-  for (const auto& [id, bits] : state_)
+  state_.for_each([&](std::uint64_t id, unsigned char bits) {
     if (bits == 0x3) out.push_back(id);
+  });
   std::sort(out.begin(), out.end());
   return out;
 }

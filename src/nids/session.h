@@ -8,10 +8,10 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "nids/packet.h"
+#include "util/flat_hash.h"
 
 namespace nwlb::nids {
 
@@ -38,9 +38,15 @@ class SessionTracker {
   void reset_work_units() { work_units_ = 0; }
   void clear();
 
+  /// Pre-sizes the table for `expected` sessions so the per-packet
+  /// observe() path never rehashes mid-epoch.
+  void reserve(std::size_t expected) { state_.reserve(expected); }
+
  private:
-  // Bit 0: forward seen, bit 1: reverse seen.
-  std::unordered_map<std::uint64_t, unsigned char> state_;
+  // Bit 0: forward seen, bit 1: reverse seen.  Flat open-addressing table:
+  // observe() runs per packet, and the node-based unordered_map paid a heap
+  // allocation per new session on that path.
+  util::U64FlatMap<unsigned char> state_;
   std::uint64_t work_units_ = 0;
 };
 

@@ -1,89 +1,157 @@
+// nwlb-lint: hot-path
 #include "nids/signature.h"
 
 #include <array>
+#include <cstdint>
 #include <queue>
 #include <stdexcept>
+#include <vector>
 
 namespace nwlb::nids {
 
-SignatureEngine::SignatureEngine(std::vector<std::string> patterns)
-    : patterns_(std::move(patterns)) {
-  for (const auto& p : patterns_)
-    if (p.empty()) throw std::invalid_argument("SignatureEngine: empty pattern");
+namespace {
 
-  // Trie construction.
-  nodes_.emplace_back();
-  nodes_[0].next.fill(-1);
-  for (int id = 0; id < static_cast<int>(patterns_.size()); ++id) {
+/// Construction-time state: the classic node-per-state automaton, built
+/// exactly like BaselineSignatureEngine builds it (same trie insertion
+/// order, same BFS fail links, same own-then-fail-chain output
+/// concatenation) and then flattened.  Keeping the construction identical
+/// is what makes scan() match order bit-identical to the oracle.
+struct BuildNode {
+  std::array<int, 256> next;
+  int fail = 0;
+  std::vector<int> output;
+};
+
+// Cold path: runs once per rule-set compile, never per packet.
+// nwlb-analyze: allow(hot-path-purity)
+std::vector<BuildNode> build_automaton(const std::vector<std::string>& patterns) {
+  std::vector<BuildNode> nodes;
+  nodes.emplace_back();
+  nodes[0].next.fill(-1);
+  for (int id = 0; id < static_cast<int>(patterns.size()); ++id) {
     int state = 0;
-    for (unsigned char ch : patterns_[static_cast<std::size_t>(id)]) {
-      int& slot = nodes_[static_cast<std::size_t>(state)].next[ch];
+    for (unsigned char ch : patterns[static_cast<std::size_t>(id)]) {
+      int& slot = nodes[static_cast<std::size_t>(state)].next[ch];
       if (slot < 0) {
-        slot = static_cast<int>(nodes_.size());
-        nodes_.emplace_back();
-        nodes_.back().next.fill(-1);
+        slot = static_cast<int>(nodes.size());
+        nodes.emplace_back();
+        nodes.back().next.fill(-1);
       }
-      state = nodes_[static_cast<std::size_t>(state)].next[ch];
+      state = nodes[static_cast<std::size_t>(state)].next[ch];
     }
-    nodes_[static_cast<std::size_t>(state)].output.push_back(id);
+    nodes[static_cast<std::size_t>(state)].output.push_back(id);
   }
 
-  // BFS failure links; convert the goto function to a total function so
-  // scanning is a single table lookup per byte.
   std::queue<int> queue;
   for (int ch = 0; ch < 256; ++ch) {
-    int& slot = nodes_[0].next[static_cast<std::size_t>(ch)];
+    int& slot = nodes[0].next[static_cast<std::size_t>(ch)];
     if (slot < 0) {
       slot = 0;
     } else {
-      nodes_[static_cast<std::size_t>(slot)].fail = 0;
+      nodes[static_cast<std::size_t>(slot)].fail = 0;
       queue.push(slot);
     }
   }
   while (!queue.empty()) {
     const int state = queue.front();
     queue.pop();
-    const int fail = nodes_[static_cast<std::size_t>(state)].fail;
-    // Inherit outputs along the failure chain.
-    const auto& fail_out = nodes_[static_cast<std::size_t>(fail)].output;
-    auto& out = nodes_[static_cast<std::size_t>(state)].output;
+    const int fail = nodes[static_cast<std::size_t>(state)].fail;
+    const auto& fail_out = nodes[static_cast<std::size_t>(fail)].output;
+    auto& out = nodes[static_cast<std::size_t>(state)].output;
     out.insert(out.end(), fail_out.begin(), fail_out.end());
     for (int ch = 0; ch < 256; ++ch) {
-      int& slot = nodes_[static_cast<std::size_t>(state)].next[static_cast<std::size_t>(ch)];
-      const int fail_next = nodes_[static_cast<std::size_t>(fail)].next[static_cast<std::size_t>(ch)];
+      int& slot = nodes[static_cast<std::size_t>(state)].next[static_cast<std::size_t>(ch)];
+      const int fail_next = nodes[static_cast<std::size_t>(fail)].next[static_cast<std::size_t>(ch)];
       if (slot < 0) {
         slot = fail_next;
       } else {
-        nodes_[static_cast<std::size_t>(slot)].fail = fail_next;
+        nodes[static_cast<std::size_t>(slot)].fail = fail_next;
         queue.push(slot);
       }
     }
   }
+  return nodes;
 }
 
-int SignatureEngine::step(int state, unsigned char byte) const {
-  return nodes_[static_cast<std::size_t>(state)].next[byte];
+}  // namespace
+
+SignatureEngine::SignatureEngine(std::vector<std::string> patterns)
+    : patterns_(std::move(patterns)) {
+  for (const auto& p : patterns_)
+    if (p.empty())
+      // Compile-time contract, not packet-path unwinding.
+      // nwlb-analyze: allow(no-throw-hot-path)
+      throw std::invalid_argument("SignatureEngine: empty pattern");
+
+  const std::vector<BuildNode> nodes = build_automaton(patterns_);
+  const std::size_t num_states = nodes.size();
+
+  // BFS renumbering: states are laid out in breadth-first order from the
+  // root.  The root row plus all depth-1 rows (≤ 257 rows, ≤ 257 KiB) land
+  // at the front of the table; scanning benign traffic ping-pongs inside
+  // that dense region, so the effective working set is far smaller than
+  // the whole automaton.
+  std::vector<std::uint32_t> remap(num_states, 0);
+  {
+    std::vector<int> order;
+    order.reserve(num_states);
+    std::vector<char> seen(num_states, 0);
+    order.push_back(0);
+    seen[0] = 1;
+    for (std::size_t head = 0; head < order.size(); ++head) {
+      const int state = order[head];
+      remap[static_cast<std::size_t>(state)] = static_cast<std::uint32_t>(head);
+      for (int ch = 0; ch < 256; ++ch) {
+        const int next = nodes[static_cast<std::size_t>(state)].next[static_cast<std::size_t>(ch)];
+        if (!seen[static_cast<std::size_t>(next)]) {
+          seen[static_cast<std::size_t>(next)] = 1;
+          order.push_back(next);
+        }
+      }
+    }
+    // The goto function is total, so BFS from the root reaches every state.
+
+    // Flatten, in BFS order, with premultiplied entries.  Over-allocate by
+    // one cache line and point table_ at the first 64-byte boundary.
+    table_storage_.assign(num_states * 256 + 16, 0);
+    // Address arithmetic for cache-line alignment of the table base.
+    // nwlb-analyze: allow(reinterpret-cast)
+    const auto addr = reinterpret_cast<std::uintptr_t>(table_storage_.data());
+    table_offset_ = (64 - addr % 64) % 64 / sizeof(std::uint32_t);
+    std::uint32_t* table = table_storage_.data() + table_offset_;
+
+    out_count_.assign(num_states, 0);
+    out_begin_.assign(num_states + 1, 0);
+    for (std::size_t bfs = 0; bfs < order.size(); ++bfs) {
+      const BuildNode& node = nodes[static_cast<std::size_t>(order[bfs])];
+      for (int ch = 0; ch < 256; ++ch) {
+        const auto next = static_cast<std::size_t>(node.next[static_cast<std::size_t>(ch)]);
+        table[bfs * 256 + static_cast<std::size_t>(ch)] = remap[next] << 8;
+      }
+      out_count_[bfs] = static_cast<std::uint32_t>(node.output.size());
+      out_begin_[bfs + 1] = out_begin_[bfs] + out_count_[bfs];
+    }
+    out_ids_.reserve(out_begin_[num_states]);
+    for (const int state : order) {
+      const BuildNode& node = nodes[static_cast<std::size_t>(state)];
+      out_ids_.insert(out_ids_.end(), node.output.begin(), node.output.end());
+    }
+  }
 }
 
 std::vector<SignatureMatch> SignatureEngine::scan(std::string_view payload) const {
+  const std::uint32_t* const table = table_storage_.data() + table_offset_;
   std::vector<SignatureMatch> matches;
-  int state = 0;
+  std::uint32_t base = 0;
   for (std::size_t i = 0; i < payload.size(); ++i) {
-    state = step(state, static_cast<unsigned char>(payload[i]));
-    for (int id : nodes_[static_cast<std::size_t>(state)].output)
-      matches.push_back(SignatureMatch{id, i + 1});
+    base = table[base + static_cast<unsigned char>(payload[i])];
+    const std::uint32_t state = base >> 8;
+    const std::uint32_t begin = out_begin_[state];
+    const std::uint32_t end = begin + out_count_[state];
+    for (std::uint32_t o = begin; o < end; ++o)
+      matches.push_back(SignatureMatch{out_ids_[o], i + 1});
   }
   return matches;
-}
-
-std::size_t SignatureEngine::count_matches(std::string_view payload) const {
-  std::size_t count = 0;
-  int state = 0;
-  for (char c : payload) {
-    state = step(state, static_cast<unsigned char>(c));
-    count += nodes_[static_cast<std::size_t>(state)].output.size();
-  }
-  return count;
 }
 
 std::vector<std::string> SignatureEngine::default_rules() {

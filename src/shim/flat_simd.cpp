@@ -1,0 +1,171 @@
+// nwlb-lint: hot-path
+#include "shim/flat_simd.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#define NWLB_HAVE_AVX2_KERNEL 1
+#else
+#define NWLB_HAVE_AVX2_KERNEL 0
+#endif
+
+namespace nwlb::shim::simd {
+
+namespace {
+
+/// Segment index for one hash: largest i with bounds[i] <= hash, bracketed
+/// by the bucket window.  Compiles to conditional moves (no data-dependent
+/// branches), mirroring FlatConfig::find_segment exactly.
+inline std::uint32_t find_segment(const SegmentTableView& t, std::uint32_t hash) {
+  const std::size_t bucket = hash >> t.bucket_shift;
+  std::uint32_t lo = t.buckets[bucket];
+  std::uint32_t hi = t.buckets[bucket + 1];
+  while (lo < hi) {
+    const std::uint32_t mid = lo + (hi - lo + 1) / 2;
+    const bool le = t.bounds[mid] <= hash;
+    lo = le ? mid : lo;
+    hi = le ? hi : mid - 1;
+  }
+  return lo;
+}
+
+Backend resolve_backend() {
+  // Cold path: runs once per process (function-local static below).
+  const char* env = std::getenv("NWLB_SIMD");
+  const std::string_view choice = env == nullptr ? "auto" : env;
+  if (choice == "scalar") return Backend::kScalar;
+  if (choice == "gallop") return Backend::kGallop;
+  if (choice == "avx2" && avx2_supported()) return Backend::kAvx2;
+  if (choice == "avx2") return Backend::kGallop;  // Requested but unavailable.
+  return avx2_supported() ? Backend::kAvx2 : Backend::kGallop;
+}
+
+}  // namespace
+
+const char* backend_name(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar: return "scalar";
+    case Backend::kGallop: return "gallop";
+    case Backend::kAvx2: return "avx2";
+  }
+  return "unknown";
+}
+
+bool avx2_supported() {
+#if NWLB_HAVE_AVX2_KERNEL
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+Backend active_backend() {
+  static const Backend backend = resolve_backend();
+  return backend;
+}
+
+void decide_scalar(const SegmentTableView& table, const std::uint32_t* hashes,
+                   std::int32_t* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = table.actions[find_segment(table, hashes[i])];
+}
+
+void decide_gallop(const SegmentTableView& table, const std::uint32_t* hashes,
+                   std::int32_t* out, std::size_t n) {
+  // The replay hashes a session direction once and stamps it on every
+  // packet, so batches arrive as runs of identical hashes: one search
+  // serves the whole run.  Distinct hashes degrade to the scalar search.
+  std::size_t i = 0;
+  while (i < n) {
+    const std::uint32_t hash = hashes[i];
+    const std::int32_t action = table.actions[find_segment(table, hash)];
+    out[i] = action;
+    ++i;
+    while (i < n && hashes[i] == hash) {
+      out[i] = action;
+      ++i;
+    }
+  }
+}
+
+#if NWLB_HAVE_AVX2_KERNEL
+
+__attribute__((target("avx2"))) void decide_avx2(const SegmentTableView& table,
+                                                 const std::uint32_t* hashes,
+                                                 std::int32_t* out, std::size_t n) {
+  // Eight independent binary searches per iteration.  All comparisons are
+  // on uint32 hash-space values, but AVX2 only compares signed — XOR with
+  // 0x80000000 maps unsigned order onto signed order.
+  const __m256i sign_flip = _mm256_set1_epi32(static_cast<int>(0x80000000u));
+  const __m256i one = _mm256_set1_epi32(1);
+  const auto* bounds = reinterpret_cast<const int*>(table.bounds);    // nwlb-analyze: allow(reinterpret-cast)
+  const auto* buckets = reinterpret_cast<const int*>(table.buckets);  // nwlb-analyze: allow(reinterpret-cast)
+  const auto* actions = reinterpret_cast<const int*>(table.actions);  // nwlb-analyze: allow(reinterpret-cast)
+
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    // nwlb-analyze: allow(reinterpret-cast)
+    const __m256i hash = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(hashes + i));
+    const __m256i hash_s = _mm256_xor_si256(hash, sign_flip);
+    const __m256i bucket = _mm256_srli_epi32(hash, static_cast<int>(table.bucket_shift));
+    __m256i lo = _mm256_i32gather_epi32(buckets, bucket, 4);
+    __m256i hi = _mm256_i32gather_epi32(buckets, _mm256_add_epi32(bucket, one), 4);
+    // Lanes converge at different times; iterate until every lane's window
+    // is closed (bounded by log2 of the widest bucket window).
+    while (true) {
+      const __m256i open = _mm256_cmpgt_epi32(hi, lo);  // Windows are small ints: signed cmp is safe.
+      if (_mm256_movemask_epi8(open) == 0) break;
+      // mid = lo + (hi - lo + 1) / 2, computed only where open; closed
+      // lanes keep lo/hi unchanged via the blends below.
+      const __m256i half = _mm256_srli_epi32(
+          _mm256_add_epi32(_mm256_sub_epi32(hi, lo), one), 1);
+      const __m256i mid = _mm256_add_epi32(lo, half);
+      const __m256i probe_s =
+          _mm256_xor_si256(_mm256_i32gather_epi32(bounds, mid, 4), sign_flip);
+      // le = bounds[mid] <= hash  (unsigned), i.e. NOT (probe > hash).
+      const __m256i gt = _mm256_cmpgt_epi32(probe_s, hash_s);
+      const __m256i lo_next = _mm256_blendv_epi8(mid, lo, gt);                       // le ? mid : lo
+      const __m256i hi_next = _mm256_blendv_epi8(hi, _mm256_sub_epi32(mid, one), gt);  // le ? hi : mid-1
+      lo = _mm256_blendv_epi8(lo, lo_next, open);
+      hi = _mm256_blendv_epi8(hi, hi_next, open);
+    }
+    const __m256i result = _mm256_i32gather_epi32(actions, lo, 4);
+    // nwlb-analyze: allow(reinterpret-cast)
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), result);
+  }
+  for (; i < n; ++i) out[i] = table.actions[find_segment(table, hashes[i])];
+}
+
+#else  // !NWLB_HAVE_AVX2_KERNEL
+
+void decide_avx2(const SegmentTableView& table, const std::uint32_t* hashes,
+                 std::int32_t* out, std::size_t n) {
+  decide_gallop(table, hashes, out, n);
+}
+
+#endif  // NWLB_HAVE_AVX2_KERNEL
+
+void decide_dispatch(const SegmentTableView& table, const std::uint32_t* hashes,
+                     std::int32_t* out, std::size_t n) {
+  decide_with(active_backend(), table, hashes, out, n);
+}
+
+void decide_with(Backend backend, const SegmentTableView& table, const std::uint32_t* hashes,
+                 std::int32_t* out, std::size_t n) {
+  switch (backend) {
+    case Backend::kScalar: decide_scalar(table, hashes, out, n); return;
+    case Backend::kGallop: decide_gallop(table, hashes, out, n); return;
+    case Backend::kAvx2:
+      if (avx2_supported()) {
+        decide_avx2(table, hashes, out, n);
+      } else {
+        decide_gallop(table, hashes, out, n);
+      }
+      return;
+  }
+  decide_scalar(table, hashes, out, n);
+}
+
+}  // namespace nwlb::shim::simd

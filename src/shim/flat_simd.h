@@ -1,0 +1,82 @@
+// nwlb-lint: hot-path
+//
+// Batch decide kernels for the FlatConfig segment tables.
+//
+// FlatConfig stores each (class, direction) slot as SoA packed arrays: a
+// run of segment begin-boundaries, a parallel run of packed action codes,
+// and a top-bits bucket index that brackets the binary-search window.
+// These kernels are the per-packet consumers of that layout, factored out
+// of flat_table.cpp so the same raw-array view can be attacked three ways:
+//
+//   scalar  — the oracle: one branchless binary search per hash, exactly
+//             the FlatConfig::lookup loop.  Always compiled, always the
+//             reference in cross-check tests.
+//   gallop  — the portable fast path: equal-hash run detection (the replay
+//             feeds runs of identical hashes — every packet of a session
+//             direction shares one hash) plus the same branchless search,
+//             structured so the compiler can keep the whole window in
+//             registers.
+//   avx2    — eight hashes per iteration with gathered bucket windows and
+//             blend-updated lo/hi, compiled with a function-level target
+//             attribute so the binary always contains it on x86-64 (no
+//             global -mavx2), selected at runtime only when cpuid says the
+//             host can run it.
+//
+// Backend selection: decide_dispatch picks AVX2 when supported, else
+// gallop; NWLB_SIMD=scalar|gallop|avx2|auto overrides (resolved once).
+// All kernels produce bit-identical outputs by construction — the property
+// test in tests/shim_simd_test.cpp enforces it against randomized configs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace nwlb::shim::simd {
+
+/// Raw-array view of one compiled slot's segment table.  Pointers alias
+/// FlatConfig's packed arrays, pre-offset to this slot: bounds/actions are
+/// seg_count entries; buckets has (1 << (32 - bucket_shift)) + 1 entries
+/// (the +1 sentinel closes the last search window).
+struct SegmentTableView {
+  const std::uint32_t* bounds = nullptr;
+  const std::int32_t* actions = nullptr;
+  const std::uint32_t* buckets = nullptr;
+  std::uint32_t bucket_shift = 0;
+};
+
+enum class Backend { kScalar, kGallop, kAvx2 };
+
+const char* backend_name(Backend backend);
+
+/// True when this binary carries the AVX2 kernel AND the host CPU can run
+/// it.  The kernel is compiled on every x86-64 build regardless.
+bool avx2_supported();
+
+/// The backend decide_dispatch uses: NWLB_SIMD env override if set, else
+/// AVX2 when supported, else gallop.  Resolved once per process.
+Backend active_backend();
+
+/// Scalar oracle: out[i] = packed action code of the segment containing
+/// hashes[i].  Bit-exact reference for every other kernel.
+void decide_scalar(const SegmentTableView& table, const std::uint32_t* hashes,
+                   std::int32_t* out, std::size_t n);
+
+/// Portable fast kernel: equal-hash run reuse + branchless search.
+void decide_gallop(const SegmentTableView& table, const std::uint32_t* hashes,
+                   std::int32_t* out, std::size_t n);
+
+/// AVX2 kernel (x86-64 builds; other ISAs alias gallop).  Callers must
+/// check avx2_supported() — decide_dispatch does.
+void decide_avx2(const SegmentTableView& table, const std::uint32_t* hashes,
+                 std::int32_t* out, std::size_t n);
+
+/// Routes to active_backend().
+void decide_dispatch(const SegmentTableView& table, const std::uint32_t* hashes,
+                     std::int32_t* out, std::size_t n);
+
+/// Runs one specific backend (cross-check harnesses); kAvx2 on an
+/// unsupported host falls back to gallop.
+void decide_with(Backend backend, const SegmentTableView& table,
+                 const std::uint32_t* hashes, std::int32_t* out, std::size_t n);
+
+}  // namespace nwlb::shim::simd

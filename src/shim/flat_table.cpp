@@ -79,15 +79,28 @@ FlatConfig::FlatConfig(const ShimConfig& config) {
 void FlatConfig::lookup_batch(int class_id, nids::Direction direction,
                               std::span<const std::uint32_t> hashes,
                               std::span<Action> out) const {
+  lookup_batch_with(simd::active_backend(), class_id, direction, hashes, out);
+}
+
+void FlatConfig::lookup_batch_with(simd::Backend backend, int class_id,
+                                   nids::Direction direction,
+                                   std::span<const std::uint32_t> hashes,
+                                   std::span<Action> out) const {
   NWLB_CHECK_EQ(hashes.size(), out.size(), "FlatConfig::lookup_batch: size mismatch");
-  const std::uint64_t slot_key = slot_index(class_id, direction);
-  if (slot_key >= slots_.size() || slots_[static_cast<std::size_t>(slot_key)].seg_count == 0) {
+  simd::SegmentTableView view;
+  if (!table_view(class_id, direction, view)) {
     std::fill(out.begin(), out.end(), Action::ignore());
     return;
   }
-  const Slot& slot = slots_[static_cast<std::size_t>(slot_key)];
-  for (std::size_t i = 0; i < hashes.size(); ++i)
-    out[i] = decode(actions_[slot.seg_begin + find_segment(slot, hashes[i])]);
+  // The kernels emit packed codes; stage them through a stack chunk so
+  // arbitrarily large batches never allocate on this path.
+  constexpr std::size_t kChunk = 512;
+  std::int32_t packed[kChunk];
+  for (std::size_t done = 0; done < hashes.size(); done += kChunk) {
+    const std::size_t n = std::min(kChunk, hashes.size() - done);
+    simd::decide_with(backend, view, hashes.data() + done, packed, n);
+    for (std::size_t i = 0; i < n; ++i) out[done + i] = decode(packed[i]);
+  }
 }
 
 }  // namespace nwlb::shim

@@ -57,4 +57,17 @@ void Shim::decide_hashed_batch(int class_id, nids::Direction direction,
   for (const Action& action : out) count_action(stats, action.kind);
 }
 
+Action Shim::decide_hashed_repeat(int class_id, nids::Direction direction, std::uint32_t hash,
+                                  std::uint64_t count, ShimStats& stats) const {
+  const Action action = flat_.lookup(class_id, direction, hash);
+  stats.packets_seen += count;
+  if (action.kind == Action::Kind::kProcess)
+    stats.decided_process += count;
+  else if (action.kind == Action::Kind::kReplicate)
+    stats.decided_replicate += count;
+  else
+    stats.decided_ignore += count;
+  return action;
+}
+
 }  // namespace nwlb::shim

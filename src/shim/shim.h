@@ -85,6 +85,13 @@ class Shim {
                            std::span<const std::uint32_t> hashes, std::span<Action> out,
                            ShimStats& stats) const;
 
+  /// Run-length decision: every packet of a session direction shares the
+  /// same canonical-tuple hash, so the replay decides once and accounts
+  /// `count` packets arithmetically.  Exactly equivalent (stats and
+  /// verdict) to decide_hashed_batch over `count` copies of `hash`.
+  Action decide_hashed_repeat(int class_id, nids::Direction direction, std::uint32_t hash,
+                              std::uint64_t count, ShimStats& stats) const;
+
   /// Single-threaded convenience overloads: accumulate into the shim's own
   /// stats (the pre-fast-path API shape).
   Decision decide(int class_id, const nids::FiveTuple& tuple,

@@ -3,14 +3,23 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "util/check.h"
+
 namespace nwlb::shim {
 namespace {
 
-template <typename T>
-void put(std::vector<std::byte>& out, T value) {
-  for (std::size_t i = 0; i < sizeof(T); ++i)
-    out.push_back(static_cast<std::byte>((static_cast<std::uint64_t>(value) >> (8 * i)) & 0xff));
-}
+/// Little-endian writer into caller-provided storage.
+struct Writer {
+  std::byte* out;
+  std::size_t offset = 0;
+
+  template <typename T>
+  void put(T value) {
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+      out[offset++] =
+          static_cast<std::byte>((static_cast<std::uint64_t>(value) >> (8 * i)) & 0xff);
+  }
+};
 
 /// Bounds-checked little-endian cursor: a read past the end flips `ok` and
 /// yields zeros instead of throwing, so the hot path can reject malformed
@@ -43,30 +52,39 @@ TunnelSender::TunnelSender(int local_node, int remote_node)
 }
 
 std::vector<std::byte> TunnelSender::encapsulate(const nids::Packet& packet) {
-  std::vector<std::byte> out;
-  out.reserve(TunnelHeader::kWireSize + 14 + 9 + packet.payload.size());
-  put<std::uint32_t>(out, TunnelHeader::kMagic);
-  put<std::uint16_t>(out, TunnelHeader::kVersion);
-  put<std::uint16_t>(out, 0);  // Flags, reserved.
-  put<std::uint32_t>(out, static_cast<std::uint32_t>(local_));
-  put<std::uint32_t>(out, static_cast<std::uint32_t>(remote_));
-  put<std::uint64_t>(out, next_sequence_++);
-  put<std::uint32_t>(out, static_cast<std::uint32_t>(packet.payload.size()));
-  // Inner packet: 5-tuple, direction, session id, payload.
-  put<std::uint32_t>(out, packet.tuple.src_ip);
-  put<std::uint32_t>(out, packet.tuple.dst_ip);
-  put<std::uint16_t>(out, packet.tuple.src_port);
-  put<std::uint16_t>(out, packet.tuple.dst_port);
-  put<std::uint8_t>(out, packet.tuple.protocol);
-  put<std::uint8_t>(out, packet.direction == nids::Direction::kReverse ? 1 : 0);
-  put<std::uint64_t>(out, packet.session_id);
-  for (char c : packet.payload) out.push_back(static_cast<std::byte>(c));
-  bytes_ += out.size();
+  std::vector<std::byte> out(wire_size(packet.payload.size()));
+  encapsulate_into(nids::PacketView(packet), out);
   return out;
 }
 
-std::optional<nids::Packet> TunnelReceiver::parse(std::span<const std::byte> frame,
-                                                  std::string* error) {
+std::size_t TunnelSender::encapsulate_into(const nids::PacketView& packet,
+                                           std::span<std::byte> out) {
+  const std::size_t frame_bytes = wire_size(packet.payload.size());
+  NWLB_CHECK(out.size() >= frame_bytes, "TunnelSender::encapsulate_into: slot too small");
+  Writer w{out.data()};
+  w.put<std::uint32_t>(TunnelHeader::kMagic);
+  w.put<std::uint16_t>(TunnelHeader::kVersion);
+  w.put<std::uint16_t>(0);  // Flags, reserved.
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(local_));
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(remote_));
+  w.put<std::uint64_t>(next_sequence_++);
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(packet.payload.size()));
+  // Inner packet: 5-tuple, direction, session id, payload.
+  w.put<std::uint32_t>(packet.tuple.src_ip);
+  w.put<std::uint32_t>(packet.tuple.dst_ip);
+  w.put<std::uint16_t>(packet.tuple.src_port);
+  w.put<std::uint16_t>(packet.tuple.dst_port);
+  w.put<std::uint8_t>(packet.tuple.protocol);
+  w.put<std::uint8_t>(packet.direction == nids::Direction::kReverse ? 1 : 0);
+  w.put<std::uint64_t>(packet.session_id);
+  if (!packet.payload.empty())
+    std::memcpy(out.data() + w.offset, packet.payload.data(), packet.payload.size());
+  bytes_ += frame_bytes;
+  return frame_bytes;
+}
+
+std::optional<nids::PacketView> TunnelReceiver::parse(std::span<const std::byte> frame,
+                                                      std::string* error) {
   Reader r{frame};
   if (r.get<std::uint32_t>() != TunnelHeader::kMagic) {
     *error = "tunnel frame: bad magic";
@@ -86,7 +104,7 @@ std::optional<nids::Packet> TunnelReceiver::parse(std::span<const std::byte> fra
   const auto sequence = r.get<std::uint64_t>();
   const auto payload_bytes = r.get<std::uint32_t>();
 
-  nids::Packet packet;
+  nids::PacketView packet;
   packet.tuple.src_ip = r.get<std::uint32_t>();
   packet.tuple.dst_ip = r.get<std::uint32_t>();
   packet.tuple.src_port = r.get<std::uint16_t>();
@@ -103,9 +121,10 @@ std::optional<nids::Packet> TunnelReceiver::parse(std::span<const std::byte> fra
     *error = "tunnel frame: length mismatch";
     return std::nullopt;
   }
-  packet.payload.resize(payload_bytes);
-  for (std::size_t i = 0; i < payload_bytes; ++i)
-    packet.payload[i] = static_cast<char>(std::to_integer<unsigned>(frame[r.offset + i]));
+  // The payload is viewed in place; callers own the frame's lifetime.
+  // nwlb-analyze: allow(reinterpret-cast)
+  packet.payload = std::string_view(reinterpret_cast<const char*>(frame.data()) + r.offset,
+                                    payload_bytes);
 
   auto& expected = expected_next_[src_node];
   if (sequence > expected) lost_ += sequence - expected;
@@ -116,15 +135,26 @@ std::optional<nids::Packet> TunnelReceiver::parse(std::span<const std::byte> fra
 
 nids::Packet TunnelReceiver::decapsulate(std::span<const std::byte> frame) {
   std::string error;
-  std::optional<nids::Packet> packet = parse(frame, &error);
+  std::optional<nids::PacketView> packet = parse(frame, &error);
   if (!packet) throw std::invalid_argument(error);
-  return *std::move(packet);
+  return packet->materialize();
 }
 
 std::optional<nids::Packet> TunnelReceiver::try_decapsulate(
     std::span<const std::byte> frame) {
   std::string error;
-  std::optional<nids::Packet> packet = parse(frame, &error);
+  std::optional<nids::PacketView> packet = parse(frame, &error);
+  if (!packet) {
+    ++malformed_;
+    return std::nullopt;
+  }
+  return packet->materialize();
+}
+
+std::optional<nids::PacketView> TunnelReceiver::try_decapsulate_view(
+    std::span<const std::byte> frame) {
+  std::string error;
+  std::optional<nids::PacketView> packet = parse(frame, &error);
   if (!packet) ++malformed_;
   return packet;
 }

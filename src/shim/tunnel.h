@@ -5,6 +5,14 @@
 // number, payload length).  The receiving side decapsulates into the exact
 // packet the local NIDS would have captured on the wire, and tracks
 // sequence gaps so operators can see replication loss.
+//
+// Two API shapes share one wire format and one accounting path:
+//   * owning (encapsulate -> vector, decapsulate -> Packet) for tests,
+//     tools, and the classic replay loop;
+//   * view-based (encapsulate_into a caller-provided slot,
+//     try_decapsulate_view -> PacketView into the frame) for the
+//     run-to-completion replay, which stages frames in SPSC ring slots and
+//     never allocates per frame.
 #pragma once
 
 #include <cstddef>
@@ -12,10 +20,10 @@
 #include <optional>
 #include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "nids/packet.h"
+#include "util/flat_hash.h"
 
 namespace nwlb::shim {
 
@@ -36,8 +44,23 @@ class TunnelSender {
  public:
   TunnelSender(int local_node, int remote_node);
 
+  /// Inner encapsulation (5-tuple + direction + session id) on top of the
+  /// tunnel header.
+  static constexpr std::size_t kInnerSize = 4 + 4 + 2 + 2 + 1 + 1 + 8;
+
+  /// Total frame size for a payload of `payload_bytes`.
+  static constexpr std::size_t wire_size(std::size_t payload_bytes) {
+    return TunnelHeader::kWireSize + kInnerSize + payload_bytes;
+  }
+
   /// Frames one packet: header + 5-tuple + direction + session id + payload.
   std::vector<std::byte> encapsulate(const nids::Packet& packet);
+
+  /// Frames one packet into caller-provided storage (an SPSC ring slot)
+  /// and returns the frame size.  `out` must hold at least
+  /// wire_size(packet.payload.size()) bytes.  Identical wire bytes and
+  /// sequence/byte accounting to encapsulate().
+  std::size_t encapsulate_into(const nids::PacketView& packet, std::span<std::byte> out);
 
   std::uint64_t packets_sent() const { return next_sequence_; }
   std::uint64_t bytes_sent() const { return bytes_; }
@@ -65,6 +88,11 @@ class TunnelReceiver {
   /// std::nullopt and bumps frames_malformed() instead of unwinding.
   std::optional<nids::Packet> try_decapsulate(std::span<const std::byte> frame);
 
+  /// Allocation-free variant: the returned view's payload aliases `frame`,
+  /// which must stay alive (e.g. the ring slot not yet released) while the
+  /// view is used.  Same accounting as try_decapsulate.
+  std::optional<nids::PacketView> try_decapsulate_view(std::span<const std::byte> frame);
+
   std::uint64_t packets_received() const { return received_; }
   /// Frames the sequence numbers say we should have seen but did not.
   std::uint64_t packets_lost() const { return lost_; }
@@ -81,15 +109,17 @@ class TunnelReceiver {
 
  private:
   /// Shared parse + sequence tracking; on failure leaves the accounting
-  /// untouched and describes the defect in *error.
-  std::optional<nids::Packet> parse(std::span<const std::byte> frame, std::string* error);
+  /// untouched and describes the defect in *error.  The view's payload
+  /// aliases `frame`.
+  std::optional<nids::PacketView> parse(std::span<const std::byte> frame, std::string* error);
 
   int local_;
   std::uint64_t received_ = 0;
   std::uint64_t lost_ = 0;
   std::uint64_t malformed_ = 0;
-  // Highest-seen sequence per sending node (+1), -1-free via map default 0.
-  std::unordered_map<std::uint32_t, std::uint64_t> expected_next_;
+  // Highest-seen sequence per sending node (+1).  Flat open-addressing
+  // table: this is touched once per received frame.
+  util::U64FlatMap<std::uint64_t> expected_next_;
 };
 
 }  // namespace nwlb::shim

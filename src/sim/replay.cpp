@@ -2,13 +2,16 @@
 #include "sim/replay.h"
 
 #include <algorithm>
-#include <map>
+#include <bit>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
 #include "obs/metrics.h"
 #include "shim/hash.h"
 #include "shim/tunnel.h"
+#include "util/arena.h"
+#include "util/spsc_ring.h"
 
 namespace nwlb::sim {
 
@@ -26,7 +29,11 @@ std::vector<double> ReplayStats::normalized_work() const {
 struct ReplaySimulator::Shard {
   std::vector<nids::NidsNode> nodes;           // One per processing node.
   std::vector<shim::TunnelReceiver> receivers; // One per processing node.
-  std::map<std::pair<int, int>, shim::TunnelSender> senders;
+  // Tunnel senders in a flat (local * stride + remote) layout, created on
+  // first use.  Index order equals the old (local, remote)-sorted map
+  // order, which the deterministic merge relies on.
+  std::vector<std::optional<shim::TunnelSender>> senders;
+  std::size_t stride = 0;                      // Processing-node count.
   std::vector<shim::ShimStats> shim_stats;     // One per PoP.
   std::vector<double> link_bytes;
   std::uint64_t packets = 0;
@@ -38,32 +45,87 @@ struct ReplaySimulator::Shard {
   std::uint64_t fail_open = 0;
   std::uint64_t degraded_skipped = 0;
   std::uint64_t unassigned = 0;                  // Defensive; stays 0.
-  std::vector<std::uint64_t> gen_sessions;       // Sessions per generation slot.
-  std::vector<std::uint64_t> class_sessions;     // Per traffic class.
-  std::vector<std::uint64_t> class_bytes;        // Payload bytes per class.
-  std::vector<std::uint64_t> bidirectional_ids;  // Sessions with both dirs.
+  std::uint64_t stateful_covered = 0;
+  std::uint64_t stateful_missed = 0;
+  std::vector<std::uint64_t> gen_sessions;    // Sessions per generation slot.
+  std::vector<std::uint64_t> class_sessions;  // Per traffic class.
+  std::vector<std::uint64_t> class_bytes;     // Payload bytes per class.
+  // Bitmap over processing nodes: set while a session replays for every
+  // node its packets may have reached, so the stateful-coverage verdict
+  // probes only those trackers (cache-warm) instead of all of them.
+  std::vector<std::uint64_t> touched_nodes;
 
-  // Reused per-direction scratch (hashes in, actions out per path node).
-  std::vector<std::uint32_t> hash_buf;
+  void touch_node(std::size_t j) { touched_nodes[j >> 6] |= std::uint64_t{1} << (j & 63); }
+
+  // Reused per-direction scratch: one action per on-path node (every
+  // packet of a direction shares one hash, hence one decision).
   std::vector<shim::Action> action_buf;
+  // Classic-mode frame scratch, reused across frames.
+  std::vector<std::byte> frame_buf;
+
+  // Run-to-completion state: every byte below lives in the shard's arena
+  // and is dropped wholesale when the shard dies at the end of the epoch.
+  bool rtc = false;
+  std::size_t ring_frames = 0;   // Power of two.
+  std::size_t ring_slot_bytes = 0;
+  nwlb::util::Arena arena;
+  std::vector<nwlb::util::SpscFrameRing> rings;  // Per mirror, bound lazily.
+  std::span<char> payload_scratch;               // One max-size payload.
 
   Shard(const core::ProblemInput& input,
         const std::shared_ptr<const nids::SignatureEngine>& engine,
-        std::size_t num_generations) {
+        std::size_t num_generations, const ReplayOptions& options,
+        std::size_t max_payload_bytes, std::size_t expected_sessions) {
     const int processing = input.num_processing_nodes();
     const int num_pops = input.num_pops();
     nodes.reserve(static_cast<std::size_t>(processing));
     receivers.reserve(static_cast<std::size_t>(processing));
+    // A session touches only a few nodes (its processing node plus a
+    // mirror or two), so each tracker holds roughly its share of the
+    // window — sizing every table for the full window would zero an order
+    // of magnitude more slot memory than ever gets touched.  A node that
+    // aggregates far more (e.g. an ingress-plan datacenter) just grows,
+    // amortized in its final size.
+    const std::size_t per_node_sessions =
+        expected_sessions * 3 / static_cast<std::size_t>(std::max(processing, 1)) + 64;
     for (int id = 0; id < processing; ++id) {
       nodes.emplace_back(id < num_pops ? input.routing->graph().name(id) : "Datacenter",
                          engine);
+      nodes.back().reserve(per_node_sessions);
       receivers.emplace_back(id);
     }
+    stride = static_cast<std::size_t>(processing);
+    touched_nodes.assign((stride + 63) / 64, 0);
+    senders.resize(stride * stride);
     shim_stats.resize(static_cast<std::size_t>(num_pops));
     link_bytes.assign(input.link_capacity.size(), 0.0);
     gen_sessions.assign(num_generations, 0);
     class_sessions.assign(input.classes.size(), 0);
     class_bytes.assign(input.classes.size(), 0);
+    rtc = options.run_to_completion;
+    if (rtc) {
+      ring_frames = std::bit_ceil(std::max<std::size_t>(2, options.rtc_ring_frames));
+      ring_slot_bytes = shim::TunnelSender::wire_size(max_payload_bytes);
+      rings.resize(stride);  // Unbound until a frame heads that way.
+      payload_scratch = arena.make_array<char>(std::max<std::size_t>(max_payload_bytes, 1));
+    }
+  }
+
+  shim::TunnelSender& sender_for(std::size_t local, std::size_t remote) {
+    std::optional<shim::TunnelSender>& slot = senders[local * stride + remote];
+    if (!slot) slot.emplace(static_cast<int>(local), static_cast<int>(remote));
+    return *slot;
+  }
+
+  /// The SPSC ring staging frames toward `mirror`; binds arena storage on
+  /// the first frame of the epoch (cold path).
+  nwlb::util::SpscFrameRing& ring_for(std::size_t mirror) {
+    nwlb::util::SpscFrameRing& ring = rings[mirror];
+    if (ring.capacity() == 0)
+      ring = nwlb::util::SpscFrameRing(arena.make_array<std::byte>(ring_frames * ring_slot_bytes),
+                                       arena.make_array<std::uint32_t>(ring_frames),
+                                       ring_frames, ring_slot_bytes);
+    return ring;
   }
 };
 
@@ -207,39 +269,65 @@ void ReplaySimulator::replay_direction(Shard& shard, const std::vector<shim::Shi
   shard.packets += static_cast<std::uint64_t>(packets);
   const FailureSchedule* failures = options_.failures;
 
-  // Every packet of one session direction carries the same 5-tuple, so the
-  // canonical-tuple hash is computed once and batch-decided at each
-  // on-path shim (all replay shims use the default hash seed).
+  // Every packet of one session direction carries the same 5-tuple, so
+  // one canonical-tuple hash — and therefore one table probe per on-path
+  // shim — decides the whole run; decide_hashed_repeat turns the rest into
+  // arithmetic on the decision counters (all replay shims use the default
+  // hash seed).
   const nids::FiveTuple tuple =
       direction == nids::Direction::kForward ? session.tuple : session.tuple.reversed();
   const std::uint32_t hash = shim::hash_tuple(tuple);
-  const auto count = static_cast<std::size_t>(packets);
-  shard.hash_buf.assign(count, hash);
-  shard.action_buf.resize(path.size() * count);
+  shard.action_buf.resize(path.size());
   bool any_action = false;
   for (std::size_t p = 0; p < path.size(); ++p) {
     const auto j = static_cast<std::size_t>(path[p]);
-    const std::span<shim::Action> out(shard.action_buf.data() + p * count, count);
+    shim::Action action = shim::Action::ignore();
     if (failures && failures->node_crashed(path[p], session_index)) {
       // Crashed node: the shim makes no decisions and the engine does no
       // work — this direction's packets pass it un-inspected.
-      std::fill(out.begin(), out.end(), shim::Action::ignore());
       shard.crash_skipped += static_cast<std::uint64_t>(packets);
     } else {
-      shims[j].decide_hashed_batch(session.class_index, direction, shard.hash_buf, out,
-                                   shard.shim_stats[j]);
+      action = shims[j].decide_hashed_repeat(session.class_index, direction, hash,
+                                             static_cast<std::uint64_t>(packets),
+                                             shard.shim_stats[j]);
     }
-    any_action = any_action || out[0].kind != shim::Action::Kind::kIgnore;
+    shard.action_buf[p] = action;
+    any_action = any_action || action.kind != shim::Action::Kind::kIgnore;
+    // Record which node this decision can deliver packets to — exactly the
+    // process() sites below — so the end-of-session coverage check knows
+    // where to look.
+    if (action.kind == shim::Action::Kind::kProcess) {
+      shard.touch_node(j);
+    } else if (action.kind == shim::Action::Kind::kReplicate) {
+      const auto m = static_cast<std::size_t>(action.mirror);
+      if (mirror_down_[m] != 0) {
+        if (options_.degrade == DegradePolicy::kFailOpen && fail_open_admitted)
+          shard.touch_node(j);
+      } else {
+        shard.touch_node(m);
+      }
+    }
   }
   // Fast path: when every on-path node ignores this session direction, the
   // payloads influence nothing — skip materializing them.
   if (!any_action) return;
 
+  const bool rtc = options_.run_to_completion;
   for (int k = 0; k < packets; ++k) {
-    const nids::Packet packet = generator.make_packet(session, k, direction);
+    // Classic mode materializes an owning Packet; run-to-completion fills
+    // the shard's arena scratch and processes through the view (identical
+    // bytes: make_packet delegates to packet_into).
+    nids::Packet owned;
+    nids::PacketView packet;
+    if (rtc) {
+      packet = generator.packet_into(session, k, direction, shard.payload_scratch);
+    } else {
+      owned = generator.make_packet(session, k, direction);
+      packet = nids::PacketView(owned);
+    }
     for (std::size_t p = 0; p < path.size(); ++p) {
       const topo::NodeId j = path[p];
-      const shim::Action action = shard.action_buf[p * count + static_cast<std::size_t>(k)];
+      const shim::Action action = shard.action_buf[p];
       switch (action.kind) {
         case shim::Action::Kind::kProcess:
           shard.matches += shard.nodes[static_cast<std::size_t>(j)].process(packet);
@@ -264,15 +352,30 @@ void ReplaySimulator::replay_direction(Shard& shard, const std::vector<shim::Shi
           const std::uint64_t frame_tag =
               (direction == nids::Direction::kReverse ? 1ULL << 63 : 0ULL) |
               (static_cast<std::uint64_t>(p) << 32) | static_cast<std::uint64_t>(k);
-          // Real tunnel framing: encapsulate, traverse (with optional
-          // injected loss), decapsulate at the mirror.
-          auto [it, inserted] =
-              shard.senders.try_emplace({j, mirror}, shim::TunnelSender(j, mirror));
-          const std::vector<std::byte> frame = it->second.encapsulate(packet);
+          // Real tunnel framing: the frame is stamped (sequence numbers
+          // advance even for frames lost in transit — that is what makes
+          // the loss detectable) either straight into an SPSC ring slot
+          // (run-to-completion) or into the reusable frame scratch.
+          shim::TunnelSender& sender =
+              shard.sender_for(static_cast<std::size_t>(j), static_cast<std::size_t>(mirror));
+          std::size_t frame_bytes = 0;
+          if (rtc) {
+            nwlb::util::SpscFrameRing& ring =
+                shard.ring_for(static_cast<std::size_t>(mirror));
+            std::span<std::byte> slot = ring.try_push_slot();
+            if (slot.empty()) {  // Ring full: drain in place, then retry.
+              drain_ring(shard, static_cast<std::size_t>(mirror));
+              slot = ring.try_push_slot();
+            }
+            frame_bytes = sender.encapsulate_into(packet, slot);
+          } else {
+            shard.frame_buf.resize(shim::TunnelSender::wire_size(packet.payload.size()));
+            frame_bytes = sender.encapsulate_into(packet, shard.frame_buf);
+          }
           ++shard.frames_sent;
-          const auto bytes = static_cast<double>(frame.size());
+          const auto bytes = static_cast<double>(frame_bytes);
           shard.shim_stats[static_cast<std::size_t>(j)].count_replicated(mirror,
-                                                                         frame.size());
+                                                                         frame_bytes);
           const topo::NodeId target_pop = input_->attach_pop_of(mirror);
           bool link_eaten = false;
           if (target_pop != j) {
@@ -311,16 +414,40 @@ void ReplaySimulator::replay_direction(Shard& shard, const std::vector<shim::Shi
               break;
             }
           }
-          if (auto delivered =
-                  shard.receivers[static_cast<std::size_t>(mirror)].try_decapsulate(frame))
+          // Delivered.  Run-to-completion publishes the staged slot (a lost
+          // frame simply never commits, so its slot is reused); the mirror
+          // consumes it at the drain point.  Classic decapsulates inline.
+          if (rtc) {
+            shard.rings[static_cast<std::size_t>(mirror)].commit(frame_bytes);
+          } else if (auto delivered =
+                         shard.receivers[static_cast<std::size_t>(mirror)]
+                             .try_decapsulate_view(std::span<const std::byte>(
+                                 shard.frame_buf.data(), frame_bytes))) {
             shard.matches +=
                 shard.nodes[static_cast<std::size_t>(mirror)].process(*delivered);
+          }
           break;
         }
         case shim::Action::Kind::kIgnore:
           break;
       }
     }
+  }
+  // Direction boundary: the natural run-to-completion batch point.  Stats
+  // are commutative and per-sender FIFO order is preserved, so deferring
+  // mirror-side processing here keeps the merged totals byte-identical.
+  if (rtc)
+    for (std::size_t m = 0; m < shard.rings.size(); ++m)
+      if (shard.rings[m].capacity() != 0) drain_ring(shard, m);
+}
+
+void ReplaySimulator::drain_ring(Shard& shard, std::size_t mirror) const {
+  nwlb::util::SpscFrameRing& ring = shard.rings[mirror];
+  for (std::span<const std::byte> frame = ring.front(); !frame.empty();
+       frame = ring.front()) {
+    if (auto delivered = shard.receivers[mirror].try_decapsulate_view(frame))
+      shard.matches += shard.nodes[mirror].process(*delivered);
+    ring.pop();
   }
 }
 
@@ -361,12 +488,27 @@ void ReplaySimulator::replay_session(Shard& shard, const SessionSpec& session,
         static_cast<double>(nwlb::util::splitmix64(s) >> 11) * 0x1.0p-53;
     fail_open_admitted = u < options_.fail_open_headroom;
   }
+  std::fill(shard.touched_nodes.begin(), shard.touched_nodes.end(), 0);
   replay_direction(shard, shims, session, session_index, fail_open_admitted, generator,
                    nids::Direction::kForward, session.fwd_packets, loss_rng);
   replay_direction(shard, shims, session, session_index, fail_open_admitted, generator,
                    nids::Direction::kReverse, session.rev_packets, loss_rng);
-  if (session.fwd_packets > 0 && session.rev_packets > 0)
-    shard.bidirectional_ids.push_back(session.id);
+  // Stateful-coverage verdict, taken while this session's tracker entries
+  // are still cache-hot.  A node outside the touched set cannot have
+  // observed the session, so probing only touched nodes is exact.
+  if (session.fwd_packets > 0 && session.rev_packets > 0) {
+    bool covered = false;
+    for (std::size_t w = 0; w < shard.touched_nodes.size() && !covered; ++w) {
+      for (std::uint64_t bits = shard.touched_nodes[w]; bits != 0; bits &= bits - 1) {
+        const std::size_t j = w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+        if (shard.nodes[j].session_tracker().is_covered(session.id)) {
+          covered = true;
+          break;
+        }
+      }
+    }
+    (covered ? shard.stateful_covered : shard.stateful_missed) += 1;
+  }
 }
 
 void ReplaySimulator::merge(Shard& shard) {
@@ -403,11 +545,14 @@ void ReplaySimulator::merge(Shard& shard) {
   // trailing drops are detected no matter where the shard boundary fell.
   // The per-mirror (sent, lost) totals also feed this window's health
   // observations.
-  for (auto& [endpoints, sender] : shard.senders) {
-    shard.receivers[static_cast<std::size_t>(endpoints.second)].reconcile(
-        static_cast<std::uint32_t>(endpoints.first), sender.packets_sent());
-    window_mirror_sent_[static_cast<std::size_t>(endpoints.second)] +=
-        sender.packets_sent();
+  for (std::size_t idx = 0; idx < shard.senders.size(); ++idx) {
+    if (!shard.senders[idx]) continue;
+    const shim::TunnelSender& sender = *shard.senders[idx];
+    const std::size_t local = idx / shard.stride;
+    const std::size_t mirror = idx % shard.stride;
+    shard.receivers[mirror].reconcile(static_cast<std::uint32_t>(local),
+                                      sender.packets_sent());
+    window_mirror_sent_[mirror] += sender.packets_sent();
   }
   for (std::size_t m = 0; m < shard.receivers.size(); ++m) {
     detected_lost_ += shard.receivers[m].packets_lost();
@@ -416,17 +561,9 @@ void ReplaySimulator::merge(Shard& shard) {
   }
 
   // A session's packets are all replayed by its own shard, so its coverage
-  // is fully determined by this shard's engine instances.
-  for (const std::uint64_t id : shard.bidirectional_ids) {
-    bool covered = false;
-    for (const auto& node : shard.nodes) {
-      if (node.session_tracker().is_covered(id)) {
-        covered = true;
-        break;
-      }
-    }
-    (covered ? stateful_covered_ : stateful_missed_) += 1;
-  }
+  // verdict was final at end of session (see replay_session).
+  stateful_covered_ += shard.stateful_covered;
+  stateful_missed_ += shard.stateful_missed;
 
   // Decision counters are owned per PoP by the simulator — configuration
   // generations come and go during rollouts, the counters persist.
@@ -479,10 +616,19 @@ void ReplaySimulator::replay(std::span<const SessionSpec> sessions,
   const std::size_t shard_count =
       std::max<std::size_t>(1, std::min<std::size_t>(static_cast<std::size_t>(workers_),
                                                      std::max<std::size_t>(total, 1)));
+  // Run-to-completion slot sizing: one pre-scan of the window bounds the
+  // ring slot to the largest frame the window can produce.
+  std::size_t max_payload = 0;
+  if (options_.run_to_completion)
+    for (const SessionSpec& s : sessions)
+      max_payload = std::max(max_payload,
+                             static_cast<std::size_t>(std::max(s.payload_bytes, 0)));
+  const std::size_t expected_sessions = total / shard_count + 1;
   std::vector<Shard> shards;
   shards.reserve(shard_count);
   for (std::size_t w = 0; w < shard_count; ++w)
-    shards.emplace_back(*input_, engine_, generations_.size());
+    shards.emplace_back(*input_, engine_, generations_.size(), options_, max_payload,
+                        expected_sessions);
 
   auto run_shard = [&](std::size_t w) {
     const std::size_t begin = total * w / shard_count;

@@ -1,9 +1,11 @@
 #include "sim/trace.h"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
 
 #include "nids/signature.h"
+#include "util/check.h"
 
 namespace nwlb::sim {
 
@@ -90,6 +92,22 @@ std::vector<SessionSpec> TraceGenerator::generate(int count) {
 nids::Packet TraceGenerator::make_packet(const SessionSpec& session, int index,
                                          nids::Direction direction) const {
   nids::Packet packet;
+  packet.payload.resize(static_cast<std::size_t>(session.payload_bytes));
+  const nids::PacketView view = packet_into(
+      session, index, direction, std::span<char>(packet.payload.data(), packet.payload.size()));
+  packet.session_id = view.session_id;
+  packet.direction = view.direction;
+  packet.tuple = view.tuple;
+  return packet;
+}
+
+nids::PacketView TraceGenerator::packet_into(const SessionSpec& session, int index,
+                                            nids::Direction direction,
+                                            std::span<char> payload_buf) const {
+  const auto payload_bytes = static_cast<std::size_t>(session.payload_bytes);
+  NWLB_CHECK(payload_buf.size() >= payload_bytes,
+             "TraceGenerator::packet_into: payload buffer too small");
+  nids::PacketView packet;
   packet.session_id = session.id;
   packet.direction = direction;
   packet.tuple =
@@ -97,17 +115,18 @@ nids::Packet TraceGenerator::make_packet(const SessionSpec& session, int index,
   // Deterministic filler derived from (id, index, direction).
   std::uint64_t state = session.id * 1315423911u + static_cast<std::uint64_t>(index) * 2654435761u +
                         (direction == nids::Direction::kReverse ? 0x9e37ULL : 0);
-  packet.payload.resize(static_cast<std::size_t>(session.payload_bytes));
-  for (auto& ch : packet.payload) {
+  for (std::size_t i = 0; i < payload_bytes; ++i) {
     // Printable filler keeps accidental signature collisions impossible
     // (the corpus contains no run of lowercase base32-style filler).
-    ch = static_cast<char>('a' + (nwlb::util::splitmix64(state) % 17));
+    payload_buf[i] = static_cast<char>('a' + (nwlb::util::splitmix64(state) % 17));
   }
   if (session.malicious && index == 0 && direction == nids::Direction::kForward) {
     const auto& sig = signatures_[session.id % signatures_.size()];
-    if (sig.size() <= packet.payload.size())
-      packet.payload.replace((packet.payload.size() - sig.size()) / 2, sig.size(), sig);
+    if (sig.size() <= payload_bytes)
+      std::memcpy(payload_buf.data() + (payload_bytes - sig.size()) / 2, sig.data(),
+                  sig.size());
   }
+  packet.payload = std::string_view(payload_buf.data(), payload_bytes);
   return packet;
 }
 

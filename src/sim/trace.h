@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "nids/packet.h"
@@ -52,6 +53,16 @@ class TraceGenerator {
   /// Payload content is deterministic in (session id, index, direction).
   nids::Packet make_packet(const SessionSpec& session, int index,
                            nids::Direction direction) const;
+
+  /// Same packet as make_packet(), materialized into caller-owned payload
+  /// storage: the returned view's payload aliases `payload_buf`, which must
+  /// hold at least session.payload_bytes bytes and stay alive while the
+  /// view is used.  The run-to-completion replay's allocation-free path;
+  /// make_packet() delegates here, so the bytes are identical by
+  /// construction.
+  nids::PacketView packet_into(const SessionSpec& session, int index,
+                               nids::Direction direction,
+                               std::span<char> payload_buf) const;
 
   /// The IPv4 address space of a PoP: 10.<pop>.x.y.
   static std::uint32_t pop_prefix(int pop);

@@ -1,0 +1,147 @@
+// nwlb-lint: hot-path
+//
+// Bump-pointer arena for run-to-completion data-plane state.
+//
+// A replay shard in run-to-completion mode owns every byte it touches —
+// tunnel-frame rings, payload staging, session-table storage — and frees
+// nothing until the end-of-epoch reconcile.  That lifetime is exactly what
+// a bump arena models: allocation is a pointer increment inside a block,
+// reset() rewinds to empty while keeping the blocks, and there is no
+// per-object free (only trivially-destructible types may live here).
+//
+// The arena is single-threaded by design (one per shard); it performs a
+// real heap allocation only when a fresh block is needed, which happens a
+// bounded number of times per epoch and never on the steady-state frame
+// path.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "util/check.h"
+
+namespace nwlb::util {
+
+class Arena {
+ public:
+  /// `block_bytes` is the granularity of the backing allocations; requests
+  /// larger than it get a dedicated block of their exact (aligned) size.
+  explicit Arena(std::size_t block_bytes = kDefaultBlockBytes)
+      : block_bytes_(block_bytes == 0 ? kDefaultBlockBytes : block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Moves are for single-threaded setup only (placing arenas in a
+  /// container before allocation starts); the source is left empty.
+  Arena(Arena&& other) noexcept { *this = static_cast<Arena&&>(other); }
+  Arena& operator=(Arena&& other) noexcept {
+    block_bytes_ = other.block_bytes_;
+    blocks_ = static_cast<std::vector<std::vector<std::byte>>&&>(other.blocks_);
+    next_block_ = other.next_block_;
+    cursor_ = other.cursor_;
+    remaining_ = other.remaining_;
+    used_ = other.used_;
+    other.blocks_.clear();
+    other.next_block_ = 0;
+    other.cursor_ = nullptr;
+    other.remaining_ = 0;
+    other.used_ = 0;
+    return *this;
+  }
+
+  /// Returns `bytes` of storage aligned to `align` (a power of two).  The
+  /// returned memory is zero-initialized on first use of its block; after
+  /// reset() it holds whatever the previous epoch wrote.
+  void* allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t)) {
+    NWLB_CHECK(align != 0 && (align & (align - 1)) == 0,
+               "Arena::allocate: alignment must be a power of two");
+    // Pointer <-> integer round trips for alignment math only — no type
+    // punning of the pointed-to bytes happens here.
+    // nwlb-analyze: allow(reinterpret-cast)
+    const std::uintptr_t base = reinterpret_cast<std::uintptr_t>(cursor_);
+    const std::uintptr_t aligned = (base + (align - 1)) & ~static_cast<std::uintptr_t>(align - 1);
+    const std::size_t padding = static_cast<std::size_t>(aligned - base);
+    if (cursor_ == nullptr || padding + bytes > remaining_) {
+      grow(bytes + align);
+      return allocate(bytes, align);
+    }
+    cursor_ += padding + bytes;
+    remaining_ -= padding + bytes;
+    used_ += padding + bytes;
+    // nwlb-analyze: allow(reinterpret-cast)
+    return reinterpret_cast<void*>(aligned);
+  }
+
+  /// Typed array of `count` zero-initialized elements.  Restricted to
+  /// trivial types: the arena never runs constructors or destructors, it
+  /// hands out zeroed storage (which for these types IS value init).
+  template <typename T>
+  std::span<T> make_array(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T> && std::is_trivially_copyable_v<T>,
+                  "Arena stores only trivial types");
+    if (count == 0) return {};
+    T* data = static_cast<T*>(allocate(count * sizeof(T), alignof(T)));
+    std::memset(static_cast<void*>(data), 0, count * sizeof(T));
+    return std::span<T>(data, count);
+  }
+
+  /// Rewinds to empty, keeping every block for reuse — the end-of-epoch
+  /// path, so the next epoch allocates from warm memory without touching
+  /// the heap.
+  void reset() {
+    next_block_ = 0;
+    used_ = 0;
+    if (blocks_.empty()) {
+      cursor_ = nullptr;
+      remaining_ = 0;
+    } else {
+      cursor_ = blocks_.front().data();
+      remaining_ = blocks_.front().size();
+      next_block_ = 1;
+    }
+  }
+
+  std::size_t bytes_used() const { return used_; }
+  std::size_t bytes_reserved() const {
+    std::size_t total = 0;
+    for (const auto& block : blocks_) total += block.size();
+    return total;
+  }
+  std::size_t num_blocks() const { return blocks_.size(); }
+
+ private:
+  static constexpr std::size_t kDefaultBlockBytes = std::size_t{1} << 20;
+
+  /// Makes a block with at least `min_bytes` available (reusing a kept
+  /// block when possible).  Cold path: runs a bounded number of times per
+  /// epoch, never per frame once the arena is warm.
+  void grow(std::size_t min_bytes) {
+    while (next_block_ < blocks_.size()) {
+      auto& block = blocks_[next_block_++];
+      if (block.size() >= min_bytes) {
+        cursor_ = block.data();
+        remaining_ = block.size();
+        return;
+      }
+    }
+    blocks_.emplace_back(std::max(block_bytes_, min_bytes));
+    next_block_ = blocks_.size();
+    cursor_ = blocks_.back().data();
+    remaining_ = blocks_.back().size();
+  }
+
+  std::size_t block_bytes_;
+  std::vector<std::vector<std::byte>> blocks_;
+  std::size_t next_block_ = 0;  // Blocks [0, next_block_) are in use.
+  std::byte* cursor_ = nullptr;
+  std::size_t remaining_ = 0;
+  std::size_t used_ = 0;
+};
+
+}  // namespace nwlb::util

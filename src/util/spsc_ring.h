@@ -1,0 +1,137 @@
+// nwlb-lint: hot-path
+//
+// Fixed-capacity lock-free single-producer/single-consumer ring of
+// variable-length frames in fixed-size slots.
+//
+// This is the tunnel-frame conveyor of the run-to-completion replay mode:
+// the shim side encapsulates a replicated packet straight into the next
+// free slot (no per-frame heap allocation, no locks), and the mirror side
+// drains frames in FIFO order.  Exactly one thread may produce and exactly
+// one thread may consume; the two synchronize only through the head/tail
+// indices, so the steady-state cost is two relaxed loads and one
+// release store per frame and the ring is safe to place between two
+// pinned cores.
+//
+// Storage is caller-provided (typically an util::Arena span), so a shard
+// can lay its rings out in memory it owns and reuse them across epochs.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "util/check.h"
+
+namespace nwlb::util {
+
+class SpscFrameRing {
+ public:
+  SpscFrameRing() = default;
+
+  /// Binds the ring to caller-owned storage: `slots` frame slots of
+  /// `slot_bytes` each.  `storage` must hold at least slots * slot_bytes
+  /// bytes and `lengths` at least `slots` entries; both must outlive the
+  /// ring.  `slots` must be a power of two (index masking).
+  SpscFrameRing(std::span<std::byte> storage, std::span<std::uint32_t> lengths,
+                std::size_t slots, std::size_t slot_bytes)
+      : storage_(storage.data()),
+        lengths_(lengths.data()),
+        slots_(slots),
+        slot_bytes_(slot_bytes) {
+    NWLB_CHECK(slots != 0 && (slots & (slots - 1)) == 0,
+               "SpscFrameRing: slot count must be a power of two");
+    NWLB_CHECK(storage.size() >= slots * slot_bytes && lengths.size() >= slots,
+               "SpscFrameRing: storage too small");
+  }
+
+  /// Moves are for single-threaded setup only (placing rings in a
+  /// container before any producer/consumer attaches); a ring being
+  /// actively used must never be moved.
+  SpscFrameRing(SpscFrameRing&& other) noexcept { *this = static_cast<SpscFrameRing&&>(other); }
+  SpscFrameRing& operator=(SpscFrameRing&& other) noexcept {
+    storage_ = other.storage_;
+    lengths_ = other.lengths_;
+    slots_ = other.slots_;
+    slot_bytes_ = other.slot_bytes_;
+    head_.store(other.head_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    tail_.store(other.tail_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    return *this;
+  }
+  SpscFrameRing(const SpscFrameRing&) = delete;
+  SpscFrameRing& operator=(const SpscFrameRing&) = delete;
+
+  std::size_t capacity() const { return slots_; }
+  std::size_t slot_bytes() const { return slot_bytes_; }
+
+  /// Producer: the next free slot, or an empty span when the ring is full.
+  /// Write the frame into the span, then publish it with commit(bytes).
+  std::span<std::byte> try_push_slot() {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    // Slots the consumer freed must be fully read before the producer
+    // reuses them.
+    // nwlb-analyze: order(pairs with the consumer's tail release)
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail == slots_) return {};
+    return {storage_ + (head & (slots_ - 1)) * slot_bytes_, slot_bytes_};
+  }
+
+  /// Producer: publishes the frame written into the slot returned by the
+  /// last try_push_slot().  `bytes` must fit the slot.
+  void commit(std::size_t bytes) {
+    NWLB_CHECK(bytes <= slot_bytes_, "SpscFrameRing::commit: frame exceeds slot");
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    lengths_[head & (slots_ - 1)] = static_cast<std::uint32_t>(bytes);
+    // The frame bytes and length must be visible to the consumer before
+    // the index moves.
+    // nwlb-analyze: order(publishes the filled slot to the consumer)
+    head_.store(head + 1, std::memory_order_release);
+  }
+
+  /// Consumer: the oldest unconsumed frame, or an empty span when the ring
+  /// is empty.  The span stays valid until pop().
+  std::span<const std::byte> front() const {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    // The frame bytes and length must be visible before we read them.
+    // nwlb-analyze: order(pairs with the producer's head release)
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    if (head == tail) return {};
+    const std::size_t slot = tail & (slots_ - 1);
+    return {storage_ + slot * slot_bytes_, lengths_[slot]};
+  }
+
+  /// Consumer: releases the slot returned by front().
+  void pop() {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    // Our reads of the frame must complete before the producer may
+    // overwrite the slot.
+    // nwlb-analyze: order(returns the slot to the producer)
+    tail_.store(tail + 1, std::memory_order_release);
+  }
+
+  bool empty() const {
+    // nwlb-analyze: order(snapshot pairing with the producer's publish)
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_relaxed);
+  }
+
+  /// Frames currently in flight (exact only from the producing or the
+  /// consuming thread; racy-but-bounded from anywhere else).
+  std::size_t size() const {
+    // nwlb-analyze: order(snapshot pairing with the producer's publish)
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(head - tail_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  std::byte* storage_ = nullptr;
+  std::uint32_t* lengths_ = nullptr;
+  std::size_t slots_ = 0;
+  std::size_t slot_bytes_ = 0;
+  // Monotonic frame indices; slot = index & (slots_ - 1).  Padded apart so
+  // the producer and consumer indices do not false-share a cache line.
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+};
+
+}  // namespace nwlb::util

@@ -1,0 +1,192 @@
+// Property tests for the batch decide kernels: every backend (gallop, avx2
+// when the host supports it, and the dispatch default) must be bit-identical
+// to the scalar oracle over randomized configs × 100k+ hash probes,
+// including exact segment-boundary edges and the run-of-equal-hashes shape
+// the replay produces.  decide_hashed_repeat must be arithmetic-identical
+// to decide_hashed_batch over a run of one hash.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "shim/config.h"
+#include "shim/flat_simd.h"
+#include "shim/flat_table.h"
+#include "shim/shim.h"
+#include "util/rng.h"
+
+namespace nwlb::shim {
+namespace {
+
+/// Randomized config: random classes, random hash-space partition with
+/// gaps, sometimes split per-direction tables (same generator shape as
+/// shim_flat_test).
+ShimConfig random_config(nwlb::util::Rng& rng) {
+  ShimConfig config;
+  const int classes = static_cast<int>(rng.range(1, 30));
+  for (int c = 0; c < classes; ++c) {
+    if (rng.bernoulli(0.2)) continue;
+    const bool split_directions = rng.bernoulli(0.3);
+    const int num_dirs = split_directions ? 2 : 1;
+    for (int d = 0; d < num_dirs; ++d) {
+      RangeTable table;
+      std::uint64_t cursor = 0;
+      while (cursor < kHashSpace) {
+        const std::uint64_t max_len = kHashSpace - cursor;
+        std::uint64_t len =
+            rng.bernoulli(0.3) ? rng.below(1024) + 1 : rng.below(max_len) + 1;
+        if (len > max_len) len = max_len;
+        const double coin = rng.uniform();
+        if (coin < 0.4)
+          table.add(HashRange{cursor, cursor + len, Action::process()});
+        else if (coin < 0.7)
+          table.add(HashRange{cursor, cursor + len,
+                              Action::replicate(static_cast<int>(rng.below(16)))});
+        cursor += len;
+      }
+      if (split_directions)
+        config.set_table(c, d == 0 ? nids::Direction::kForward : nids::Direction::kReverse,
+                         table);
+      else
+        config.set_table(c, table);
+    }
+  }
+  return config;
+}
+
+/// Probe hashes covering the hard cases: the exact begin of every range,
+/// ±1 around it, both hash-space extremes, plus uniform random fill.
+std::vector<std::uint32_t> probe_hashes(const ShimConfig& config, nwlb::util::Rng& rng,
+                                        std::size_t target) {
+  std::vector<std::uint32_t> hashes;
+  hashes.push_back(0);
+  hashes.push_back(0xffffffffu);
+  config.for_each_table([&](int, nids::Direction, const RangeTable& table) {
+    for (const HashRange& range : table.ranges()) {
+      for (std::int64_t delta : {-1, 0, 1}) {
+        const std::int64_t begin = static_cast<std::int64_t>(range.begin) + delta;
+        const std::int64_t end = static_cast<std::int64_t>(range.end) + delta;
+        if (begin >= 0 && begin <= 0xffffffff)
+          hashes.push_back(static_cast<std::uint32_t>(begin));
+        if (end >= 0 && end <= 0xffffffff)
+          hashes.push_back(static_cast<std::uint32_t>(end));
+      }
+    }
+  });
+  while (hashes.size() < target) hashes.push_back(static_cast<std::uint32_t>(rng()));
+  return hashes;
+}
+
+std::vector<simd::Backend> backends_under_test() {
+  std::vector<simd::Backend> backends = {simd::Backend::kGallop};
+  if (simd::avx2_supported()) backends.push_back(simd::Backend::kAvx2);
+  return backends;
+}
+
+TEST(ShimSimd, AllBackendsMatchScalarOracleOnRandomConfigs) {
+  nwlb::util::Rng rng(0x51d3);
+  std::size_t probes_checked = 0;
+  for (int trial = 0; trial < 12; ++trial) {
+    const ShimConfig config = random_config(rng);
+    const FlatConfig flat(config);
+    const std::vector<std::uint32_t> hashes = probe_hashes(config, rng, 10000);
+    std::vector<Action> want(hashes.size());
+    std::vector<Action> got(hashes.size());
+    for (int class_id = -1; class_id < 32; ++class_id) {
+      for (const auto dir : {nids::Direction::kForward, nids::Direction::kReverse}) {
+        flat.lookup_batch_with(simd::Backend::kScalar, class_id, dir, hashes, want);
+        // The scalar batch must itself agree with single lookups.
+        for (std::size_t i = 0; i < 16 && i < hashes.size(); ++i)
+          ASSERT_EQ(want[i], flat.lookup(class_id, dir, hashes[i]));
+        for (const simd::Backend backend : backends_under_test()) {
+          flat.lookup_batch_with(backend, class_id, dir, hashes, got);
+          for (std::size_t i = 0; i < hashes.size(); ++i)
+            ASSERT_EQ(got[i], want[i])
+                << simd::backend_name(backend) << " trial=" << trial
+                << " class=" << class_id << " hash=" << hashes[i];
+          probes_checked += hashes.size();
+        }
+      }
+    }
+  }
+  EXPECT_GE(probes_checked, 100000u);
+}
+
+TEST(ShimSimd, EqualHashRunsMatchScalar) {
+  // The replay's batch shape: long runs of one hash value (per-session
+  // direction), which is the gallop kernel's fast case.
+  nwlb::util::Rng rng(0x9a110);
+  const ShimConfig config = random_config(rng);
+  const FlatConfig flat(config);
+  std::vector<std::uint32_t> hashes;
+  while (hashes.size() < 20000) {
+    const auto hash = static_cast<std::uint32_t>(rng());
+    const std::size_t run = 1 + rng.below(24);
+    for (std::size_t i = 0; i < run; ++i) hashes.push_back(hash);
+  }
+  std::vector<Action> want(hashes.size());
+  std::vector<Action> got(hashes.size());
+  for (int class_id = 0; class_id < 8; ++class_id) {
+    flat.lookup_batch_with(simd::Backend::kScalar, class_id, nids::Direction::kForward,
+                           hashes, want);
+    for (const simd::Backend backend : backends_under_test()) {
+      flat.lookup_batch_with(backend, class_id, nids::Direction::kForward, hashes, got);
+      for (std::size_t i = 0; i < hashes.size(); ++i)
+        ASSERT_EQ(got[i], want[i]) << simd::backend_name(backend) << " i=" << i;
+    }
+  }
+}
+
+TEST(ShimSimd, DispatchMatchesScalarAndReportsABackend) {
+  nwlb::util::Rng rng(0xd15c);
+  const ShimConfig config = random_config(rng);
+  const FlatConfig flat(config);
+  std::vector<std::uint32_t> hashes;
+  for (int i = 0; i < 4096; ++i) hashes.push_back(static_cast<std::uint32_t>(rng()));
+  std::vector<Action> want(hashes.size());
+  std::vector<Action> got(hashes.size());
+  flat.lookup_batch_with(simd::Backend::kScalar, 1, nids::Direction::kForward, hashes, want);
+  flat.lookup_batch(1, nids::Direction::kForward, hashes, got);
+  for (std::size_t i = 0; i < hashes.size(); ++i) ASSERT_EQ(got[i], want[i]);
+  EXPECT_NE(simd::backend_name(simd::active_backend()), nullptr);
+}
+
+TEST(ShimSimd, UninstalledSlotsResolveToIgnoreOnEveryBackend) {
+  const FlatConfig flat{};  // Empty: every lookup is ignore.
+  std::vector<std::uint32_t> hashes(100, 42);
+  std::vector<Action> got(hashes.size());
+  for (const simd::Backend backend :
+       {simd::Backend::kScalar, simd::Backend::kGallop, simd::Backend::kAvx2}) {
+    flat.lookup_batch_with(backend, 3, nids::Direction::kForward, hashes, got);
+    for (const Action& action : got) ASSERT_EQ(action, Action::ignore());
+  }
+}
+
+TEST(ShimSimd, DecideHashedRepeatMatchesBatch) {
+  nwlb::util::Rng rng(0x2e9ea7);
+  const ShimConfig config = random_config(rng);
+  Shim shim(0);
+  // nwlb-analyze: allow(raw-shim-install) -- shim-level unit test.
+  shim.install(config);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int class_id = static_cast<int>(rng.range(-1, 32));
+    const auto dir =
+        rng.bernoulli(0.5) ? nids::Direction::kForward : nids::Direction::kReverse;
+    const auto hash = static_cast<std::uint32_t>(rng());
+    const std::uint64_t count = rng.below(40);
+    ShimStats batch_stats;
+    std::vector<std::uint32_t> hashes(count, hash);
+    std::vector<Action> actions(count);
+    shim.decide_hashed_batch(class_id, dir, hashes, actions, batch_stats);
+    ShimStats repeat_stats;
+    const Action action = shim.decide_hashed_repeat(class_id, dir, hash, count, repeat_stats);
+    for (const Action& a : actions) ASSERT_EQ(a, action);
+    EXPECT_EQ(repeat_stats.packets_seen, batch_stats.packets_seen);
+    EXPECT_EQ(repeat_stats.decided_process, batch_stats.decided_process);
+    EXPECT_EQ(repeat_stats.decided_replicate, batch_stats.decided_replicate);
+    EXPECT_EQ(repeat_stats.decided_ignore, batch_stats.decided_ignore);
+  }
+}
+
+}  // namespace
+}  // namespace nwlb::shim

@@ -1,0 +1,203 @@
+// Run-to-completion replay mode: the arena/SPSC-ring data plane must be
+// byte-identical to the classic replay — for any worker count, under
+// injected loss, crash/blackhole/link failures, fail-open degradation, and
+// mid-stream rollouts, and regardless of ring capacity.  The parallel
+// variants also run under ThreadSanitizer in CI to prove the shards share
+// no mutable state.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "core/mapper.h"
+#include "core/replication_lp.h"
+#include "core/scenario.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "shim/bundle.h"
+#include "sim/failure.h"
+#include "sim/replay.h"
+#include "sim/trace.h"
+#include "topo/topology.h"
+#include "traffic/matrix.h"
+
+namespace nwlb::sim {
+namespace {
+
+struct RtcFixture {
+  topo::Topology topology = topo::make_internet2();
+  traffic::TrafficMatrix tm;
+  core::Scenario scenario;
+  core::ProblemInput input;
+  core::ProblemInput ingress_input;
+  shim::ConfigBundle bundle;       // Generation 1 (path-replicate plan).
+  shim::ConfigBundle next_bundle;  // Generation 2 (ingress-only plan).
+
+  RtcFixture()
+      : tm(traffic::gravity_matrix(topology.graph, traffic::paper_total_sessions(11))),
+        scenario(topology, tm),
+        input(scenario.problem(core::Architecture::kPathReplicate)),
+        ingress_input(scenario.problem(core::Architecture::kIngress)),
+        bundle(core::build_bundle(input, core::ReplicationLp(input).solve(), 1)),
+        next_bundle(core::build_bundle(ingress_input,
+                                       core::ReplicationLp(ingress_input).solve(), 2)) {}
+
+  ReplayStats run(const ReplayOptions& opts, int sessions = 900,
+                  std::uint64_t seed = 41) const {
+    ReplaySimulator sim(input, bundle, opts);
+    TraceConfig tc;
+    tc.scanners = 4;
+    TraceGenerator gen(input.classes, tc, seed);
+    sim.replay(gen.generate(sessions), gen);
+    return sim.stats();
+  }
+};
+
+void expect_identical(const ReplayStats& a, const ReplayStats& b) {
+  // Exact comparisons, doubles included: every accumulated double is an
+  // integer-valued work/byte count, so the modes must agree bit for bit.
+  EXPECT_EQ(a.node_work, b.node_work);
+  EXPECT_EQ(a.node_packets, b.node_packets);
+  EXPECT_EQ(a.link_replicated_bytes, b.link_replicated_bytes);
+  EXPECT_EQ(a.sessions_replayed, b.sessions_replayed);
+  EXPECT_EQ(a.packets_replayed, b.packets_replayed);
+  EXPECT_EQ(a.signature_matches, b.signature_matches);
+  EXPECT_EQ(a.tunnel_frames_sent, b.tunnel_frames_sent);
+  EXPECT_EQ(a.tunnel_frames_dropped, b.tunnel_frames_dropped);
+  EXPECT_EQ(a.tunnel_frames_blackholed, b.tunnel_frames_blackholed);
+  EXPECT_EQ(a.tunnel_frames_detected_lost, b.tunnel_frames_detected_lost);
+  EXPECT_EQ(a.tunnel_frames_malformed, b.tunnel_frames_malformed);
+  EXPECT_EQ(a.crash_skipped_packets, b.crash_skipped_packets);
+  EXPECT_EQ(a.fail_open_packets, b.fail_open_packets);
+  EXPECT_EQ(a.degraded_skipped_packets, b.degraded_skipped_packets);
+  EXPECT_EQ(a.stateful_covered, b.stateful_covered);
+  EXPECT_EQ(a.stateful_missed, b.stateful_missed);
+  EXPECT_EQ(a.decisions_process, b.decisions_process);
+  EXPECT_EQ(a.decisions_replicate, b.decisions_replicate);
+  EXPECT_EQ(a.decisions_ignore, b.decisions_ignore);
+  EXPECT_EQ(a.mirror_flaps, b.mirror_flaps);
+}
+
+TEST(RunToCompletionReplay, SerialMatchesClassicByteForByte) {
+  RtcFixture f;
+  ReplayOptions classic;
+  ReplayOptions rtc;
+  rtc.run_to_completion = true;
+  const ReplayStats want = f.run(classic);
+  const ReplayStats got = f.run(rtc);
+  ASSERT_GT(want.packets_replayed, 0u);
+  ASSERT_GT(want.tunnel_frames_sent, 0u);
+  expect_identical(want, got);
+}
+
+TEST(RunToCompletionReplay, ParallelMatchesSerial) {
+  RtcFixture f;
+  ReplayOptions serial;
+  serial.run_to_completion = true;
+  ReplayOptions parallel = serial;
+  parallel.num_workers = 4;
+  expect_identical(f.run(serial), f.run(parallel));
+}
+
+TEST(RunToCompletionReplay, TinyRingDrainsInPlaceWithoutDivergence) {
+  // A 2-slot ring forces mid-direction drains on every replicated burst;
+  // the drain point must not affect any merged quantity.
+  RtcFixture f;
+  ReplayOptions classic;
+  ReplayOptions rtc;
+  rtc.run_to_completion = true;
+  rtc.rtc_ring_frames = 2;
+  expect_identical(f.run(classic), f.run(rtc));
+}
+
+TEST(RunToCompletionReplay, MatchesClassicUnderLossFailuresAndFailOpen) {
+  RtcFixture f;
+  FailureSchedule failures;
+  failures.add({FailureKind::kNodeCrash, /*target=*/2, /*begin=*/100, /*end=*/400});
+  // Partial blackholes on every node and a few link outages: whichever
+  // mirrors the plan actually uses, some frames get eaten.
+  for (int node = 0; node < f.input.num_processing_nodes(); ++node)
+    failures.add({FailureKind::kMirrorBlackhole, node, /*begin=*/0,
+                  /*end=*/FailureEvent::kNever, /*severity=*/0.4});
+  for (int link = 0; link < 6; ++link)
+    failures.add({FailureKind::kLinkDown, link, /*begin=*/200, /*end=*/700,
+                  /*severity=*/0.3});
+  ReplayOptions classic;
+  classic.replication_loss = 0.25;
+  classic.failures = &failures;
+  classic.degrade = DegradePolicy::kFailOpen;
+  ReplayOptions rtc = classic;
+  rtc.run_to_completion = true;
+  const ReplayStats want = f.run(classic);
+  const ReplayStats got = f.run(rtc);
+  ASSERT_GT(want.tunnel_frames_dropped, 0u);
+  ASSERT_GT(want.tunnel_frames_blackholed, 0u);
+  ASSERT_GT(want.crash_skipped_packets, 0u);
+  expect_identical(want, got);
+  // And the sharded run-to-completion replay agrees with its own serial.
+  ReplayOptions rtc_parallel = rtc;
+  rtc_parallel.num_workers = 4;
+  expect_identical(got, f.run(rtc_parallel));
+}
+
+TEST(RunToCompletionReplay, MidStreamRolloutStaysByteIdentical) {
+  RtcFixture f;
+  TraceConfig tc;
+  tc.scanners = 0;
+  const auto run = [&](bool rtc_mode, int workers) {
+    ReplayOptions opts;
+    opts.run_to_completion = rtc_mode;
+    opts.num_workers = workers;
+    ReplaySimulator sim(f.input, f.bundle, opts);
+    TraceGenerator gen(f.input.classes, tc, /*seed=*/17);
+    const auto window1 = gen.generate(300);
+    sim.replay(window1, gen);
+    sim.install_bundle(f.next_bundle, /*activate_at=*/450);
+    const auto window2 = gen.generate(300);
+    sim.replay(window2, gen);  // Crosses the activation point mid-window.
+    return std::make_pair(sim.stats(), sim.rollout_stats());
+  };
+  const auto [classic_stats, classic_rollout] = run(false, 1);
+  const auto [rtc_stats, rtc_rollout] = run(true, 1);
+  const auto [rtc_par_stats, rtc_par_rollout] = run(true, 4);
+  ASSERT_GT(classic_rollout.sessions_draining_generation, 0u);
+  expect_identical(classic_stats, rtc_stats);
+  expect_identical(classic_stats, rtc_par_stats);
+  EXPECT_EQ(classic_rollout.active_generation, rtc_rollout.active_generation);
+  EXPECT_EQ(classic_rollout.sessions_current_generation,
+            rtc_rollout.sessions_current_generation);
+  EXPECT_EQ(classic_rollout.sessions_draining_generation,
+            rtc_rollout.sessions_draining_generation);
+  EXPECT_EQ(classic_rollout.sessions_unassigned, 0u);
+  EXPECT_EQ(rtc_par_rollout.sessions_current_generation,
+            rtc_rollout.sessions_current_generation);
+}
+
+TEST(RunToCompletionReplay, MetricsExportByteIdenticalToClassic) {
+  // The strongest end-to-end property: the rendered metric expositions —
+  // every counter, gauge, and label — agree byte for byte across modes.
+  RtcFixture f;
+  const auto exposition = [&](bool rtc_mode) {
+    ReplayOptions opts;
+    opts.run_to_completion = rtc_mode;
+    opts.replication_loss = 0.1;
+    ReplaySimulator sim(f.input, f.bundle, opts);
+    TraceConfig tc;
+    tc.scanners = 4;
+    TraceGenerator gen(f.input.classes, tc, /*seed=*/41);
+    sim.replay(gen.generate(600), gen);
+    obs::Registry registry;
+    sim.export_metrics(registry);
+    return std::make_pair(obs::prometheus_text(registry.snapshot()),
+                          obs::to_json(registry));
+  };
+  const auto classic = exposition(false);
+  const auto rtc = exposition(true);
+  EXPECT_FALSE(classic.first.empty());
+  EXPECT_EQ(classic.first, rtc.first);
+  EXPECT_EQ(classic.second, rtc.second);
+}
+
+}  // namespace
+}  // namespace nwlb::sim

@@ -9,12 +9,14 @@
 // already ban unordered_map and throw there; this pass extends the
 // discipline to four token categories:
 //
-//   alloc    make_unique make_shared malloc calloc realloc
+//   alloc    make_unique make_shared malloc calloc realloc aligned_alloc
+//            posix_memalign
 //   lock     mutex Mutex MutexLock lock_guard unique_lock scoped_lock
 //            condition_variable CondVar
 //   virtual  virtual
-//   io       cout cerr clog cin printf fprintf puts fputs fgets fopen
-//            fread fwrite ifstream ofstream fstream getline
+//   io       cout cerr clog cin printf fprintf sprintf snprintf puts
+//            fputs fgets fopen fread fwrite ifstream ofstream fstream
+//            getline
 //
 // util::ThreadRole / RoleGuard are deliberately NOT banned: the role
 // capability is a compile-time fiction with empty acquire/release, which
@@ -37,12 +39,16 @@ struct BannedToken {
   std::string_view category;
 };
 
-constexpr std::array<BannedToken, 30> kBanned = {{
+constexpr std::array<BannedToken, 34> kBanned = {{
     {"make_unique", "alloc"},
     {"make_shared", "alloc"},
     {"malloc", "alloc"},
     {"calloc", "alloc"},
     {"realloc", "alloc"},
+    // One-time aligned buffers belong in the arena (or a setup path with a
+    // reviewed allow) — never per frame.
+    {"aligned_alloc", "alloc"},
+    {"posix_memalign", "alloc"},
     {"mutex", "lock"},
     {"Mutex", "lock"},
     {"MutexLock", "lock"},
@@ -58,6 +64,10 @@ constexpr std::array<BannedToken, 30> kBanned = {{
     {"cin", "io"},
     {"printf", "io"},
     {"fprintf", "io"},
+    // String formatting is hidden I/O-grade work: locale-aware, branchy,
+    // and never constant-time — format off the frame path.
+    {"sprintf", "io"},
+    {"snprintf", "io"},
     {"puts", "io"},
     {"fputs", "io"},
     {"fgets", "io"},
