@@ -25,7 +25,16 @@
 // Output: human-readable tables, plus a JSON report (NWLB_BENCH_JSON=path)
 // for CI artifacts.  Knobs: NWLB_FAST, NWLB_TOPO, NWLB_SESSIONS,
 // NWLB_WORKERS (default 4), NWLB_LOOKUPS (decide samples),
-// NWLB_HEADLINE_SESSIONS, NWLB_AC_REPS, NWLB_BENCH_ENFORCE.
+// NWLB_HEADLINE_SESSIONS, NWLB_AC_REPS, NWLB_LP_BUDGET_SEC,
+// NWLB_BENCH_ENFORCE.
+//
+// Bootstrap configs come from the controller, not a raw LP solve: the LP
+// gets a wall-clock budget (NWLB_LP_BUDGET_SEC, default 30), so a
+// TiNet-scale instance that would otherwise abort on the simplex
+// iteration limit maps to lp::Status::kTimeLimit and degrades through the
+// controller's fallback ladder to a valid (ingress-constructed) bundle —
+// the full-sweep run completes without NWLB_FAST, with the degraded
+// status reported in the LP table.
 #include "bench_common.h"
 
 #include <chrono>
@@ -35,8 +44,7 @@
 #include <thread>
 #include <vector>
 
-#include "core/mapper.h"
-#include "core/replication_lp.h"
+#include "core/controller.h"
 #include "core/scenario.h"
 #include "nids/signature.h"
 #include "nids/signature_baseline.h"
@@ -95,7 +103,8 @@ int main() {
   util::Table replay_table({"Topology", "Sessions", "Packets", "SerialSec", "SerialPps",
                             "Workers", "ParallelSec", "ParallelPps", "Speedup",
                             "Identical"});
-  util::Table lp_table({"Topology", "LpSolveSec", "LpIters"});
+  util::Table lp_table({"Topology", "LpSolveSec", "LpIters", "Status"});
+  const int lp_budget_sec = util::env_int("NWLB_LP_BUDGET_SEC", 30);
   std::uint64_t checksum = 0;  // Defeats dead-code elimination of the loops.
 
   // --- 0. Signature engine ns/byte: baseline nodes vs flat table vs
@@ -169,16 +178,22 @@ int main() {
   for (const auto& topology : bench::selected_topologies()) {
     const auto tm = traffic::gravity_matrix(
         topology.graph, traffic::paper_total_sessions(topology.graph.num_nodes()));
-    const core::Scenario scenario(topology, tm);
-    const core::ProblemInput input = scenario.problem(core::Architecture::kPathReplicate);
-    const core::ReplicationLp formulation(input);
-    const core::Assignment assignment = formulation.solve();
-    const shim::ConfigBundle bundle = core::build_bundle(input, assignment);
+    core::ControllerOptions copts;
+    copts.lp.max_seconds = static_cast<double>(lp_budget_sec);
+    core::Controller controller(topology, tm, copts);
+    const core::ProblemInput input =
+        controller.scenario().problem(copts.architecture);
+    core::EpochRequest request;
+    request.tm = &tm;
+    const core::EpochResult epoch = controller.run(request);
+    const shim::ConfigBundle& bundle = epoch.bundle;
     const auto& configs = bundle.configs;
     lp_table.row()
         .cell(topology.name)
-        .cell(assignment.lp.solve_seconds, 4)
-        .cell(assignment.lp.iterations + assignment.lp.phase1_iterations);
+        .cell(epoch.solve_seconds, 4)
+        .cell(epoch.iterations)
+        .cell(epoch.degraded ? core::to_string(epoch.degraded_reasons)
+                             : std::string("optimal"));
 
     // --- 1. decide latency: compiled flat tables vs map+scan tables. ---
     std::vector<shim::FlatConfig> flat;
@@ -273,10 +288,14 @@ int main() {
     const topo::Topology topology = bench::selected_topologies().front();
     const auto tm = traffic::gravity_matrix(
         topology.graph, traffic::paper_total_sessions(topology.graph.num_nodes()));
-    const core::Scenario scenario(topology, tm);
-    const core::ProblemInput input = scenario.problem(core::Architecture::kPathReplicate);
-    const shim::ConfigBundle bundle =
-        core::build_bundle(input, core::ReplicationLp(input).solve());
+    core::ControllerOptions copts;
+    copts.lp.max_seconds = static_cast<double>(lp_budget_sec);
+    core::Controller controller(topology, tm, copts);
+    const core::ProblemInput input =
+        controller.scenario().problem(copts.architecture);
+    core::EpochRequest request;
+    request.tm = &tm;
+    const shim::ConfigBundle bundle = controller.run(request).bundle;
 
     // Probe trace: minimum payloads, one packet per direction — the
     // session-rate stress shape (per-session overheads dominate, exactly

@@ -1,0 +1,50 @@
+// The single fenced path from the replicated control plane to the data
+// plane (DESIGN.md §13).
+//
+// Every ConfigBundle a leader emits must pass through InstallGate::admit,
+// which asserts the safety invariants the consensus layer is supposed to
+// guarantee before handing the bundle to online::RolloutEngine (the one
+// component allowed to touch the data plane's install machinery):
+//
+//   * the caller holds a majority-committed lease covering the current tick;
+//   * terms never move backwards, and within one term only one replica
+//     ever installs (no split-brain double-install);
+//   * generations are strictly monotonic (no regression, no duplicate).
+//
+// The checks are NWLB_CHECKs, not best-effort filters: a violation is a
+// consensus bug and the fault-injection suite runs every crash/partition
+// schedule through them.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "online/rollout.h"
+
+namespace nwlb::dist {
+
+class InstallGate {
+ public:
+  InstallGate(shim::ConfigBundle initial, online::RolloutOptions options)
+      : rollout_(std::move(initial), options),
+        last_generation_(rollout_.current().generation) {}
+
+  /// Fenced install: asserts lease validity, term/leader fencing, and
+  /// generation monotonicity, then applies via the rollout engine.
+  online::RolloutReport admit(sim::ReplaySimulator& sim, int leader,
+                              std::uint64_t term, bool lease_valid,
+                              std::uint64_t tick, shim::ConfigBundle bundle);
+
+  std::uint64_t last_generation() const { return last_generation_; }
+  std::uint64_t last_term() const { return last_term_; }
+  int last_leader() const { return last_leader_; }
+  const online::RolloutEngine& rollout() const { return rollout_; }
+
+ private:
+  online::RolloutEngine rollout_;
+  std::uint64_t last_generation_;
+  std::uint64_t last_term_ = 0;
+  int last_leader_ = -1;
+};
+
+}  // namespace nwlb::dist

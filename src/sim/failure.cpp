@@ -10,6 +10,8 @@ const char* to_string(FailureKind kind) {
     case FailureKind::kNodeCrash: return "crash";
     case FailureKind::kMirrorBlackhole: return "blackhole";
     case FailureKind::kLinkDown: return "linkdown";
+    case FailureKind::kControllerCrash: return "controller_crash";
+    case FailureKind::kPartition: return "partition";
   }
   return "?";
 }
@@ -17,6 +19,9 @@ const char* to_string(FailureKind kind) {
 int FailureSchedule::add(FailureEvent event) {
   if (event.target < 0)
     throw std::invalid_argument("FailureSchedule: negative target id");
+  if (event.kind == FailureKind::kPartition && event.target == 0)
+    throw std::invalid_argument(
+        "FailureSchedule: partition mask must have at least one bit set");
   if (event.end <= event.begin)
     throw std::invalid_argument("FailureSchedule: event ends before it begins");
   if (event.severity < 0.0 || event.severity > 1.0)
@@ -55,12 +60,30 @@ const FailureEvent* FailureSchedule::link_down_at(int link,
 std::vector<int> FailureSchedule::failed_nodes_at(std::uint64_t session_index) const {
   std::vector<int> nodes;
   for (const FailureEvent& e : events_) {
-    if (e.kind == FailureKind::kLinkDown || !e.active_at(session_index)) continue;
+    const bool data_plane_node = e.kind == FailureKind::kNodeCrash ||
+                                 e.kind == FailureKind::kMirrorBlackhole;
+    if (!data_plane_node || !e.active_at(session_index)) continue;
     bool seen = false;
     for (int n : nodes) seen = seen || n == e.target;
     if (!seen) nodes.push_back(e.target);
   }
   return nodes;
+}
+
+bool FailureSchedule::controller_crashed(int replica,
+                                         std::uint64_t session_index) const {
+  for (const FailureEvent& e : events_)
+    if (e.kind == FailureKind::kControllerCrash && e.target == replica &&
+        e.active_at(session_index))
+      return true;
+  return false;
+}
+
+std::uint32_t FailureSchedule::partition_mask_at(std::uint64_t session_index) const {
+  for (const FailureEvent& e : events_)
+    if (e.kind == FailureKind::kPartition && e.active_at(session_index))
+      return static_cast<std::uint32_t>(e.target);
+  return 0;
 }
 
 bool FailureSchedule::any_active_at(std::uint64_t session_index) const {
@@ -92,6 +115,10 @@ FailureSchedule FailureSchedule::parse(const std::string& spec) {
       event.kind = FailureKind::kMirrorBlackhole;
     } else if (kind_name == "linkdown") {
       event.kind = FailureKind::kLinkDown;
+    } else if (kind_name == "controller_crash") {
+      event.kind = FailureKind::kControllerCrash;
+    } else if (kind_name == "partition") {
+      event.kind = FailureKind::kPartition;
     } else {
       throw std::invalid_argument("FailureSchedule: line " + std::to_string(line_no) +
                                   ": unknown event kind '" + kind_name + "'");
@@ -111,6 +138,25 @@ FailureSchedule FailureSchedule::parse(const std::string& spec) {
       }
     }
     if (double severity = 1.0; fields >> severity) event.severity = severity;
+
+    // Schedules read top to bottom as a timeline; an event that begins
+    // before its predecessor, or repeats one verbatim, is almost always a
+    // typo in the spec — reject loudly instead of silently reordering.
+    if (!schedule.events_.empty() && event.begin < schedule.events_.back().begin)
+      throw std::invalid_argument(
+          "FailureSchedule: line " + std::to_string(line_no) +
+          ": out-of-order event: begin " + std::to_string(event.begin) +
+          " precedes the previous event's begin " +
+          std::to_string(schedule.events_.back().begin) +
+          " (list events in non-decreasing begin order)");
+    for (const FailureEvent& prior : schedule.events_)
+      if (prior.kind == event.kind && prior.target == event.target &&
+          prior.begin == event.begin && prior.end == event.end)
+        throw std::invalid_argument(
+            "FailureSchedule: line " + std::to_string(line_no) +
+            ": duplicate event '" + kind_name + " " + std::to_string(event.target) +
+            " " + std::to_string(event.begin) + " ...' already scheduled");
+
     try {
       schedule.add(event);
     } catch (const std::invalid_argument& e) {

@@ -29,6 +29,9 @@ enum class FailureKind {
   kNodeCrash,        // Processing node down: no shim decisions, no NIDS work.
   kMirrorBlackhole,  // Mirror silently eats arriving tunnel frames.
   kLinkDown,         // Directed link drops tunnel frames crossing it.
+  kControllerCrash,  // Control-plane replica down: no consensus, no epochs.
+  kPartition,        // Control-plane bus split: target = replica bitmask of
+                     // one side; messages crossing the cut are lost.
 };
 
 const char* to_string(FailureKind kind);
@@ -66,8 +69,19 @@ class FailureSchedule {
   const FailureEvent* link_down_at(int link, std::uint64_t session_index) const;
 
   /// Processing nodes covered by a crash OR blackhole event at the index —
-  /// the set a keepalive-driven controller would report failed.
+  /// the set a keepalive-driven controller would report failed.  Control-
+  /// plane events (controller_crash / partition) never appear here: they
+  /// concern replicas, not data-plane nodes.
   std::vector<int> failed_nodes_at(std::uint64_t session_index) const;
+
+  /// True when a controller_crash event covers `replica` at the index.
+  bool controller_crashed(int replica, std::uint64_t session_index) const;
+
+  /// Bitmask of the active partition at the index (bit r = replica r sits
+  /// in group A; everyone else in group B), or 0 when the control-plane
+  /// bus is whole.  Overlapping partition events resolve to the earliest-
+  /// added active one.
+  std::uint32_t partition_mask_at(std::uint64_t session_index) const;
 
   /// True when any event at all is active at the index.
   bool any_active_at(std::uint64_t session_index) const;
@@ -93,7 +107,12 @@ class FailureSchedule {
   ///   crash <node> <begin> <end|-> [severity]
   ///   blackhole <mirror> <begin> <end|-> [severity]
   ///   linkdown <link> <begin> <end|-> [severity]
-  /// '#' starts a comment.  Throws std::invalid_argument on bad input.
+  ///   controller_crash <replica> <begin> <end|->
+  ///   partition <mask> <begin> <end|->
+  /// '#' starts a comment.  Events must be listed in non-decreasing
+  /// `begin` order, and an exact duplicate (same kind, target, begin, end)
+  /// is rejected — both are almost always schedule-authoring mistakes.
+  /// Throws std::invalid_argument on bad input.
   static FailureSchedule parse(const std::string& spec);
 
   std::string to_string() const;

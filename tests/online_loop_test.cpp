@@ -10,6 +10,7 @@
 #include "obs/metrics.h"
 #include "online/estimator.h"
 #include "online/loop.h"
+#include "sim/failure.h"
 #include "sim/replay.h"
 #include "sim/trace.h"
 #include "topo/topology.h"
@@ -123,6 +124,71 @@ TEST(ControlLoop, ExportsOnlineMetrics) {
   EXPECT_EQ(installed + skipped, 2u);
   EXPECT_GT(f.registry.gauge("nwlb_online_estimate_total_sessions").value(), 0.0);
   EXPECT_EQ(f.registry.gauge("nwlb_online_failures_reported").value(), 0.0);
+}
+
+TEST(ControlLoop, ZeroTrafficWindowKeepsEstimateWellFormed) {
+  LoopFixture f;
+  ControlLoop loop = f.make_loop();
+  loop.run_interval(f.generator.generate(1000), f.generator);  // Seed the EWMA.
+
+  // A window with no traffic at all: the support floor plus scale
+  // anchoring must keep every known class pair positive — the LP model
+  // shape cannot collapse just because an interval was quiet.
+  const IntervalReport quiet = loop.run_interval({}, f.generator);
+  EXPECT_EQ(quiet.sessions_replayed, 0u);
+  EXPECT_NEAR(quiet.estimate_total, f.tm.total(), 1e-6 * f.tm.total());
+  EXPECT_FALSE(quiet.epoch.degraded);
+  const traffic::TrafficMatrix estimate = loop.estimator().estimate();
+  for (const auto& cls : f.input.classes)
+    EXPECT_GT(estimate.volume(cls.ingress, cls.egress), 0.0)
+        << "class " << cls.id << " vanished from the estimate";
+
+  // And the loop keeps running normally afterwards.
+  const IntervalReport next =
+      loop.run_interval(f.generator.generate(1000), f.generator);
+  EXPECT_FALSE(next.epoch.degraded);
+  EXPECT_EQ(loop.intervals_run(), 3);
+}
+
+TEST(ControlLoop, MirrorFlapWithinOneIntervalStaysBelowHysteresis) {
+  LoopFixture f;
+  // Blackhole every processing node (PoPs and the datacenter — mirrors
+  // live in the problem's processing-node id space, not the graph's) for
+  // the middle third of the first interval's window: whichever mirrors
+  // receive offloaded frames flap down and back within a single interval.
+  sim::FailureSchedule flap;
+  for (int node = 0; node < f.input.num_processing_nodes(); ++node) {
+    sim::FailureEvent event;
+    event.kind = sim::FailureKind::kMirrorBlackhole;
+    event.target = node;
+    event.begin = 300;
+    event.end = 600;
+    flap.add(event);
+  }
+  sim::ReplayOptions ropts;
+  ropts.failures = &flap;
+  sim::ReplaySimulator simulator(f.input, f.bootstrap.bundle, ropts);
+  ControlLoopOptions lopts;
+  lopts.estimator.scale_to_total = f.tm.total();
+  ControlLoop loop(f.controller, simulator, f.bootstrap.bundle, lopts);
+
+  const IntervalReport first =
+      loop.run_interval(f.generator.generate(1000), f.generator);
+  // The flap really happened on the data plane...
+  EXPECT_GT(simulator.stats().tunnel_frames_blackholed, 0u);
+  // ...but a sub-interval dip stays below the health monitor's
+  // down_after hysteresis: no failure report, no verdict flip, and the
+  // epoch is a normal re-optimization, not a degraded fallback.
+  EXPECT_EQ(first.failures_reported, 0);
+  EXPECT_EQ(simulator.stats().mirror_flaps, 0u);
+  EXPECT_FALSE(first.epoch.degraded);
+
+  // A clean follow-up interval stays healthy and loses nothing.
+  const IntervalReport second =
+      loop.run_interval(f.generator.generate(1000), f.generator);
+  EXPECT_EQ(second.failures_reported, 0);
+  EXPECT_FALSE(second.epoch.degraded);
+  EXPECT_EQ(simulator.stats().sessions_replayed, 2000u);
 }
 
 TEST(ControlLoop, RunsWithoutARegistry) {

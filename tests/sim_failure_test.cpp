@@ -145,19 +145,19 @@ TEST(FailureInjection, EmptyTraceRatiosAreZeroNotNaN) {
 
 TEST(FailureScheduleSpec, ParseRoundTrips) {
   const FailureSchedule parsed = FailureSchedule::parse(
+      "linkdown 7 0 100\n"
       "crash 3 1600 4000\n"
-      "blackhole 11 2400 - 0.5\n"
       "# comment line\n"
-      "linkdown 7 0 100");
+      "blackhole 11 2400 - 0.5");
   ASSERT_EQ(parsed.events().size(), 3u);
-  EXPECT_EQ(parsed.events()[0].kind, FailureKind::kNodeCrash);
-  EXPECT_EQ(parsed.events()[0].target, 3);
-  EXPECT_EQ(parsed.events()[0].begin, 1600u);
-  EXPECT_EQ(parsed.events()[0].end, 4000u);
-  EXPECT_EQ(parsed.events()[1].kind, FailureKind::kMirrorBlackhole);
-  EXPECT_EQ(parsed.events()[1].end, FailureEvent::kNever);
-  EXPECT_DOUBLE_EQ(parsed.events()[1].severity, 0.5);
-  EXPECT_EQ(parsed.events()[2].kind, FailureKind::kLinkDown);
+  EXPECT_EQ(parsed.events()[0].kind, FailureKind::kLinkDown);
+  EXPECT_EQ(parsed.events()[1].kind, FailureKind::kNodeCrash);
+  EXPECT_EQ(parsed.events()[1].target, 3);
+  EXPECT_EQ(parsed.events()[1].begin, 1600u);
+  EXPECT_EQ(parsed.events()[1].end, 4000u);
+  EXPECT_EQ(parsed.events()[2].kind, FailureKind::kMirrorBlackhole);
+  EXPECT_EQ(parsed.events()[2].end, FailureEvent::kNever);
+  EXPECT_DOUBLE_EQ(parsed.events()[2].severity, 0.5);
 
   // to_string re-parses to the same event list.
   const FailureSchedule again = FailureSchedule::parse(parsed.to_string());
@@ -180,6 +180,70 @@ TEST(FailureScheduleSpec, ParseRejectsBadInput) {
   EXPECT_THROW(FailureSchedule::parse("crash 3 10 5"), std::invalid_argument);   // end < begin
   EXPECT_THROW(FailureSchedule::parse("crash 3 0 10 2.0"), std::invalid_argument);  // severity > 1
   EXPECT_THROW(FailureSchedule::parse("crash -1 0 10"), std::invalid_argument);  // bad target
+}
+
+TEST(FailureScheduleSpec, ParseRejectsOutOfOrderEvents) {
+  // Timeline order: an event whose begin precedes its predecessor's is a
+  // spec typo, not an alternate ordering.
+  try {
+    FailureSchedule::parse("crash 3 1600 4000; linkdown 7 0 100");
+    FAIL() << "out-of-order schedule accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("out-of-order"), std::string::npos)
+        << e.what();
+  }
+  // Equal begins are fine (simultaneous faults are legitimate).
+  EXPECT_EQ(FailureSchedule::parse("crash 1 100 200; blackhole 2 100 300")
+                .events()
+                .size(),
+            2u);
+}
+
+TEST(FailureScheduleSpec, ParseRejectsDuplicateEvents) {
+  try {
+    FailureSchedule::parse("crash 3 100 200\ncrash 3 100 200");
+    FAIL() << "duplicate schedule accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate"), std::string::npos)
+        << e.what();
+  }
+  // Same target at a different window is not a duplicate.
+  EXPECT_EQ(FailureSchedule::parse("crash 3 100 200; crash 3 300 400")
+                .events()
+                .size(),
+            2u);
+}
+
+TEST(FailureScheduleSpec, ControllerEventsParseAndQuery) {
+  const FailureSchedule schedule = FailureSchedule::parse(
+      "controller_crash 0 800 2400\n"
+      "partition 1 3200 4000");
+  ASSERT_EQ(schedule.events().size(), 2u);
+  EXPECT_EQ(schedule.events()[0].kind, FailureKind::kControllerCrash);
+  EXPECT_EQ(schedule.events()[1].kind, FailureKind::kPartition);
+
+  EXPECT_FALSE(schedule.controller_crashed(0, 799));
+  EXPECT_TRUE(schedule.controller_crashed(0, 800));
+  EXPECT_TRUE(schedule.controller_crashed(0, 2399));
+  EXPECT_FALSE(schedule.controller_crashed(0, 2400));
+  EXPECT_FALSE(schedule.controller_crashed(1, 1000));
+
+  EXPECT_EQ(schedule.partition_mask_at(3199), 0u);
+  EXPECT_EQ(schedule.partition_mask_at(3200), 1u);
+  EXPECT_EQ(schedule.partition_mask_at(4000), 0u);
+
+  // Control-plane events are invisible to the data-plane failure report.
+  EXPECT_TRUE(schedule.failed_nodes_at(1000).empty());
+  EXPECT_TRUE(schedule.failed_nodes_at(3500).empty());
+
+  // An all-zeros partition mask splits nothing and is rejected.
+  EXPECT_THROW(FailureSchedule::parse("partition 0 100 200"), std::invalid_argument);
+
+  // Round-trip through to_string survives the strict parser.
+  const FailureSchedule again = FailureSchedule::parse(schedule.to_string());
+  ASSERT_EQ(again.events().size(), 2u);
+  EXPECT_EQ(again.events()[0].kind, FailureKind::kControllerCrash);
+  EXPECT_EQ(again.events()[1].target, 1);
 }
 
 TEST(FailureScheduleSpec, ActivityQueries) {
@@ -331,7 +395,7 @@ TEST(ScheduledFailures, ParallelReplayByteIdenticalUnderEverySchedule) {
   linkdown.add(FailureSchedule::parse("linkdown 3 50 800").events()[0]);
 
   FailureSchedule combined = FailureSchedule::parse(
-      "crash 1 100 400; blackhole " + std::to_string(dc) + " 200 700 0.5; linkdown 5 0 -");
+      "linkdown 5 0 -; crash 1 100 400; blackhole " + std::to_string(dc) + " 200 700 0.5");
 
   for (const FailureSchedule* schedule : {&crash, &blackhole, &linkdown, &combined}) {
     for (const DegradePolicy policy : {DegradePolicy::kFailClosed, DegradePolicy::kFailOpen}) {

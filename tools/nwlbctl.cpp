@@ -20,6 +20,7 @@
 
 #include "core/controller.h"
 #include "core/mapper.h"
+#include "dist/replicated_loop.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "online/loop.h"
@@ -70,6 +71,13 @@ struct CliOptions {
   bool live = false;
   int estimator_window = 4;     // EWMA window, in control intervals.
   std::uint64_t drain = 0;      // Make-before-break drain, in sessions.
+
+  // Replicated control plane (--live --replicas=N).
+  int replicas = 1;          // 1 = the plain single-controller loop.
+  int rounds = 8;            // Consensus bus rounds per interval.
+  std::uint64_t lease = 3;   // Leader lease, in control intervals.
+  double drop = 0.0;         // Bus message-loss probability.
+  int delay = 0;             // Max extra bus delay, in rounds.
 };
 
 void print_usage() {
@@ -103,6 +111,8 @@ Failure-recovery runner:
                             crash <node> <begin> <end|-> [severity]
                             blackhole <mirror> <begin> <end|-> [severity]
                             linkdown <link> <begin> <end|-> [severity]
+                            controller_crash <replica> <begin> <end|->
+                            partition <mask> <begin> <end|->
   --sessions <n>          Sessions replayed per control window (default 800)
   --epochs <n>            Control windows to simulate        (default 8)
   --fail-open             Degraded shims absorb offloaded classes locally
@@ -122,12 +132,26 @@ Online control loop:
   --drain <n>             Rollout drain window, in sessions     (default 0)
                           (--sessions/--epochs/--workers apply as above)
 
+Replicated control plane (with --live):
+  --replicas <n>          Run N controller replicas behind a leader lease:
+                          estimates travel by gossip, only the committed-
+                          lease leader emits generations, and installs pass
+                          a fenced gate (no regression, no split-brain).
+                          controller_crash / partition schedule events
+                          exercise failover.            (default 1 = off)
+  --rounds <n>            Consensus bus rounds per interval     (default 8)
+  --lease <n>             Leader lease, in control intervals    (default 3)
+  --drop <p>              Bus message-loss probability          (default 0)
+  --delay <n>             Max extra bus delay, in rounds        (default 0)
+
 Examples:
   nwlbctl --topology Internet2 --arch replicate \
           --failures "crash 3 1600 4000; blackhole 11 2400 -" \
           --fail-open --epochs 10
   nwlbctl --topology Internet2 --arch replicate --live \
           --epochs 12 --sessions 1000 --drain 100
+  nwlbctl --topology Internet2 --live --replicas 3 --epochs 12 \
+          --failures "controller_crash 0 2000 6000"
 )";
 }
 
@@ -162,6 +186,11 @@ std::optional<CliOptions> parse(int argc, char** argv) {
     else if (arg == "--live") opt.live = true;
     else if (arg == "--window") opt.estimator_window = std::stoi(value());
     else if (arg == "--drain") opt.drain = std::stoull(value());
+    else if (arg == "--replicas") opt.replicas = std::stoi(value());
+    else if (arg == "--rounds") opt.rounds = std::stoi(value());
+    else if (arg == "--lease") opt.lease = std::stoull(value());
+    else if (arg == "--drop") opt.drop = std::stod(value());
+    else if (arg == "--delay") opt.delay = std::stoi(value());
     else if (arg == "--help" || arg == "-h") {
       print_usage();
       return std::nullopt;
@@ -339,6 +368,114 @@ int run_failures(const CliOptions& opt, const topo::Topology& topology) {
   return 0;
 }
 
+/// --live --replicas=N: the same estimate -> epoch -> rollout pipeline run
+/// by N controller replicas behind a leader lease.  Estimates converge by
+/// gossip over a lossy simulated bus, only the committed-lease leader
+/// emits generations, every install passes the fenced gate, and
+/// controller_crash / partition events from --failures drive failover.
+int run_replicated(const CliOptions& opt, const topo::Topology& topology) {
+  if (opt.sessions <= 0 || opt.epochs <= 0)
+    throw std::invalid_argument("--sessions and --epochs must be positive");
+  const auto tm = traffic::gravity_matrix(
+      topology.graph, traffic::paper_total_sessions(topology.graph.num_nodes()));
+  core::ControllerOptions copts;
+  copts.architecture = parse_arch(opt.arch);
+  copts.scenario.max_link_load = opt.mll;
+  copts.scenario.dc_factor = opt.dc;
+  copts.scenario.placement = parse_placement(opt.placement);
+  copts.lp.max_seconds = 10.0;  // One runaway solve degrades, never stalls.
+  obs::Registry registry;
+
+  // Bootstrap epoch from a throwaway controller built from the same
+  // deployment constants as every replica.
+  core::Controller bootstrap(topology, tm, copts);
+  const core::EpochResult initial = bootstrap.run({.tm = &tm});
+  const core::ProblemInput input = bootstrap.scenario().problem(copts.architecture);
+
+  // One schedule serves both planes: the simulator consumes the
+  // crash/blackhole/linkdown events, the replicated loop the
+  // controller_crash/partition ones.
+  std::optional<sim::FailureSchedule> schedule;
+  if (!opt.failures.empty()) schedule = load_schedule(opt.failures);
+  sim::ReplayOptions ropts;
+  if (schedule) ropts.failures = &*schedule;
+  ropts.degrade = opt.fail_open ? sim::DegradePolicy::kFailOpen
+                                : sim::DegradePolicy::kFailClosed;
+  ropts.fail_open_headroom = opt.headroom;
+  ropts.num_workers = opt.workers;
+  sim::ReplaySimulator simulator(input, initial.bundle, ropts);
+  sim::TraceConfig trace_config;
+  trace_config.scanners = 0;
+  sim::TraceGenerator generator(input.classes, trace_config, 77);
+
+  dist::ReplicatedLoopOptions dopts;
+  dopts.replicas = opt.replicas;
+  dopts.consensus_rounds = opt.rounds;
+  dopts.bus.drop_probability = opt.drop;
+  dopts.bus.max_delay_rounds = opt.delay;
+  dopts.replica.lease_ticks = opt.lease;
+  dopts.replica.estimator.window = opt.estimator_window;
+  dopts.replica.estimator.scale_to_total = tm.total();
+  dopts.rollout.drain_sessions = opt.drain;
+  if (schedule) dopts.faults = &*schedule;
+  dopts.metrics = &registry;
+  dist::ReplicatedControlLoop loop(topology, tm, copts, simulator,
+                                   initial.bundle, dopts);
+
+  std::cout << "topology=" << topology.name << " arch=" << opt.arch
+            << " replicas=" << opt.replicas << " lease=" << opt.lease
+            << " drop=" << opt.drop
+            << (schedule ? " schedule={\n" + schedule->to_string() + "}" : "")
+            << "\n\n";
+
+  util::Table table({"Interval", "Sessions", "Leader", "Term", "Gen", "Rollout",
+                     "Alive", "Heard", "Epoch"});
+  for (int w = 0; w < opt.epochs; ++w) {
+    const dist::ReplicatedIntervalReport report =
+        loop.run_interval(generator.generate(opt.sessions), generator);
+    std::string rollout = "-";
+    if (report.install_attempted)
+      rollout = report.rollout.installed ? "install" : "skip";
+    else if (report.leader < 0)
+      rollout = "no-leader";
+    std::string epoch = "-";
+    if (report.epoch_run)
+      epoch = report.epoch.degraded
+                  ? "degraded:" + core::to_string(report.epoch.degraded_reasons)
+                  : "ok";
+    table.row()
+        .cell(w)
+        .cell(static_cast<long long>(report.sessions_replayed))
+        .cell(report.leader)
+        .cell(static_cast<long long>(report.term))
+        .cell(static_cast<long long>(report.generation))
+        .cell(rollout)
+        .cell(report.replicas_alive)
+        .cell(report.replicas_heard)
+        .cell(epoch);
+  }
+  emit(table, opt.csv);
+
+  const sim::ReplayStats final_stats = simulator.stats();
+  const sim::RolloutStats rollout = simulator.rollout_stats();
+  std::cout << "\nsessions=" << final_stats.sessions_replayed
+            << " coverage=" << final_stats.coverage()
+            << " active_generation=" << rollout.active_generation
+            << " rollouts=" << rollout.rollouts_installed
+            << " unassigned=" << rollout.sessions_unassigned << "\n";
+  if (rollout.sessions_current_generation + rollout.sessions_draining_generation !=
+          final_stats.sessions_replayed ||
+      rollout.sessions_unassigned != 0) {
+    std::cerr << "nwlbctl: rollout conservation violated\n";
+    return 2;
+  }
+  if (!opt.metrics_out.empty()) {
+    simulator.export_metrics(registry);
+    return write_metrics(registry, opt.metrics_out);
+  }
+  return 0;
+}
+
 /// The online control loop (--live): after the bootstrap epoch the oracle
 /// matrix is never consulted again — each interval the loop replays
 /// traffic, folds the data plane's ingress counters into an EWMA estimate,
@@ -450,6 +587,7 @@ int run(const CliOptions& opt) {
     return topo::topology_by_name(opt.topology);
   }();
 
+  if (opt.live && opt.replicas > 1) return run_replicated(opt, topology);
   if (opt.live) return run_live(opt, topology);
   if (!opt.failures.empty()) return run_failures(opt, topology);
 
