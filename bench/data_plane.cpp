@@ -28,13 +28,10 @@
 // NWLB_HEADLINE_SESSIONS, NWLB_AC_REPS, NWLB_LP_BUDGET_SEC,
 // NWLB_BENCH_ENFORCE.
 //
-// Bootstrap configs come from the controller, not a raw LP solve: the LP
-// gets a wall-clock budget (NWLB_LP_BUDGET_SEC, default 30), so a
-// TiNet-scale instance that would otherwise abort on the simplex
-// iteration limit maps to lp::Status::kTimeLimit and degrades through the
-// controller's fallback ladder to a valid (ingress-constructed) bundle —
-// the full-sweep run completes without NWLB_FAST, with the degraded
-// status reported in the LP table.
+// Bootstrap configs come from the controller.  Every topology in the
+// sweep — the full set included — must solve to a deployable optimum
+// inside the LP budget (NWLB_LP_BUDGET_SEC, default 30); an epoch that
+// degrades for a solver-limit reason fails the run.
 #include "bench_common.h"
 
 #include <chrono>
@@ -194,6 +191,17 @@ int main() {
         .cell(epoch.iterations)
         .cell(epoch.degraded ? core::to_string(epoch.degraded_reasons)
                              : std::string("optimal"));
+    // A solver-limit degradation means the LP layer regressed: the
+    // steepest-edge solver handles every topology in the full sweep well
+    // inside the budget, so this is a hard failure, enforcement flag or not.
+    if (epoch.has_reason(core::DegradedReason::kLpBudgetExhausted) ||
+        epoch.has_reason(core::DegradedReason::kLpFailed) ||
+        epoch.has_reason(core::DegradedReason::kResolveBackoff)) {
+      std::cerr << "FAIL: " << topology.name << " epoch degraded ("
+                << core::to_string(epoch.degraded_reasons)
+                << ") — the LP must solve inside the budget\n";
+      return 1;
+    }
 
     // --- 1. decide latency: compiled flat tables vs map+scan tables. ---
     std::vector<shim::FlatConfig> flat;

@@ -12,7 +12,18 @@
 // solve's final basis.  This is the controller's steady-state workload —
 // traffic drifts, the LP re-runs — and warm starts are what make periodic
 // re-optimization cheap.
+//
+// Beyond the paper's Table 1 topologies (<= 70 PoPs), a synthetic-AS
+// scaling sweep solves 100/200/400-PoP instances (fanout-capped gravity
+// traffic, NWLB_SWEEP_FANOUT destinations per PoP) cold and then re-solves
+// after a small demand drift with the per-class delta warm start
+// (Options::priority_columns restricted to the changed classes).  Under
+// NWLB_BENCH_ENFORCE=1 the warm delta re-solve must be >= 5x faster than
+// the cold solve at 200 PoPs.  NWLB_FAST trims the sweep to 100/200.
 #include "bench_common.h"
+
+#include <algorithm>
+#include <cmath>
 
 #include "core/aggregation_lp.h"
 #include "core/replication_lp.h"
@@ -25,6 +36,27 @@ namespace {
 
 int total_iterations(const core::Assignment& a) {
   return a.lp.iterations + a.lp.phase1_iterations;
+}
+
+/// Keeps only the `fanout` largest destinations per source PoP.  Real ISPs
+/// see heavy-tailed per-PoP fanout; full 400x400 gravity would make the
+/// class count quadratic in PoPs and swamp the sweep with classes no
+/// deployment carries.
+void cap_fanout(traffic::TrafficMatrix& tm, int fanout) {
+  const int n = tm.num_nodes();
+  std::vector<std::pair<double, int>> dests;
+  for (int src = 0; src < n; ++src) {
+    dests.clear();
+    for (int dst = 0; dst < n; ++dst) {
+      const double v = tm.volume(src, dst);
+      if (v > 0.0) dests.emplace_back(v, dst);
+    }
+    if (static_cast<int>(dests.size()) <= fanout) continue;
+    std::nth_element(dests.begin(), dests.begin() + fanout, dests.end(),
+                     [](const auto& a, const auto& b) { return a.first > b.first; });
+    for (std::size_t k = static_cast<std::size_t>(fanout); k < dests.size(); ++k)
+      tm.set_volume(src, dests[k].second, 0.0);
+  }
 }
 
 }  // namespace
@@ -87,8 +119,87 @@ int main() {
   std::cout << "-- re-solve after MaxLinkLoad drift (0.4 -> 0.45) --\n";
   bench::print_table(resolve_table);
 
+  // --- Synthetic-AS scaling sweep: cold vs per-class delta warm solves.
+  util::Table scaling_table({"PoPs", "Classes", "Vars", "ColdSec", "ColdIters",
+                             "WarmDeltaSec", "WarmIters", "Speedup"});
+  double gate_speedup = 0.0;  // Warm-vs-cold at 200 PoPs, the enforce gate.
+  {
+    const int fanout = util::env_int("NWLB_SWEEP_FANOUT", 32);
+    std::vector<int> sizes = {100, 200, 400};
+    if (util::env_flag("NWLB_FAST")) sizes = {100, 200};
+    for (const int pops : sizes) {
+      const auto topology = topo::make_synthetic_isp(
+          "AS" + std::to_string(pops), pops, 0x5eedull + static_cast<std::uint64_t>(pops));
+      auto tm = traffic::gravity_matrix(topology.graph,
+                                        traffic::paper_total_sessions(pops));
+      cap_fanout(tm, fanout);
+      const core::Scenario scenario(topology, tm);
+      const core::ProblemInput input =
+          scenario.problem(core::Architecture::kPathReplicate);
+      const core::ReplicationLp lp(input);
+      const core::Assignment base = lp.solve();
+
+      // Drift: every 50th class gains 10% demand — the steady-state shape
+      // of a live feed, where most of the matrix holds still.
+      auto drifted_tm = tm;
+      int positive = 0;
+      for (int src = 0; src < pops; ++src) {
+        for (int dst = 0; dst < pops; ++dst) {
+          const double v = drifted_tm.volume(src, dst);
+          if (v <= 0.0) continue;
+          if (positive++ % 50 == 0) drifted_tm.set_volume(src, dst, v * 1.1);
+        }
+      }
+      const core::Scenario drifted(topology, drifted_tm);
+      const core::ProblemInput drifted_input =
+          drifted.problem(core::Architecture::kPathReplicate);
+      const core::ReplicationLp drifted_lp(drifted_input);
+      const core::Assignment cold = drifted_lp.solve();
+
+      // Changed classes: the positive-demand set is identical (scaling
+      // preserves positivity), so class indices line up across scenarios.
+      std::vector<int> changed;
+      for (std::size_t c = 0; c < drifted_input.classes.size(); ++c) {
+        const double was = input.classes[c].sessions;
+        const double now = drifted_input.classes[c].sessions;
+        if (std::abs(now - was) > 1e-9 * std::max(1.0, was))
+          changed.push_back(static_cast<int>(c));
+      }
+      lp::Options warm_opts;
+      const std::vector<int> focus = drifted_lp.priority_columns_for(changed);
+      warm_opts.priority_columns = &focus;
+      const core::Assignment warm = drifted_lp.solve(warm_opts, &base.lp.basis);
+
+      const double speedup = warm.lp.solve_seconds > 0.0
+                                 ? cold.lp.solve_seconds / warm.lp.solve_seconds
+                                 : 0.0;
+      if (pops == 200) gate_speedup = speedup;
+      scaling_table.row()
+          .cell(pops)
+          .cell(static_cast<int>(drifted_input.classes.size()))
+          .cell(drifted_lp.num_process_vars() + drifted_lp.num_offload_vars())
+          .cell(cold.lp.solve_seconds, 3)
+          .cell(total_iterations(cold))
+          .cell(warm.lp.solve_seconds, 3)
+          .cell(total_iterations(warm))
+          .cell(speedup, 2);
+    }
+  }
+  std::cout << "-- synthetic-AS scaling: cold vs per-class delta warm re-solve --\n";
+  bench::print_table(scaling_table);
+
   bench::JsonReport report("table1_solve_time");
-  report.table("solve_time", table).table("warm_resolve", resolve_table);
+  report.table("solve_time", table)
+      .table("warm_resolve", resolve_table)
+      .table("scaling", scaling_table)
+      .scalar("warm_delta_speedup_200", gate_speedup)
+      .scalar("warm_delta_speedup_target", 5.0);
   report.write_if_requested();
+
+  if (util::env_flag("NWLB_BENCH_ENFORCE") && gate_speedup < 5.0) {
+    std::cerr << "FAIL: warm per-class delta re-solve speedup " << gate_speedup
+              << " at 200 PoPs below target 5x\n";
+    return 1;
+  }
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "core/controller.h"
 
+#include <cmath>
 #include <exception>
 #include <stdexcept>
 #include <utility>
@@ -68,7 +69,7 @@ EpochResult Controller::run(const EpochRequest& request) {
   if (request.tm == nullptr)
     throw std::invalid_argument("Controller::run: request without traffic matrix");
   scenario_.set_traffic(*request.tm);
-  return run_epoch(request.failures);
+  return run_epoch(request);
 }
 
 shim::ConfigBundle Controller::make_bundle(const ProblemInput& input,
@@ -115,7 +116,8 @@ EpochResult Controller::run_patch(const FailureSet& failures) {
   return result;
 }
 
-EpochResult Controller::run_epoch(const FailureSet& failures) {
+EpochResult Controller::run_epoch(const EpochRequest& request) {
+  const FailureSet& failures = request.failures;
   EpochResult result;
   // How this epoch's plan was produced, exported as the {status=...} label
   // on nwlb_controller_epoch_outcomes_total.
@@ -152,25 +154,67 @@ EpochResult Controller::run_epoch(const FailureSet& failures) {
     const ReplicationLp formulation(input);
     const lp::Basis* warm = warm_basis_ ? &*warm_basis_ : nullptr;
     result.warm_started = warm != nullptr;
-    ReplicationLp::SolveResult attempt = formulation.try_solve(options_.lp, warm);
-    if (attempt.status != lp::Status::kOptimal && warm != nullptr) {
+
+    // Per-class delta re-solve: when the model shape is unchanged and both
+    // this epoch and the warm basis' epoch are failure-free, only the
+    // classes whose session counts moved can have newly attractive columns
+    // (each class couples to the rest solely through the shared load rows).
+    // Restrict pricing to those classes; the solver's full verification
+    // pass guards against the restriction ever hiding optimality.
+    lp::Options epoch_lp = options_.lp;
+    if (request.max_solve_seconds > 0.0) epoch_lp.max_seconds = request.max_solve_seconds;
+    if (request.objective_tolerance > 0.0)
+      epoch_lp.objective_tolerance = request.objective_tolerance;
+    const lp::Options base_lp = epoch_lp;  // Retry baseline, no focus.
+    std::vector<int> focus_columns;
+    if (warm != nullptr && failures.empty() && delta_snapshot_clean_ &&
+        delta_class_sessions_.size() == input.classes.size()) {
+      std::vector<int> changed;
+      for (std::size_t c = 0; c < input.classes.size(); ++c) {
+        const double prev = delta_class_sessions_[c];
+        const double now = input.classes[c].sessions;
+        if (std::abs(now - prev) > 1e-9 * std::max(1.0, std::abs(prev)))
+          changed.push_back(static_cast<int>(c));
+      }
+      if (changed.size() < input.classes.size()) {
+        focus_columns = formulation.priority_columns_for(changed);
+        epoch_lp.priority_columns = &focus_columns;
+        result.delta_resolve = true;
+      }
+    }
+
+    ReplicationLp::SolveResult attempt = formulation.try_solve(epoch_lp, warm);
+    if (!lp::solved(attempt.status) && warm != nullptr) {
       // The warm basis may be fighting the new bounds; one cold retry with
-      // the same budget before giving up on this epoch's solve.
-      attempt = formulation.try_solve(options_.lp, nullptr);
+      // the same budget (and unrestricted pricing) before giving up on
+      // this epoch's solve.
+      attempt = formulation.try_solve(base_lp, nullptr);
       result.warm_started = false;
+      result.delta_resolve = false;
     }
     result.solve_seconds += attempt.assignment.lp.solve_seconds;
     result.iterations +=
         attempt.assignment.lp.iterations + attempt.assignment.lp.phase1_iterations;
     solve_status = lp::to_string(attempt.status);
-    if (attempt.status == lp::Status::kOptimal) {
+    if (lp::solved(attempt.status)) {
+      result.approximate = attempt.status == lp::Status::kGoodEnough;
       result.assignment = std::move(attempt.assignment);
       warm_basis_ = result.assignment.lp.basis;
       last_good_ = result.assignment;
       backoff_remaining_ = 0;
+      delta_class_sessions_.resize(input.classes.size());
+      for (std::size_t c = 0; c < input.classes.size(); ++c)
+        delta_class_sessions_[c] = input.classes[c].sessions;
+      delta_snapshot_clean_ = failures.empty();
     } else {
       backoff_remaining_ = options_.resolve_backoff_epochs;
+      // The snapshot no longer matches the basis the next warm start will
+      // reuse; disable the delta restriction until a clean solve lands.
+      delta_snapshot_clean_ = false;
       switch (attempt.status) {
+        case lp::Status::kOptimal:
+        case lp::Status::kGoodEnough:
+          break;  // Unreachable: handled by the solved() branch above.
         case lp::Status::kIterationLimit:
         case lp::Status::kTimeLimit:
           fall_back(DegradedReason::kLpBudgetExhausted);
@@ -178,7 +222,8 @@ EpochResult Controller::run_epoch(const FailureSet& failures) {
         case lp::Status::kInfeasible:
           fall_back(DegradedReason::kLpInfeasible);
           break;
-        default:
+        case lp::Status::kUnbounded:
+        case lp::Status::kNumericalFailure:
           fall_back(DegradedReason::kLpFailed);
           break;
       }
@@ -269,6 +314,16 @@ void Controller::record_epoch(const EpochResult& result,
     metrics
         .counter("nwlb_controller_epochs_warm_started_total", {},
                  "Epochs whose LP solve reused the previous basis")
+        .inc();
+  if (result.approximate)
+    metrics
+        .counter("nwlb_controller_epochs_approximate_total", {},
+                 "Epochs served a tolerance-certified (good-enough) plan")
+        .inc();
+  if (result.delta_resolve)
+    metrics
+        .counter("nwlb_controller_epochs_delta_resolve_total", {},
+                 "Epochs solved with pricing focused on changed classes")
         .inc();
   metrics
       .counter("nwlb_controller_lp_iterations_total", {},

@@ -76,6 +76,12 @@ struct EpochRequest {
   /// rescale the last known-good assignment onto the survivors.  Requires
   /// at least one completed epoch (throws std::logic_error otherwise).
   bool force_patch = false;
+
+  /// Per-request solver budget overrides: values > 0 replace
+  /// ControllerOptions::lp.max_seconds / .objective_tolerance for this
+  /// epoch only (the online loop sets these from its interval budget).
+  double max_solve_seconds = 0.0;
+  double objective_tolerance = 0.0;
 };
 
 /// Machine-readable causes of a degraded epoch.
@@ -102,6 +108,16 @@ struct EpochResult {
   double solve_seconds = 0.0;      // Both LPs combined.
   int iterations = 0;
   bool warm_started = false;
+  /// True when the session-level plan is a tolerance-certified
+  /// approximation (lp::Status::kGoodEnough) rather than an exact optimum.
+  /// Not a degraded state: the point is primal feasible and its objective
+  /// is provably within ControllerOptions::lp.objective_tolerance.
+  bool approximate = false;
+  /// True when this epoch's solve was issued with pricing restricted to
+  /// the changed classes' columns (per-class delta re-solve); the solver
+  /// itself widens to full pricing if the restriction cannot certify
+  /// optimality.
+  bool delta_resolve = false;
 
   /// True when this epoch's plan is not a fresh optimum: the LP fell back
   /// to (a patch of) the last known-good assignment, the solve is being
@@ -150,7 +166,7 @@ class Controller {
 
  private:
   EpochResult run_patch(const FailureSet& failures);
-  EpochResult run_epoch(const FailureSet& failures);
+  EpochResult run_epoch(const EpochRequest& request);
   shim::ConfigBundle make_bundle(const ProblemInput& input,
                                  const Assignment& assignment);
   void record_epoch(const EpochResult& result, const std::string& solve_status,
@@ -161,6 +177,12 @@ class Controller {
   std::optional<lp::Basis> warm_basis_;
   std::optional<lp::Basis> scan_warm_basis_;
   std::optional<Assignment> last_good_;
+  /// Per-class session counts at the epoch that produced warm_basis_, used
+  /// to detect which classes' demands moved; the delta re-solve restricts
+  /// pricing to those classes' columns.  Valid only while
+  /// delta_snapshot_clean_ (both epochs failure-free, same model shape).
+  std::vector<double> delta_class_sessions_;
+  bool delta_snapshot_clean_ = false;
   int backoff_remaining_ = 0;
   int epochs_ = 0;
   std::uint64_t generation_ = 0;

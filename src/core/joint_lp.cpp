@@ -121,7 +121,7 @@ void JointLp::build() {
 
 JointResult JointLp::solve(const lp::Options& lp_options, const lp::Basis* warm) const {
   const lp::Solution solution = lp::solve(model_, lp_options, warm);
-  if (solution.status != lp::Status::kOptimal)
+  if (!solution.solved())
     throw std::runtime_error("JointLp::solve: solver returned " +
                              lp::to_string(solution.status));
   const ProblemInput& in = *input_;

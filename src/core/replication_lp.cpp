@@ -55,6 +55,7 @@ void ReplicationLp::build() {
     const lp::VarId slack = model_.add_variable(0.0, degraded ? 1.0 : 0.0,
                                                 options_.coverage_slack_penalty);
     model_.add_coefficient(coverage, slack, 1.0);
+    slack_vars_.push_back(slack);
   }
 
   // Load rows (Eq. 3 folded into Eq. 1's epigraph form):
@@ -131,10 +132,28 @@ void ReplicationLp::build() {
 
 Assignment ReplicationLp::solve(const lp::Options& lp_options, const lp::Basis* warm) const {
   SolveResult result = try_solve(lp_options, warm);
-  if (result.status != lp::Status::kOptimal)
+  if (!lp::solved(result.status))
     throw std::runtime_error("ReplicationLp::solve: solver returned " +
                              lp::to_string(result.status));
   return std::move(result.assignment);
+}
+
+std::vector<int> ReplicationLp::priority_columns_for(
+    const std::vector<int>& class_indices) const {
+  std::vector<char> wanted(input_->classes.size(), 0);
+  for (const int c : class_indices) {
+    if (c >= 0 && c < static_cast<int>(wanted.size()))
+      wanted[static_cast<std::size_t>(c)] = 1;
+  }
+  std::vector<int> columns;
+  columns.push_back(load_cost_var_.value);  // Shared epigraph variable.
+  for (const PVar& pv : p_vars_)
+    if (wanted[static_cast<std::size_t>(pv.class_index)]) columns.push_back(pv.var.value);
+  for (const OVar& ov : o_vars_)
+    if (wanted[static_cast<std::size_t>(ov.class_index)]) columns.push_back(ov.var.value);
+  for (std::size_t c = 0; c < slack_vars_.size(); ++c)
+    if (wanted[c]) columns.push_back(slack_vars_[c].value);
+  return columns;
 }
 
 ReplicationLp::SolveResult ReplicationLp::try_solve(const lp::Options& lp_options,
@@ -142,7 +161,7 @@ ReplicationLp::SolveResult ReplicationLp::try_solve(const lp::Options& lp_option
   SolveResult result;
   const lp::Solution solution = lp::solve(model_, lp_options, warm);
   result.status = solution.status;
-  if (solution.status != lp::Status::kOptimal) {
+  if (!solution.solved()) {
     result.assignment.lp = solution;
     return result;
   }

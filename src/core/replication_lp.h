@@ -41,22 +41,30 @@ class ReplicationLp {
   /// validated consistent (validate() is called here).
   explicit ReplicationLp(const ProblemInput& input, ReplicationOptions options = {});
 
-  /// Solves and decodes the assignment.  Throws std::runtime_error when the
-  /// solver does not reach optimality (the formulation is always feasible:
-  /// processing everything locally satisfies every constraint, and under a
-  /// failure mask per-class coverage slack keeps it so).
+  /// Solves and decodes the assignment.  Throws std::runtime_error unless
+  /// the solver returns a deployable solution — kOptimal, or kGoodEnough
+  /// when Options::objective_tolerance allows a certified approximation.
+  /// (The formulation is always feasible: processing everything locally
+  /// satisfies every constraint, and under a failure mask per-class
+  /// coverage slack keeps it so.)
   Assignment solve(const lp::Options& lp_options = {},
                    const lp::Basis* warm = nullptr) const;
 
   /// Non-throwing variant for callers with a fallback path (the degraded
   /// control loop): `status` reports the solver outcome and `assignment`
-  /// is decoded only when it is kOptimal.
+  /// is decoded only when lp::solved(status) holds.
   struct SolveResult {
     lp::Status status = lp::Status::kIterationLimit;
     Assignment assignment;
   };
   SolveResult try_solve(const lp::Options& lp_options = {},
                         const lp::Basis* warm = nullptr) const;
+
+  /// Structural column indices owned by `class_indices` (their p/o and
+  /// coverage-slack variables) plus the shared LoadCost column — the
+  /// Options::priority_columns set for a per-class delta re-solve when only
+  /// those classes' demands changed since the warm basis was taken.
+  std::vector<int> priority_columns_for(const std::vector<int>& class_indices) const;
 
   const lp::Model& model() const { return model_; }
   int num_process_vars() const { return static_cast<int>(p_vars_.size()); }
@@ -83,6 +91,7 @@ class ReplicationLp {
   lp::VarId load_cost_var_;
   std::vector<PVar> p_vars_;
   std::vector<OVar> o_vars_;
+  std::vector<lp::VarId> slack_vars_;  // One coverage slack per class.
 };
 
 }  // namespace nwlb::core

@@ -21,13 +21,16 @@ void AugmentedMatrix::scatter(int col, double scale, std::span<double> out) cons
 
 double AugmentedMatrix::dot(int col, std::span<const double> dense) const {
   if (is_logical(col)) return dense[static_cast<std::size_t>(logical_row(col))];
-  double total = 0.0;
+  // Long-double accumulation: these dot products feed reduced costs, whose
+  // sign decides pivots — cancellation here shows up as cycling or bogus
+  // "optimal" verdicts on the large, near-degenerate nwlb instances.
+  long double total = 0.0L;
   for (int p = col_ptr[static_cast<std::size_t>(col)];
        p < col_ptr[static_cast<std::size_t>(col) + 1]; ++p) {
-    total += value[static_cast<std::size_t>(p)] *
+    total += static_cast<long double>(value[static_cast<std::size_t>(p)]) *
              dense[static_cast<std::size_t>(row_idx[static_cast<std::size_t>(p)])];
   }
-  return total;
+  return static_cast<double>(total);
 }
 
 namespace {

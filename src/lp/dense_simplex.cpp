@@ -9,8 +9,6 @@
 namespace nwlb::lp {
 namespace {
 
-std::string status_name(Status s);  // Fwd decl to keep to_string nearby.
-
 // How an original model variable maps into standard-form columns:
 //   x = offset + scale * x'[col]                        (single column), or
 //   x = x'[col] - x'[neg_col]                            (free, split).
@@ -27,6 +25,9 @@ class DenseTableau {
 
   Solution solve() {
     const auto t0 = std::chrono::steady_clock::now();
+    if (opt_.max_seconds > 0.0)
+      deadline_ = t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                           std::chrono::duration<double>(opt_.max_seconds));
     Solution sol;
     build_standard_form();
     add_slacks_and_artificials();
@@ -198,6 +199,12 @@ class DenseTableau {
   Status run(int& iteration_counter) {
     for (;;) {
       if (iteration_counter >= opt_.max_iterations) return Status::kIterationLimit;
+      // Same wall-clock budget contract as the revised simplex: both
+      // backends report kTimeLimit for the same exhausted Options::max_seconds.
+      if (deadline_ != std::chrono::steady_clock::time_point{} &&
+          (iteration_counter & 15) == 0 &&
+          std::chrono::steady_clock::now() >= deadline_)
+        return Status::kTimeLimit;
       // Bland's rule: smallest-index eligible column.
       int entering = -1;
       for (int c = 0; c < num_cols_; ++c) {
@@ -313,6 +320,7 @@ class DenseTableau {
 
   const Model& model_;
   const Options& opt_;
+  std::chrono::steady_clock::time_point deadline_{};  // Zero = no budget.
 
   std::vector<VarMap> var_map_;
   std::vector<UpperRow> upper_rows_;
@@ -336,21 +344,10 @@ class DenseTableau {
   std::vector<bool> blocked_ = {};
 };
 
-std::string status_name(Status s) {
-  switch (s) {
-    case Status::kOptimal: return "optimal";
-    case Status::kInfeasible: return "infeasible";
-    case Status::kUnbounded: return "unbounded";
-    case Status::kIterationLimit: return "iteration-limit";
-    case Status::kTimeLimit: return "time-limit";
-    case Status::kNumericalFailure: return "numerical-failure";
-  }
-  return "unknown";
-}
-
 }  // namespace
 
-std::string to_string(Status s) { return status_name(s); }
+// Status rendering lives in solution.h next to the enum (exhaustive switch);
+// the dense oracle no longer owns it.
 
 Solution solve_dense(const Model& model, const Options& options) {
   Model copy = model;

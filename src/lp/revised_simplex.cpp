@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <utility>
 #include <vector>
 
 #include "lp/basis.h"
@@ -14,6 +15,11 @@ namespace {
 enum class VStat : unsigned char { kBasic, kAtLower, kAtUpper, kFree };
 
 constexpr double kTiny = 1e-12;
+// Pivot-row entries below this are treated as exact zeros during the
+// steepest-edge update pass (they cannot carry meaningful weight updates).
+constexpr double kAlphaDrop = 1e-12;
+// Devex reference weights beyond this trigger a reference-framework reset.
+constexpr double kWeightResetLimit = 1e8;
 
 class Simplex {
  public:
@@ -27,7 +33,7 @@ class Simplex {
     build();
     Solution sol;
     if (!install_basis(warm)) {
-      // Incompatible warm start: fall back to the logical basis.
+      // Incompatible warm start: fall back to the cold-start basis.
       install_basis(nullptr);
     }
     if (!refactorize()) {
@@ -52,7 +58,11 @@ class Simplex {
     // Phase 2: optimize the true objective.
     status = loop(/*phase1=*/false, sol);
     sol.status = status;
-    if (status == Status::kOptimal) extract(sol);
+    if (status == Status::kOptimal || status == Status::kGoodEnough) {
+      extract(sol);
+      sol.objective_bound =
+          status == Status::kGoodEnough ? certified_bound_ : sol.objective;
+    }
     return finish(sol, t0);
   }
 
@@ -87,6 +97,26 @@ class Simplex {
       }
     }
 
+    // Row-wise mirror of the structural columns: the steepest-edge update
+    // walks the pivot row (alpha_j = a_j' B^-T e_r) without touching every
+    // column, which is what keeps the per-iteration cost near the nonzeros
+    // of the rows the BTRAN image actually hits.
+    row_ptr_.assign(static_cast<std::size_t>(m) + 1, 0);
+    for (int r = 0; r < m; ++r)
+      row_ptr_[static_cast<std::size_t>(r) + 1] =
+          row_ptr_[static_cast<std::size_t>(r)] +
+          static_cast<int>(normalized.row_entries(RowId{r}).size());
+    row_col_.assign(static_cast<std::size_t>(row_ptr_.back()), 0);
+    row_val_.assign(static_cast<std::size_t>(row_ptr_.back()), 0.0);
+    for (int r = 0; r < m; ++r) {
+      int p = row_ptr_[static_cast<std::size_t>(r)];
+      for (const Entry& e : normalized.row_entries(RowId{r})) {
+        row_col_[static_cast<std::size_t>(p)] = e.var;
+        row_val_[static_cast<std::size_t>(p)] = e.coef;
+        ++p;
+      }
+    }
+
     lb_.assign(static_cast<std::size_t>(num_cols_), 0.0);
     ub_.assign(static_cast<std::size_t>(num_cols_), 0.0);
     cost_.assign(static_cast<std::size_t>(num_cols_), 0.0);
@@ -117,6 +147,26 @@ class Simplex {
     x_.assign(static_cast<std::size_t>(num_cols_), 0.0);
     stat_.assign(static_cast<std::size_t>(num_cols_), VStat::kAtLower);
     work_.assign(static_cast<std::size_t>(matrix_.num_rows), 0.0);
+
+    use_devex_ = opt_.pricing == Pricing::kSteepestEdge;
+    if (use_devex_) {
+      d_.assign(static_cast<std::size_t>(num_cols_), 0.0);
+      ref_weight_.assign(static_cast<std::size_t>(num_cols_), 1.0);
+      alpha_.assign(static_cast<std::size_t>(num_cols_), 0.0);
+      alpha_touched_.reserve(static_cast<std::size_t>(num_cols_));
+      pivot_row_.assign(static_cast<std::size_t>(m), 0.0);
+    }
+    if (opt_.priority_columns != nullptr && !opt_.priority_columns->empty()) {
+      focus_.assign(static_cast<std::size_t>(num_cols_), 0);
+      for (const int j : *opt_.priority_columns) {
+        NWLB_CHECK(j >= 0 && j < n, "priority column ", j,
+                   " outside the structural range [0, ", n, ")");
+        focus_[static_cast<std::size_t>(j)] = 1;
+      }
+      // Logicals are always candidates: the coupling rows' slacks must be
+      // free to move when a focused class shifts load between nodes.
+      for (int j = n; j < num_cols_; ++j) focus_[static_cast<std::size_t>(j)] = 1;
+    }
   }
 
   // Places every column at a nonbasic resting point or into the basis.
@@ -147,7 +197,68 @@ class Simplex {
       stat_[static_cast<std::size_t>(n + i)] = VStat::kBasic;
     }
     for (int j = 0; j < n; ++j) set_nonbasic(j, NonbasicState::kAtLower);
+    if (opt_.crash) crash_equality_rows();
     return true;
+  }
+
+  /// Cold-start crash: every equality row's logical is fixed at (0,0), so
+  /// the all-logical basis starts phase 1 with one infeasibility per
+  /// equality row — for the nwlb formulations that is one per traffic
+  /// class, and partial pricing took hundreds of thousands of degenerate
+  /// pivots to clear them (the "TiNet blowup").  Instead, seat in each
+  /// equality row a structural column whose only equality-row nonzero is
+  /// that row: the chosen block is diagonal across equality rows, hence
+  /// trivially nonsingular together with the remaining logicals, and the
+  /// crash removes the whole equality block from phase 1 up front.
+  void crash_equality_rows() {
+    const int n = matrix_.num_structural;
+    const int m = matrix_.num_rows;
+    std::vector<char> is_eq(static_cast<std::size_t>(m), 0);
+    bool any_eq = false;
+    for (int r = 0; r < m; ++r) {
+      const std::size_t logical = static_cast<std::size_t>(n + r);
+      if (lb_[logical] == 0.0 && ub_[logical] == 0.0) {
+        is_eq[static_cast<std::size_t>(r)] = 1;
+        any_eq = true;
+      }
+    }
+    if (!any_eq) return;
+
+    // For each structural column: how many equality rows it hits, and the
+    // coefficient it carries in the last one seen.
+    std::vector<int> eq_hits(static_cast<std::size_t>(n), 0);
+    std::vector<int> eq_row(static_cast<std::size_t>(n), -1);
+    std::vector<double> eq_coef(static_cast<std::size_t>(n), 0.0);
+    for (int j = 0; j < n; ++j) {
+      for (int p = matrix_.col_ptr[static_cast<std::size_t>(j)];
+           p < matrix_.col_ptr[static_cast<std::size_t>(j) + 1]; ++p) {
+        const int r = matrix_.row_idx[static_cast<std::size_t>(p)];
+        if (!is_eq[static_cast<std::size_t>(r)]) continue;
+        ++eq_hits[static_cast<std::size_t>(j)];
+        eq_row[static_cast<std::size_t>(j)] = r;
+        eq_coef[static_cast<std::size_t>(j)] = matrix_.value[static_cast<std::size_t>(p)];
+      }
+    }
+    // Best candidate per equality row: largest |coef| among columns whose
+    // sole equality-row nonzero is this row (and that can actually move).
+    std::vector<int> pick(static_cast<std::size_t>(m), -1);
+    for (int j = 0; j < n; ++j) {
+      if (eq_hits[static_cast<std::size_t>(j)] != 1) continue;
+      if (ub_[static_cast<std::size_t>(j)] <= lb_[static_cast<std::size_t>(j)]) continue;
+      const int r = eq_row[static_cast<std::size_t>(j)];
+      const int cur = pick[static_cast<std::size_t>(r)];
+      if (cur < 0 || std::abs(eq_coef[static_cast<std::size_t>(j)]) >
+                         std::abs(eq_coef[static_cast<std::size_t>(cur)]))
+        pick[static_cast<std::size_t>(r)] = j;
+    }
+    for (int r = 0; r < m; ++r) {
+      const int j = pick[static_cast<std::size_t>(r)];
+      if (j < 0) continue;
+      const int displaced = basic_[static_cast<std::size_t>(r)];
+      set_nonbasic(displaced, NonbasicState::kAtLower);
+      basic_[static_cast<std::size_t>(r)] = j;
+      stat_[static_cast<std::size_t>(j)] = VStat::kBasic;
+    }
   }
 
   void set_nonbasic(int col, NonbasicState hint) {
@@ -186,6 +297,9 @@ class Simplex {
     }
     ++refactor_count_;
     recompute_basic_values();
+    // Periodic refresh: the maintained reduced costs are recomputed from
+    // the fresh factors on the next pricing pass, clearing drift.
+    duals_fresh_ = false;
     return true;
   }
 
@@ -214,8 +328,301 @@ class Simplex {
     return total;
   }
 
+  double basic_cost(int pos, bool phase1) const {
+    const std::size_t j = static_cast<std::size_t>(basic_[static_cast<std::size_t>(pos)]);
+    if (!phase1) return cost_[j];
+    if (x_[j] > ub_[j] + opt_.feasibility_tol) return 1.0;
+    if (x_[j] < lb_[j] - opt_.feasibility_tol) return -1.0;
+    return 0.0;
+  }
+
+  double column_cost(int col, bool phase1) const {
+    return phase1 ? 0.0 : cost_[static_cast<std::size_t>(col)];
+  }
+
+  /// Phase-2 objective of the current iterate, accumulated in long double
+  /// (part of the pivot hygiene: the certificate must not inherit rounding
+  /// from a few hundred thousand incremental updates).
+  double current_objective() const {
+    long double z = 0.0L;
+    for (int j = 0; j < matrix_.num_structural; ++j) {
+      const double c = cost_[static_cast<std::size_t>(j)];
+      if (c != 0.0) z += static_cast<long double>(c) * x_[static_cast<std::size_t>(j)];
+    }
+    return static_cast<double>(z);
+  }
+
+  // ---- Steepest-edge (Devex reference framework) machinery -------------
+
+  /// Recomputes every nonbasic reduced cost exactly from a fresh BTRAN of
+  /// the basic cost vector.  Called at phase entry, after every
+  /// refactorization, and whenever the maintained values fail the
+  /// entering-column hygiene check.
+  void refresh_duals(bool phase1) {
+    const int m = matrix_.num_rows;
+    y_.assign(static_cast<std::size_t>(m), 0.0);
+    for (int i = 0; i < m; ++i) y_[static_cast<std::size_t>(i)] = basic_cost(i, phase1);
+    factor_.btran(y_);
+    for (int j = 0; j < num_cols_; ++j) {
+      if (stat_[static_cast<std::size_t>(j)] == VStat::kBasic) {
+        d_[static_cast<std::size_t>(j)] = 0.0;
+        continue;
+      }
+      d_[static_cast<std::size_t>(j)] = column_cost(j, phase1) - matrix_.dot(j, y_);
+    }
+    duals_fresh_ = true;
+  }
+
+  void reset_reference_framework() {
+    std::fill(ref_weight_.begin(), ref_weight_.end(), 1.0);
+  }
+
+  struct PriceResult {
+    int entering = -1;
+    double d_enter = 0.0;
+    bool scanned_all = false;      // Full (unrestricted) eligibility scan.
+    double gap = 0.0;              // Sum over eligible of |d_j| * range_j.
+    bool gap_unbounded = false;    // An eligible column has infinite range.
+  };
+
+  /// Devex pricing over the maintained reduced costs: picks the eligible
+  /// column maximizing d_j^2 / ref_weight_j.  In Bland mode returns the
+  /// smallest-index eligible column instead.  When the per-class focus is
+  /// active only focused columns (changed classes + all logicals) are
+  /// scanned; the caller widens to a full scan before declaring optimality.
+  PriceResult price_devex(bool bland) {
+    PriceResult pr;
+    pr.scanned_all = !focus_active_;
+    double best_score = 0.0;
+    for (int j = 0; j < num_cols_; ++j) {
+      const std::size_t uj = static_cast<std::size_t>(j);
+      if (focus_active_ && focus_[uj] == 0) continue;
+      const VStat s = stat_[uj];
+      if (s == VStat::kBasic) continue;
+      const double dj = d_[uj];
+      double violation = 0.0;
+      if (s == VStat::kAtLower) {
+        if (dj < -opt_.optimality_tol) violation = -dj;
+      } else if (s == VStat::kAtUpper) {
+        if (dj > opt_.optimality_tol) violation = dj;
+      } else {  // kFree
+        if (std::abs(dj) > opt_.optimality_tol) violation = std::abs(dj);
+      }
+      if (violation == 0.0) continue;
+      const double range = ub_[uj] - lb_[uj];
+      if (std::isfinite(range)) {
+        pr.gap += violation * range;
+      } else {
+        pr.gap_unbounded = true;
+      }
+      if (bland) {
+        if (pr.entering < 0) {
+          pr.entering = j;
+          pr.d_enter = dj;
+        }
+        continue;
+      }
+      const double score = dj * dj / ref_weight_[uj];
+      if (score > best_score) {
+        best_score = score;
+        pr.entering = j;
+        pr.d_enter = dj;
+      }
+    }
+    return pr;
+  }
+
+  /// Computes the pivot row alpha_j = a_j' (B^-T e_r) for the columns it
+  /// touches, updates the Devex reference weights, and (phase 2) applies
+  /// the rank-one reduced-cost update.  Must run before the basis exchange
+  /// is recorded.  `w` is the FTRAN image of the entering column.
+  void pivot_row_update(int entering, int leaving_pos, double d_enter, bool phase1,
+                        const std::vector<double>& w) {
+    const int m = matrix_.num_rows;
+    const int n = matrix_.num_structural;
+    std::fill(pivot_row_.begin(), pivot_row_.end(), 0.0);
+    pivot_row_[static_cast<std::size_t>(leaving_pos)] = 1.0;
+    factor_.btran(pivot_row_);
+
+    alpha_touched_.clear();
+    for (int i = 0; i < m; ++i) {
+      const double vi = pivot_row_[static_cast<std::size_t>(i)];
+      if (std::abs(vi) <= kAlphaDrop) continue;
+      // Structural columns of row i.
+      for (int p = row_ptr_[static_cast<std::size_t>(i)];
+           p < row_ptr_[static_cast<std::size_t>(i) + 1]; ++p) {
+        const int j = row_col_[static_cast<std::size_t>(p)];
+        if (alpha_[static_cast<std::size_t>(j)] == 0.0) alpha_touched_.push_back(j);
+        alpha_[static_cast<std::size_t>(j)] += vi * row_val_[static_cast<std::size_t>(p)];
+      }
+      // The logical of row i is e_i: alpha is the BTRAN image itself.
+      const int logical = n + i;
+      if (alpha_[static_cast<std::size_t>(logical)] == 0.0)
+        alpha_touched_.push_back(logical);
+      alpha_[static_cast<std::size_t>(logical)] += vi;
+    }
+
+    const double alpha_q = w[static_cast<std::size_t>(leaving_pos)];
+    const double gamma_q =
+        std::max(ref_weight_[static_cast<std::size_t>(entering)], 1.0);
+    const double inv_aq = 1.0 / alpha_q;
+    const double rho = d_enter * inv_aq;
+    const int leaving_var = basic_[static_cast<std::size_t>(leaving_pos)];
+
+    for (const int j : alpha_touched_) {
+      const std::size_t uj = static_cast<std::size_t>(j);
+      const double aj = alpha_[uj];
+      alpha_[uj] = 0.0;  // Reset the workspace as we go.
+      if (j == entering || stat_[uj] == VStat::kBasic) continue;
+      const double ratio = aj * inv_aq;
+      const double candidate = ratio * ratio * gamma_q;
+      if (candidate > ref_weight_[uj]) ref_weight_[uj] = candidate;
+      if (!phase1) d_[uj] -= rho * aj;
+    }
+    // The leaving variable becomes nonbasic with reduced cost -rho and the
+    // entering one turns basic (zero by definition).
+    ref_weight_[static_cast<std::size_t>(leaving_var)] =
+        std::max(gamma_q * inv_aq * inv_aq, 1.0);
+    if (!phase1) {
+      d_[static_cast<std::size_t>(leaving_var)] = -rho;
+      d_[static_cast<std::size_t>(entering)] = 0.0;
+    }
+    if (gamma_q > kWeightResetLimit) reset_reference_framework();
+    // Phase 1 recomputes duals every iteration anyway (the composite cost
+    // vector changes whenever a basic variable crosses a violated bound).
+    if (phase1) duals_fresh_ = false;
+  }
+
   // ---- Main iteration loop ---------------------------------------------
   Status loop(bool phase1, Solution& sol) {
+    if (use_devex_) return loop_devex(phase1, sol);
+    return loop_partial(phase1, sol);
+  }
+
+  bool hit_iteration_limit(const Solution& sol) const {
+    return sol.iterations + sol.phase1_iterations >= opt_.max_iterations;
+  }
+
+  bool hit_deadline(const Solution& sol) const {
+    const int total = sol.iterations + sol.phase1_iterations;
+    return deadline_ != std::chrono::steady_clock::time_point{} &&
+           (total & 15) == 0 && std::chrono::steady_clock::now() >= deadline_;
+  }
+
+  Status loop_devex(bool phase1, Solution& sol) {
+    const int m = matrix_.num_rows;
+    std::vector<double> w(static_cast<std::size_t>(m));
+    int& iter_counter = phase1 ? sol.phase1_iterations : sol.iterations;
+    int stall = 0;
+    bool bland = false;
+    duals_fresh_ = false;
+    focus_active_ = !focus_.empty();
+    reset_reference_framework();
+
+    for (;;) {
+      if (hit_iteration_limit(sol)) return Status::kIterationLimit;
+      if (hit_deadline(sol)) return Status::kTimeLimit;
+      if (phase1 && infeasibility() <= opt_.feasibility_tol) return Status::kOptimal;
+
+      if (!duals_fresh_ || bland) refresh_duals(phase1);
+      PriceResult pr = price_devex(bland);
+      if (pr.entering < 0) {
+        if (focus_active_) {
+          // The focused columns are clean; widen once to certify global
+          // optimality (or keep going unrestricted if anything is left).
+          focus_active_ = false;
+          continue;
+        }
+        return Status::kOptimal;
+      }
+
+      // Bounded-accuracy early termination: every eligible column has a
+      // finite range, so any feasible point's objective is at least
+      // z - sum(|d_j| * range_j) — stop once that provable gap is within
+      // the caller's tolerance.  Certified on exact (refreshed) duals.
+      if (!phase1 && opt_.objective_tolerance > 0.0 && pr.scanned_all &&
+          !pr.gap_unbounded) {
+        const double z = current_objective();
+        const double budget = opt_.objective_tolerance * std::max(1.0, std::abs(z));
+        if (pr.gap <= budget) {
+          if (!duals_fresh_) {
+            refresh_duals(false);
+            pr = price_devex(bland);
+            if (pr.entering < 0) return Status::kOptimal;
+          }
+          if (!pr.gap_unbounded && pr.gap <= budget) {
+            certified_bound_ = z - pr.gap;
+            return Status::kGoodEnough;
+          }
+        }
+      }
+
+      const int entering = pr.entering;
+      const std::size_t ue = static_cast<std::size_t>(entering);
+
+      // FTRAN the entering column.
+      std::fill(w.begin(), w.end(), 0.0);
+      matrix_.scatter(entering, 1.0, w);
+      factor_.ftran(w);
+
+      // Dot-product hygiene: the maintained reduced cost must agree with
+      // the exact one implied by the FTRAN image (d_q = c_q - c_B' w).
+      // A disagreement means the incremental updates drifted — refresh and
+      // re-price rather than pivot on a stale sign.
+      long double exact_acc = column_cost(entering, phase1);
+      for (int i = 0; i < m; ++i) {
+        const double wi = w[static_cast<std::size_t>(i)];
+        if (wi != 0.0) exact_acc -= static_cast<long double>(basic_cost(i, phase1)) * wi;
+      }
+      const double d_exact = static_cast<double>(exact_acc);
+      if (std::abs(d_exact - pr.d_enter) > 1e-7 * (1.0 + std::abs(d_exact))) {
+        if (!duals_fresh_) {
+          refresh_duals(phase1);
+          continue;
+        }
+        d_[ue] = d_exact;  // Freshly computed duals: trust the long-double dot.
+      }
+      const double d_enter = duals_fresh_ ? d_[ue] : d_exact;
+      const bool still_eligible =
+          (stat_[ue] == VStat::kAtLower && d_enter < -opt_.optimality_tol) ||
+          (stat_[ue] == VStat::kAtUpper && d_enter > opt_.optimality_tol) ||
+          (stat_[ue] == VStat::kFree && std::abs(d_enter) > opt_.optimality_tol);
+      if (!still_eligible) {
+        d_[ue] = d_enter;
+        continue;  // Stale candidate; re-price on corrected data.
+      }
+
+      const int sigma = direction_of(entering, d_enter);
+      const RatioResult rr = ratio_test(entering, sigma, w, phase1, bland);
+      if (!rr.bounded) {
+        return phase1 ? Status::kNumericalFailure : Status::kUnbounded;
+      }
+
+      if (rr.leaving_pos >= 0)
+        pivot_row_update(entering, rr.leaving_pos, d_enter, phase1, w);
+      apply_step(entering, sigma, rr, w);
+      ++iter_counter;
+
+      if (rr.step < kTiny) {
+        if (++stall > opt_.stall_limit) bland = true;
+      } else {
+        stall = 0;
+      }
+
+      if (rr.leaving_pos >= 0) {
+        if (!factor_.update(rr.leaving_pos, w, opt_.pivot_tol) ||
+            factor_.num_updates() >= opt_.refactor_interval) {
+          if (!refactorize()) return Status::kNumericalFailure;
+        }
+      }
+      sol.refactorizations = refactor_count_;
+    }
+  }
+
+  /// Legacy rotating-window partial pricing, kept verbatim as the
+  /// reference implementation (Options::pricing == kPartialDantzig) for
+  /// the steepest-edge regression tests.
+  Status loop_partial(bool phase1, Solution& sol) {
     const int m = matrix_.num_rows;
     std::vector<double> y(static_cast<std::size_t>(m));
     std::vector<double> w(static_cast<std::size_t>(m));
@@ -224,13 +631,10 @@ class Simplex {
     bool bland = false;
 
     for (;;) {
-      const int total_iterations = sol.iterations + sol.phase1_iterations;
-      if (total_iterations >= opt_.max_iterations) return Status::kIterationLimit;
+      if (hit_iteration_limit(sol)) return Status::kIterationLimit;
       // Wall-clock budget: checked every few iterations to keep the steady
       // state cheap; exhaustion surfaces as a distinct, recoverable status.
-      if (deadline_ != std::chrono::steady_clock::time_point{} &&
-          (total_iterations & 15) == 0 && std::chrono::steady_clock::now() >= deadline_)
-        return Status::kTimeLimit;
+      if (hit_deadline(sol)) return Status::kTimeLimit;
       if (phase1 && infeasibility() <= opt_.feasibility_tol) return Status::kOptimal;
 
       // Duals for the current (possibly composite) basic cost vector.
@@ -238,7 +642,7 @@ class Simplex {
         y[static_cast<std::size_t>(i)] = basic_cost(i, phase1);
       factor_.btran(y);
 
-      const auto [entering, d_enter] = price(y, phase1, bland);
+      const auto [entering, d_enter] = price_partial(y, phase1, bland);
       if (entering < 0) return Status::kOptimal;
       const int sigma = direction_of(entering, d_enter);
 
@@ -270,17 +674,10 @@ class Simplex {
     }
   }
 
-  double basic_cost(int pos, bool phase1) const {
-    const std::size_t j = static_cast<std::size_t>(basic_[static_cast<std::size_t>(pos)]);
-    if (!phase1) return cost_[j];
-    if (x_[j] > ub_[j] + opt_.feasibility_tol) return 1.0;
-    if (x_[j] < lb_[j] - opt_.feasibility_tol) return -1.0;
-    return 0.0;
-  }
-
   // Partial pricing with a rotating cursor; in Bland mode a full scan
   // returning the smallest-index eligible column.
-  std::pair<int, double> price(const std::vector<double>& y, bool phase1, bool bland) {
+  std::pair<int, double> price_partial(const std::vector<double>& y, bool phase1,
+                                       bool bland) {
     int best = -1;
     double best_score = 0.0;
     double best_d = 0.0;
@@ -485,6 +882,8 @@ class Simplex {
   const Model& model_;
   Options opt_;
   AugmentedMatrix matrix_;
+  std::vector<int> row_ptr_, row_col_;  // Row-wise structural matrix.
+  std::vector<double> row_val_;
   std::vector<double> lb_, ub_, cost_, rhs_, x_;
   std::vector<VStat> stat_;
   std::vector<int> basic_;
@@ -494,6 +893,19 @@ class Simplex {
   int num_cols_ = 0;
   int cursor_ = 0;
   int refactor_count_ = 0;
+
+  // Steepest-edge state.
+  bool use_devex_ = true;
+  bool duals_fresh_ = false;
+  std::vector<double> d_;           // Maintained reduced costs.
+  std::vector<double> ref_weight_;  // Devex reference weights (>= 1).
+  std::vector<double> alpha_;       // Pivot-row workspace (num_cols_).
+  std::vector<int> alpha_touched_;
+  std::vector<double> pivot_row_;   // BTRAN(e_r) workspace (m).
+  std::vector<double> y_;           // Dual workspace (m).
+  std::vector<char> focus_;         // Per-class delta re-solve column mask.
+  bool focus_active_ = false;
+  double certified_bound_ = 0.0;    // kGoodEnough objective lower bound.
 };
 
 }  // namespace
@@ -502,10 +914,13 @@ Solution solve_revised(const Model& model, const Options& options, const Basis* 
   NWLB_CHECK_GE(options.max_iterations, 0, "solve_revised: negative iteration limit");
   NWLB_CHECK_GE(options.max_seconds, 0.0, "solve_revised: negative time budget");
   NWLB_CHECK_GT(options.pivot_tol, 0.0, "solve_revised: nonpositive pivot tolerance");
+  NWLB_CHECK_GE(options.objective_tolerance, 0.0,
+                "solve_revised: negative objective tolerance");
   Simplex simplex(model, options);
   Solution sol = simplex.solve(warm);
-  if (sol.status == Status::kOptimal) {
-    // Post-solve sanity: a correct optimal point must satisfy the model.
+  if (sol.solved()) {
+    // Post-solve sanity: any deployed point must satisfy the model, a
+    // tolerance-certified one included.
     const double viol = model.max_violation(sol.x);
     if (viol > 1e-5) sol.status = Status::kNumericalFailure;
   }

@@ -10,6 +10,8 @@ namespace nwlb::lp {
 
 enum class Status {
   kOptimal,
+  kGoodEnough,  // Primal feasible, objective certified within
+                // Options::objective_tolerance of the optimum.
   kInfeasible,
   kUnbounded,
   kIterationLimit,
@@ -17,7 +19,27 @@ enum class Status {
   kNumericalFailure,
 };
 
-std::string to_string(Status s);
+/// Rendering of every Status lives next to the enum so a new enumerator
+/// that is not given a label fails to compile (-Wswitch/-Werror); the
+/// controller's metrics labels and every bench table route through here.
+inline std::string to_string(Status s) {
+  switch (s) {
+    case Status::kOptimal: return "optimal";
+    case Status::kGoodEnough: return "good-enough";
+    case Status::kInfeasible: return "infeasible";
+    case Status::kUnbounded: return "unbounded";
+    case Status::kIterationLimit: return "iteration-limit";
+    case Status::kTimeLimit: return "time-limit";
+    case Status::kNumericalFailure: return "numerical-failure";
+  }
+  return "unknown";  // Unreachable: the switch above is exhaustive.
+}
+
+/// True for the statuses that carry a usable (primal-feasible, decoded)
+/// solution: an exact optimum or a tolerance-certified approximation.
+inline bool solved(Status s) {
+  return s == Status::kOptimal || s == Status::kGoodEnough;
+}
 
 /// Where a nonbasic variable rests; used for warm starts.
 enum class NonbasicState : unsigned char { kAtLower, kAtUpper, kFree };
@@ -36,6 +58,11 @@ struct Basis {
 struct Solution {
   Status status = Status::kNumericalFailure;
   double objective = 0.0;
+  /// Certified lower bound on the true optimum (minimization).  Equals
+  /// `objective` for kOptimal; for kGoodEnough the gap
+  /// `objective - objective_bound` is at most
+  /// Options::objective_tolerance * max(1, |objective|).
+  double objective_bound = 0.0;
   std::vector<double> x;      // Structural variable values (size n).
   std::vector<double> duals;  // Row duals y (size m); sign: y for a'x<=b is <=0
                               // under our min convention's internal form; see
@@ -47,8 +74,23 @@ struct Solution {
   Basis basis;  // Final basis, reusable as a warm start.
 
   bool optimal() const { return status == Status::kOptimal; }
+  /// Exact optimum or tolerance-certified approximation; either way the
+  /// primal point is feasible and safe to deploy.
+  bool solved() const { return lp::solved(status); }
 
   double value(VarId v) const { return x.at(static_cast<std::size_t>(v.value)); }
+};
+
+/// Entering-variable selection rule of the revised simplex.
+enum class Pricing {
+  /// Devex reference-framework steepest-edge: incrementally maintained
+  /// column norms and reduced costs, full-eligibility scans.  The default;
+  /// the only mode that supports objective_tolerance early termination.
+  kSteepestEdge,
+  /// Legacy partial pricing with a rotating window (kept as the reference
+  /// implementation for regression tests; much higher iteration counts on
+  /// ISP-scale instances).
+  kPartialDantzig,
 };
 
 /// Solver tuning knobs. Defaults are sensible for the nwlb formulations.
@@ -60,10 +102,34 @@ struct Options {
   double max_seconds = 0.0;        // Wall-clock budget; 0 = unlimited.  The
                                    // controller sets this so one slow epoch
                                    // degrades instead of stalling the loop.
+                                   // Honored by both phases of both backends.
   int refactor_interval = 96;      // Basis updates between refactorizations.
   int pricing_block = 4096;        // Partial-pricing window (columns).
   int stall_limit = 2000;          // Degenerate steps before Bland's rule.
   bool compute_duals = true;
+
+  Pricing pricing = Pricing::kSteepestEdge;
+
+  /// Cold-start crash basis: seat, in each equality row, a structural
+  /// column whose only equality-row nonzero is that row (diagonal across
+  /// the equality block, hence nonsingular).  Removes the one-infeasibility-
+  /// per-traffic-class start that made phase 1 blow up on ISP-scale
+  /// instances.  Ignored when a warm basis is supplied.
+  bool crash = true;
+
+  /// Bounded-accuracy early termination (steepest-edge mode, phase 2).
+  /// When > 0, the solve stops with Status::kGoodEnough as soon as the
+  /// remaining dual infeasibilities certify the objective within
+  /// `objective_tolerance * max(1, |objective|)` of the optimum
+  /// (Solution::objective_bound carries the certified bound).  0 = exact.
+  double objective_tolerance = 0.0;
+
+  /// Per-class delta re-solve hook: when non-null (and a warm basis is
+  /// supplied), pricing is first restricted to these structural columns
+  /// plus all logicals; a full pricing pass verifies global optimality and
+  /// the restriction is lifted only if that pass finds leftover
+  /// eligibility.  Non-owning; must outlive the solve call.
+  const std::vector<int>* priority_columns = nullptr;
 };
 
 }  // namespace nwlb::lp

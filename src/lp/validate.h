@@ -37,7 +37,10 @@ struct SolutionValidationReport {
 /// primal feasibility, stored-objective consistency, dual feasibility of
 /// reduced costs with complementary slackness, strong duality, and basis
 /// column consistency (basic indices in range and distinct, state arrays
-/// sized n+m).  Non-optimal statuses only get structural checks.
+/// sized n+m).  kGoodEnough solutions get the same primal checks plus an
+/// audit of the gap certificate (objective_bound must not exceed the
+/// Lagrangian bound recomputed from the duals) in place of strong duality.
+/// Other statuses only get structural checks.
 SolutionValidationReport validate_solution(const Model& model, const Solution& solution,
                                            const SolutionValidationOptions& options = {});
 

@@ -33,6 +33,8 @@ IntervalReport ControlLoop::run_interval(std::span<const sim::SessionSpec> sessi
   // 3. Failures: the mirror-health verdicts are the live failure report.
   core::EpochRequest request;
   request.tm = &tm;
+  request.max_solve_seconds = options_.epoch_max_seconds;
+  request.objective_tolerance = options_.epoch_objective_tolerance;
   if (options_.report_mirror_failures) {
     request.failures.down_nodes = sim_->down_mirrors();
     report.failures_reported = static_cast<int>(request.failures.down_nodes.size());
@@ -67,6 +69,10 @@ void ControlLoop::record_interval(const IntervalReport& report) const {
   if (report.epoch.degraded)
     reg.counter("nwlb_online_degraded_epochs_total", {},
                 "Intervals whose epoch reported a degraded plan")
+        .inc();
+  if (report.epoch.approximate)
+    reg.counter("nwlb_online_approximate_epochs_total", {},
+                "Intervals served a tolerance-certified good-enough plan")
         .inc();
   reg.gauge("nwlb_online_estimate_total_sessions", {},
             "Estimated traffic-matrix mass fed to the last epoch")

@@ -45,6 +45,14 @@ struct ControlLoopOptions {
   /// failure reports).
   bool report_mirror_failures = true;
 
+  /// Per-interval epoch budget: when > 0 each epoch request overrides the
+  /// controller's lp.max_seconds so one slow solve cannot eat the control
+  /// period (the solve degrades or stops at a good-enough plan instead).
+  double epoch_max_seconds = 0.0;
+  /// When > 0, interval solves may stop at a tolerance-certified
+  /// lp::Status::kGoodEnough plan within this relative objective gap.
+  double epoch_objective_tolerance = 0.0;
+
   /// When set, every interval records nwlb_online_* metrics.  Must outlive
   /// the loop.  Null = no telemetry.
   obs::Registry* metrics = nullptr;

@@ -93,20 +93,44 @@ class LpAgreement : public ::testing::TestWithParam<std::uint64_t> {};
 TEST_P(LpAgreement, DenseAndRevisedAgree) {
   const auto g = generate(GetParam());
   const Solution dense = solve_dense(g.model);
-  const Solution revised = solve_revised(g.model);
 
-  if (g.feasible_by_construction) {
-    EXPECT_NE(dense.status, Status::kInfeasible);
-    EXPECT_NE(revised.status, Status::kInfeasible);
-  }
-  // Statuses must agree (both solvers are exact on these sizes).
-  ASSERT_EQ(dense.status, revised.status)
-      << "dense=" << to_string(dense.status) << " revised=" << to_string(revised.status);
-  if (dense.status == Status::kOptimal) {
-    const double scale = std::max({1.0, std::abs(dense.objective)});
-    EXPECT_NEAR(dense.objective, revised.objective, 1e-5 * scale);
-    EXPECT_LE(g.model.max_violation(revised.x), 1e-6);
-    EXPECT_LE(g.model.max_violation(dense.x), 1e-6);
+  // Every revised-simplex configuration must agree with the dense oracle:
+  // both pricing rules, with and without the crash basis, and with Bland's
+  // rule forced from the first degenerate step (stall_limit = 0).
+  struct Config {
+    const char* name;
+    Pricing pricing;
+    bool crash;
+    int stall_limit;
+  };
+  const Config configs[] = {
+      {"steepest+crash", Pricing::kSteepestEdge, true, 2000},
+      {"steepest-no-crash", Pricing::kSteepestEdge, false, 2000},
+      {"steepest-bland", Pricing::kSteepestEdge, true, 0},
+      {"partial+crash", Pricing::kPartialDantzig, true, 2000},
+      {"partial-no-crash", Pricing::kPartialDantzig, false, 0},
+  };
+  for (const Config& config : configs) {
+    Options opt;
+    opt.pricing = config.pricing;
+    opt.crash = config.crash;
+    opt.stall_limit = config.stall_limit;
+    const Solution revised = solve_revised(g.model, opt);
+
+    if (g.feasible_by_construction) {
+      EXPECT_NE(dense.status, Status::kInfeasible);
+      EXPECT_NE(revised.status, Status::kInfeasible) << config.name;
+    }
+    // Statuses must agree (both solvers are exact on these sizes).
+    ASSERT_EQ(dense.status, revised.status)
+        << config.name << ": dense=" << to_string(dense.status)
+        << " revised=" << to_string(revised.status);
+    if (dense.status == Status::kOptimal) {
+      const double scale = std::max({1.0, std::abs(dense.objective)});
+      EXPECT_NEAR(dense.objective, revised.objective, 1e-5 * scale) << config.name;
+      EXPECT_LE(g.model.max_violation(revised.x), 1e-6) << config.name;
+      EXPECT_LE(g.model.max_violation(dense.x), 1e-6);
+    }
   }
 }
 

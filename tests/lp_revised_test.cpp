@@ -30,10 +30,29 @@ TEST(RevisedSimplex, EqualityNeedsPhase1) {
   const RowId r = m.add_row(Sense::kEqual, 3);
   m.add_coefficient(r, x, 1);
   m.add_coefficient(r, y, 2);
-  const Solution s = solve_revised(m);
+  // With the crash disabled the equality row's fixed logical starts basic
+  // and infeasible, so phase 1 must run.
+  Options opt;
+  opt.crash = false;
+  const Solution s = solve_revised(m, opt);
   ASSERT_EQ(s.status, Status::kOptimal);
   EXPECT_NEAR(s.objective, 1.5, 1e-7);
   EXPECT_GT(s.phase1_iterations, 0);
+}
+
+TEST(RevisedSimplex, CrashBasisSkipsPhase1OnEqualityRows) {
+  Model m;
+  const VarId x = m.add_variable(0, kInf, 1);
+  const VarId y = m.add_variable(0, kInf, 1);
+  const RowId r = m.add_row(Sense::kEqual, 3);
+  m.add_coefficient(r, x, 1);
+  m.add_coefficient(r, y, 2);
+  const Solution s = solve_revised(m);  // Crash on by default.
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.objective, 1.5, 1e-7);
+  // The crash seats y (largest |coef| in the equality row) basic at 1.5,
+  // which is already feasible: no phase-1 pivots at all.
+  EXPECT_EQ(s.phase1_iterations, 0);
 }
 
 TEST(RevisedSimplex, GreaterEqualNeedsPhase1) {

@@ -1,0 +1,204 @@
+// Steepest-edge pricing, bounded-accuracy termination, and per-class delta
+// re-solves — the machinery that makes ISP-scale replication LPs solve
+// instead of timing out (the "TiNet blowup" fix).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "lp/dense_simplex.h"
+#include "lp/revised_simplex.h"
+#include "lp/validate.h"
+#include "util/rng.h"
+
+namespace nwlb::lp {
+namespace {
+
+using nwlb::util::Rng;
+
+/// A TiNet-shaped instance: per-class coverage equalities (GUB block),
+/// min-max load rows coupling every class through a shared epigraph
+/// variable, and a handful of capacity-style side rows.  `columns_of`
+/// returns each class's structural columns for focus-pricing tests.
+struct ShapedLp {
+  Model model;
+  VarId load;
+  std::vector<std::vector<VarId>> p;  // [class][node].
+
+  std::vector<int> columns_of(const std::vector<int>& class_indices) const {
+    std::vector<int> columns;
+    columns.push_back(load.value);
+    for (const int c : class_indices)
+      for (const VarId v : p[static_cast<std::size_t>(c)]) columns.push_back(v.value);
+    return columns;
+  }
+};
+
+ShapedLp make_shaped(int classes, int nodes, std::uint64_t seed,
+                     double perturb_class_weight = 1.0, int perturbed_class = 0) {
+  Rng rng(seed);
+  ShapedLp lp;
+  lp.load = lp.model.add_variable(0, kInf, 1.0, "LoadCost");
+  lp.p.resize(static_cast<std::size_t>(classes));
+  for (int c = 0; c < classes; ++c)
+    for (int j = 0; j < nodes; ++j)
+      lp.p[static_cast<std::size_t>(c)].push_back(lp.model.add_variable(0, 1, 0));
+  for (int c = 0; c < classes; ++c) {
+    const RowId r = lp.model.add_row(Sense::kEqual, 1);
+    for (int j = 0; j < nodes; ++j)
+      lp.model.add_coefficient(r, lp.p[static_cast<std::size_t>(c)][static_cast<std::size_t>(j)], 1);
+  }
+  for (int j = 0; j < nodes; ++j) {
+    const RowId r = lp.model.add_row(Sense::kLessEqual, 0);
+    for (int c = 0; c < classes; ++c) {
+      double w = 0.5 + 2.5 * rng.uniform();
+      if (c == perturbed_class) w *= perturb_class_weight;
+      lp.model.add_coefficient(r, lp.p[static_cast<std::size_t>(c)][static_cast<std::size_t>(j)], w);
+    }
+    lp.model.add_coefficient(r, lp.load, -1);
+  }
+  // Capacity-style rows: random subsets capped loosely (never binding the
+  // reference point, keeping the instance feasible by construction).
+  for (int k = 0; k < nodes; ++k) {
+    const RowId r = lp.model.add_row(Sense::kLessEqual, 4.0 + rng.uniform());
+    for (int c = 0; c < classes; ++c) {
+      if (!rng.bernoulli(0.3)) continue;
+      lp.model.add_coefficient(
+          r, lp.p[static_cast<std::size_t>(c)][static_cast<std::size_t>(k % nodes)],
+          0.5 + rng.uniform());
+    }
+  }
+  return lp;
+}
+
+int total_iterations(const Solution& s) { return s.iterations + s.phase1_iterations; }
+
+// The headline regression: on an equality-heavy min-max instance the
+// steepest-edge rule must need strictly fewer iterations than the legacy
+// rotating-window partial pricing it replaced (on the real TiNet LP the
+// gap is ~2-50x; this shaped stand-in keeps the test fast).
+TEST(SteepestEdge, FewerIterationsThanPartialPricing) {
+  const ShapedLp shaped = make_shaped(60, 8, 0x7ea1);
+  Options steepest;
+  steepest.pricing = Pricing::kSteepestEdge;
+  Options partial = steepest;
+  partial.pricing = Pricing::kPartialDantzig;
+
+  const Solution se = solve_revised(shaped.model, steepest);
+  const Solution pd = solve_revised(shaped.model, partial);
+  ASSERT_EQ(se.status, Status::kOptimal);
+  ASSERT_EQ(pd.status, Status::kOptimal);
+  EXPECT_NEAR(se.objective, pd.objective, 1e-6 * std::max(1.0, std::abs(se.objective)));
+  EXPECT_LT(total_iterations(se), total_iterations(pd))
+      << "steepest-edge took " << total_iterations(se) << " iterations vs partial "
+      << total_iterations(pd);
+}
+
+TEST(SteepestEdge, ObjectiveBoundEqualsObjectiveAtOptimum) {
+  const ShapedLp shaped = make_shaped(10, 4, 0x0b1a5);
+  const Solution s = solve_revised(shaped.model);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_DOUBLE_EQ(s.objective_bound, s.objective);
+}
+
+// Bounded-accuracy early termination: with a tolerance the solve may stop
+// at kGoodEnough, and whatever it returns must be primal feasible with an
+// objective provably within the tolerance of the exact optimum.
+TEST(GoodEnough, CertifiedWithinToleranceOfExactOptimum) {
+  const ShapedLp shaped = make_shaped(40, 6, 0x600d);
+  const Solution exact = solve_revised(shaped.model);
+  ASSERT_EQ(exact.status, Status::kOptimal);
+
+  for (const double tolerance : {0.01, 0.1, 0.5}) {
+    Options opt;
+    opt.objective_tolerance = tolerance;
+    const Solution approx = solve_revised(shaped.model, opt);
+    ASSERT_TRUE(approx.solved()) << to_string(approx.status);
+    const double scale = std::max(1.0, std::abs(exact.objective));
+    // Achieved objective within tolerance of the optimum...
+    EXPECT_LE(approx.objective, exact.objective + tolerance * scale + 1e-6);
+    // ...and the certificate brackets the optimum from below.
+    EXPECT_LE(approx.objective_bound, exact.objective + 1e-6 * scale);
+    EXPECT_GE(approx.objective, approx.objective_bound - 1e-9);
+    EXPECT_LE(shaped.model.max_violation(approx.x), 1e-6);
+    // The validator must accept the tolerance-certified solution.
+    const auto report = validate_solution(shaped.model, approx);
+    EXPECT_TRUE(report.ok()) << report.to_string();
+  }
+}
+
+// A coarse tolerance on a large shaped instance must actually exercise the
+// early exit (not just fall through to optimality) and save iterations.
+TEST(GoodEnough, CoarseToleranceStopsEarly) {
+  const ShapedLp shaped = make_shaped(120, 10, 0xeaa17);
+  const Solution exact = solve_revised(shaped.model);
+  ASSERT_EQ(exact.status, Status::kOptimal);
+  Options opt;
+  opt.objective_tolerance = 0.25;
+  const Solution approx = solve_revised(shaped.model, opt);
+  ASSERT_TRUE(approx.solved()) << to_string(approx.status);
+  EXPECT_LE(total_iterations(approx), total_iterations(exact));
+  if (approx.status == Status::kGoodEnough) {
+    EXPECT_LT(total_iterations(approx), total_iterations(exact));
+    const auto report = validate_solution(shaped.model, approx);
+    EXPECT_TRUE(report.ok()) << report.to_string();
+  }
+}
+
+// Per-class delta re-solve: after perturbing one class, pricing focused on
+// that class's columns (plus logicals) must still reach the true optimum —
+// the solver's full verification scan is the safety net.
+TEST(DeltaResolve, FocusedRepricingReachesTheOptimum) {
+  const ShapedLp base = make_shaped(30, 5, 0xde17a);
+  const Solution base_solution = solve_revised(base.model);
+  ASSERT_EQ(base_solution.status, Status::kOptimal);
+
+  // Same instance with class 3's weights scaled 1.6x (same model shape).
+  const ShapedLp drifted = make_shaped(30, 5, 0xde17a, 1.6, 3);
+  const Solution cold = solve_revised(drifted.model);
+  ASSERT_EQ(cold.status, Status::kOptimal);
+
+  Options focus_opt;
+  const std::vector<int> focus = drifted.columns_of({3});
+  focus_opt.priority_columns = &focus;
+  const Solution warm = solve_revised(drifted.model, focus_opt, &base_solution.basis);
+  ASSERT_EQ(warm.status, Status::kOptimal);
+  EXPECT_NEAR(warm.objective, cold.objective,
+              1e-6 * std::max(1.0, std::abs(cold.objective)));
+  EXPECT_LE(total_iterations(warm), total_iterations(cold));
+}
+
+// A deliberately wrong focus set must not yield a wrong answer: when the
+// restricted scan cannot certify optimality the solver widens to full
+// pricing and keeps going.
+TEST(DeltaResolve, WrongFocusStillSolvesExactly) {
+  const ShapedLp base = make_shaped(20, 4, 0xbad0);
+  const Solution base_solution = solve_revised(base.model);
+  ASSERT_EQ(base_solution.status, Status::kOptimal);
+  const ShapedLp drifted = make_shaped(20, 4, 0xbad0, 2.0, 7);
+  const Solution cold = solve_revised(drifted.model);
+  ASSERT_EQ(cold.status, Status::kOptimal);
+
+  Options focus_opt;
+  const std::vector<int> wrong_focus = drifted.columns_of({1});  // Not class 7.
+  focus_opt.priority_columns = &wrong_focus;
+  const Solution warm = solve_revised(drifted.model, focus_opt, &base_solution.basis);
+  ASSERT_EQ(warm.status, Status::kOptimal);
+  EXPECT_NEAR(warm.objective, cold.objective,
+              1e-6 * std::max(1.0, std::abs(cold.objective)));
+}
+
+// Both backends must report the same status for the same exhausted
+// wall-clock budget (the dense oracle used to check only max_iterations).
+TEST(TimeBudget, DenseAndRevisedAgreeOnExhaustion) {
+  const ShapedLp shaped = make_shaped(40, 6, 0x71e3);
+  Options opt;
+  opt.max_seconds = 1e-9;  // Expires before the first pivot.
+  const Solution revised = solve_revised(shaped.model, opt);
+  const Solution dense = solve_dense(shaped.model, opt);
+  EXPECT_EQ(revised.status, Status::kTimeLimit);
+  EXPECT_EQ(dense.status, Status::kTimeLimit);
+}
+
+}  // namespace
+}  // namespace nwlb::lp
