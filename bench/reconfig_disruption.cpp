@@ -77,7 +77,7 @@ int main() {
       generator.generate(intervals * window_sessions);
 
   online::ControlLoopOptions lopts;
-  lopts.estimator.scale_to_total = tm.total();
+  lopts.estimator_options.scale_to_total = tm.total();
   lopts.rollout.drain_sessions = drain;
   lopts.metrics = &registry;
   online::ControlLoop loop(controller, live, bootstrap.bundle, lopts);

@@ -24,9 +24,10 @@ Replica::Replica(int id, int num_replicas, const topo::Topology& topology,
       num_replicas_(num_replicas),
       options_(options),
       controller_(topology, initial_tm, copts),
-      estimator_(controller_.scenario().classes(),
-                 controller_.scenario().routing().graph().num_nodes(),
-                 options.estimator),
+      estimator_(online::make_estimator(
+          options.estimator_spec, controller_.scenario().classes(),
+          controller_.scenario().routing().graph().num_nodes(),
+          options.estimator)),
       num_classes_(controller_.scenario().classes().size()),
       heard_(static_cast<std::size_t>(num_replicas)) {
   NWLB_CHECK(id >= 0 && id < num_replicas, "Replica: id ", id,
@@ -74,18 +75,18 @@ void Replica::run_round(MessageBus& bus, std::uint64_t tick, int round,
 
 int Replica::end_interval(std::uint64_t tick) {
   (void)tick;
-  digest_sessions_.assign(num_classes_, 0);
-  digest_bytes_.assign(num_classes_, 0);
+  // The estimator's partial hooks own the digest merge, so this code path
+  // is identical for every registered estimator kind: sum the heard
+  // per-origin slices, then fold the digest through whatever state
+  // machine the spec selected.
+  estimator_->begin_partials();
   int heard = 0;
   for (const auto& partial : heard_) {
     if (!partial) continue;
     ++heard;
-    for (std::size_t c = 0; c < num_classes_; ++c) {
-      digest_sessions_[c] += partial->sessions[c];
-      digest_bytes_[c] += partial->bytes[c];
-    }
+    estimator_->merge_partial(partial->sessions, partial->bytes);
   }
-  estimator_.observe(digest_sessions_, digest_bytes_);
+  estimator_->commit_partials();
   return heard;
 }
 

@@ -1,8 +1,9 @@
 // One simulated controller replica (DESIGN.md §13).
 //
 // Each replica owns a full control plane — a core::Controller and an
-// online::TrafficEstimator — plus the consensus state that coordinates N
-// of them into one logical controller:
+// online::Estimator (any registered kind, built from the configured spec)
+// — plus the consensus state that coordinates N of them into one logical
+// controller:
 //
 //   * Estimate gossip.  Every interval each replica observes the data
 //     plane's counters for the traffic classes whose ingress PoP it owns
@@ -28,12 +29,14 @@
 // the lease promise survive a crash (they would sit in stable storage —
 // forgetting a lease promise could elect two overlapping leaders);
 // role, vote/ack tallies, the committed lease, and the generation hint
-// are volatile and reset by on_restart().  The estimator's EWMA state is
-// modeled as checkpointed alongside the vote.
+// are volatile and reset by on_restart().  The estimator's smoothing
+// state is modeled as checkpointed alongside the vote.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/controller.h"
@@ -58,6 +61,12 @@ struct ReplicaOptions {
   /// Seed for the gossip peer-selection hash draws.
   std::uint64_t seed = 0xd157;
 
+  /// Estimator spec (`kind[:key=value,...]` — online::make_estimator()).
+  /// Every replica must be configured with the same spec: the digest
+  /// merge is estimator-agnostic, but converged *estimates* require the
+  /// replicas to fold identical digests through identical state machines.
+  std::string estimator_spec = "ewma";
+  /// Defaults the spec's overrides apply on top of.
   online::EstimatorOptions estimator;
 };
 
@@ -103,9 +112,15 @@ class Replica {
 
   // --- Digest / estimate -------------------------------------------------
   int replicas_heard() const;
-  const std::vector<std::uint64_t>& digest_sessions() const { return digest_sessions_; }
-  const std::vector<std::uint64_t>& digest_bytes() const { return digest_bytes_; }
-  const online::TrafficEstimator& estimator() const { return estimator_; }
+  /// The summed digest the estimator last folded (the interface's merged
+  /// partial sums — valid after end_interval()).
+  const std::vector<std::uint64_t>& digest_sessions() const {
+    return estimator_->merged_sessions();
+  }
+  const std::vector<std::uint64_t>& digest_bytes() const {
+    return estimator_->merged_bytes();
+  }
+  const online::Estimator& estimator() const { return *estimator_; }
   core::Controller& controller() { return controller_; }
 
   /// Records a generation this replica emitted or learned of; advertised
@@ -128,7 +143,7 @@ class Replica {
   int num_replicas_;
   ReplicaOptions options_;
   core::Controller controller_;
-  online::TrafficEstimator estimator_;
+  std::unique_ptr<online::Estimator> estimator_;
   std::size_t num_classes_;
 
   // Durable consensus state (survives on_restart).
@@ -148,11 +163,10 @@ class Replica {
   std::uint64_t known_generation_ = 0;
   std::uint64_t elections_ = 0;
 
-  // Per-interval gossip scratch.
+  // Per-interval gossip scratch.  The merged digest itself lives in the
+  // estimator's partial-merge hooks (estimator-agnostic by design).
   std::uint64_t interval_tick_ = 0;
   std::vector<std::optional<EstimatePartial>> heard_;  // Keyed by origin.
-  std::vector<std::uint64_t> digest_sessions_;
-  std::vector<std::uint64_t> digest_bytes_;
 };
 
 }  // namespace nwlb::dist

@@ -1,20 +1,49 @@
 #include "online/loop.h"
 
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "obs/metrics.h"
 
 namespace nwlb::online {
 
+namespace {
+
+// Validate-then-build in one step so a misconfigured loop throws before
+// any member construction runs.
+std::unique_ptr<Estimator> build_estimator(core::Controller& controller,
+                                           const ControlLoopOptions& options) {
+  options.validate();
+  return make_estimator(options.estimator, controller.scenario().classes(),
+                        controller.scenario().routing().graph().num_nodes(),
+                        options.estimator_options);
+}
+
+}  // namespace
+
+void ControlLoopOptions::validate() const {
+  // Parsing the spec against the merged defaults covers both the grammar
+  // and every estimator option's domain in one pass.
+  (void)parse_estimator_spec(estimator, estimator_options);
+  if (!(epoch_max_seconds >= 0.0))
+    throw std::invalid_argument(
+        "ControlLoopOptions: epoch_max_seconds must be >= 0, got " +
+        std::to_string(epoch_max_seconds));
+  if (!(epoch_objective_tolerance >= 0.0 && epoch_objective_tolerance < 1.0))
+    throw std::invalid_argument(
+        "ControlLoopOptions: epoch_objective_tolerance must lie in [0, 1), "
+        "got " +
+        std::to_string(epoch_objective_tolerance));
+}
+
 ControlLoop::ControlLoop(core::Controller& controller, sim::ReplaySimulator& sim,
                          shim::ConfigBundle initial, ControlLoopOptions options)
     : controller_(&controller),
       sim_(&sim),
-      options_(options),
-      estimator_(controller.scenario().classes(),
-                 controller.scenario().routing().graph().num_nodes(),
-                 options.estimator),
-      rollout_(std::move(initial), options.rollout) {}
+      options_(std::move(options)),
+      estimator_(build_estimator(controller, options_)),
+      rollout_(std::move(initial), options_.rollout) {}
 
 IntervalReport ControlLoop::run_interval(std::span<const sim::SessionSpec> sessions,
                                          const sim::TraceGenerator& generator) {
@@ -25,9 +54,11 @@ IntervalReport ControlLoop::run_interval(std::span<const sim::SessionSpec> sessi
   // 1. Data plane: replay the interval under the installed generations.
   sim_->replay(sessions, generator);
 
-  // 2. Estimate: fold the window's ingress counters into the EWMA matrix.
-  estimator_.observe(sim_->window_class_sessions(), sim_->window_class_bytes());
-  const traffic::TrafficMatrix tm = estimator_.estimate();
+  // 2. Estimate: fold the window's ingress counters into the estimator
+  // (whatever kind the spec selected — the loop never sees past the
+  // interface).
+  estimator_->observe(sim_->window_class_sessions(), sim_->window_class_bytes());
+  const traffic::TrafficMatrix tm = estimator_->estimate();
   report.estimate_total = tm.total();
 
   // 3. Failures: the mirror-health verdicts are the live failure report.

@@ -5,8 +5,9 @@
 //
 //   1. the data plane replays the interval's sessions under the currently
 //      installed configuration generations;
-//   2. the estimator folds the data plane's per-class ingress counters
-//      into a fresh TrafficMatrix (EWMA-smoothed, scale-anchored);
+//   2. the estimator (any registered kind — ewma, holt-winters, var-ewma;
+//      see estimator.h) folds the data plane's per-class ingress counters
+//      into a fresh TrafficMatrix (smoothed, scale-anchored);
 //   3. mirror health verdicts become the epoch's FailureSet — the same
 //      signal a real controller gets from its keepalive streams;
 //   4. the controller re-optimizes (warm-started, budget-bounded, with
@@ -20,7 +21,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <string>
 
 #include "core/controller.h"
 #include "online/estimator.h"
@@ -37,7 +40,12 @@ class Registry;
 namespace nwlb::online {
 
 struct ControlLoopOptions {
-  EstimatorOptions estimator;
+  /// Estimator spec, `kind[:key=value,...]` — see online::make_estimator()
+  /// for the grammar and registered kinds (ewma, holt-winters, var-ewma).
+  std::string estimator = "ewma";
+  /// Defaults the spec's key=value overrides are applied on top of (the
+  /// programmatic knobs: window, scale anchor, floor, headroom).
+  EstimatorOptions estimator_options;
   RolloutOptions rollout;
 
   /// Feed the data plane's mirror-health verdicts into each epoch request
@@ -56,6 +64,14 @@ struct ControlLoopOptions {
   /// When set, every interval records nwlb_online_* metrics.  Must outlive
   /// the loop.  Null = no telemetry.
   obs::Registry* metrics = nullptr;
+
+  /// Validates every field against its documented domain — the estimator
+  /// spec (parsed against the factory grammar), the merged estimator
+  /// options, and the epoch budgets.  Throws std::invalid_argument with a
+  /// typed message naming the offending field (mirrors the
+  /// FailureSchedule::parse strictness contract).  ControlLoop's
+  /// constructor calls this, so a misconfigured loop never starts.
+  void validate() const;
 };
 
 /// What one control interval did.
@@ -79,9 +95,9 @@ class ControlLoop {
   IntervalReport run_interval(std::span<const sim::SessionSpec> sessions,
                               const sim::TraceGenerator& generator);
 
-  const TrafficEstimator& estimator() const {
+  const Estimator& estimator() const {
     control_.assert_held();  // Single control thread owns the loop.
-    return estimator_;
+    return *estimator_;
   }
   const RolloutEngine& rollout() const {
     control_.assert_held();  // Single control thread owns the loop.
@@ -104,7 +120,7 @@ class ControlLoop {
   // role capability (DESIGN.md §11) makes clang enforce that every touch
   // of the loop's mutable state happens inside that discipline.
   util::ThreadRole control_;
-  TrafficEstimator estimator_ NWLB_GUARDED_BY(control_);
+  std::unique_ptr<Estimator> estimator_ NWLB_GUARDED_BY(control_);
   RolloutEngine rollout_ NWLB_GUARDED_BY(control_);
   int intervals_ NWLB_GUARDED_BY(control_) = 0;
 };

@@ -42,13 +42,21 @@ nids::FiveTuple TraceGenerator::sample_tuple(const traffic::TrafficClass& cls) {
 }
 
 std::vector<SessionSpec> TraceGenerator::generate(int count) {
+  return generate_weighted(count, weights_);
+}
+
+std::vector<SessionSpec> TraceGenerator::generate_weighted(
+    int count, std::span<const double> class_weights) {
   if (count < 0) throw std::invalid_argument("TraceGenerator::generate: negative count");
+  if (class_weights.size() != classes_->size())
+    throw std::invalid_argument(
+        "TraceGenerator::generate_weighted: weight span size mismatch");
   std::vector<SessionSpec> out;
   out.reserve(static_cast<std::size_t>(count) +
               static_cast<std::size_t>(config_.scanners) *
                   static_cast<std::size_t>(config_.scan_fanout));
   for (int i = 0; i < count; ++i) {
-    const auto class_index = rng_.weighted_index(weights_);
+    const auto class_index = rng_.weighted_index(class_weights);
     const auto& cls = (*classes_)[class_index];
     SessionSpec s;
     s.id = next_id_++;
@@ -67,7 +75,7 @@ std::vector<SessionSpec> TraceGenerator::generate(int count) {
   // Scan bursts: one source probing many distinct destinations with
   // single-packet sessions, class chosen per scanner.
   for (int scanner = 0; scanner < config_.scanners; ++scanner) {
-    const auto class_index = rng_.weighted_index(weights_);
+    const auto class_index = rng_.weighted_index(class_weights);
     const auto& cls = (*classes_)[class_index];
     const std::uint32_t src =
         pop_prefix(cls.ingress) | static_cast<std::uint32_t>(rng_.below(1 << 16));

@@ -49,6 +49,15 @@ class TraceGenerator {
   /// scan bursts; scanner sessions are single-packet probes.
   std::vector<SessionSpec> generate(int count);
 
+  /// Like generate(), but samples classes from `class_weights` instead of
+  /// the construction-time |T_c| weights — how a bursty scenario (e.g. a
+  /// SelfSimilarTraffic window) skews one interval's class mix while
+  /// session ids and RNG state stay continuous across intervals.  Size
+  /// must match the class list; weights must be non-negative with a
+  /// positive sum.
+  std::vector<SessionSpec> generate_weighted(int count,
+                                             std::span<const double> class_weights);
+
   /// Materializes the `index`-th packet of a session in one direction.
   /// Payload content is deterministic in (session id, index, direction).
   nids::Packet make_packet(const SessionSpec& session, int index,

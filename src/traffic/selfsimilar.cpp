@@ -1,0 +1,291 @@
+#include "traffic/selfsimilar.h"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "util/rng.h"
+
+namespace nwlb::traffic {
+
+namespace {
+
+// In-place iterative radix-2 Cooley–Tukey.  `invert` applies the inverse
+// transform *without* the 1/n normalization (callers fold it into their
+// own scaling).  Size must be a power of two.
+void fft(std::vector<std::complex<double>>& a, bool invert) {
+  const std::size_t n = a.size();
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        2.0 * std::numbers::pi / static_cast<double>(len) * (invert ? -1.0 : 1.0);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = a[i + k];
+        const std::complex<double> v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+// fGn autocovariance at lag k for Hurst H (unit variance).
+double fgn_autocov(std::size_t k, double hurst) {
+  const double h2 = 2.0 * hurst;
+  const double kk = static_cast<double>(k);
+  return 0.5 * (std::pow(std::abs(kk - 1.0), h2) - 2.0 * std::pow(kk, h2) +
+                std::pow(kk + 1.0, h2));
+}
+
+double slope_of(std::span<const std::pair<double, double>> points) {
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (const auto& [x, y] : points) {
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  const double n = static_cast<double>(points.size());
+  const double denom = n * sxx - sx * sx;
+  if (denom <= 0.0)
+    throw std::invalid_argument("estimate_hurst_rs: degenerate regression");
+  return (n * sxy - sx * sy) / denom;
+}
+
+}  // namespace
+
+std::vector<double> fgn_path(int length, double hurst, std::uint64_t seed) {
+  if (length < 1)
+    throw std::invalid_argument("fgn_path: length must be >= 1, got " +
+                                std::to_string(length));
+  if (!(hurst > 0.0 && hurst < 1.0))
+    throw std::invalid_argument("fgn_path: hurst must lie in (0, 1), got " +
+                                std::to_string(hurst));
+  util::Rng rng(util::derive_seed(seed, 0xf617ULL));
+  std::vector<double> path(static_cast<std::size_t>(length));
+  if (std::abs(hurst - 0.5) < 1e-12) {
+    // H = 0.5 is exactly white noise; skip the embedding.
+    for (double& x : path) x = rng.normal();
+    return path;
+  }
+
+  // Davies–Harte: embed the autocovariance in a circulant of size 2m.
+  const std::size_t m = next_pow2(static_cast<std::size_t>(length));
+  const std::size_t n2 = 2 * m;
+  std::vector<std::complex<double>> eig(n2);
+  for (std::size_t k = 0; k <= m; ++k) eig[k] = fgn_autocov(k, hurst);
+  for (std::size_t k = 1; k < m; ++k) eig[n2 - k] = eig[k];
+  fft(eig, /*invert=*/false);
+
+  // The circulant eigenvalues are real and, for the fGn autocovariance,
+  // non-negative; clamp the tiny negative round-off.
+  std::vector<double> lambda(n2);
+  for (std::size_t k = 0; k < n2; ++k) {
+    const double value = eig[k].real();
+    if (value < -1e-8 * static_cast<double>(n2))
+      throw std::logic_error("fgn_path: circulant embedding not PSD");
+    lambda[k] = std::max(value, 0.0);
+  }
+
+  // Color complex white noise: a_0 and a_m are real; a_{2m-k} = conj(a_k).
+  const double inv = 1.0 / static_cast<double>(n2);
+  std::vector<std::complex<double>> a(n2);
+  a[0] = std::sqrt(lambda[0] * inv) * rng.normal();
+  a[m] = std::sqrt(lambda[m] * inv) * rng.normal();
+  for (std::size_t k = 1; k < m; ++k) {
+    const double scale = std::sqrt(0.5 * lambda[k] * inv);
+    const double u = rng.normal();
+    const double v = rng.normal();
+    a[k] = std::complex<double>(scale * u, scale * v);
+    a[n2 - k] = std::conj(a[k]);
+  }
+  fft(a, /*invert=*/false);
+  for (std::size_t i = 0; i < path.size(); ++i) path[i] = a[i].real();
+  return path;
+}
+
+double estimate_hurst_rs(std::span<const double> xs) {
+  const std::size_t n = xs.size();
+  if (n < 64)
+    throw std::invalid_argument("estimate_hurst_rs: need >= 64 points, got " +
+                                std::to_string(n));
+  std::vector<std::pair<double, double>> points;
+  for (std::size_t block = 8; block <= n / 2; block *= 2) {
+    const std::size_t count = n / block;
+    double sum_rs = 0.0;
+    std::size_t used = 0;
+    for (std::size_t b = 0; b < count; ++b) {
+      const double* begin = xs.data() + b * block;
+      double mean = 0.0;
+      for (std::size_t i = 0; i < block; ++i) mean += begin[i];
+      mean /= static_cast<double>(block);
+      double cum = 0.0, lo = 0.0, hi = 0.0, ss = 0.0;
+      for (std::size_t i = 0; i < block; ++i) {
+        const double dev = begin[i] - mean;
+        cum += dev;
+        lo = std::min(lo, cum);
+        hi = std::max(hi, cum);
+        ss += dev * dev;
+      }
+      const double sd = std::sqrt(ss / static_cast<double>(block));
+      if (sd <= 0.0) continue;  // Constant block carries no information.
+      sum_rs += (hi - lo) / sd;
+      ++used;
+    }
+    if (used == 0) continue;
+    points.emplace_back(std::log(static_cast<double>(block)),
+                        std::log(sum_rs / static_cast<double>(used)));
+  }
+  if (points.size() < 2)
+    throw std::invalid_argument("estimate_hurst_rs: series is degenerate");
+  return slope_of(points);
+}
+
+SelfSimilarTraffic::SelfSimilarTraffic(TrafficMatrix mean, int num_windows,
+                                       SelfSimilarOptions options)
+    : mean_(std::move(mean)), num_windows_(num_windows), options_(options) {
+  if (num_windows < 1)
+    throw std::invalid_argument(
+        "SelfSimilarTraffic: num_windows must be >= 1, got " +
+        std::to_string(num_windows));
+  if (!(options.hurst >= 0.5 && options.hurst <= 0.99))
+    throw std::invalid_argument(
+        "SelfSimilarTraffic: hurst must lie in [0.5, 0.99], got " +
+        std::to_string(options.hurst));
+  if (!(options.sigma >= 0.0) || !std::isfinite(options.sigma))
+    throw std::invalid_argument(
+        "SelfSimilarTraffic: sigma must be finite and >= 0");
+  if (!(options.sigma_spread >= 0.0 && options.sigma_spread <= 1.0))
+    throw std::invalid_argument(
+        "SelfSimilarTraffic: sigma_spread must lie in [0, 1]");
+  if (options.shape == ScenarioShape::kFlashCrowd) {
+    if (options.flash_duration < 1)
+      throw std::invalid_argument(
+          "SelfSimilarTraffic: flash_duration must be >= 1");
+    if (!(options.flash_magnitude > 0.0))
+      throw std::invalid_argument(
+          "SelfSimilarTraffic: flash_magnitude must be > 0");
+    if (options.flash_ingress < -1 || options.flash_ingress >= mean_.num_nodes())
+      throw std::invalid_argument(
+          "SelfSimilarTraffic: flash_ingress outside PoP range");
+  }
+  if (options.shape == ScenarioShape::kDiurnal) {
+    if (options.diurnal_period < 2)
+      throw std::invalid_argument(
+          "SelfSimilarTraffic: diurnal_period must be >= 2");
+    if (!(options.diurnal_amplitude >= 0.0 && options.diurnal_amplitude < 1.0))
+      throw std::invalid_argument(
+          "SelfSimilarTraffic: diurnal_amplitude must lie in [0, 1)");
+  }
+
+  const int n = mean_.num_nodes();
+  std::size_t num_streams = 1;
+  if (options.granularity == BurstGranularity::kPerIngress)
+    num_streams = static_cast<std::size_t>(n);
+  else if (options.granularity == BurstGranularity::kPerClass)
+    num_streams = static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
+  streams_.resize(num_streams);
+  // Lognormal unit-mean mapping of each stream's fGn path:
+  // E[exp(sigma·g)] = exp(sigma²/2) for g ~ N(0,1), so subtracting
+  // sigma²/2 in the exponent makes every multiplier average to 1 —
+  // per stream, at whatever burstiness sigma_spread assigns it.
+  for (std::size_t s = 0; s < num_streams; ++s) {
+    const double ramp =
+        num_streams > 1 ? static_cast<double>(s) /
+                              static_cast<double>(num_streams - 1)
+                        : 0.5;
+    const double sigma =
+        options_.sigma *
+        (1.0 - options_.sigma_spread + 2.0 * options_.sigma_spread * ramp);
+    if (sigma == 0.0) {
+      streams_[s].assign(static_cast<std::size_t>(num_windows_), 1.0);
+      continue;
+    }
+    const std::vector<double> g =
+        fgn_path(num_windows_, options_.hurst, util::derive_seed(options_.seed, s));
+    streams_[s].resize(g.size());
+    const double shift = 0.5 * sigma * sigma;
+    for (std::size_t w = 0; w < g.size(); ++w)
+      streams_[s][w] = std::exp(sigma * g[w] - shift);
+  }
+}
+
+std::size_t SelfSimilarTraffic::stream_index(topo::NodeId src,
+                                             topo::NodeId dst) const {
+  switch (options_.granularity) {
+    case BurstGranularity::kGlobal: return 0;
+    case BurstGranularity::kPerIngress: return static_cast<std::size_t>(src);
+    case BurstGranularity::kPerClass:
+      return static_cast<std::size_t>(src) *
+                 static_cast<std::size_t>(mean_.num_nodes()) +
+             static_cast<std::size_t>(dst);
+  }
+  return 0;
+}
+
+double SelfSimilarTraffic::shape_factor(int window, topo::NodeId src) const {
+  switch (options_.shape) {
+    case ScenarioShape::kNone: return 1.0;
+    case ScenarioShape::kFlashCrowd: {
+      const bool in_span = window >= options_.flash_window &&
+                           window < options_.flash_window + options_.flash_duration;
+      const bool on_row =
+          options_.flash_ingress < 0 || src == options_.flash_ingress;
+      return (in_span && on_row) ? options_.flash_magnitude : 1.0;
+    }
+    case ScenarioShape::kDiurnal:
+      return 1.0 + options_.diurnal_amplitude *
+                       std::sin(2.0 * std::numbers::pi *
+                                static_cast<double>(window) /
+                                static_cast<double>(options_.diurnal_period));
+  }
+  return 1.0;
+}
+
+double SelfSimilarTraffic::multiplier(int window, topo::NodeId src,
+                                      topo::NodeId dst) const {
+  if (window < 0 || window >= num_windows_)
+    throw std::out_of_range("SelfSimilarTraffic: window out of range");
+  return streams_[stream_index(src, dst)][static_cast<std::size_t>(window)] *
+         shape_factor(window, src);
+}
+
+TrafficMatrix SelfSimilarTraffic::window(int w) const {
+  if (w < 0 || w >= num_windows_)
+    throw std::out_of_range("SelfSimilarTraffic: window out of range");
+  const int n = mean_.num_nodes();
+  TrafficMatrix out(n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      out.set_volume(i, j, mean_.volume(i, j) * multiplier(w, i, j));
+    }
+  if (options_.element_noise != nullptr) {
+    // Per-window derived seed: deterministic, independent across windows.
+    util::Rng rng(util::derive_seed(options_.seed,
+                                    0xe1e2ULL ^ static_cast<std::uint64_t>(w)));
+    out = options_.element_noise->sample(out, rng);
+  }
+  return out;
+}
+
+}  // namespace nwlb::traffic

@@ -1,0 +1,139 @@
+// Long-range-dependent traffic synthesis (DESIGN.md §15).
+//
+// Real NIDS traffic is self-similar: burst amplitude correlates across
+// time scales, so a window that just spiked is likely to stay hot for many
+// windows (PAPERS.md: arXiv 1904.05926).  The gravity matrix and the
+// Fig. 15 VariabilityModel capture spatial shape and per-element spread,
+// but both are temporally white — every window is independent.  This
+// module adds the missing time axis:
+//
+//   * `fgn_path` synthesizes exact fractional Gaussian noise with Hurst
+//     parameter H via Davies–Harte circulant embedding: the fGn
+//     autocovariance is embedded in a circulant matrix whose eigenvalues
+//     (one real FFT) are provably non-negative for fGn, so coloring
+//     complex white noise by their square roots and inverse-transforming
+//     yields a sequence with *exactly* the target covariance.  H = 0.5 is
+//     white noise; H → 1 is ever-longer burst memory.  Deterministic from
+//     the seed, bit-stable across platforms (util::Rng + our own FFT).
+//
+//   * `SelfSimilarTraffic` turns a mean (gravity) matrix into a windowed
+//     sequence: each ingress PoP (or the whole network, or every class
+//     pair — see BurstGranularity) gets its own fGn stream, mapped through
+//     a unit-mean lognormal `exp(sigma·g − sigma²/2)` so multipliers are
+//     positive and average to 1.  Optional scenario shapes compose on
+//     top: a flash crowd (one ingress multiplied by `magnitude` for a
+//     window span) and a diurnal swing (global sinusoid).  An optional
+//     VariabilityModel adds the paper's per-element white jitter, so the
+//     two models compose rather than compete.
+//
+//   * `estimate_hurst_rs` is the classic rescaled-range statistic —
+//     the test-side check that synthesized paths really carry the Hurst
+//     exponent they were asked for.
+//
+// Everything here is control-plane scenario generation: the analyzer's
+// hot-path purity rule bans these headers from data-plane decide files.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "traffic/matrix.h"
+#include "traffic/variability.h"
+
+namespace nwlb::traffic {
+
+/// Exact fractional Gaussian noise (zero mean, unit variance) of the given
+/// length via Davies–Harte.  `hurst` must lie in (0, 1); length >= 1.
+/// Deterministic from `seed`.
+std::vector<double> fgn_path(int length, double hurst, std::uint64_t seed);
+
+/// Classic rescaled-range (R/S) Hurst estimate: log–log regression of the
+/// mean rescaled range over power-of-two block sizes.  Needs >= 64 points;
+/// throws std::invalid_argument otherwise.  Small-sample bias is real —
+/// expect ±0.1 on a few thousand points.
+double estimate_hurst_rs(std::span<const double> xs);
+
+/// How many independent fGn streams drive the window multipliers.
+enum class BurstGranularity : unsigned char {
+  kGlobal,      // One stream scales the whole matrix.
+  kPerIngress,  // One stream per ingress PoP row (default: spatial bursts).
+  kPerClass,    // One stream per ordered (ingress, egress) pair.
+};
+
+/// Deterministic scenario shapes composed on top of the fGn multipliers.
+enum class ScenarioShape : unsigned char {
+  kNone,
+  kFlashCrowd,  // One ingress row spikes by flash_magnitude for a span.
+  kDiurnal,     // Global 1 + amplitude·sin(2π·w / period) swing.
+};
+
+struct SelfSimilarOptions {
+  /// Hurst exponent of the burst process.  0.5 = white (the Fig. 15
+  /// regime), 0.9 = heavy long-range dependence.  Domain [0.5, 0.99].
+  double hurst = 0.8;
+
+  /// Scale of the log-multiplier: window factors are lognormal
+  /// exp(sigma·g − sigma²/2) with g ~ fGn, so E[factor] = 1 exactly.
+  /// sigma = 0 disables the stochastic part (shapes only).
+  double sigma = 0.45;
+
+  /// Burstiness heterogeneity in [0, 1]: stream s of S gets
+  /// sigma·(1 − spread + 2·spread·s/(S−1)) — real networks have calm and
+  /// bursty ingresses side by side, which is precisely what a per-class
+  /// headroom estimator can learn and a homogeneous model hides.
+  /// 0 = every stream equally bursty.
+  double sigma_spread = 0.0;
+
+  BurstGranularity granularity = BurstGranularity::kPerIngress;
+
+  ScenarioShape shape = ScenarioShape::kNone;
+  /// kFlashCrowd: first affected window, affected span, row multiplier,
+  /// and which ingress spikes (-1 = every ingress at once).
+  int flash_window = 0;
+  int flash_duration = 4;
+  double flash_magnitude = 3.0;
+  int flash_ingress = 0;
+  /// kDiurnal: period in windows (>= 2) and swing amplitude in [0, 1).
+  int diurnal_period = 24;
+  double diurnal_amplitude = 0.5;
+
+  /// When set, each window is additionally passed through the Fig. 15
+  /// per-element variability sampler (white in time), composing the
+  /// paper's spatial jitter with the temporal burst process.  Must
+  /// outlive the SelfSimilarTraffic.
+  const VariabilityModel* element_noise = nullptr;
+
+  std::uint64_t seed = 1904;
+};
+
+class SelfSimilarTraffic {
+ public:
+  /// Precomputes `num_windows` of multiplier streams over `mean`.
+  /// Throws std::invalid_argument on out-of-domain options.
+  SelfSimilarTraffic(TrafficMatrix mean, int num_windows,
+                     SelfSimilarOptions options = {});
+
+  int num_windows() const { return num_windows_; }
+  const TrafficMatrix& mean() const { return mean_; }
+  const SelfSimilarOptions& options() const { return options_; }
+
+  /// The composed (fGn × shape) multiplier for element (src, dst) in
+  /// window `w` — before element noise.
+  double multiplier(int window, topo::NodeId src, topo::NodeId dst) const;
+
+  /// The window's traffic matrix: mean ∘ multiplier (∘ element noise).
+  TrafficMatrix window(int w) const;
+
+ private:
+  double shape_factor(int window, topo::NodeId src) const;
+  std::size_t stream_index(topo::NodeId src, topo::NodeId dst) const;
+
+  TrafficMatrix mean_;
+  int num_windows_;
+  SelfSimilarOptions options_;
+  // streams_[s][w]: lognormal unit-mean multiplier for stream s, window w.
+  std::vector<std::vector<double>> streams_;
+};
+
+}  // namespace nwlb::traffic

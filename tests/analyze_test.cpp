@@ -260,6 +260,32 @@ TEST(AnalyzeRules, HotPathPuritySkipsUnmarkedFilesPreprocessorAndRoles) {
   EXPECT_TRUE(run_rule("hot-path-purity", corpus).findings.empty());
 }
 
+// ---- hot-path generator includes ----
+
+TEST(AnalyzeRules, HotPathGeneratorsFlagsScenarioHeadersInMarkedFiles) {
+  Corpus corpus;
+  corpus.add("src/shim/hot.cpp", hot_path_marker() +
+                                     "#include \"traffic/selfsimilar.h\"\n"
+                                     "#include \"traffic/variability.h\"\n"
+                                     "#include \"traffic/matrix.h\"\n");
+  const Result result = run_rule("hot-path-generators", corpus);
+  // Both generator headers flagged; the plain matrix header is fine —
+  // the data plane is allowed to *consume* traffic, not synthesize it.
+  ASSERT_EQ(result.findings.size(), 2u);
+  EXPECT_NE(result.findings[0].message.find("selfsimilar"), std::string::npos);
+  EXPECT_NE(result.findings[1].message.find("variability"), std::string::npos);
+}
+
+TEST(AnalyzeRules, HotPathGeneratorsSkipsColdFilesAndSystemIncludes) {
+  Corpus corpus;
+  // Unmarked files may include the generators freely (bench, control loop).
+  corpus.add("bench/cold.cpp", "#include \"traffic/selfsimilar.h\"\n");
+  // A <> include of the same spelling is not a project header.
+  corpus.add("src/shim/hot.cpp",
+             hot_path_marker() + "#include <traffic/selfsimilar.h>\n");
+  EXPECT_TRUE(run_rule("hot-path-generators", corpus).findings.empty());
+}
+
 // ---- suppression, selection ----
 
 TEST(AnalyzeFramework, AllowAnnotationsSuppressOnOwnLineAndLineAbove) {
@@ -304,7 +330,8 @@ TEST(AnalyzeFramework, DefaultRuleSetIsComplete) {
       "pragma-once",      "no-rand",           "naked-new",
       "using-namespace",  "reinterpret-cast",  "hot-path-map",
       "no-throw-hot-path", "raw-shim-install", "include-layering",
-      "include-cycle",    "atomic-order",      "hot-path-purity"};
+      "include-cycle",    "atomic-order",      "hot-path-purity",
+      "hot-path-generators"};
   EXPECT_EQ(names, expected);
 }
 

@@ -8,6 +8,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/controller.h"
@@ -197,29 +199,37 @@ TEST(Consensus, ConvergesUnderDropsAndDelaysWithinBoundedRounds) {
 }
 
 TEST(Consensus, DigestFedEstimatorMatchesCentralizedOracle) {
-  const int n = 3;
-  ReplicaOptions ropts;
-  ropts.estimator.scale_to_total = 50'000.0;
-  GossipFixture f(n, ropts);
-  MessageBus bus(n);
+  // The gossip merge is estimator-agnostic: for *every* registered kind,
+  // a replica's estimator fed the converged digest must match a single
+  // centralized estimator fed the full counters bit for bit.
+  for (std::string_view kind : online::estimator_kinds()) {
+    const int n = 3;
+    ReplicaOptions ropts;
+    ropts.estimator_spec = std::string(kind);
+    ropts.estimator.scale_to_total = 50'000.0;
+    GossipFixture f(n, ropts);
+    MessageBus bus(n);
 
-  // Centralized oracle: one estimator fed the full window directly.
-  online::TrafficEstimator central(
-      f.replicas.front()->controller().scenario().classes(),
-      f.topology.graph.num_nodes(), ropts.estimator);
+    // Centralized oracle: one estimator fed the full window directly.
+    const std::unique_ptr<online::Estimator> central = online::make_estimator(
+        kind, f.replicas.front()->controller().scenario().classes(),
+        f.topology.graph.num_nodes(), ropts.estimator);
 
-  for (std::uint64_t tick = 0; tick < 3; ++tick) {
-    f.run_interval(bus, tick, n + 4);
-    central.observe(f.oracle_sessions, f.oracle_bytes);
-    bus.flush();
-  }
-  const traffic::TrafficMatrix want = central.estimate();
-  for (int r = 0; r < n; ++r) {
-    const traffic::TrafficMatrix got =
-        f.replicas[static_cast<std::size_t>(r)]->estimator().estimate();
-    EXPECT_NEAR(got.total(), want.total(), 1e-9 * want.total());
-    EXPECT_LT(online::estimation_error(got, want), 1e-12)
-        << "replica " << r << " diverged from the centralized estimate";
+    for (std::uint64_t tick = 0; tick < 3; ++tick) {
+      f.run_interval(bus, tick, n + 4);
+      central->observe(f.oracle_sessions, f.oracle_bytes);
+      bus.flush();
+    }
+    const traffic::TrafficMatrix want = central->estimate();
+    for (int r = 0; r < n; ++r) {
+      const Replica& replica = *f.replicas[static_cast<std::size_t>(r)];
+      EXPECT_EQ(replica.estimator().kind(), kind);
+      const traffic::TrafficMatrix got = replica.estimator().estimate();
+      EXPECT_NEAR(got.total(), want.total(), 1e-9 * want.total());
+      EXPECT_LT(online::estimation_error(got, want), 1e-12)
+          << kind << " replica " << r
+          << " diverged from the centralized estimate";
+    }
   }
 }
 

@@ -73,7 +73,7 @@ TEST(ReplicatedLoop, NoFaultsConvergesToSingleControllerBehavior) {
   // plane, fed byte-identical windows (same generator seed).
   sim::ReplaySimulator ssim(f.input, f.initial.bundle);
   online::ControlLoopOptions lopts;
-  lopts.estimator.scale_to_total = f.tm.total();
+  lopts.estimator_options.scale_to_total = f.tm.total();
   online::ControlLoop sloop(f.bootstrap, ssim, f.initial.bundle, lopts);
 
   sim::TraceGenerator rgen = DistFixture::make_generator(f.input);

@@ -4,6 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/controller.h"
@@ -50,7 +53,7 @@ struct LoopFixture {
 
   ControlLoop make_loop(std::uint64_t drain = 0) {
     ControlLoopOptions lopts;
-    lopts.estimator.scale_to_total = tm.total();
+    lopts.estimator_options.scale_to_total = tm.total();
     lopts.rollout.drain_sessions = drain;
     lopts.metrics = &registry;
     return ControlLoop(controller, simulator, bootstrap.bundle, lopts);
@@ -169,7 +172,7 @@ TEST(ControlLoop, MirrorFlapWithinOneIntervalStaysBelowHysteresis) {
   ropts.failures = &flap;
   sim::ReplaySimulator simulator(f.input, f.bootstrap.bundle, ropts);
   ControlLoopOptions lopts;
-  lopts.estimator.scale_to_total = f.tm.total();
+  lopts.estimator_options.scale_to_total = f.tm.total();
   ControlLoop loop(f.controller, simulator, f.bootstrap.bundle, lopts);
 
   const IntervalReport first =
@@ -191,10 +194,62 @@ TEST(ControlLoop, MirrorFlapWithinOneIntervalStaysBelowHysteresis) {
   EXPECT_EQ(simulator.stats().sessions_replayed, 2000u);
 }
 
+TEST(ControlLoopOptions, ValidateRejectsEveryBadField) {
+  ControlLoopOptions good;
+  EXPECT_NO_THROW(good.validate());
+
+  ControlLoopOptions bad_spec;
+  bad_spec.estimator = "arima";
+  EXPECT_THROW(bad_spec.validate(), std::invalid_argument);
+  bad_spec.estimator = "ewma:window=0";
+  EXPECT_THROW(bad_spec.validate(), std::invalid_argument);
+
+  // The merged defaults are validated too, not just the spec overrides.
+  ControlLoopOptions bad_defaults;
+  bad_defaults.estimator_options.support_floor = 1.0;
+  EXPECT_THROW(bad_defaults.validate(), std::invalid_argument);
+
+  ControlLoopOptions bad_budget;
+  bad_budget.epoch_max_seconds = -1.0;
+  EXPECT_THROW(bad_budget.validate(), std::invalid_argument);
+  ControlLoopOptions bad_tolerance;
+  bad_tolerance.epoch_objective_tolerance = 1.0;
+  EXPECT_THROW(bad_tolerance.validate(), std::invalid_argument);
+
+  // The constructor enforces the same contract: a misconfigured loop
+  // never starts.
+  LoopFixture f;
+  ControlLoopOptions lopts;
+  lopts.estimator = "ewma:gamma=1";
+  EXPECT_THROW(ControlLoop(f.controller, f.simulator, f.bootstrap.bundle, lopts),
+               std::invalid_argument);
+}
+
+TEST(ControlLoop, RunsWithEveryRegisteredEstimatorKind) {
+  // The loop never names a concrete estimator type: any registered spec
+  // drives an interval end to end and tracks the oracle on static traffic.
+  for (std::string_view kind : estimator_kinds()) {
+    LoopFixture f;
+    ControlLoopOptions lopts;
+    lopts.estimator = std::string(kind);
+    lopts.estimator_options.scale_to_total = f.tm.total();
+    ControlLoop loop(f.controller, f.simulator, f.bootstrap.bundle, lopts);
+    IntervalReport last;
+    for (int w = 0; w < 3; ++w)
+      last = loop.run_interval(f.generator.generate(2000), f.generator);
+    EXPECT_EQ(loop.estimator().kind(), kind);
+    EXPECT_FALSE(last.epoch.degraded) << kind;
+    const double oracle_load = f.bootstrap.assignment.load_cost;
+    EXPECT_NEAR(last.epoch.assignment.load_cost, oracle_load,
+                0.10 * oracle_load)
+        << kind;
+  }
+}
+
 TEST(ControlLoop, RunsWithoutARegistry) {
   LoopFixture f;
   ControlLoopOptions lopts;
-  lopts.estimator.scale_to_total = f.tm.total();
+  lopts.estimator_options.scale_to_total = f.tm.total();
   ControlLoop loop(f.controller, f.simulator, f.bootstrap.bundle, lopts);
   const IntervalReport report =
       loop.run_interval(f.generator.generate(500), f.generator);

@@ -1,0 +1,283 @@
+// Long-range-dependent traffic synthesis: Davies–Harte fGn paths carry
+// the Hurst exponent they were asked for, the windowed multiplier process
+// is deterministic and unit-mean, scenario shapes (flash crowd, diurnal)
+// compose exactly, and the Fig. 15 VariabilityModel stacks on top.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "topo/topology.h"
+#include "traffic/matrix.h"
+#include "traffic/selfsimilar.h"
+#include "traffic/variability.h"
+
+namespace nwlb::traffic {
+namespace {
+
+TrafficMatrix internet2_mean() {
+  const topo::Topology topology = topo::make_internet2();
+  return gravity_matrix(topology.graph, paper_total_sessions(11));
+}
+
+double sample_mean(const std::vector<double>& xs) {
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double sample_var(const std::vector<double>& xs) {
+  const double mean = sample_mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - mean) * (x - mean);
+  return ss / static_cast<double>(xs.size());
+}
+
+double lag1_autocorr(const std::vector<double>& xs) {
+  const double mean = sample_mean(xs);
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    den += (xs[i] - mean) * (xs[i] - mean);
+    if (i + 1 < xs.size()) num += (xs[i] - mean) * (xs[i + 1] - mean);
+  }
+  return num / den;
+}
+
+// ---- fgn_path --------------------------------------------------------------
+
+TEST(FgnPath, DeterministicFromSeed) {
+  const std::vector<double> a = fgn_path(256, 0.8, 1904);
+  const std::vector<double> b = fgn_path(256, 0.8, 1904);
+  const std::vector<double> c = fgn_path(256, 0.8, 1905);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(FgnPath, RejectsOutOfDomainParameters) {
+  EXPECT_THROW(fgn_path(0, 0.8, 1), std::invalid_argument);
+  EXPECT_THROW(fgn_path(64, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(fgn_path(64, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW(fgn_path(64, -0.3, 1), std::invalid_argument);
+}
+
+TEST(FgnPath, ZeroMeanUnitVariance) {
+  // The increments are N(0, 1) marginally at every H, but long-range
+  // dependence slows the ergodic averages: Var[sample mean] = n^{2H-2},
+  // so the right tolerance scales as n^{H-1} (at H = 0.9 and n = 16384
+  // that is ±0.38 — a ±0.1 band would reject *correct* fGn).  Sample
+  // variance is biased low by the same n^{2H-2} term.
+  const int n = 16384;
+  for (double hurst : {0.5, 0.7, 0.9}) {
+    const std::vector<double> path = fgn_path(n, hurst, 42);
+    const double mean_sd = std::pow(static_cast<double>(n), hurst - 1.0);
+    EXPECT_NEAR(sample_mean(path), 0.0, 4.0 * mean_sd) << "H=" << hurst;
+    const double var_bias = std::pow(static_cast<double>(n), 2.0 * hurst - 2.0);
+    EXPECT_NEAR(sample_var(path), 1.0 - var_bias, 0.1 + var_bias)
+        << "H=" << hurst;
+  }
+}
+
+TEST(FgnPath, Lag1CorrelationMatchesTheory) {
+  // fGn autocovariance at lag 1 is (2^{2H} - 2)/2: exactly 0 for white
+  // noise (H = 0.5) and ≈ 0.74 for H = 0.9.
+  const std::vector<double> white = fgn_path(16384, 0.5, 7);
+  EXPECT_NEAR(lag1_autocorr(white), 0.0, 0.05);
+  const std::vector<double> persistent = fgn_path(16384, 0.9, 7);
+  const double theory = 0.5 * (std::pow(2.0, 1.8) - 2.0);
+  EXPECT_NEAR(lag1_autocorr(persistent), theory, 0.08);
+}
+
+// ---- estimate_hurst_rs -----------------------------------------------------
+
+TEST(HurstRs, RecoversTheSynthesizedExponent) {
+  // R/S carries real small-sample bias (file comment says ±0.1 on a few
+  // thousand points), so assert a generous band plus strict ordering.
+  const double h05 = estimate_hurst_rs(fgn_path(8192, 0.5, 1337));
+  const double h08 = estimate_hurst_rs(fgn_path(8192, 0.8, 1337));
+  const double h09 = estimate_hurst_rs(fgn_path(8192, 0.9, 1337));
+  EXPECT_NEAR(h05, 0.5, 0.15);
+  EXPECT_NEAR(h08, 0.8, 0.15);
+  EXPECT_NEAR(h09, 0.9, 0.15);
+  EXPECT_LT(h05, h08);
+  EXPECT_LT(h08, h09);
+}
+
+TEST(HurstRs, RejectsShortOrDegenerateSeries) {
+  const std::vector<double> short_series(63, 0.5);
+  EXPECT_THROW(estimate_hurst_rs(short_series), std::invalid_argument);
+  const std::vector<double> constant(256, 3.0);
+  EXPECT_THROW(estimate_hurst_rs(constant), std::invalid_argument);
+}
+
+// ---- SelfSimilarTraffic ----------------------------------------------------
+
+TEST(SelfSimilarTraffic, DeterministicAndUnitMean) {
+  const TrafficMatrix mean = internet2_mean();
+  SelfSimilarOptions opts;
+  opts.hurst = 0.5;  // White: windows are independent, means converge fast.
+  opts.sigma = 0.3;
+  opts.seed = 1904;
+  const int windows = 4096;
+  const SelfSimilarTraffic a(mean, windows, opts);
+  const SelfSimilarTraffic b(mean, windows, opts);
+  // Bit-stable: same options, same windows.
+  const TrafficMatrix wa = a.window(17);
+  const TrafficMatrix wb = b.window(17);
+  for (int i = 0; i < mean.num_nodes(); ++i)
+    for (int j = 0; j < mean.num_nodes(); ++j)
+      EXPECT_DOUBLE_EQ(wa.volume(i, j), wb.volume(i, j));
+  // Unit-mean lognormal mapping: each stream's multipliers average to 1,
+  // so the long-run average window reproduces the gravity mean.
+  std::vector<double> factors;
+  factors.reserve(windows);
+  for (int w = 0; w < windows; ++w) factors.push_back(a.multiplier(w, 0, 1));
+  EXPECT_NEAR(sample_mean(factors), 1.0, 0.05);
+}
+
+TEST(SelfSimilarTraffic, RejectsOutOfDomainOptions) {
+  const TrafficMatrix mean = internet2_mean();
+  const auto expect_reject = [&](SelfSimilarOptions opts) {
+    EXPECT_THROW(SelfSimilarTraffic(mean, 8, opts), std::invalid_argument);
+  };
+  SelfSimilarOptions opts;
+  EXPECT_THROW(SelfSimilarTraffic(mean, 0, opts), std::invalid_argument);
+  opts.hurst = 0.4;
+  expect_reject(opts);
+  opts.hurst = 1.0;
+  expect_reject(opts);
+  opts = {};
+  opts.sigma = -0.1;
+  expect_reject(opts);
+  opts = {};
+  opts.sigma_spread = 1.5;
+  expect_reject(opts);
+  opts = {};
+  opts.shape = ScenarioShape::kFlashCrowd;
+  opts.flash_duration = 0;
+  expect_reject(opts);
+  opts.flash_duration = 4;
+  opts.flash_magnitude = 0.0;
+  expect_reject(opts);
+  opts.flash_magnitude = 3.0;
+  opts.flash_ingress = mean.num_nodes();
+  expect_reject(opts);
+  opts = {};
+  opts.shape = ScenarioShape::kDiurnal;
+  opts.diurnal_period = 1;
+  expect_reject(opts);
+  opts.diurnal_period = 24;
+  opts.diurnal_amplitude = 1.0;
+  expect_reject(opts);
+
+  SelfSimilarOptions good;
+  const SelfSimilarTraffic process(mean, 8, good);
+  EXPECT_THROW(process.window(-1), std::out_of_range);
+  EXPECT_THROW(process.window(8), std::out_of_range);
+  EXPECT_THROW(process.multiplier(8, 0, 1), std::out_of_range);
+}
+
+TEST(SelfSimilarTraffic, FlashCrowdShapeIsExactWithoutNoise) {
+  const TrafficMatrix mean = internet2_mean();
+  SelfSimilarOptions opts;
+  opts.sigma = 0.0;  // Shapes only: every fGn multiplier is exactly 1.
+  opts.shape = ScenarioShape::kFlashCrowd;
+  opts.flash_window = 3;
+  opts.flash_duration = 2;
+  opts.flash_magnitude = 3.5;
+  opts.flash_ingress = 1;
+  const SelfSimilarTraffic process(mean, 8, opts);
+  for (int w = 0; w < 8; ++w) {
+    const bool in_span = w >= 3 && w < 5;
+    const TrafficMatrix tm = process.window(w);
+    for (int i = 0; i < mean.num_nodes(); ++i)
+      for (int j = 0; j < mean.num_nodes(); ++j) {
+        if (i == j) continue;
+        const double expected =
+            mean.volume(i, j) * ((in_span && i == 1) ? 3.5 : 1.0);
+        EXPECT_DOUBLE_EQ(tm.volume(i, j), expected)
+            << "w=" << w << " (" << i << "," << j << ")";
+      }
+  }
+  // flash_ingress = -1 surges every row at once.
+  opts.flash_ingress = -1;
+  const SelfSimilarTraffic global(mean, 8, opts);
+  EXPECT_DOUBLE_EQ(global.window(3).total(), 3.5 * mean.total());
+}
+
+TEST(SelfSimilarTraffic, DiurnalSwingTracksTheSinusoid) {
+  const TrafficMatrix mean = internet2_mean();
+  SelfSimilarOptions opts;
+  opts.sigma = 0.0;
+  opts.shape = ScenarioShape::kDiurnal;
+  opts.diurnal_period = 24;
+  opts.diurnal_amplitude = 0.5;
+  const SelfSimilarTraffic process(mean, 24, opts);
+  // Peak at a quarter period, trough at three quarters, mean at zero.
+  EXPECT_NEAR(process.window(0).total(), mean.total(), 1e-9 * mean.total());
+  EXPECT_NEAR(process.window(6).total(), 1.5 * mean.total(),
+              1e-9 * mean.total());
+  EXPECT_NEAR(process.window(18).total(), 0.5 * mean.total(),
+              1e-9 * mean.total());
+}
+
+TEST(SelfSimilarTraffic, SigmaSpreadMakesCalmAndBurstyRows) {
+  const TrafficMatrix mean = internet2_mean();
+  SelfSimilarOptions opts;
+  opts.sigma = 0.4;
+  opts.sigma_spread = 1.0;  // Stream 0 gets sigma 0; the last gets 2·sigma.
+  opts.granularity = BurstGranularity::kPerIngress;
+  const int windows = 64;
+  const SelfSimilarTraffic process(mean, windows, opts);
+  const int last = mean.num_nodes() - 1;
+  std::vector<double> calm, bursty;
+  for (int w = 0; w < windows; ++w) {
+    calm.push_back(process.multiplier(w, 0, 1));
+    bursty.push_back(process.multiplier(w, last, 0));
+  }
+  // The calm end of the ramp is exactly multiplier-free...
+  for (double x : calm) EXPECT_DOUBLE_EQ(x, 1.0);
+  // ...while the bursty end really fluctuates.
+  EXPECT_GT(sample_var(bursty), 0.01);
+}
+
+TEST(SelfSimilarTraffic, GranularityControlsStreamSharing) {
+  const TrafficMatrix mean = internet2_mean();
+  SelfSimilarOptions opts;
+  opts.sigma = 0.4;
+  opts.granularity = BurstGranularity::kGlobal;
+  const SelfSimilarTraffic global(mean, 16, opts);
+  // One stream scales everything: all pairs share the window factor.
+  EXPECT_DOUBLE_EQ(global.multiplier(5, 0, 1), global.multiplier(5, 3, 2));
+
+  opts.granularity = BurstGranularity::kPerClass;
+  const SelfSimilarTraffic per_class(mean, 16, opts);
+  // Distinct streams per ordered pair: (0,1) and (1,0) move independently.
+  EXPECT_NE(per_class.multiplier(5, 0, 1), per_class.multiplier(5, 1, 0));
+}
+
+TEST(SelfSimilarTraffic, ComposesWithTheVariabilityModel) {
+  const TrafficMatrix mean = internet2_mean();
+  const VariabilityModel model(abilene_like_factor_cdf());
+  SelfSimilarOptions opts;
+  opts.sigma = 0.0;  // Isolate the element noise.
+  opts.element_noise = &model;
+  const SelfSimilarTraffic a(mean, 8, opts);
+  const SelfSimilarTraffic b(mean, 8, opts);
+  const TrafficMatrix wa = a.window(2);
+  // Deterministic per-window derived seed: two identical processes agree.
+  const TrafficMatrix wb = b.window(2);
+  bool any_differs = false;
+  for (int i = 0; i < mean.num_nodes(); ++i)
+    for (int j = 0; j < mean.num_nodes(); ++j) {
+      EXPECT_DOUBLE_EQ(wa.volume(i, j), wb.volume(i, j));
+      if (i != j && wa.volume(i, j) != mean.volume(i, j)) any_differs = true;
+    }
+  // The jitter really applied (white in time: windows differ too).
+  EXPECT_TRUE(any_differs);
+  EXPECT_NE(a.window(3).total(), wa.total());
+}
+
+}  // namespace
+}  // namespace nwlb::traffic

@@ -120,12 +120,51 @@ class HotPathPurityRule : public Rule {
   }
 };
 
+// Scenario-generator headers banned from the decide path.  The purity
+// rule above deliberately skips preprocessor lines, so it would never see
+// an #include — but pulling traffic synthesis (fGn embedding, FFTs,
+// lognormal sampling, per-window matrix materialization) into a per-frame
+// translation unit is exactly the layering mistake the DESIGN.md §15 split
+// exists to prevent: generators feed the *control plane* a window at a
+// time; the data plane only ever sees the compiled tables.
+constexpr std::array<std::string_view, 2> kGeneratorHeaders = {
+    "traffic/selfsimilar.h",
+    "traffic/variability.h",
+};
+
+class HotPathGeneratorIncludeRule : public Rule {
+ public:
+  std::string_view name() const override { return "hot-path-generators"; }
+  std::string_view description() const override {
+    return "hot-path files must not include the traffic scenario "
+           "generators (traffic/selfsimilar.h, traffic/variability.h) — "
+           "synthesis is control-plane work, fed to the data plane as "
+           "compiled tables";
+  }
+  void check_file(const SourceFile& file, Sink& sink) const override {
+    if (!file.hot_path) return;
+    for (const IncludeDirective& include : file.includes) {
+      if (!include.quoted) continue;
+      for (std::string_view header : kGeneratorHeaders) {
+        if (include.target != header) continue;
+        sink.report(file, include.line_index, name(),
+                    "`#include \"" + std::string(header) +
+                        "\"` in a `nwlb-lint: hot-path` file: traffic "
+                        "synthesis belongs to the control plane — pass the "
+                        "generated window's compiled tables in instead of "
+                        "generating on the decide path");
+      }
+    }
+  }
+};
+
 }  // namespace
 
 namespace detail {
 
 void append_hot_path_rules(std::vector<std::unique_ptr<Rule>>& rules) {
   rules.push_back(std::make_unique<HotPathPurityRule>());
+  rules.push_back(std::make_unique<HotPathGeneratorIncludeRule>());
 }
 
 }  // namespace detail

@@ -11,6 +11,7 @@
 //   nwlbctl --topology Geant --arch replicate --dump-mps model.mps
 //           --dump-dot net.dot --show-configs
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -37,6 +38,7 @@
 #include "topo/metrics.h"
 #include "topo/validate.h"
 #include "traffic/matrix.h"
+#include "traffic/selfsimilar.h"
 #include "util/table.h"
 
 using namespace nwlb;
@@ -69,8 +71,10 @@ struct CliOptions {
   // Online control loop (--live): estimator-driven epochs + hitless
   // versioned rollouts, no oracle traffic matrix after bootstrap.
   bool live = false;
-  int estimator_window = 4;     // EWMA window, in control intervals.
+  std::string estimator = "ewma";  // Estimator spec (see --estimator).
+  int estimator_window = 4;     // Smoothing window, in control intervals.
   std::uint64_t drain = 0;      // Make-before-break drain, in sessions.
+  double hurst = 0.0;           // > 0: self-similar interval traffic.
 
   // Replicated control plane (--live --replicas=N).
   int replicas = 1;          // 1 = the plain single-controller loop.
@@ -128,8 +132,17 @@ Online control loop:
                           config bundle make-before-break (no oracle matrix
                           after bootstrap).  Combines with --failures to
                           inject faults under the live loop.
-  --window <n>            Estimator EWMA window, in intervals   (default 4)
+  --estimator <spec>      Estimator kind[:key=value,...]     (default ewma)
+                          Kinds: ewma | holt-winters | var-ewma.  Keys:
+                          window, trend-window, headroom, cap, floor, scale.
+                          e.g. --estimator=var-ewma:headroom=2,cap=0.5
+  --window <n>            Estimator smoothing window, intervals (default 4)
   --drain <n>             Rollout drain window, in sessions     (default 0)
+  --hurst <H>             Drive each interval's traffic from a seeded
+                          self-similar (fractional-Gaussian-noise) burst
+                          process with Hurst H in [0.5, 0.99]; the class
+                          mix and per-interval volume follow the bursts.
+                          (default 0 = stationary class mix)
                           (--sessions/--epochs/--workers apply as above)
 
 Replicated control plane (with --live):
@@ -158,8 +171,18 @@ Examples:
 std::optional<CliOptions> parse(int argc, char** argv) {
   CliOptions opt;
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
+    const std::string raw = argv[i];
+    // Accept both `--flag value` and `--flag=value`.
+    std::string arg = raw;
+    std::optional<std::string> inline_value;
+    if (raw.rfind("--", 0) == 0) {
+      if (const auto eq = raw.find('='); eq != std::string::npos) {
+        arg = raw.substr(0, eq);
+        inline_value = raw.substr(eq + 1);
+      }
+    }
     auto value = [&]() -> std::string {
+      if (inline_value) return *inline_value;
       if (i + 1 >= argc) throw std::invalid_argument(arg + " needs a value");
       return argv[++i];
     };
@@ -184,6 +207,8 @@ std::optional<CliOptions> parse(int argc, char** argv) {
     else if (arg == "--headroom") opt.headroom = std::stod(value());
     else if (arg == "--workers") opt.workers = std::stoi(value());
     else if (arg == "--live") opt.live = true;
+    else if (arg == "--estimator") opt.estimator = value();
+    else if (arg == "--hurst") opt.hurst = std::stod(value());
     else if (arg == "--window") opt.estimator_window = std::stoi(value());
     else if (arg == "--drain") opt.drain = std::stoull(value());
     else if (arg == "--replicas") opt.replicas = std::stoi(value());
@@ -368,6 +393,35 @@ int run_failures(const CliOptions& opt, const topo::Topology& topology) {
   return 0;
 }
 
+/// --hurst: the burst process the live loops draw interval traffic from.
+std::optional<traffic::SelfSimilarTraffic> make_bursts(
+    const CliOptions& opt, const traffic::TrafficMatrix& tm) {
+  if (opt.hurst <= 0.0) return std::nullopt;
+  traffic::SelfSimilarOptions ssopts;
+  ssopts.hurst = opt.hurst;
+  return traffic::SelfSimilarTraffic(tm, opt.epochs, ssopts);
+}
+
+/// One interval's sessions: the stationary class mix, or — under --hurst —
+/// the window's self-similar mix with volume tracking the burst process.
+std::vector<sim::SessionSpec> interval_sessions(
+    sim::TraceGenerator& generator,
+    const std::vector<traffic::TrafficClass>& classes,
+    const std::optional<traffic::SelfSimilarTraffic>& bursts, int base_sessions,
+    int w) {
+  if (!bursts) return generator.generate(base_sessions);
+  const traffic::TrafficMatrix win = bursts->window(w % bursts->num_windows());
+  std::vector<double> weights;
+  weights.reserve(classes.size());
+  for (const auto& cls : classes)
+    weights.push_back(win.volume(cls.ingress, cls.egress));
+  const double mean_total = bursts->mean().total();
+  const double burst_scale = mean_total > 0.0 ? win.total() / mean_total : 1.0;
+  const int count = static_cast<int>(
+      std::llround(static_cast<double>(base_sessions) * burst_scale));
+  return generator.generate_weighted(std::max(count, 1), weights);
+}
+
 /// --live --replicas=N: the same estimate -> epoch -> rollout pipeline run
 /// by N controller replicas behind a leader lease.  Estimates converge by
 /// gossip over a lossy simulated bus, only the committed-lease leader
@@ -414,6 +468,7 @@ int run_replicated(const CliOptions& opt, const topo::Topology& topology) {
   dopts.bus.drop_probability = opt.drop;
   dopts.bus.max_delay_rounds = opt.delay;
   dopts.replica.lease_ticks = opt.lease;
+  dopts.replica.estimator_spec = opt.estimator;
   dopts.replica.estimator.window = opt.estimator_window;
   dopts.replica.estimator.scale_to_total = tm.total();
   dopts.rollout.drain_sessions = opt.drain;
@@ -422,17 +477,21 @@ int run_replicated(const CliOptions& opt, const topo::Topology& topology) {
   dist::ReplicatedControlLoop loop(topology, tm, copts, simulator,
                                    initial.bundle, dopts);
 
+  const std::optional<traffic::SelfSimilarTraffic> bursts = make_bursts(opt, tm);
+
   std::cout << "topology=" << topology.name << " arch=" << opt.arch
             << " replicas=" << opt.replicas << " lease=" << opt.lease
-            << " drop=" << opt.drop
+            << " drop=" << opt.drop << " estimator=" << opt.estimator
+            << (opt.hurst > 0.0 ? " hurst=" + std::to_string(opt.hurst) : "")
             << (schedule ? " schedule={\n" + schedule->to_string() + "}" : "")
             << "\n\n";
 
   util::Table table({"Interval", "Sessions", "Leader", "Term", "Gen", "Rollout",
                      "Alive", "Heard", "Epoch"});
   for (int w = 0; w < opt.epochs; ++w) {
-    const dist::ReplicatedIntervalReport report =
-        loop.run_interval(generator.generate(opt.sessions), generator);
+    const dist::ReplicatedIntervalReport report = loop.run_interval(
+        interval_sessions(generator, input.classes, bursts, opt.sessions, w),
+        generator);
     std::string rollout = "-";
     if (report.install_attempted)
       rollout = report.rollout.installed ? "install" : "skip";
@@ -513,22 +572,28 @@ int run_live(const CliOptions& opt, const topo::Topology& topology) {
   sim::TraceGenerator generator(input.classes, trace_config, 77);
 
   online::ControlLoopOptions lopts;
-  lopts.estimator.window = opt.estimator_window;
-  lopts.estimator.scale_to_total = tm.total();
+  lopts.estimator = opt.estimator;
+  lopts.estimator_options.window = opt.estimator_window;
+  lopts.estimator_options.scale_to_total = tm.total();
   lopts.rollout.drain_sessions = opt.drain;
   lopts.metrics = &registry;
   online::ControlLoop loop(controller, simulator, initial.bundle, lopts);
 
+  const std::optional<traffic::SelfSimilarTraffic> bursts = make_bursts(opt, tm);
+
   std::cout << "topology=" << topology.name << " arch=" << opt.arch
-            << " live window=" << opt.estimator_window << " drain=" << opt.drain
+            << " live estimator=" << opt.estimator
+            << " window=" << opt.estimator_window << " drain=" << opt.drain
+            << (opt.hurst > 0.0 ? " hurst=" + std::to_string(opt.hurst) : "")
             << (schedule ? " schedule={\n" + schedule->to_string() + "}" : "")
             << "\n\n";
 
   util::Table table(
       {"Interval", "Sessions", "EstTotal", "Gen", "Rollout", "Churn", "Epoch"});
   for (int w = 0; w < opt.epochs; ++w) {
-    const online::IntervalReport report =
-        loop.run_interval(generator.generate(opt.sessions), generator);
+    const online::IntervalReport report = loop.run_interval(
+        interval_sessions(generator, input.classes, bursts, opt.sessions, w),
+        generator);
     table.row()
         .cell(w)
         .cell(static_cast<long long>(report.sessions_replayed))
